@@ -1,0 +1,48 @@
+//! Ablation — dictionary implementations for the translation partition.
+//!
+//! The paper's conclusion promises "a more sophisticated translation
+//! algorithm" to claw back the 7 % GPU-side overhead; this bench
+//! quantifies the candidates: linear scan (the paper's), binary search
+//! over an order-preserving sorted dictionary, and an FNV-hashed map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holap_dict::{DictKind, DictionarySet, TextCondition};
+use holap_workload::{name_pool, NameStyle};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dicts");
+    group.sample_size(10);
+    let len = 100_000usize;
+    let names = name_pool(len, NameStyle::City, 9);
+    let worst = names.last().unwrap().clone();
+    for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+        let mut set = DictionarySet::new(kind);
+        set.build_column("city", names.iter().map(String::as_str));
+        group.bench_with_input(
+            BenchmarkId::new("eq_lookup", format!("{kind:?}")),
+            &set,
+            |b, set| {
+                let cond = TextCondition::eq(worst.clone());
+                b.iter(|| set.translate("city", &cond).unwrap())
+            },
+        );
+    }
+    // Range translation is only supported by the sorted dictionary.
+    let mut sorted = DictionarySet::new(DictKind::Sorted);
+    sorted.build_column("city", names.iter().map(String::as_str));
+    group.bench_function("range_lookup/Sorted", |b| {
+        let cond = TextCondition::range("B", "M");
+        b.iter(|| sorted.translate("city", &cond).unwrap())
+    });
+    // Build cost matters too: it is paid at database-build time.
+    group.bench_function("build/Sorted_100k", |b| {
+        b.iter(|| {
+            let mut set = DictionarySet::new(DictKind::Sorted);
+            set.build_column("city", names.iter().map(String::as_str))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

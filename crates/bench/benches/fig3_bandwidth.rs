@@ -1,0 +1,42 @@
+//! Figure 3 — memory bandwidth of multithreaded OLAP cube processing.
+//!
+//! The paper's plot: effective bandwidth vs cube size for 1, 4 and 8
+//! OpenMP threads (plateauing at 15–20 GB/s on dual X5667). Here the same
+//! sweep with rayon pools; criterion reports time per full-cube
+//! aggregation, and the throughput lines give the bandwidth directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holap_cube::{bandwidth, Region};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_bandwidth");
+    group.sample_size(10);
+    for &size_mb in &[16.0f64, 64.0, 256.0] {
+        let cube = bandwidth::synthetic_cube_of_mb(size_mb);
+        let region = Region::full(cube.shape());
+        group.throughput(Throughput::Bytes((size_mb * 1024.0 * 1024.0) as u64));
+        for &threads in &[1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{threads}T"), format!("{size_mb}MB")),
+                &cube,
+                |b, cube| {
+                    b.iter(|| {
+                        if threads == 1 {
+                            cube.aggregate_seq(&region)
+                        } else {
+                            pool.install(|| cube.aggregate_par(&region))
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figures 4 & 5 — CPU cube-processing time vs sub-cube size for the
+//! 4-thread and 8-thread parallel implementations (the measurements the
+//! paper fits Eq. 5–10 to).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holap_cube::{bandwidth, Region};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig45_cpu_model");
+    group.sample_size(10);
+    let max_mb = 256.0;
+    let cube = bandwidth::synthetic_cube_of_mb(max_mb);
+    let total_cells = cube.cells();
+    for &threads in &[4usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        for &size_mb in &[1.0f64, 8.0, 64.0, 256.0] {
+            let cells = (((size_mb / max_mb) * total_cells as f64).max(1.0) as u32)
+                .min(cube.shape()[0]);
+            let region = Region::new(vec![(0, cells - 1)]);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{threads}T"), format!("{size_mb}MB")),
+                &region,
+                |b, region| b.iter(|| pool.install(|| cube.aggregate_par(region))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 8 — simulated-GPU scan time vs the number of columns a query
+//! reads, per partition size (1 / 2 / 4 SM). The paper measured this on a
+//! 4 GB table on the Tesla C2070; here the simulated kernels run on
+//! per-partition thread pools and the same linear-in-columns shape must
+//! emerge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holap_bench::fig8_table;
+use holap_gpusim::{DeviceConfig, GpuDevice};
+use holap_model::GpuModelSet;
+use holap_table::{AggOp, AggSpec, ColumnId, Predicate, ScanQuery};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_gpu_partitions");
+    group.sample_size(10);
+    let table = fig8_table(64.0);
+    let dim_ids: Vec<ColumnId> = table.schema().dim_column_ids().collect();
+    let mut device = GpuDevice::new(DeviceConfig::tesla_c2070());
+    let id = device.load_table("facts", table).unwrap();
+    let model = GpuModelSet::paper_c2070();
+    for &sms in &[1u32, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(sms as usize)
+            .build()
+            .expect("pool");
+        for &cols in &[2usize, 6, 12] {
+            let mut q = ScanQuery::new().aggregate(AggSpec::new(AggOp::Sum, Some(0)));
+            for cid in dim_ids.iter().take(cols - 1) {
+                q = q.filter(Predicate::range(*cid, 0, u32::MAX - 1));
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{sms}SM"), format!("{cols}cols")),
+                &q,
+                |b, q| b.iter(|| pool.install(|| device.execute_scan(id, sms, q, &model)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

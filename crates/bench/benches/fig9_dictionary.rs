@@ -1,0 +1,25 @@
+//! Figure 9 — dictionary search time vs dictionary length for the paper's
+//! linear-scan dictionary (the measurement behind the `P_DICT` model,
+//! Eq. 17: 0.0138 µs per entry on one Xeon X5667 core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holap_dict::{Dictionary, LinearDict};
+use holap_workload::{name_pool, NameStyle};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_dictionary");
+    group.sample_size(10);
+    for &len in &[10_000usize, 100_000, 1_000_000] {
+        let names = name_pool(len, NameStyle::City, 42);
+        let dict = LinearDict::build(names.iter().map(String::as_str));
+        let worst = names.last().unwrap().clone();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("worst_case_lookup", len), &dict, |b, d| {
+            b.iter(|| d.encode(&worst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

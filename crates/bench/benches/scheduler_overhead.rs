@@ -1,0 +1,34 @@
+//! Scheduling-decision overhead: the Figure-10 algorithm must be far
+//! cheaper than the queries it places (the paper's system schedules
+//! hundreds of queries per second on one core). One iteration = one
+//! `schedule()` call including queue-clock updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holap_sched::{PartitionLayout, Policy, Scheduler, TaskEstimate};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_overhead");
+    let est = TaskEstimate {
+        t_cpu: Some(0.004),
+        t_gpu_by_class: vec![0.028, 0.014, 0.007],
+        t_trans: 0.0014,
+    };
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("schedule", policy.name()),
+            &policy,
+            |b, &policy| {
+                let mut sched = Scheduler::new(PartitionLayout::paper(), policy);
+                let mut now = 0.0f64;
+                b.iter(|| {
+                    now += 0.001;
+                    sched.schedule(now, &est, 0.5)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Tables 1–3 as criterion benchmarks: one iteration = one full
+//! closed-loop system-model run (1000 queries). Useful for tracking
+//! regression of the simulator itself; the `repro` binary prints the
+//! queries-per-second numbers the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holap_sched::Policy;
+use holap_sim::{run_closed_loop, SimConfig};
+use holap_workload::{PaperHierarchy, QueryGenerator, WorkloadPreset};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_scenarios");
+    group.sample_size(10);
+    let h = PaperHierarchy::default();
+    let cases = [
+        ("table1_cpu8", WorkloadPreset::Table1, Policy::CpuOnly, 8u32, 2usize),
+        ("table2_cpu8", WorkloadPreset::Table2, Policy::CpuOnly, 8, 2),
+        ("table3_hybrid8", WorkloadPreset::Table3, Policy::Paper, 8, 128),
+        ("gpu_only", WorkloadPreset::Table3, Policy::GpuOnly, 8, 6),
+    ];
+    for (name, preset, policy, threads, workers) in cases {
+        let mut cfg = SimConfig::paper(policy, threads, 1000);
+        cfg.workers = workers;
+        group.bench_with_input(BenchmarkId::new("closed_loop", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut generator = QueryGenerator::preset(preset, &h, 5);
+                run_closed_loop(cfg, &mut generator)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

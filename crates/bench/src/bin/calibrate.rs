@@ -1,0 +1,104 @@
+//! Re-derives the scheduler's performance models on the host machine.
+//!
+//! This is the paper's offline benchmark pass (§III-D/E/F): measure, fit,
+//! and store "the system performance variables … inside the scheduler".
+//! Output is a `holap_model::SystemProfile` as JSON on stdout (redirect to
+//! a file and load it into `SystemConfig::profile` to run the engine with
+//! host-true estimates).
+//!
+//! ```text
+//! calibrate [--quick] > profile.json
+//! ```
+
+use holap_bench::{fig45_time_series, fig9_dictionary_series, fit_dict_model};
+use holap_model::{CpuPerfModel, GpuModelSet, GpuPerfModel, LegacyCpuModel, SystemProfile};
+use holap_table::{AggOp, AggSpec, ColumnId, Predicate, ScanQuery};
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 4 };
+    let sizes: Vec<f64> = if quick {
+        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+    } else {
+        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
+    };
+    let split = if quick { 16.0 } else { 128.0 };
+
+    eprintln!("calibrating CPU models over {} sizes (max {} MB)…", sizes.len(), sizes.last().unwrap());
+    let mut profile = SystemProfile::paper();
+    for threads in [1u32, 4, 8] {
+        let pts = fig45_time_series(&sizes, threads as usize, reps);
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+        let model = CpuPerfModel::fit(&xs, &ys, split);
+        let m = model.metrics(&xs, &ys);
+        eprintln!(
+            "  {threads}T: f_A = {:.3e}·x^{:.4}, f_B = {:.3e}·x + {:.3e}  (R² = {:.4})",
+            model.range_a.coeff, model.range_a.exponent, model.range_b.slope,
+            model.range_b.intercept, m.r_squared
+        );
+        if threads == 1 {
+            // The sequential baseline: effective bandwidth from the largest
+            // measured point.
+            let last = pts.last().unwrap();
+            let bw_gbps = last.x / last.y / 1024.0;
+            profile.legacy_cpu = LegacyCpuModel::new(bw_gbps, 0.0);
+            eprintln!("  legacy bandwidth: {bw_gbps:.2} GB/s");
+        } else {
+            profile.set_cpu(threads, model);
+        }
+    }
+
+    eprintln!("calibrating simulated-GPU partition models…");
+    let table = holap_bench::fig8_table(if quick { 16.0 } else { 128.0 });
+    let schema = table.schema().clone();
+    let total = schema.total_columns();
+    let dim_ids: Vec<ColumnId> = schema.dim_column_ids().collect();
+    let mut gpu = GpuModelSet::new(14);
+    for sms in [1u32, 2, 4, 14] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(sms as usize)
+            .build()
+            .expect("pool");
+        let mut fracs = Vec::new();
+        let mut secs = Vec::new();
+        for k in (1..=dim_ids.len()).step_by(2) {
+            let mut q = ScanQuery::new().aggregate(AggSpec::new(AggOp::Sum, Some(0)));
+            for id in dim_ids.iter().take(k) {
+                q = q.filter(Predicate::range(*id, 0, u32::MAX - 1));
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                std::hint::black_box(pool.install(|| table.scan_par(&q)).expect("scan"));
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            fracs.push(((k + 1) as f64 / total as f64).min(1.0));
+            secs.push(best);
+        }
+        let model = GpuPerfModel::fit(sms, &fracs, &secs);
+        eprintln!(
+            "  {sms:>2} SM: t = {:.3e}·(C/C_TOT) + {:.3e}",
+            model.line.slope, model.line.intercept
+        );
+        gpu.insert(model);
+    }
+    profile.gpu = gpu;
+
+    eprintln!("calibrating dictionary model…");
+    let lens: Vec<usize> = if quick {
+        vec![10_000, 40_000, 160_000]
+    } else {
+        vec![10_000, 50_000, 200_000, 500_000, 1_000_000]
+    };
+    let pts = fig9_dictionary_series(&lens, reps.max(3));
+    profile.dict = fit_dict_model(&pts);
+    eprintln!(
+        "  dict: {:.3} ns/entry + {:.3e} s overhead",
+        profile.dict.secs_per_entry * 1e9,
+        profile.dict.overhead_secs
+    );
+
+    println!("{}", serde_json::to_string_pretty(&profile).expect("profile serialises"));
+}

@@ -1,0 +1,263 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro tables     # Tables 1–3 + the GPU translation experiment (simulated, fast)
+//! repro figures    # Figures 3, 4, 5, 8, 9 (host measurements; pass --quick to shrink)
+//! repro ablations  # scheduler-policy and dictionary-implementation ablations
+//! repro all        # everything
+//! ```
+
+use holap_bench::{
+    fig3_bandwidth_series, fig45_time_series, fig8_series, fig8_table, fig9_dictionary_series,
+    fit_dict_model, print_rate_table, print_series, SeriesPoint,
+};
+use holap_dict::{DictKind, Dictionary, DictionarySet};
+use holap_model::{CpuPerfModel, GpuModelSet};
+use holap_sim::scenarios;
+use holap_workload::{name_pool, NameStyle};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "tables" => tables(),
+        "figures" => figures(quick),
+        "ablations" => ablations(),
+        "optimize" => optimize(),
+        "all" => {
+            tables();
+            figures(quick);
+            ablations();
+            optimize();
+        }
+        other => {
+            eprintln!(
+                "unknown command `{other}`; use tables|figures|ablations|optimize|all [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn tables() {
+    println!("== Simulated system-model evaluation (paper Section IV) ==");
+
+    // Fig. 1 is a diagram (cube size vs resolution with the memory level M
+    // and the equilibrium level G); its quantitative content is the cube
+    // geometry, which we print for completeness.
+    let h = holap_workload::PaperHierarchy::default();
+    let schema = h.cube_schema();
+    println!("\nFigure 1 — cube size per resolution (paper: ~4 KB / ~500 KB / ~500 MB / ~32 GB)");
+    println!("{:-<78}", "");
+    for r in 0..=schema.max_resolution() {
+        let mb = schema.size_mb_at(r);
+        let note = match r {
+            2 => "  <- level M in Fig. 1: last cube that fits CPU memory comfortably",
+            3 => "  <- level G: pre-calculation no longer pays off; GPU answers from raw rows",
+            _ => "",
+        };
+        println!(
+            "resolution {r}: shape {:?} = {:>12.3} MB{note}",
+            schema.shape_at(r),
+            mb
+        );
+    }
+    print_rate_table(
+        "Table 1 — CPU-only rate, cube set {~4 KB, ~500 KB, ~500 MB}",
+        &scenarios::table1(),
+    );
+    print_rate_table(
+        "Table 2 — CPU-only rate with the ~32 GB cube added",
+        &scenarios::table2(),
+    );
+    print_rate_table(
+        "Table 3 — full hybrid system (CPU + 6 GPU partitions + translation)",
+        &scenarios::table3(),
+    );
+    print_rate_table(
+        "§IV in-text — GPU-only, effect of text-to-integer translation",
+        &scenarios::gpu_translation_effect(),
+    );
+}
+
+fn figures(quick: bool) {
+    println!("\n== Host measurements (this machine; shapes, not the paper's Xeon/Fermi absolutes) ==");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host parallelism: {cores} CPU(s)");
+    if cores < 8 {
+        println!(
+            "NOTE: fewer than 8 CPUs — the multi-thread series below time-share\n\
+             cores and cannot show the paper's thread scaling; the calibrated\n\
+             models (Tables 1–3) carry that shape instead."
+        );
+    }
+    let reps = if quick { 2 } else { 4 };
+
+    // Fig. 3 — aggregation bandwidth vs cube size, 1/4/8 threads.
+    let sizes: Vec<f64> = if quick {
+        vec![1.0, 4.0, 16.0, 64.0]
+    } else {
+        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+    };
+    let series: Vec<(String, Vec<SeriesPoint>)> = [1usize, 4, 8]
+        .iter()
+        .map(|&t| (format!("{t} thread(s)"), fig3_bandwidth_series(&sizes, t, reps)))
+        .collect();
+    print_series(
+        "Figure 3 — cube-processing memory bandwidth (paper: 1T ≈ 5 GB/s, 8T plateaus at 15–20 GB/s)",
+        "size (MB)",
+        "MB/s",
+        &series,
+    );
+
+    // Fig. 4/5 — processing time vs sub-cube size + piecewise fits.
+    for (threads, fig, paper) in [
+        (4usize, "Figure 4", "f_A = 1.0e-4·x^0.9341, f_B = 5e-5·x + 0.0096"),
+        (8, "Figure 5", "f_A = 6e-5·x^0.984,  f_B = 4e-5·x + 0.0146"),
+    ] {
+        let pts = fig45_time_series(&sizes, threads, reps);
+        print_series(
+            &format!("{fig} — processing time, {threads} threads (paper fit: {paper})"),
+            "size (MB)",
+            "seconds",
+            &[(format!("{threads} threads"), pts.clone())],
+        );
+        if pts.len() >= 4 {
+            let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+            let split = if xs.iter().any(|&x| x >= 64.0) { 64.0 } else { 8.0 };
+            if xs.iter().filter(|&&x| x < split).count() >= 2
+                && xs.iter().filter(|&&x| x >= split).count() >= 2
+            {
+                let fitted = CpuPerfModel::fit(&xs, &ys, split);
+                let m = fitted.metrics(&xs, &ys);
+                println!(
+                    "  host fit: f_A = {:.3e}·x^{:.4}, f_B = {:.3e}·x + {:.3e} (split {split} MB, R² = {:.4})",
+                    fitted.range_a.coeff,
+                    fitted.range_a.exponent,
+                    fitted.range_b.slope,
+                    fitted.range_b.intercept,
+                    m.r_squared
+                );
+            }
+        }
+    }
+
+    // Fig. 8 — simulated-GPU scan time vs column fraction per partition size.
+    let table_mb = if quick { 16.0 } else { 256.0 };
+    let table = fig8_table(table_mb);
+    let model = GpuModelSet::paper_c2070();
+    let mut fig8: Vec<(String, Vec<SeriesPoint>)> = Vec::new();
+    for sms in [1u32, 2, 4] {
+        let measured = fig8_series(&table, sms, reps);
+        let modeled: Vec<SeriesPoint> = measured
+            .iter()
+            .map(|p| SeriesPoint { x: p.x, y: model.estimate_secs(sms, p.x.min(1.0)) })
+            .collect();
+        fig8.push((format!("{sms} SM measured"), measured));
+        fig8.push((format!("{sms} SM paper model"), modeled));
+    }
+    print_series(
+        &format!(
+            "Figure 8 — scan kernel time vs fraction of columns read ({} MB table; paper table: 4 GB)",
+            table_mb
+        ),
+        "C / C_TOT",
+        "seconds",
+        &fig8,
+    );
+
+    // Fig. 9 — dictionary search time vs dictionary length.
+    let lens: Vec<usize> = if quick {
+        vec![10_000, 40_000, 160_000]
+    } else {
+        vec![10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000]
+    };
+    let pts = fig9_dictionary_series(&lens, reps.max(3));
+    let fitted = fit_dict_model(&pts);
+    print_series(
+        "Figure 9 — linear-dictionary worst-case lookup time (paper: 0.0138 µs/entry)",
+        "entries",
+        "seconds",
+        &[("linear dict".to_owned(), pts)],
+    );
+    println!(
+        "  host fit: {:.4} ns/entry (paper: 13.8 ns/entry on one Xeon X5667 core)",
+        fitted.secs_per_entry * 1e9
+    );
+}
+
+fn optimize() {
+    use holap_sim::optimize_layout;
+    use holap_sim::SimConfig;
+    println!("\n== GPU partition-layout search (the paper's \"optimized for the C2070\" claim) ==");
+    let mut base = SimConfig::paper(holap_sched::Policy::Paper, 8, 1500);
+    base.workers = 128;
+    let h = holap_workload::PaperHierarchy::default();
+    let ranking = optimize_layout(
+        &base,
+        &h,
+        holap_workload::WorkloadPreset::Table3.mix(),
+        6,
+        77,
+    );
+    println!("{:<26} {:>10} {:>12}", "layout (SMs)", "Q/s", "deadline %");
+    for c in ranking.iter().take(8) {
+        println!(
+            "{:<26} {:>10.1} {:>11.1}%",
+            format!("{:?}", c.sms),
+            c.qps,
+            c.deadline_hit_ratio * 100.0
+        );
+    }
+    let paper = ranking.iter().position(|c| c.sms == vec![1, 1, 2, 2, 4, 4]);
+    match paper {
+        Some(i) => println!(
+            "\npaper's 1/1/2/2/4/4 ranks #{} of {} ({:.1} Q/s)",
+            i + 1,
+            ranking.len(),
+            ranking[i].qps
+        ),
+        None => println!("\npaper's layout not in the ≤6-part search space?!"),
+    }
+}
+
+fn ablations() {
+    println!("\n== Ablations (not in the paper) ==");
+    print_rate_table(
+        "Scheduler policy ablation — full Table-3 scenario, 8-thread CPU",
+        &scenarios::policy_ablation(),
+    );
+
+    // Dictionary-implementation ablation: the paper's future-work
+    // "advanced translation mechanism", realised.
+    println!("\nDictionary ablation — worst-case lookup over a 1 M-entry column");
+    println!("{:-<78}", "");
+    let names = name_pool(1_000_000, NameStyle::City, 9);
+    for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+        let mut set = DictionarySet::new(kind);
+        set.build_column("city", names.iter().map(String::as_str));
+        let dict = set.dictionary("city").unwrap();
+        let needle = names.last().unwrap();
+        let reps = if kind == DictKind::Linear { 5 } else { 10_000 };
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(dict.encode(needle));
+        }
+        let per = t0.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "{:<10}  probe bound {:>8}   measured lookup {:>12.3} µs",
+            format!("{kind:?}"),
+            dict.probe_bound(),
+            per * 1e6
+        );
+    }
+    println!(
+        "\n(The sorted/hashed dictionaries are the paper's conclusion's planned\n\
+         \"more sophisticated translation algorithm\": they cut the Eq. 17 cost\n\
+         from linear to logarithmic/constant, shrinking the 7 % GPU-side\n\
+         translation overhead to noise.)"
+    );
+}

@@ -1,0 +1,412 @@
+//! Command-line front-end over stored OLAP system images.
+//!
+//! ```text
+//! holap-cli generate --out DIR [--rows N] [--scale K] [--skew S] [--dict sorted|linear|hashed] [--seed N]
+//! holap-cli cube     --store DIR --resolutions 1,2 [--measure M]
+//! holap-cli info     --store DIR
+//! holap-cli query    --store DIR 'select sum(measure0) where time.level1 in 0..3'
+//! ```
+//!
+//! `generate` writes a synthetic fact table + dictionaries into a store
+//! directory; `cube` materialises cubes into it (smallest-parent
+//! roll-ups); `info` prints the image's inventory; `query` brings the
+//! hybrid system up from the image (prebuilt cubes, no re-aggregation)
+//! and executes one DSL query.
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! excludes a CLI framework); every command is a pure function from
+//! parsed arguments to an output string, which is what the unit tests
+//! drive.
+
+#![warn(missing_docs)]
+
+use holap_core::{HybridSystem, SystemConfig};
+use holap_sched::Policy;
+use holap_cube::CubeSchema;
+use holap_dict::DictKind;
+use holap_store::{load_system, save_cube, save_system};
+use holap_workload::{FactsSpec, NameStyle, PaperHierarchy, SyntheticFacts, TextLevel};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A fatal CLI error with a user-facing message.
+#[derive(Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let mut out = Args::default();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
+                out.flags.push((key.to_owned(), value.clone()));
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("flag --{key}: cannot parse `{v}`"))),
+        }
+    }
+}
+
+fn dict_kind(name: &str) -> Result<DictKind, CliError> {
+    match name {
+        "sorted" => Ok(DictKind::Sorted),
+        "linear" => Ok(DictKind::Linear),
+        "hashed" => Ok(DictKind::Hashed),
+        other => err(format!("unknown dictionary kind `{other}` (sorted|linear|hashed)")),
+    }
+}
+
+/// `generate`: synthesise a fact table + dictionaries into a store dir.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let out: PathBuf = args.required("out")?.into();
+    let rows: usize = args.parsed("rows", 100_000)?;
+    let scale: u32 = args.parsed("scale", 8)?;
+    let seed: u64 = args.parsed("seed", 42)?;
+    let skew: f64 = args.parsed("skew", 0.0)?;
+    let kind = dict_kind(args.get("dict").unwrap_or("sorted"))?;
+    let hierarchy = if scale <= 1 {
+        PaperHierarchy::default()
+    } else {
+        PaperHierarchy::scaled_down(scale)
+    };
+    let facts = SyntheticFacts::generate(&FactsSpec {
+        schema: hierarchy.table_schema(),
+        rows,
+        text_levels: vec![
+            TextLevel { dim: 1, level: 3, style: NameStyle::City },
+            TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+        ],
+        dict_kind: kind,
+        skew: (skew > 0.0).then_some(skew),
+        seed,
+    });
+    save_system(&out, &facts.table, &[], &facts.dicts)
+        .map_err(|e| CliError(format!("save failed: {e}")))?;
+    Ok(format!(
+        "generated {rows} rows ({} MB) with {} text columns into {}",
+        facts.table.bytes() / (1024 * 1024),
+        facts.text_columns.len(),
+        out.display()
+    ))
+}
+
+/// `cube`: materialise cubes into an existing store dir.
+pub fn cmd_cube(args: &Args) -> Result<String, CliError> {
+    let store: PathBuf = args.required("store")?.into();
+    let measure: usize = args.parsed("measure", 0)?;
+    let resolutions: Vec<usize> = args
+        .required("resolutions")?
+        .split(',')
+        .map(|p| p.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| CliError("--resolutions expects e.g. `1,2`".into()))?;
+    if resolutions.is_empty() {
+        return err("--resolutions needs at least one level");
+    }
+    let (table, _cubes, _dicts) =
+        load_system(&store).map_err(|e| CliError(format!("load failed: {e}")))?;
+    let schema = CubeSchema::from_table_schema(table.schema());
+    let mut set = holap_cube::CubeSet::new(schema);
+    set.materialize_from_table(&table, measure, &resolutions);
+    let mut out = String::new();
+    for r in set.resolutions() {
+        let cube = set.cube(r).expect("materialised");
+        save_cube(&store.join(format!("cube-r{r}.holap")), cube)
+            .map_err(|e| CliError(format!("save failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "materialised cube r{r}: shape {:?}, {} KB on disk path cube-r{r}.holap",
+            cube.shape(),
+            cube.bytes() / 1024
+        );
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// `info`: inventory of a store dir.
+pub fn cmd_info(args: &Args) -> Result<String, CliError> {
+    let store: PathBuf = args.required("store")?.into();
+    let (table, cubes, dicts) =
+        load_system(&store).map_err(|e| CliError(format!("load failed: {e}")))?;
+    let mut out = String::new();
+    let schema = table.schema();
+    let _ = writeln!(out, "store: {}", store.display());
+    let _ = writeln!(
+        out,
+        "fact table: {} rows, {} columns, {:.1} MB",
+        table.rows(),
+        schema.total_columns(),
+        table.bytes() as f64 / (1024.0 * 1024.0)
+    );
+    for (d, dim) in schema.dimensions.iter().enumerate() {
+        let levels: Vec<String> = dim
+            .levels
+            .iter()
+            .map(|l| format!("{}({})", l.name, l.cardinality))
+            .collect();
+        let _ = writeln!(out, "  dim {d} {}: {}", dim.name, levels.join(" -> "));
+    }
+    for (m, ms) in schema.measures.iter().enumerate() {
+        let _ = writeln!(out, "  measure {m}: {}", ms.name);
+    }
+    let _ = writeln!(out, "dictionaries ({:?}):", dicts.kind());
+    for col in dicts.columns() {
+        let _ = writeln!(out, "  {col}: {} entries", dicts.dict_len(col));
+    }
+    if cubes.is_empty() {
+        let _ = writeln!(out, "cubes: none (run `holap-cli cube`)");
+    }
+    for cube in &cubes {
+        let _ = writeln!(
+            out,
+            "cube r{}: shape {:?}, {:.1} MB dense-equivalent, {} KB stored",
+            cube.resolution(),
+            cube.shape(),
+            cube.size_mb(),
+            cube.bytes() / 1024
+        );
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn policy(name: &str) -> Result<Policy, CliError> {
+    match name {
+        "paper" => Ok(Policy::Paper),
+        "mct" => Ok(Policy::Mct),
+        "met" => Ok(Policy::Met),
+        "round-robin" => Ok(Policy::RoundRobin),
+        "cpu-only" => Ok(Policy::CpuOnly),
+        "gpu-only" => Ok(Policy::GpuOnly),
+        other => err(format!(
+            "unknown policy `{other}` (paper|mct|met|round-robin|cpu-only|gpu-only)"
+        )),
+    }
+}
+
+/// `query`: run one DSL query against a store image.
+pub fn cmd_query(args: &Args) -> Result<String, CliError> {
+    let store: PathBuf = args.required("store")?.into();
+    let text = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("query text expected as a positional argument".into()))?;
+    let config = SystemConfig {
+        policy: policy(args.get("policy").unwrap_or("paper"))?,
+        ..SystemConfig::default()
+    };
+    let (table, cubes, dicts) =
+        load_system(&store).map_err(|e| CliError(format!("load failed: {e}")))?;
+    let mut builder = HybridSystem::builder(config).facts((table, dicts));
+    for cube in cubes {
+        builder = builder.prebuilt_cube(cube);
+    }
+    let system = builder.build().map_err(|e| CliError(format!("build failed: {e}")))?;
+    let outcome = system.query(text).map_err(|e| CliError(format!("query failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "answer: sum = {:.3}, count = {}, avg = {}",
+        outcome.answer.sum,
+        outcome.answer.count,
+        outcome
+            .answer
+            .avg()
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "-".into())
+    );
+    if let Some(groups) = &outcome.groups {
+        for (key, a) in groups {
+            let _ = writeln!(out, "  group {key}: sum = {:.3}, count = {}", a.sum, a.count);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "ran on {:?}{} in {:.2} ms (deadline {})",
+        outcome.placement,
+        if outcome.translated { " via translation partition" } else { "" },
+        outcome.latency_secs * 1e3,
+        if outcome.met_deadline { "met" } else { "missed" }
+    );
+    Ok(out.trim_end().to_owned())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+holap-cli — hybrid GPU/CPU OLAP system (reproduction of Malik et al. 2012)
+
+USAGE:
+  holap-cli generate --out DIR [--rows N] [--scale K] [--skew S] [--dict sorted|linear|hashed] [--seed N]
+  holap-cli cube     --store DIR --resolutions 1,2 [--measure M]
+  holap-cli info     --store DIR
+  holap-cli query    --store DIR [--policy paper|mct|met|round-robin|cpu-only|gpu-only] \\
+                     'select sum(measure0) where time.level1 in 0..3'
+";
+
+/// Dispatches a full argument vector (excluding the program name).
+pub fn run(raw: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = raw.first() else {
+        return err(USAGE);
+    };
+    let args = Args::parse(&raw[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "cube" => cmd_cube(&args),
+        "info" => cmd_info(&args),
+        "query" => cmd_query(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("holap-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn full_workflow_generate_cube_info_query() {
+        let dir = tempdir("flow");
+        let dirs = dir.to_str().unwrap();
+
+        let out = run(&s(&["generate", "--out", dirs, "--rows", "5000", "--seed", "3"]))
+            .unwrap();
+        assert!(out.contains("generated 5000 rows"), "{out}");
+
+        let out = run(&s(&["cube", "--store", dirs, "--resolutions", "1,2"])).unwrap();
+        assert!(out.contains("cube r1"), "{out}");
+        assert!(out.contains("cube r2"), "{out}");
+
+        let out = run(&s(&["info", "--store", dirs])).unwrap();
+        assert!(out.contains("fact table: 5000 rows"), "{out}");
+        assert!(out.contains("cube r1"), "{out}");
+        assert!(out.contains("dictionaries"), "{out}");
+
+        let out = run(&s(&[
+            "query",
+            "--store",
+            dirs,
+            "select sum(measure0) where time.level1 in 0..1",
+        ]))
+        .unwrap();
+        assert!(out.contains("answer: sum ="), "{out}");
+        assert!(out.contains("ran on"), "{out}");
+
+        // Grouped query through the CLI too.
+        let out = run(&s(&[
+            "query",
+            "--store",
+            dirs,
+            "select sum(measure0) where time.level1 in 0..3 group by time.level0",
+        ]))
+        .unwrap();
+        assert!(out.contains("group "), "{out}");
+
+        // Policy selection is honoured.
+        let out = run(&s(&[
+            "query",
+            "--store",
+            dirs,
+            "--policy",
+            "gpu-only",
+            "select sum(measure0) where time.level1 in 0..3",
+        ]))
+        .unwrap();
+        assert!(out.contains("ran on Gpu"), "{out}");
+        assert!(run(&s(&["query", "--store", dirs, "--policy", "bogus", "q"]))
+            .unwrap_err()
+            .0
+            .contains("unknown policy"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn skewed_generation_flag() {
+        let dir = tempdir("skew");
+        let dirs = dir.to_str().unwrap();
+        let out = run(&s(&[
+            "generate", "--out", dirs, "--rows", "2000", "--skew", "1.1",
+        ]))
+        .unwrap();
+        assert!(out.contains("generated 2000 rows"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        assert!(run(&s(&["bogus"])).unwrap_err().0.contains("unknown command"));
+        assert!(run(&s(&["generate"])).unwrap_err().0.contains("--out"));
+        assert!(run(&s(&["cube", "--store", "/nonexistent", "--resolutions", "1"]))
+            .unwrap_err()
+            .0
+            .contains("load failed"));
+        assert!(run(&s(&["generate", "--out"])).unwrap_err().0.contains("needs a value"));
+        assert!(run(&s(&["generate", "--out", "/tmp/x", "--rows", "abc"]))
+            .unwrap_err()
+            .0
+            .contains("cannot parse"));
+        assert!(run(&[]).unwrap_err().0.contains("USAGE"));
+        assert!(run(&s(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_dict_kind_rejected() {
+        let e = run(&s(&["generate", "--out", "/tmp/x", "--dict", "btree"])).unwrap_err();
+        assert!(e.0.contains("unknown dictionary kind"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `holap-cli` binary entry point: thin shell over [`holap_cli::run`].
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match holap_cli::run(&raw) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Result caching for repeated queries.
+//!
+//! OLAP dashboards re-issue the same drill-downs constantly, and this
+//! system's data is immutable after build (the paper's cubes are
+//! pre-calculated offline), so answers can be memoised safely. The cache
+//! keys on the *resolved* query — translated coordinate ranges, code
+//! sets, measure, grouping — so the same question phrased through
+//! different text parameters (or through the DSL vs the builder) hits the
+//! same entry. Eviction is FIFO with a fixed capacity; disabled by
+//! default ([`crate::SystemConfig::cache_capacity`] = 0).
+
+use crate::query::{Answer, ResolvedQuery};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The canonical identity of a resolved query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    ranges: Vec<(usize, u32, u32)>,
+    sets: Vec<(usize, usize, Vec<u32>)>,
+    measure: usize,
+    group_by: Option<(usize, usize)>,
+}
+
+impl CacheKey {
+    pub(crate) fn new(resolved: &ResolvedQuery, group_by: Option<(usize, usize)>) -> Self {
+        Self {
+            ranges: resolved.ranges.iter().map(|r| (r.level, r.from, r.to)).collect(),
+            sets: resolved
+                .sets
+                .iter()
+                .map(|s| (s.dim, s.level, s.codes.clone()))
+                .collect(),
+            measure: resolved.measure,
+            group_by,
+        }
+    }
+}
+
+/// A memoised answer (total + optional groups).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CachedAnswer {
+    pub answer: Answer,
+    pub groups: Option<Vec<(u32, Answer)>>,
+}
+
+/// Fixed-capacity FIFO result cache. Thread-safe.
+#[derive(Debug)]
+pub(crate) struct QueryCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, CachedAnswer>,
+    order: VecDeque<CacheKey>,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` answers (0 disables it).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks an answer up, counting the hit/miss.
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let found = self.inner.lock().map.get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores an answer, evicting the oldest entry at capacity.
+    pub(crate) fn put(&self, key: CacheKey, value: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let std::collections::hash_map::Entry::Occupied(mut e) = inner.map.entry(key.clone())
+        {
+            e.insert(value);
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            let Some(oldest) = inner.order.pop_front() else { break };
+            inner.map.remove(&oldest);
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, value);
+    }
+
+    /// `(hits, misses)` so far.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::SetCondition;
+    use holap_cube::DimRange;
+
+    fn key(from: u32, measure: usize) -> CacheKey {
+        let resolved = ResolvedQuery {
+            ranges: vec![DimRange::new(1, from, from + 3)],
+            scan_conditions: vec![(0, DimRange::new(1, from, from + 3))],
+            sets: vec![SetCondition { dim: 0, level: 1, codes: vec![1, 5] }],
+            measure,
+            provably_empty: false,
+        };
+        CacheKey::new(&resolved, None)
+    }
+
+    fn answer(sum: f64) -> CachedAnswer {
+        CachedAnswer { answer: Answer { sum, count: 1 }, groups: None }
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let c = QueryCache::new(4);
+        assert!(c.get(&key(0, 0)).is_none());
+        c.put(key(0, 0), answer(1.0));
+        assert_eq!(c.get(&key(0, 0)).unwrap().answer.sum, 1.0);
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_queries_do_not_collide() {
+        let c = QueryCache::new(4);
+        c.put(key(0, 0), answer(1.0));
+        assert!(c.get(&key(1, 0)).is_none(), "different range");
+        assert!(c.get(&key(0, 1)).is_none(), "different measure");
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = QueryCache::new(2);
+        c.put(key(0, 0), answer(0.0));
+        c.put(key(1, 0), answer(1.0));
+        c.put(key(2, 0), answer(2.0)); // evicts key(0)
+        assert!(c.get(&key(0, 0)).is_none());
+        assert!(c.get(&key(1, 0)).is_some());
+        assert!(c.get(&key(2, 0)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = QueryCache::new(0);
+        c.put(key(0, 0), answer(1.0));
+        assert!(c.get(&key(0, 0)).is_none());
+        assert_eq!(c.counters(), (0, 0), "disabled cache counts nothing");
+    }
+}

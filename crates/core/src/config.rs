@@ -1,0 +1,52 @@
+//! Engine configuration.
+
+use holap_model::SystemProfile;
+use holap_sched::{PartitionLayout, Policy};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a [`crate::HybridSystem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Partition layout (GPU split, CPU processing threads, translation
+    /// threads).
+    pub layout: PartitionLayout,
+    /// Measured performance profile driving the scheduler's estimates.
+    pub profile: SystemProfile,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Default relative deadline `T_C` for queries that do not carry one,
+    /// seconds.
+    pub default_deadline_secs: f64,
+    /// Result-cache capacity in entries (0 = caching off). The data is
+    /// immutable after build, so memoisation is always sound; it is off by
+    /// default because cached answers bypass the scheduler.
+    #[serde(default)]
+    pub cache_capacity: usize,
+}
+
+impl Default for SystemConfig {
+    /// The paper's configuration: Fig. 7 layout, printed performance
+    /// profile, the Figure-10 policy, and a 0.5 s deadline window.
+    fn default() -> Self {
+        Self {
+            layout: PartitionLayout::paper(),
+            profile: SystemProfile::paper(),
+            policy: Policy::Paper,
+            default_deadline_secs: 0.5,
+            cache_capacity: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_shaped() {
+        let c = SystemConfig::default();
+        assert_eq!(c.layout.gpu_partitions(), 6);
+        assert_eq!(c.policy, Policy::Paper);
+        assert!(c.default_deadline_secs > 0.0);
+    }
+}

@@ -1,0 +1,545 @@
+//! A small SQL-flavoured query DSL.
+//!
+//! ```text
+//! select sum(measure0)
+//! where time.level2 in 10..40
+//!   and geo.level3 = 'Barton Falls'
+//!   and product.level1 in 'A'..'Mz'
+//! deadline 0.5
+//! ```
+//!
+//! * the aggregate word (`sum` / `avg` / `count`) is accepted for
+//!   readability — the engine always returns the full
+//!   [`crate::Answer`] (sum, count, avg);
+//! * dimensions, levels and measures are referenced by schema name (or by
+//!   numeric index);
+//! * quoted operands make a condition textual: it is translated through
+//!   the column's dictionary before execution.
+//!
+//! Parsing is schema-free ([`parse`] → [`ParsedQuery`]); name resolution
+//! happens against a concrete table schema ([`ParsedQuery::resolve`]),
+//! which is what [`crate::HybridSystem::query`] does in one step.
+
+use crate::error::EngineError;
+use crate::query::{ConditionRange, EngineCondition, EngineQuery};
+use holap_dict::TextCondition;
+use holap_table::TableSchema;
+
+/// A parsed, name-based condition operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedRange {
+    /// `= 7`
+    IntEq(u32),
+    /// `in 3..9`
+    IntRange(u32, u32),
+    /// `= 'Boston'`
+    TextEq(String),
+    /// `in 'A'..'B'`
+    TextRange(String, String),
+    /// `contains 'x', 'y'`
+    Contains(Vec<String>),
+}
+
+/// A parsed, name-based condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCondition {
+    /// Dimension name (or numeric index as text).
+    pub dim: String,
+    /// Level name (or numeric index as text).
+    pub level: String,
+    /// Operand.
+    pub range: ParsedRange,
+}
+
+/// A parsed query before name resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// The aggregate word used (`sum`, `avg` or `count`).
+    pub agg: String,
+    /// Measure name (or numeric index as text).
+    pub measure: String,
+    /// Conditions in source order.
+    pub conditions: Vec<ParsedCondition>,
+    /// Optional `group by dim.level` clause.
+    pub group_by: Option<(String, String)>,
+    /// Optional deadline, seconds.
+    pub deadline: Option<f64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Dot,
+    DotDot,
+    LParen,
+    RParen,
+    Eq,
+    Star,
+    Comma,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, EngineError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Eq);
+            }
+            '*' => {
+                chars.next();
+                out.push(Tok::Star);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(EngineError::Parse("unterminated string".into()))
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '.' => {
+                chars.next();
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    out.push(Tok::DotDot);
+                } else {
+                    out.push(Tok::Dot);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else if d == '.' {
+                        // Take the dot only for a true decimal ("0.25");
+                        // "3..9" and "1.city" keep their dots as tokens.
+                        let mut clone = chars.clone();
+                        clone.next();
+                        if !clone.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            break;
+                        }
+                        s.push('.');
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 = s
+                    .parse()
+                    .map_err(|_| EngineError::Parse(format!("bad number `{s}`")))?;
+                out.push(Tok::Num(v));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            other => return Err(EngineError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), EngineError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(EngineError::Parse(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, EngineError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(EngineError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// A schema reference: a name, or a bare non-negative integer index.
+    fn name_token(&mut self, what: &str) -> Result<String, EngineError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(Tok::Num(v)) if v.fract() == 0.0 && v >= 0.0 => Ok(format!("{}", v as u64)),
+            other => Err(EngineError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), EngineError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(EngineError::Parse(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u32, EngineError> {
+        match self.next() {
+            Some(Tok::Num(v)) if v.fract() == 0.0 && v >= 0.0 && v <= u32::MAX as f64 => {
+                Ok(v as u32)
+            }
+            other => Err(EngineError::Parse(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn condition(&mut self) -> Result<ParsedCondition, EngineError> {
+        let dim = self.name_token("dimension name")?;
+        self.expect(Tok::Dot)?;
+        let level = self.name_token("level name")?;
+        match self.next() {
+            Some(Tok::Eq) => match self.next() {
+                Some(Tok::Num(v)) if v.fract() == 0.0 => Ok(ParsedCondition {
+                    dim,
+                    level,
+                    range: ParsedRange::IntEq(v as u32),
+                }),
+                Some(Tok::Str(s)) => {
+                    Ok(ParsedCondition { dim, level, range: ParsedRange::TextEq(s) })
+                }
+                other => {
+                    Err(EngineError::Parse(format!("expected operand after `=`: {other:?}")))
+                }
+            },
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("contains") => {
+                let mut patterns = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Tok::Str(s)) => patterns.push(s),
+                        other => {
+                            return Err(EngineError::Parse(format!(
+                                "expected quoted pattern after `contains`, found {other:?}"
+                            )))
+                        }
+                    }
+                    if matches!(self.peek(), Some(Tok::Comma)) {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(ParsedCondition { dim, level, range: ParsedRange::Contains(patterns) })
+            }
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("in") => match self.next() {
+                Some(Tok::Num(v)) if v.fract() == 0.0 => {
+                    self.expect(Tok::DotDot)?;
+                    let to = self.int()?;
+                    Ok(ParsedCondition {
+                        dim,
+                        level,
+                        range: ParsedRange::IntRange(v as u32, to),
+                    })
+                }
+                Some(Tok::Str(from)) => {
+                    self.expect(Tok::DotDot)?;
+                    match self.next() {
+                        Some(Tok::Str(to)) => Ok(ParsedCondition {
+                            dim,
+                            level,
+                            range: ParsedRange::TextRange(from, to),
+                        }),
+                        other => Err(EngineError::Parse(format!(
+                            "expected string upper bound, found {other:?}"
+                        ))),
+                    }
+                }
+                other => {
+                    Err(EngineError::Parse(format!("expected range after `in`: {other:?}")))
+                }
+            },
+            other => Err(EngineError::Parse(format!(
+                "expected `=` or `in` after column, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parses DSL text into a name-based [`ParsedQuery`].
+pub fn parse(text: &str) -> Result<ParsedQuery, EngineError> {
+    let mut p = Parser { toks: lex(text)?, pos: 0 };
+    p.expect_keyword("select")?;
+    let agg = p.ident("aggregate (sum/avg/count)")?.to_lowercase();
+    if !matches!(agg.as_str(), "sum" | "avg" | "count") {
+        return Err(EngineError::Parse(format!("unknown aggregate `{agg}`")));
+    }
+    p.expect(Tok::LParen)?;
+    let measure = match p.peek() {
+        Some(Tok::Star) if agg == "count" => {
+            p.next();
+            "0".to_owned()
+        }
+        _ => p.name_token("measure")?,
+    };
+    p.expect(Tok::RParen)?;
+
+    let mut conditions = Vec::new();
+    if p.keyword_is("where") {
+        p.next();
+        loop {
+            conditions.push(p.condition()?);
+            if p.keyword_is("and") {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    let group_by = if p.keyword_is("group") {
+        p.next();
+        p.expect_keyword("by")?;
+        let dim = p.name_token("group dimension")?;
+        p.expect(Tok::Dot)?;
+        let level = p.name_token("group level")?;
+        Some((dim, level))
+    } else {
+        None
+    };
+    let deadline = if p.keyword_is("deadline") {
+        p.next();
+        match p.next() {
+            Some(Tok::Num(v)) if v > 0.0 => Some(v),
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "expected positive deadline, found {other:?}"
+                )))
+            }
+        }
+    } else {
+        None
+    };
+    if let Some(t) = p.peek() {
+        return Err(EngineError::Parse(format!("trailing input at {t:?}")));
+    }
+    Ok(ParsedQuery { agg, measure, conditions, group_by, deadline })
+}
+
+fn resolve_index<'a, I: Iterator<Item = &'a str>>(
+    token: &str,
+    names: I,
+    what: &str,
+) -> Result<usize, EngineError> {
+    let names: Vec<&str> = names.collect();
+    if let Some(i) = names.iter().position(|&n| n == token) {
+        return Ok(i);
+    }
+    if let Ok(i) = token.parse::<usize>() {
+        if i < names.len() {
+            return Ok(i);
+        }
+    }
+    Err(EngineError::Parse(format!(
+        "unknown {what} `{token}` (expected one of {names:?} or an index)"
+    )))
+}
+
+impl ParsedQuery {
+    /// Resolves names against a table schema, producing an executable
+    /// [`EngineQuery`].
+    pub fn resolve(&self, schema: &TableSchema) -> Result<EngineQuery, EngineError> {
+        let measure = resolve_index(
+            &self.measure,
+            schema.measures.iter().map(|m| m.name.as_str()),
+            "measure",
+        )?;
+        let group_by = match &self.group_by {
+            None => None,
+            Some((d, l)) => {
+                let dim = resolve_index(
+                    d,
+                    schema.dimensions.iter().map(|x| x.name.as_str()),
+                    "dimension",
+                )?;
+                let level = resolve_index(
+                    l,
+                    schema.dimensions[dim].levels.iter().map(|x| x.name.as_str()),
+                    "level",
+                )?;
+                Some((dim, level))
+            }
+        };
+        let mut q = EngineQuery {
+            conditions: Vec::new(),
+            measure,
+            group_by,
+            deadline_secs: self.deadline,
+        };
+        for c in &self.conditions {
+            let dim = resolve_index(
+                &c.dim,
+                schema.dimensions.iter().map(|d| d.name.as_str()),
+                "dimension",
+            )?;
+            let level = resolve_index(
+                &c.level,
+                schema.dimensions[dim].levels.iter().map(|l| l.name.as_str()),
+                "level",
+            )?;
+            let range = match &c.range {
+                ParsedRange::IntEq(v) => ConditionRange::Coords { from: *v, to: *v },
+                ParsedRange::IntRange(f, t) => ConditionRange::Coords { from: *f, to: *t },
+                ParsedRange::TextEq(s) => ConditionRange::Text(TextCondition::eq(s.clone())),
+                ParsedRange::TextRange(f, t) => {
+                    ConditionRange::Text(TextCondition::range(f.clone(), t.clone()))
+                }
+                ParsedRange::Contains(patterns) => {
+                    ConditionRange::Text(TextCondition::contains(patterns.clone()))
+                }
+            };
+            q.conditions.push(EngineCondition { dim, level, range });
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 16)])
+            .dimension("geo", &[("region", 4), ("city", 8)])
+            .measure("sales")
+            .measure("qty")
+            .build()
+    }
+
+    #[test]
+    fn full_query_parses_and_resolves() {
+        let text = "select sum(qty) where time.month in 3..9 and geo.city = 'Boston' deadline 0.25";
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.agg, "sum");
+        assert_eq!(parsed.deadline, Some(0.25));
+        let q = parsed.resolve(&schema()).unwrap();
+        assert_eq!(q.measure, 1);
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.conditions[0].dim, 0);
+        assert_eq!(q.conditions[0].level, 1);
+        assert_eq!(q.conditions[0].range, ConditionRange::Coords { from: 3, to: 9 });
+        assert_eq!(
+            q.conditions[1].range,
+            ConditionRange::Text(TextCondition::eq("Boston"))
+        );
+    }
+
+    #[test]
+    fn text_ranges_and_indices() {
+        let text = "select avg(0) where 1.city in 'A'..'Mz'";
+        let q = parse(text).unwrap().resolve(&schema()).unwrap();
+        assert_eq!(q.measure, 0);
+        assert_eq!(q.conditions[0].dim, 1);
+        assert_eq!(
+            q.conditions[0].range,
+            ConditionRange::Text(TextCondition::range("A", "Mz"))
+        );
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse("select count(*)").unwrap().resolve(&schema()).unwrap();
+        assert_eq!(q.measure, 0);
+        assert!(q.conditions.is_empty());
+        assert_eq!(q.deadline_secs, None);
+    }
+
+    #[test]
+    fn equality_conditions() {
+        let q = parse("select sum(sales) where time.year = 2")
+            .unwrap()
+            .resolve(&schema())
+            .unwrap();
+        assert_eq!(q.conditions[0].range, ConditionRange::Coords { from: 2, to: 2 });
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("SELECT SUM(sales) WHERE time.year IN 0..1 DEADLINE 1").is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "sum(sales)",                                 // missing select
+            "select blah(sales)",                         // unknown aggregate
+            "select sum sales",                           // missing parens
+            "select sum(sales) where time.year",          // missing op
+            "select sum(sales) where time.year in 3",     // missing range end
+            "select sum(sales) where time.year = 'x' and",// dangling and
+            "select sum(sales) deadline 0",               // non-positive deadline
+            "select sum(sales) trailing",                 // trailing tokens
+            "select sum(sales) where time.year = 'unterminated",
+        ] {
+            assert!(parse(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn resolve_errors_name_the_unknown() {
+        let parsed = parse("select sum(sales) where space.year = 1").unwrap();
+        let err = parsed.resolve(&schema()).unwrap_err();
+        assert!(err.to_string().contains("space"));
+        let parsed = parse("select sum(profit)").unwrap();
+        assert!(parsed.resolve(&schema()).is_err());
+    }
+
+    #[test]
+    fn numeric_dotdot_is_not_a_float() {
+        let q = parse("select sum(sales) where time.month in 10..12")
+            .unwrap()
+            .resolve(&schema())
+            .unwrap();
+        assert_eq!(q.conditions[0].range, ConditionRange::Coords { from: 10, to: 12 });
+    }
+}

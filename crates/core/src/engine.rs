@@ -1,0 +1,954 @@
+//! The running hybrid system: partitions, queues, wall-clock scheduling.
+
+use crate::config::SystemConfig;
+use crate::error::EngineError;
+use crate::query::{text_column_name, Answer, ConditionRange, EngineQuery, ResolvedQuery};
+use crate::stats::EngineStats;
+use crossbeam::channel::{unbounded, Sender};
+use holap_cube::{CubeSchema, CubeSet, MolapCube};
+use holap_dict::{DictionarySet, TextCondition};
+use holap_gpusim::{DeviceConfig, GpuDevice, GpuExecutor, TableId};
+use holap_sched::{Estimator, Placement, QueryFeatures, Scheduler};
+use holap_table::{FactTable, TableSchema};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What one executed query reports back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The aggregate answer (the grand total when grouped).
+    pub answer: Answer,
+    /// Per-group answers when the query had a `GROUP BY`: `(coordinate at
+    /// the grouping level, answer)`, keys ascending, empty groups omitted.
+    pub groups: Option<Vec<(u32, Answer)>>,
+    /// Where the query ran.
+    pub placement: Placement,
+    /// Whether it passed through the translation partition.
+    pub translated: bool,
+    /// Wall-clock latency from submission to answer, seconds.
+    pub latency_secs: f64,
+    /// Whether the latency met the query's deadline window.
+    pub met_deadline: bool,
+    /// The scheduler's estimated processing time for the chosen partition.
+    pub estimated_secs: f64,
+    /// Whether the answer came from the result cache (no partition ran).
+    #[serde(default)]
+    pub from_cache: bool,
+}
+
+/// A translation request routed through the preprocessing partition.
+struct TransJob {
+    lookups: Vec<(String, TextCondition)>,
+    respond: Sender<Result<Vec<holap_dict::CodeSelection>, EngineError>>,
+}
+
+/// Builder for [`HybridSystem`].
+pub struct HybridSystemBuilder {
+    config: SystemConfig,
+    facts: Option<(FactTable, DictionarySet)>,
+    cube_resolutions: Vec<usize>,
+    prebuilt_cubes: Vec<MolapCube>,
+    cube_measure: usize,
+    device_config: DeviceConfig,
+    gpu_cube_build: bool,
+}
+
+impl HybridSystemBuilder {
+    /// Adds the fact table and its dictionaries (anything convertible,
+    /// e.g. `holap_workload::SyntheticFacts`).
+    pub fn facts(mut self, facts: impl Into<(FactTable, DictionarySet)>) -> Self {
+        self.facts = Some(facts.into());
+        self
+    }
+
+    /// Pre-calculates a cube at `resolution` (repeatable).
+    pub fn cube_at(mut self, resolution: usize) -> Self {
+        self.cube_resolutions.push(resolution);
+        self
+    }
+
+    /// Installs an already-materialised cube (e.g. loaded from disk via
+    /// `holap-store`), skipping the aggregation pass at startup.
+    /// The cube's schema must match the fact table's.
+    pub fn prebuilt_cube(mut self, cube: MolapCube) -> Self {
+        self.prebuilt_cubes.push(cube);
+        self
+    }
+
+    /// Which measure the pre-calculated cubes aggregate (default 0).
+    /// Queries over other measures bypass the cubes and go to the GPU.
+    pub fn cube_measure(mut self, measure: usize) -> Self {
+        self.cube_measure = measure;
+        self
+    }
+
+    /// Overrides the simulated device configuration (default: Tesla C2070).
+    pub fn device(mut self, device_config: DeviceConfig) -> Self {
+        self.device_config = device_config;
+        self
+    }
+
+    /// Builds the pre-calculated cubes with the simulated GPU's cube-build
+    /// kernel instead of the CPU — the paper's task "(1) building the cube
+    /// from relational tables stored in GPU memory" (§III-A). Results are
+    /// identical; only the build path (and its modeled cost) differs.
+    pub fn build_cubes_on_gpu(mut self) -> Self {
+        self.gpu_cube_build = true;
+        self
+    }
+
+    /// Builds the running system: uploads the table to the (simulated)
+    /// device, pre-calculates the requested cubes, spawns the partition
+    /// workers.
+    pub fn build(self) -> Result<HybridSystem, EngineError> {
+        let (table, dicts) = self
+            .facts
+            .ok_or_else(|| EngineError::Build("no fact table supplied".into()))?;
+        let table_schema = table.schema().clone();
+        let cube_schema = CubeSchema::from_table_schema(&table_schema);
+        if self.cube_measure >= table_schema.measures.len() {
+            return Err(EngineError::Build(format!(
+                "cube measure {} out of range",
+                self.cube_measure
+            )));
+        }
+        for &r in &self.cube_resolutions {
+            if r > cube_schema.max_resolution() {
+                return Err(EngineError::Build(format!(
+                    "cube resolution {r} exceeds the schema's max {}",
+                    cube_schema.max_resolution()
+                )));
+            }
+        }
+
+        // GPU side first: the cube-build kernel needs the table resident.
+        let mut device = GpuDevice::new(self.device_config);
+        let table_id = device.load_table("facts", table)?;
+
+        // Pre-calculated cubes: one pass for the finest resolution, then
+        // smallest-parent roll-ups for the coarser ones (§II-B) — unless
+        // the hierarchy is non-uniform, where roll-up would be inexact and
+        // each cube is built directly. With `build_cubes_on_gpu`, the
+        // finest (or each direct) build runs as a GPU kernel over the
+        // resident table instead of on the CPU.
+        let mut cube_set = CubeSet::new(cube_schema.clone());
+        for cube in self.prebuilt_cubes {
+            if cube.schema() != &cube_schema {
+                return Err(EngineError::Build(
+                    "prebuilt cube schema does not match the fact table".into(),
+                ));
+            }
+            cube_set.insert(cube);
+        }
+        if !self.cube_resolutions.is_empty() {
+            let table_ref = device.table(table_id)?;
+            let build_one = |r: usize| -> Result<MolapCube, EngineError> {
+                if self.gpu_cube_build {
+                    let out = device.execute_cube_build(
+                        table_id,
+                        self.config.profile.gpu.measured_sizes().max().unwrap_or(1),
+                        r,
+                        self.cube_measure,
+                        &self.config.profile.gpu,
+                    )?;
+                    Ok(out.result)
+                } else {
+                    let mut cube = MolapCube::build_from_table(
+                        cube_schema.clone(),
+                        r,
+                        table_ref,
+                        self.cube_measure,
+                    );
+                    cube.compress();
+                    Ok(cube)
+                }
+            };
+            if cube_schema.uniform_hierarchy() {
+                let mut sorted = self.cube_resolutions.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                let finest = *sorted.last().expect("non-empty");
+                let mut cube = build_one(finest)?;
+                for &r in sorted.iter().rev().skip(1) {
+                    let mut coarser = cube.rollup_to(r);
+                    coarser.compress();
+                    cube_set.insert(std::mem::replace(&mut cube, coarser));
+                }
+                cube_set.insert(cube);
+            } else {
+                for &r in &self.cube_resolutions {
+                    cube_set.insert(build_one(r)?);
+                }
+            }
+        }
+        let device = Arc::new(device);
+        let executor = GpuExecutor::spawn(
+            Arc::clone(&device),
+            &self.config.layout.gpu_partition_sms,
+            self.config.profile.gpu.clone(),
+        )?;
+
+        // CPU processing partition pool.
+        let cpu_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.layout.cpu_threads as usize)
+            .thread_name(|t| format!("cpu-partition-{t}"))
+            .build()
+            .expect("failed to build CPU partition pool");
+
+        // Translation partition workers.
+        let dicts = Arc::new(dicts);
+        let (trans_tx, trans_rx) = unbounded::<TransJob>();
+        let mut trans_handles = Vec::new();
+        for w in 0..self.config.layout.translation_threads {
+            let rx = trans_rx.clone();
+            let dicts = Arc::clone(&dicts);
+            let handle = std::thread::Builder::new()
+                .name(format!("translation-{w}"))
+                .spawn(move || {
+                    for job in rx {
+                        let result = job
+                            .lookups
+                            .iter()
+                            .map(|(col, cond)| {
+                                dicts
+                                    .translate_selection(col, cond)
+                                    .map_err(EngineError::from)
+                            })
+                            .collect();
+                        let _ = job.respond.send(result);
+                    }
+                })
+                .expect("failed to spawn translation worker");
+            trans_handles.push(handle);
+        }
+
+        let estimator = Estimator::new(self.config.profile.clone(), self.config.layout.clone());
+        let scheduler = Scheduler::new(self.config.layout.clone(), self.config.policy);
+        let cache_capacity = self.config.cache_capacity;
+        Ok(HybridSystem {
+            config: self.config,
+            table_schema,
+            cube_schema,
+            cube_set: Arc::new(cube_set),
+            cube_measure: self.cube_measure,
+            dicts,
+            device,
+            table_id,
+            executor,
+            cpu_pool,
+            cpu_queue: Mutex::new(()),
+            trans_tx: Some(trans_tx),
+            trans_handles,
+            scheduler: Mutex::new(scheduler),
+            estimator,
+            epoch: Instant::now(),
+            stats: Mutex::new(EngineStats::default()),
+            cache: crate::cache::QueryCache::new(cache_capacity),
+        })
+    }
+}
+
+/// The running hybrid OLAP system. Thread-safe: queries may be submitted
+/// concurrently from any number of threads.
+pub struct HybridSystem {
+    config: SystemConfig,
+    table_schema: TableSchema,
+    cube_schema: CubeSchema,
+    cube_set: Arc<CubeSet>,
+    cube_measure: usize,
+    dicts: Arc<DictionarySet>,
+    device: Arc<GpuDevice>,
+    table_id: TableId,
+    executor: GpuExecutor,
+    cpu_pool: rayon::ThreadPool,
+    /// Serialises the CPU processing partition — it is one queue (`Q_CPU`).
+    cpu_queue: Mutex<()>,
+    trans_tx: Option<Sender<TransJob>>,
+    trans_handles: Vec<JoinHandle<()>>,
+    scheduler: Mutex<Scheduler>,
+    estimator: Estimator,
+    epoch: Instant,
+    stats: Mutex<EngineStats>,
+    cache: crate::cache::QueryCache,
+}
+
+impl HybridSystem {
+    /// Starts a builder.
+    pub fn builder(config: SystemConfig) -> HybridSystemBuilder {
+        HybridSystemBuilder {
+            config,
+            facts: None,
+            cube_resolutions: Vec::new(),
+            prebuilt_cubes: Vec::new(),
+            cube_measure: 0,
+            device_config: DeviceConfig::tesla_c2070(),
+            gpu_cube_build: false,
+        }
+    }
+
+    /// The fact-table schema.
+    pub fn table_schema(&self) -> &TableSchema {
+        &self.table_schema
+    }
+
+    /// The cube schema.
+    pub fn cube_schema(&self) -> &CubeSchema {
+        &self.cube_schema
+    }
+
+    /// Resolutions of the pre-calculated cubes.
+    pub fn cube_resolutions(&self) -> Vec<usize> {
+        self.cube_set.resolutions()
+    }
+
+    /// Bytes of (simulated) GPU global memory in use.
+    pub fn gpu_memory_used(&self) -> usize {
+        self.device.used_bytes()
+    }
+
+    /// Bytes of CPU memory the cube set occupies.
+    pub fn cube_memory_used(&self) -> usize {
+        self.cube_set.bytes()
+    }
+
+    /// The resident fact table (GPU-side data).
+    pub fn fact_table(&self) -> &FactTable {
+        self.device.table(self.table_id).expect("table loaded at build time")
+    }
+
+    /// The per-column dictionaries.
+    pub fn dictionaries(&self) -> &DictionarySet {
+        &self.dicts
+    }
+
+    /// The resident cube at `resolution`, if any.
+    pub fn cube(&self, resolution: usize) -> Option<&MolapCube> {
+        self.cube_set.cube(resolution)
+    }
+
+    /// A snapshot of the execution statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.lock().clone()
+    }
+
+    /// Result-cache counters: `(hits, misses)`. Both zero when caching is
+    /// disabled.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.cache.counters()
+    }
+
+    /// Parses and executes a DSL query (see [`crate::dsl`]).
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, EngineError> {
+        let q = crate::dsl::parse(text)?.resolve(&self.table_schema)?;
+        self.execute(&q)
+    }
+
+    /// Executes a structured query end-to-end: resolve → estimate →
+    /// schedule → run on the chosen partition → feedback → answer.
+    pub fn execute(&self, q: &EngineQuery) -> Result<QueryOutcome, EngineError> {
+        let resolved = ResolvedQuery::resolve(q, &self.table_schema, &self.cube_schema, &self.dicts)?;
+        let mut cube_query = resolved.cube_query();
+
+        // Grouping: validate and fold the grouping level into the planning
+        // query — grouping by level g needs a cube of resolution ≥ g, so
+        // the group dimension's condition is widened to at least level g.
+        if let Some((gdim, glevel)) = q.group_by {
+            if gdim >= self.cube_schema.ndim() {
+                return Err(EngineError::Query(format!("group dimension {gdim} out of range")));
+            }
+            let levels = self.cube_schema.dimensions[gdim].levels.len();
+            if glevel >= levels {
+                return Err(EngineError::Query(format!(
+                    "group level {glevel} out of range for dimension {gdim} ({levels} levels)"
+                )));
+            }
+            let cond = cube_query.conditions[gdim];
+            if cond.level < glevel {
+                let (f, t) = self
+                    .cube_schema
+                    .widen_range(gdim, cond.level, glevel, (cond.from, cond.to));
+                cube_query.conditions[gdim] = holap_cube::DimRange::new(glevel, f, t);
+            }
+        }
+        // A contradictory conjunction (e.g. `year = 1 and month = 30`
+        // where month 30 is in year 2) selects nothing; answer without
+        // running anything.
+        if resolved.provably_empty {
+            return Ok(QueryOutcome {
+                answer: Answer { sum: 0.0, count: 0 },
+                groups: q.group_by.map(|_| Vec::new()),
+                placement: Placement::Cpu,
+                translated: false,
+                latency_secs: 0.0,
+                met_deadline: true,
+                estimated_secs: 0.0,
+                from_cache: false,
+            });
+        }
+
+        // Result cache: answered queries bypass scheduling entirely.
+        let cache_key = crate::cache::CacheKey::new(&resolved, q.group_by);
+        if let Some(hit) = self.cache.get(&cache_key) {
+            self.stats.lock().cache_hits += 1;
+            return Ok(QueryOutcome {
+                answer: hit.answer,
+                groups: hit.groups,
+                placement: Placement::Cpu, // nominal; nothing actually ran
+                translated: false,
+                latency_secs: 0.0,
+                met_deadline: true,
+                estimated_secs: 0.0,
+                from_cache: true,
+            });
+        }
+
+        let plan = self.cube_set.plan(&cube_query)?;
+        let scan = resolved.scan_query(&self.cube_schema);
+
+        // Eq. 12 (extended with the group-key column when grouping).
+        let group_column = q.group_by.map(|(gdim, glevel)| {
+            holap_table::ColumnId::dim(gdim, self.cube_schema.level_for(gdim, glevel))
+        });
+        let columns_fraction = match group_column {
+            Some(col) => holap_table::GroupByQuery::new(scan.clone(), vec![col])
+                .columns_accessed() as f64
+                / self.table_schema.total_columns() as f64,
+            None => scan.column_fraction(self.table_schema.total_columns()),
+        };
+
+        // Step 2 (Fig. 10): estimate all processing times.
+        let features = QueryFeatures {
+            cpu_subcube_mb: if q.measure == self.cube_measure && resolved.cube_answerable() {
+                plan.as_ref().map(|p| p.estimated_mb)
+            } else {
+                // Cubes hold a different measure, or the query carries
+                // substring (code-set) conditions: the GPU must answer.
+                None
+            },
+            gpu_column_fraction: columns_fraction.min(1.0),
+            translation_dict_lens: q.translation_dict_lens(&self.table_schema, &self.dicts),
+        };
+        let est = self.estimator.estimate(&features);
+        let deadline = q.deadline_secs.unwrap_or(self.config.default_deadline_secs);
+
+        // Steps 3–6: place the query and charge the queues.
+        let submit_at = self.epoch.elapsed().as_secs_f64();
+        let decision = self.scheduler.lock().schedule(submit_at, &est, deadline);
+
+        let run_started = Instant::now();
+        let (answer, groups) = match decision.placement {
+            Placement::Cpu => {
+                let plan = plan.expect("scheduler places CPU only when a cube can answer");
+                // One queue: the partition processes one query at a time.
+                let _queue = self.cpu_queue.lock();
+                match q.group_by {
+                    None => {
+                        let agg = self
+                            .cpu_pool
+                            .install(|| self.cube_set.execute_par(&plan))
+                            .expect("planned cube is resident");
+                        (Answer { sum: agg.sum, count: agg.count }, None)
+                    }
+                    Some((gdim, glevel)) => {
+                        let raw = self
+                            .cpu_pool
+                            .install(|| self.cube_set.execute_grouped_par(&plan, gdim, glevel))
+                            .expect("planned cube is resident");
+                        let groups: Vec<(u32, Answer)> = raw
+                            .into_iter()
+                            .map(|(k, a)| (k, Answer { sum: a.sum, count: a.count }))
+                            .collect();
+                        let total = Answer {
+                            sum: groups.iter().map(|(_, a)| a.sum).sum(),
+                            count: groups.iter().map(|(_, a)| a.count).sum(),
+                        };
+                        (total, Some(groups))
+                    }
+                }
+            }
+            Placement::Gpu { partition } => {
+                if decision.with_translation {
+                    // Physically route the text lookups through the
+                    // translation partition before the kernel launches.
+                    let lookups: Vec<(String, TextCondition)> = q
+                        .conditions
+                        .iter()
+                        .filter_map(|c| match &c.range {
+                            ConditionRange::Text(t) => Some((
+                                text_column_name(&self.table_schema, c.dim, c.level),
+                                t.clone(),
+                            )),
+                            _ => None,
+                        })
+                        .collect();
+                    let (tx, rx) = unbounded();
+                    self.trans_tx
+                        .as_ref()
+                        .expect("translation channel open while system lives")
+                        .send(TransJob { lookups, respond: tx })
+                        .expect("translation partition alive");
+                    rx.recv().expect("translation partition answered")?;
+                }
+                match group_column {
+                    None => {
+                        let rx = self.executor.submit(partition, self.table_id, scan);
+                        let out = rx.recv().expect("GPU partition answered")?;
+                        let sum = out.result.values[0].value().unwrap_or(0.0);
+                        (Answer { sum, count: out.result.matched_rows }, None)
+                    }
+                    Some(col) => {
+                        let gq = holap_table::GroupByQuery::new(scan, vec![col]);
+                        let rx = self.executor.submit_group_by(partition, self.table_id, gq);
+                        let out = rx.recv().expect("GPU partition answered")?;
+                        let groups: Vec<(u32, Answer)> = out
+                            .result
+                            .groups
+                            .iter()
+                            .map(|g| {
+                                (
+                                    g.key[0],
+                                    Answer {
+                                        sum: g.values[0].value().unwrap_or(0.0),
+                                        count: g.rows,
+                                    },
+                                )
+                            })
+                            .collect();
+                        let total = Answer {
+                            sum: groups.iter().map(|(_, a)| a.sum).sum(),
+                            count: out.result.matched_rows,
+                        };
+                        (total, Some(groups))
+                    }
+                }
+            }
+        };
+        let actual = run_started.elapsed().as_secs_f64();
+
+        // Completion feedback (§III-G): correct the queue clock by the
+        // estimation error.
+        self.scheduler
+            .lock()
+            .complete(decision.placement.partition_id(), decision.t_proc, actual);
+
+        let latency_secs = self.epoch.elapsed().as_secs_f64() - submit_at;
+        let met_deadline = latency_secs <= deadline;
+        self.stats.lock().record(
+            decision.placement.is_cpu(),
+            decision.with_translation,
+            latency_secs,
+            met_deadline,
+        );
+        self.cache.put(
+            cache_key,
+            crate::cache::CachedAnswer { answer, groups: groups.clone() },
+        );
+        Ok(QueryOutcome {
+            answer,
+            groups,
+            placement: decision.placement,
+            translated: decision.with_translation,
+            latency_secs,
+            met_deadline,
+            estimated_secs: decision.t_proc,
+            from_cache: false,
+        })
+    }
+}
+
+impl Drop for HybridSystem {
+    fn drop(&mut self) {
+        self.trans_tx = None; // close the channel → workers exit
+        for h in self.trans_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for HybridSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridSystem")
+            .field("cube_resolutions", &self.cube_set.resolutions())
+            .field("gpu_memory_used", &self.device.used_bytes())
+            .field("policy", &self.config.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::EngineQuery;
+    use holap_dict::DictKind;
+    use holap_sched::Policy;
+    use holap_workload::{FactsSpec, NameStyle, PaperHierarchy, SyntheticFacts, TextLevel};
+
+    fn facts(rows: usize) -> SyntheticFacts {
+        let h = PaperHierarchy::scaled_down(8);
+        SyntheticFacts::generate(&FactsSpec {
+            schema: h.table_schema(),
+            rows,
+            text_levels: vec![
+                TextLevel { dim: 1, level: 3, style: NameStyle::City },
+                TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+            ],
+            dict_kind: DictKind::Sorted,
+            skew: None,
+            seed: 31,
+        })
+    }
+
+    fn system(policy: Policy) -> HybridSystem {
+        let config = SystemConfig { policy, ..SystemConfig::default() };
+        HybridSystem::builder(config)
+            .facts(facts(20_000))
+            .cube_at(1)
+            .cube_at(2)
+            .build()
+            .unwrap()
+    }
+
+    /// Ground truth by brute force over the generated table.
+    fn brute_force(f: &SyntheticFacts, conds: &[(usize, usize, u32, u32)], m: usize) -> Answer {
+        let mut sum = 0.0;
+        let mut count = 0;
+        let measure = f.table.measure_column(m);
+        let cols: Vec<&[u32]> =
+            conds.iter().map(|&(d, l, _, _)| f.table.dim_column(d, l)).collect();
+        'rows: for row in 0..f.table.rows() {
+            for (c, col) in conds.iter().zip(&cols) {
+                let v = col[row];
+                if v < c.2 || v > c.3 {
+                    continue 'rows;
+                }
+            }
+            sum += measure[row];
+            count += 1;
+        }
+        Answer { sum, count }
+    }
+
+    #[test]
+    fn cpu_and_gpu_agree_with_ground_truth() {
+        let f = facts(20_000);
+        let truth = brute_force(&f, &[(0, 1, 1, 2), (1, 0, 0, 0)], 0);
+        // CPU-only and GPU-only systems must both match brute force.
+        for policy in [Policy::CpuOnly, Policy::GpuOnly] {
+            let sys = system(policy);
+            let q = EngineQuery::new().range(0, 1, 1, 2).range(1, 0, 0, 0);
+            let out = sys.execute(&q).unwrap();
+            assert_eq!(out.answer.count, truth.count, "{policy:?}");
+            assert!(
+                (out.answer.sum - truth.sum).abs() < 1e-6 * (1.0 + truth.sum.abs()),
+                "{policy:?}: {} vs {}",
+                out.answer.sum,
+                truth.sum
+            );
+            assert_eq!(out.placement.is_cpu(), policy == Policy::CpuOnly);
+        }
+    }
+
+    #[test]
+    fn text_query_runs_on_both_sides() {
+        let f = facts(20_000);
+        let sys_gpu = system(Policy::GpuOnly);
+        let sys_cpu = system(Policy::CpuOnly);
+        // Pick a real member of the city dictionary.
+        let column = &f.text_columns[0].1;
+        let city = f.dicts.decode(column, 5).unwrap().to_owned();
+        let q = EngineQuery::new().text_eq(1, 3, &city);
+        let gpu = sys_gpu.execute(&q).unwrap();
+        let cpu = sys_cpu.execute(&q).unwrap();
+        assert!(gpu.translated, "GPU text query goes through translation");
+        assert_eq!(gpu.answer.count, cpu.answer.count);
+        assert!((gpu.answer.sum - cpu.answer.sum).abs() < 1e-6 * (1.0 + cpu.answer.sum.abs()));
+        // The condition is at the finest level (3) but only cubes 1 and 2
+        // exist, so even the CPU-only system was forced onto the GPU (and
+        // therefore through translation).
+        assert!(!cpu.placement.is_cpu());
+        assert!(cpu.translated);
+
+        // With a level-3 cube resident, the CPU answers it directly —
+        // cubes are coordinate-indexed, so no translation partition is
+        // involved (paper: "the translation is necessary only for the GPU
+        // side of the system").
+        let config = SystemConfig { policy: Policy::CpuOnly, ..SystemConfig::default() };
+        let sys_cpu3 = HybridSystem::builder(config)
+            .facts(facts(20_000))
+            .cube_at(3)
+            .build()
+            .unwrap();
+        let on_cpu = sys_cpu3.execute(&q).unwrap();
+        assert!(on_cpu.placement.is_cpu());
+        assert!(!on_cpu.translated);
+        assert_eq!(on_cpu.answer.count, gpu.answer.count);
+        assert!(
+            (on_cpu.answer.sum - gpu.answer.sum).abs() < 1e-6 * (1.0 + gpu.answer.sum.abs())
+        );
+    }
+
+    #[test]
+    fn fine_queries_fall_through_to_gpu() {
+        let sys = system(Policy::Paper);
+        // Level-3 condition: finer than any resident cube (1, 2).
+        let q = EngineQuery::new().range(0, 3, 0, 9);
+        let out = sys.execute(&q).unwrap();
+        assert!(!out.placement.is_cpu());
+    }
+
+    #[test]
+    fn dsl_round_trip() {
+        let sys = system(Policy::Paper);
+        let out = sys
+            .query("select sum(measure0) where time.level1 in 0..1 deadline 5")
+            .unwrap();
+        let structured = sys
+            .execute(&EngineQuery::new().range(0, 1, 0, 1).deadline(5.0))
+            .unwrap();
+        assert_eq!(out.answer, structured.answer);
+    }
+
+    #[test]
+    fn second_measure_bypasses_cubes() {
+        let sys = system(Policy::Paper);
+        let q = EngineQuery::new().range(0, 1, 0, 1).measure(1);
+        let out = sys.execute(&q).unwrap();
+        assert!(!out.placement.is_cpu(), "cubes hold measure 0 only");
+        // And the answer matches the GPU-only system for the same query.
+        let gpu = system(Policy::GpuOnly).execute(&q).unwrap();
+        assert_eq!(out.answer.count, gpu.answer.count);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let sys = system(Policy::Paper);
+        for i in 0..6u32 {
+            let q = EngineQuery::new().range(0, 1, 0, 1 + i % 2);
+            sys.execute(&q).unwrap();
+        }
+        let s = sys.stats();
+        assert_eq!(s.completed, 6);
+        assert_eq!(s.cpu_queries + s.gpu_queries, 6);
+        assert!(s.mean_latency_secs() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_submission_is_safe() {
+        let sys = std::sync::Arc::new(system(Policy::Paper));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let sys = std::sync::Arc::clone(&sys);
+            handles.push(std::thread::spawn(move || {
+                let q = EngineQuery::new().range(0, 1, t % 3, 3);
+                sys.execute(&q).unwrap().answer
+            }));
+        }
+        let answers: Vec<Answer> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(answers.len(), 8);
+        assert_eq!(sys.stats().completed, 8);
+    }
+
+    #[test]
+    fn build_errors() {
+        let err = HybridSystem::builder(SystemConfig::default()).build().unwrap_err();
+        assert!(matches!(err, EngineError::Build(_)));
+        let err = HybridSystem::builder(SystemConfig::default())
+            .facts(facts(100))
+            .cube_at(99)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Build(_)));
+        let err = HybridSystem::builder(SystemConfig::default())
+            .facts(facts(100))
+            .cube_measure(9)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Build(_)));
+    }
+
+    #[test]
+    fn unknown_text_value_is_an_error() {
+        let sys = system(Policy::Paper);
+        let q = EngineQuery::new().text_eq(1, 3, "No Such City");
+        assert!(matches!(sys.execute(&q), Err(EngineError::Translate(_))));
+    }
+
+    #[test]
+    fn grouped_queries_agree_between_cpu_and_gpu() {
+        let q = EngineQuery::new()
+            .range(0, 1, 0, 3)
+            .range(1, 1, 0, 1)
+            .grouped_by(0, 1); // group by time level 1
+        let cpu = system(Policy::CpuOnly).execute(&q).unwrap();
+        let gpu = system(Policy::GpuOnly).execute(&q).unwrap();
+        assert!(cpu.placement.is_cpu());
+        assert!(!gpu.placement.is_cpu());
+        let cg = cpu.groups.as_ref().unwrap();
+        let gg = gpu.groups.as_ref().unwrap();
+        assert_eq!(cg.len(), gg.len(), "{cg:?} vs {gg:?}");
+        for ((ck, ca), (gk, ga)) in cg.iter().zip(gg) {
+            assert_eq!(ck, gk);
+            assert_eq!(ca.count, ga.count, "group {ck}");
+            assert!((ca.sum - ga.sum).abs() < 1e-6 * (1.0 + ga.sum.abs()), "group {ck}");
+        }
+        // Totals match the ungrouped query.
+        let plain = system(Policy::CpuOnly)
+            .execute(&EngineQuery::new().range(0, 1, 0, 3).range(1, 1, 0, 1))
+            .unwrap();
+        assert_eq!(cpu.answer.count, plain.answer.count);
+        assert!((cpu.answer.sum - plain.answer.sum).abs() < 1e-6 * (1.0 + plain.answer.sum.abs()));
+    }
+
+    #[test]
+    fn grouping_finer_than_conditions_forces_fine_cube_or_gpu() {
+        // Group at level 3 (finer than resident cubes 1 and 2) → GPU.
+        let sys = system(Policy::Paper);
+        let q = EngineQuery::new().range(0, 1, 0, 1).grouped_by(0, 3);
+        let out = sys.execute(&q).unwrap();
+        assert!(!out.placement.is_cpu());
+        assert!(out.groups.is_some());
+    }
+
+    #[test]
+    fn grouped_dsl_round_trip() {
+        let sys = system(Policy::Paper);
+        let dsl = sys
+            .query("select sum(measure0) where time.level1 in 0..3 group by time.level0")
+            .unwrap();
+        let structured = sys
+            .execute(&EngineQuery::new().range(0, 1, 0, 3).grouped_by(0, 0))
+            .unwrap();
+        assert_eq!(dsl.groups, structured.groups);
+        assert!(dsl.groups.unwrap().len() <= 2); // level 0 has 2 coordinates
+    }
+
+    #[test]
+    fn substring_queries_filter_by_pattern() {
+        let data = facts(20_000);
+        let sys = system(Policy::Paper);
+        // Find a pattern that actually occurs: take a 4-char slice of a
+        // dictionary member.
+        let member = data.dicts.decode("geo.level3", 20).unwrap().to_owned();
+        let pattern = &member[..4.min(member.len())];
+        let q = EngineQuery::new().text_contains(1, 3, [pattern]);
+        let out = sys.execute(&q).unwrap();
+        assert!(!out.placement.is_cpu(), "substring predicates are GPU-only");
+        // Ground truth: rows whose decoded city contains the pattern.
+        let col = data.table.dim_column(1, 3);
+        let expect = col
+            .iter()
+            .filter(|&&c| {
+                data.dicts.decode("geo.level3", c).unwrap().contains(pattern)
+            })
+            .count() as u64;
+        assert_eq!(out.answer.count, expect);
+        assert!(expect > 0, "pattern occurs in the data");
+
+        // DSL form agrees.
+        let dsl = sys
+            .query(&format!(
+                "select sum(measure0) where geo.level3 contains '{pattern}'"
+            ))
+            .unwrap();
+        assert_eq!(dsl.answer, out.answer);
+    }
+
+    #[test]
+    fn multi_pattern_contains_is_a_union() {
+        let data = facts(20_000);
+        let sys = system(Policy::GpuOnly);
+        let a = data.dicts.decode("geo.level3", 3).unwrap().to_owned();
+        let b = data.dicts.decode("geo.level3", 90).unwrap().to_owned();
+        let q = EngineQuery::new().text_contains(1, 3, [a.as_str(), b.as_str()]);
+        let union = sys.execute(&q).unwrap().answer.count;
+        let qa = sys.execute(&EngineQuery::new().text_contains(1, 3, [a.as_str()])).unwrap();
+        let qb = sys.execute(&EngineQuery::new().text_contains(1, 3, [b.as_str()])).unwrap();
+        assert!(union >= qa.answer.count.max(qb.answer.count));
+        assert!(union <= qa.answer.count + qb.answer.count);
+    }
+
+    #[test]
+    fn bad_group_spec_is_an_error() {
+        let sys = system(Policy::Paper);
+        let q = EngineQuery::new().grouped_by(9, 0);
+        assert!(matches!(sys.execute(&q), Err(EngineError::Query(_))));
+        let q = EngineQuery::new().grouped_by(0, 9);
+        assert!(matches!(sys.execute(&q), Err(EngineError::Query(_))));
+    }
+
+    #[test]
+    fn gpu_built_cubes_answer_identically() {
+        let config = SystemConfig { policy: Policy::CpuOnly, ..SystemConfig::default() };
+        let cpu_built = HybridSystem::builder(config.clone())
+            .facts(facts(10_000))
+            .cube_at(1)
+            .cube_at(2)
+            .build()
+            .unwrap();
+        let gpu_built = HybridSystem::builder(config)
+            .facts(facts(10_000))
+            .cube_at(1)
+            .cube_at(2)
+            .build_cubes_on_gpu()
+            .build()
+            .unwrap();
+        assert_eq!(gpu_built.cube_resolutions(), vec![1, 2]);
+        for q in [
+            EngineQuery::new().range(0, 1, 0, 3),
+            EngineQuery::new().range(0, 2, 3, 17).range(1, 1, 1, 2),
+        ] {
+            let a = cpu_built.execute(&q).unwrap();
+            let b = gpu_built.execute(&q).unwrap();
+            assert_eq!(a.answer.count, b.answer.count);
+            assert!((a.answer.sum - b.answer.sum).abs() < 1e-6 * (1.0 + a.answer.sum.abs()));
+        }
+    }
+
+    #[test]
+    fn result_cache_serves_repeats() {
+        let config = SystemConfig { cache_capacity: 16, ..SystemConfig::default() };
+        let sys = HybridSystem::builder(config)
+            .facts(facts(10_000))
+            .cube_at(2)
+            .build()
+            .unwrap();
+        let q = EngineQuery::new().range(0, 2, 1, 9).grouped_by(0, 1);
+        let first = sys.execute(&q).unwrap();
+        assert!(!first.from_cache);
+        let second = sys.execute(&q).unwrap();
+        assert!(second.from_cache);
+        assert_eq!(second.answer, first.answer);
+        assert_eq!(second.groups, first.groups);
+        assert_eq!(sys.cache_counters(), (1, 1));
+        assert_eq!(sys.stats().cache_hits, 1);
+        // Semantically identical query via the DSL also hits.
+        let dsl = sys
+            .query("select sum(measure0) where time.level2 in 1..9 group by time.level1")
+            .unwrap();
+        assert!(dsl.from_cache);
+        // A different query misses.
+        let other = sys.execute(&EngineQuery::new().range(0, 2, 1, 8)).unwrap();
+        assert!(!other.from_cache);
+    }
+
+    #[test]
+    fn cache_off_by_default() {
+        let sys = system(Policy::Paper);
+        let q = EngineQuery::new().range(0, 1, 0, 1);
+        sys.execute(&q).unwrap();
+        let again = sys.execute(&q).unwrap();
+        assert!(!again.from_cache);
+        assert_eq!(sys.cache_counters(), (0, 0));
+    }
+
+    #[test]
+    fn memory_accounting_is_visible() {
+        let sys = system(Policy::Paper);
+        assert!(sys.gpu_memory_used() > 0);
+        assert!(sys.cube_memory_used() > 0);
+        assert_eq!(sys.cube_resolutions(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Engine error type.
+
+use holap_cube::QueryError;
+use holap_dict::TranslateError;
+use holap_gpusim::{DeviceError, KernelError};
+use holap_table::ScanError;
+use std::fmt;
+
+/// Anything that can go wrong while building the system or executing a
+/// query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query is malformed for the system's schema.
+    Query(String),
+    /// Cube-query validation failed.
+    Cube(QueryError),
+    /// Text translation failed (unknown column / value, unsupported range).
+    Translate(TranslateError),
+    /// Fact-table scan validation failed.
+    Scan(ScanError),
+    /// Device-level failure.
+    Device(DeviceError),
+    /// The DSL text could not be parsed.
+    Parse(String),
+    /// System construction was invalid (missing facts, bad resolution…).
+    Build(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Query(m) => write!(f, "invalid query: {m}"),
+            Self::Cube(e) => write!(f, "cube query error: {e}"),
+            Self::Translate(e) => write!(f, "translation error: {e}"),
+            Self::Scan(e) => write!(f, "scan error: {e}"),
+            Self::Device(e) => write!(f, "device error: {e}"),
+            Self::Parse(m) => write!(f, "parse error: {m}"),
+            Self::Build(m) => write!(f, "build error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        Self::Cube(e)
+    }
+}
+impl From<TranslateError> for EngineError {
+    fn from(e: TranslateError) -> Self {
+        Self::Translate(e)
+    }
+}
+impl From<ScanError> for EngineError {
+    fn from(e: ScanError) -> Self {
+        Self::Scan(e)
+    }
+}
+impl From<DeviceError> for EngineError {
+    fn from(e: DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+impl From<KernelError> for EngineError {
+    fn from(e: KernelError) -> Self {
+        match e {
+            KernelError::Device(d) => Self::Device(d),
+            KernelError::Scan(s) => Self::Scan(s),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The hybrid GPU/CPU OLAP engine — the system a downstream user adopts.
+//!
+//! `holap-core` wires every substrate of the reproduction into one running
+//! system (paper §III-A):
+//!
+//! * a **CPU processing partition**: a rayon pool answering queries from
+//!   pre-calculated multi-resolution MOLAP cubes (`holap-cube`);
+//! * a **CPU translation partition**: a dedicated worker translating text
+//!   parameters to integer codes (`holap-dict`) for GPU-bound queries;
+//! * **GPU partitions**: the simulated Fermi device (`holap-gpusim`)
+//!   answering queries from the dictionary-encoded fact table in its
+//!   global memory, with concurrent kernel execution;
+//! * the **co-scheduler** (`holap-sched`) placing every query from the
+//!   measured performance models (`holap-model`), on the wall clock.
+//!
+//! Queries are expressed either with the structured [`EngineQuery`] builder
+//! or with the small SQL-flavoured DSL in [`dsl`]:
+//!
+//! ```text
+//! select sum(measure0)
+//! where time.level2 in 10..40 and geo.level3 = 'Barton Falls'
+//! deadline 0.5
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use holap_core::{EngineQuery, HybridSystem, SystemConfig};
+//! use holap_workload::{FactsSpec, NameStyle, PaperHierarchy, SyntheticFacts, TextLevel};
+//! use holap_dict::DictKind;
+//!
+//! // A laptop-scale instance of the paper's geometry.
+//! let hierarchy = PaperHierarchy::scaled_down(8);
+//! let facts = SyntheticFacts::generate(&FactsSpec {
+//!     schema: hierarchy.table_schema(),
+//!     rows: 20_000,
+//!     text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+//!     dict_kind: DictKind::Sorted,
+//!     skew: None,
+//!     seed: 7,
+//! });
+//! let system = HybridSystem::builder(SystemConfig::default())
+//!     .facts(facts)
+//!     .cube_at(1)
+//!     .cube_at(2)
+//!     .build()
+//!     .unwrap();
+//!
+//! let outcome = system
+//!     .query("select sum(measure0) where time.level1 in 0..1")
+//!     .unwrap();
+//! assert!(outcome.answer.count > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub(crate) mod cache;
+pub mod config;
+pub mod dsl;
+pub mod engine;
+pub mod error;
+pub mod query;
+pub mod stats;
+
+pub use config::SystemConfig;
+pub use engine::{HybridSystem, HybridSystemBuilder, QueryOutcome};
+pub use error::EngineError;
+pub use query::{Answer, ConditionRange, EngineCondition, EngineQuery};
+pub use stats::EngineStats;
+
+// Re-export the substrate crates under one roof for downstream users.
+pub use holap_cube as cube;
+pub use holap_dict as dict;
+pub use holap_gpusim as gpusim;
+pub use holap_model as model;
+pub use holap_sched as sched;
+pub use holap_table as table;

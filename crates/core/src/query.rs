@@ -1,0 +1,460 @@
+//! The engine's query form and its lowering to cube and table queries.
+
+use crate::error::EngineError;
+use holap_cube::{CubeQuery, CubeSchema, DimRange};
+use holap_dict::{DictionarySet, TextCondition};
+use holap_table::{AggOp, AggSpec, ColumnId, Predicate, ScanQuery, TableSchema};
+use serde::{Deserialize, Serialize};
+
+/// The range part of one engine condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConditionRange {
+    /// Inclusive integer coordinate range at the condition's level.
+    Coords {
+        /// Lower bound, inclusive.
+        from: u32,
+        /// Upper bound, inclusive.
+        to: u32,
+    },
+    /// A text predicate to translate through the column's dictionary.
+    Text(TextCondition),
+    /// No restriction (the whole dimension).
+    All,
+}
+
+/// One condition `C_L(f, t, r)` of an engine query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCondition {
+    /// Dimension index.
+    pub dim: usize,
+    /// Resolution level the range is expressed at.
+    pub level: usize,
+    /// The range.
+    pub range: ConditionRange,
+}
+
+/// A query as submitted to the hybrid engine: per-dimension conditions, a
+/// measure to aggregate, optional grouping, and an optional deadline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineQuery {
+    /// Conditions (dimensions without one default to [`ConditionRange::All`]).
+    pub conditions: Vec<EngineCondition>,
+    /// Measure column to aggregate.
+    pub measure: usize,
+    /// Optional `GROUP BY (dimension, level)`: the answer then carries one
+    /// [`Answer`] per distinct coordinate of that dimension level.
+    pub group_by: Option<(usize, usize)>,
+    /// Relative deadline `T_C` in seconds (`None` = system default).
+    pub deadline_secs: Option<f64>,
+}
+
+impl EngineQuery {
+    /// Starts an empty query on measure 0.
+    pub fn new() -> Self {
+        Self { conditions: Vec::new(), measure: 0, group_by: None, deadline_secs: None }
+    }
+
+    /// Groups the answer by a dimension level (builder style).
+    pub fn grouped_by(mut self, dim: usize, level: usize) -> Self {
+        self.group_by = Some((dim, level));
+        self
+    }
+
+    /// Adds a coordinate-range condition (builder style).
+    pub fn range(mut self, dim: usize, level: usize, from: u32, to: u32) -> Self {
+        self.conditions.push(EngineCondition {
+            dim,
+            level,
+            range: ConditionRange::Coords { from, to },
+        });
+        self
+    }
+
+    /// Adds a text-equality condition (builder style).
+    pub fn text_eq(mut self, dim: usize, level: usize, value: &str) -> Self {
+        self.conditions.push(EngineCondition {
+            dim,
+            level,
+            range: ConditionRange::Text(TextCondition::eq(value)),
+        });
+        self
+    }
+
+    /// Adds a substring (`contains`) condition (builder style).
+    pub fn text_contains<S: Into<String>, I: IntoIterator<Item = S>>(
+        mut self,
+        dim: usize,
+        level: usize,
+        patterns: I,
+    ) -> Self {
+        self.conditions.push(EngineCondition {
+            dim,
+            level,
+            range: ConditionRange::Text(TextCondition::contains(patterns)),
+        });
+        self
+    }
+
+    /// Adds a text-range condition (builder style).
+    pub fn text_range(mut self, dim: usize, level: usize, from: &str, to: &str) -> Self {
+        self.conditions.push(EngineCondition {
+            dim,
+            level,
+            range: ConditionRange::Text(TextCondition::range(from, to)),
+        });
+        self
+    }
+
+    /// Selects the measure column (builder style).
+    pub fn measure(mut self, measure: usize) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the deadline (builder style).
+    pub fn deadline(mut self, secs: f64) -> Self {
+        self.deadline_secs = Some(secs);
+        self
+    }
+
+    /// The dictionary lengths of the text conditions — the `CDT`/`D_L`
+    /// inputs of the translation cost bound (Eq. 16–17). `dict_column`
+    /// names columns as [`holap_workload`-style] `"dim.level"` strings via
+    /// the provided resolver.
+    pub fn translation_dict_lens(
+        &self,
+        schema: &TableSchema,
+        dicts: &DictionarySet,
+    ) -> Vec<usize> {
+        self.conditions
+            .iter()
+            .filter_map(|c| match &c.range {
+                ConditionRange::Text(t) => {
+                    let col = text_column_name(schema, c.dim, c.level);
+                    // A range costs two lookups; the bound charges the
+                    // dictionary length once per lookup (Eq. 18).
+                    Some(std::iter::repeat_n(dicts.dict_len(&col), t.lookup_count()))
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+}
+
+impl Default for EngineQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Canonical dictionary-column name for a (dimension, level) pair —
+/// mirrors `holap_workload::facts::text_column_name` so engine and
+/// generator agree without a dependency between them.
+pub fn text_column_name(schema: &TableSchema, dim: usize, level: usize) -> String {
+    format!(
+        "{}.{}",
+        schema.dimensions[dim].name, schema.dimensions[dim].levels[level].name
+    )
+}
+
+/// A resolved substring condition: the set of matching codes on one
+/// dimension level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetCondition {
+    /// Dimension index.
+    pub dim: usize,
+    /// Level index.
+    pub level: usize,
+    /// Sorted matching codes (possibly empty — the query returns nothing).
+    pub codes: Vec<u32>,
+}
+
+/// The fully-resolved (translated) form of a query: every condition as an
+/// integer coordinate range, plus any substring conditions as code sets.
+///
+/// Multiple conditions per dimension (at different levels — the paper's
+/// Eq. 11 decomposition) are supported: `scan_conditions` keeps every
+/// condition at its own level for the GPU scan, while `ranges` holds the
+/// per-dimension *intersection* widened to the finest condition level for
+/// cube planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedQuery {
+    /// Per-dimension intersected ranges (one per dimension), in dimension
+    /// order, each at the finest level its dimension's conditions use.
+    pub ranges: Vec<DimRange>,
+    /// Every original range condition at its own level, as `(dim, range)`
+    /// pairs — one GPU filter column each (Eq. 11/12).
+    pub scan_conditions: Vec<(usize, DimRange)>,
+    /// Substring (code-set) conditions. A query with any of these cannot
+    /// be answered from a cube region and is GPU-only.
+    pub sets: Vec<SetCondition>,
+    /// Measure column.
+    pub measure: usize,
+    /// True when some dimension's conditions intersect to nothing: the
+    /// answer is empty without running anything.
+    pub provably_empty: bool,
+}
+
+impl ResolvedQuery {
+    /// Resolves an [`EngineQuery`] against a schema + dictionaries:
+    /// validates dimension coverage, translates text conditions, and fills
+    /// unconstrained dimensions with [`ConditionRange::All`].
+    pub fn resolve(
+        q: &EngineQuery,
+        table_schema: &TableSchema,
+        cube_schema: &CubeSchema,
+        dicts: &DictionarySet,
+    ) -> Result<Self, EngineError> {
+        let ndim = cube_schema.ndim();
+        if q.measure >= table_schema.measures.len() {
+            return Err(EngineError::Query(format!(
+                "measure {} out of range ({} measures)",
+                q.measure,
+                table_schema.measures.len()
+            )));
+        }
+        let mut per_dim: Vec<Vec<DimRange>> = vec![Vec::new(); ndim];
+        let mut sets: Vec<SetCondition> = Vec::new();
+        for c in &q.conditions {
+            if c.dim >= ndim {
+                return Err(EngineError::Query(format!("dimension {} out of range", c.dim)));
+            }
+            let levels = cube_schema.dimensions[c.dim].levels.len();
+            if c.level >= levels {
+                return Err(EngineError::Query(format!(
+                    "dimension {} has {} levels, condition uses level {}",
+                    c.dim, levels, c.level
+                )));
+            }
+            let range = match &c.range {
+                ConditionRange::Coords { from, to } => DimRange::new(c.level, *from, *to),
+                ConditionRange::All => {
+                    let card = cube_schema.cardinality_at(c.dim, c.level);
+                    DimRange::new(c.level, 0, card - 1)
+                }
+                ConditionRange::Text(t) => {
+                    let col = text_column_name(table_schema, c.dim, c.level);
+                    match dicts.translate_selection(&col, t)? {
+                        holap_dict::CodeSelection::Range(lo, hi) => {
+                            DimRange::new(c.level, lo, hi)
+                        }
+                        holap_dict::CodeSelection::Set(codes) => {
+                            // The set filters rows; the cube-facing range
+                            // for this dimension stays unrestricted.
+                            sets.push(SetCondition { dim: c.dim, level: c.level, codes });
+                            let card = cube_schema.cardinality_at(c.dim, c.level);
+                            DimRange::new(c.level, 0, card - 1)
+                        }
+                    }
+                }
+            };
+            if range.from > range.to {
+                return Err(EngineError::Query(format!(
+                    "condition on dimension {} has from > to",
+                    c.dim
+                )));
+            }
+            per_dim[c.dim].push(range);
+        }
+        // Per dimension: widen every condition to the finest level used on
+        // that dimension and intersect (Eq. 11's multiple conditions per
+        // dimension collapse to one box on the cube side).
+        let mut provably_empty = false;
+        let mut scan_conditions = Vec::new();
+        let mut ranges = Vec::with_capacity(ndim);
+        for (d, conds) in per_dim.into_iter().enumerate() {
+            if conds.is_empty() {
+                ranges.push(DimRange::all(cube_schema, d));
+                continue;
+            }
+            for r in &conds {
+                scan_conditions.push((d, *r));
+            }
+            let finest = conds.iter().map(|r| r.level).max().expect("non-empty");
+            let mut lo = 0u32;
+            let mut hi = cube_schema.cardinality_at(d, finest) - 1;
+            for r in &conds {
+                let (f, t) = cube_schema.widen_range(d, r.level, finest, (r.from, r.to));
+                lo = lo.max(f);
+                hi = hi.min(t);
+            }
+            if lo > hi {
+                provably_empty = true;
+                // Keep a valid placeholder so downstream geometry holds.
+                ranges.push(DimRange::new(finest, 0, 0));
+            } else {
+                ranges.push(DimRange::new(finest, lo, hi));
+            }
+        }
+        Ok(Self { ranges, scan_conditions, sets, measure: q.measure, provably_empty })
+    }
+
+    /// Whether the query can be answered from a cube (no code-set
+    /// conditions).
+    pub fn cube_answerable(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The cube-side form.
+    pub fn cube_query(&self) -> CubeQuery {
+        CubeQuery::new(self.ranges.clone())
+    }
+
+    /// The GPU-side scan: range predicates for every *restrictive*
+    /// condition (full-level ranges are dropped — they filter nothing and
+    /// the GPU "reads a column only if the query restricts it", Eq. 12),
+    /// plus SUM + COUNT of the measure.
+    pub fn scan_query(&self, cube_schema: &CubeSchema) -> ScanQuery {
+        let mut q = ScanQuery::new();
+        for &(dim, r) in &self.scan_conditions {
+            let card = cube_schema.cardinality_at(dim, r.level);
+            if r.from > 0 || r.to < card - 1 {
+                q = q.filter(Predicate::range(
+                    ColumnId::dim(dim, cube_schema.level_for(dim, r.level)),
+                    r.from,
+                    r.to,
+                ));
+            }
+        }
+        for s in &self.sets {
+            q = q.filter_set(holap_table::SetPredicate::new(
+                ColumnId::dim(s.dim, cube_schema.level_for(s.dim, s.level)),
+                s.codes.clone(),
+            ));
+        }
+        q.aggregate(AggSpec::new(AggOp::Sum, Some(self.measure)))
+            .aggregate(AggSpec::count_star())
+    }
+}
+
+/// The uniform answer of the hybrid engine: the aggregate of the selected
+/// measure over the selected region, as stored by cube cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Answer {
+    /// Sum of the measure over matching fact rows.
+    pub sum: f64,
+    /// Number of matching fact rows.
+    pub count: u64,
+}
+
+impl Answer {
+    /// The mean, if any row matched.
+    pub fn avg(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_dict::DictKind;
+
+    fn schemas() -> (TableSchema, CubeSchema) {
+        let t = TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 16)])
+            .dimension("geo", &[("region", 4), ("city", 8)])
+            .measure("sales")
+            .measure("qty")
+            .build();
+        let c = CubeSchema::from_table_schema(&t);
+        (t, c)
+    }
+
+    fn dicts(t: &TableSchema) -> DictionarySet {
+        let mut d = DictionarySet::new(DictKind::Sorted);
+        d.build_column(
+            &text_column_name(t, 1, 1),
+            ["Austin", "Boston", "Chicago", "Denver", "Erie", "Fargo", "Galva", "Hilo"],
+        );
+        d
+    }
+
+    #[test]
+    fn resolve_fills_missing_dims_with_all() {
+        let (t, c) = schemas();
+        let q = EngineQuery::new().range(0, 1, 3, 9);
+        let r = ResolvedQuery::resolve(&q, &t, &c, &dicts(&t)).unwrap();
+        assert_eq!(r.ranges[0], DimRange::new(1, 3, 9));
+        assert_eq!(r.ranges[1], DimRange::new(0, 0, 3)); // all regions
+    }
+
+    #[test]
+    fn resolve_translates_text() {
+        let (t, c) = schemas();
+        let q = EngineQuery::new().text_eq(1, 1, "Chicago").measure(1);
+        let r = ResolvedQuery::resolve(&q, &t, &c, &dicts(&t)).unwrap();
+        assert_eq!(r.ranges[1], DimRange::new(1, 2, 2));
+        assert_eq!(r.measure, 1);
+        // Text ranges too.
+        let q = EngineQuery::new().text_range(1, 1, "B", "E");
+        let r = ResolvedQuery::resolve(&q, &t, &c, &dicts(&t)).unwrap();
+        assert_eq!(r.ranges[1], DimRange::new(1, 1, 3)); // Boston..Denver
+    }
+
+    #[test]
+    fn resolve_rejects_malformed() {
+        let (t, c) = schemas();
+        let d = dicts(&t);
+        let err = |q: EngineQuery| ResolvedQuery::resolve(&q, &t, &c, &d).unwrap_err();
+        assert!(matches!(err(EngineQuery::new().measure(5)), EngineError::Query(_)));
+        assert!(matches!(err(EngineQuery::new().range(7, 0, 0, 1)), EngineError::Query(_)));
+        assert!(matches!(err(EngineQuery::new().range(0, 9, 0, 1)), EngineError::Query(_)));
+        // Multiple conditions on one dimension are legal (Eq. 11): they
+        // intersect at the finest level.
+        let multi = ResolvedQuery::resolve(
+            &EngineQuery::new().range(0, 0, 0, 1).range(0, 1, 4, 9),
+            &t,
+            &c,
+            &d,
+        )
+        .unwrap();
+        // Year 0..1 widens to months 0..7; intersect with months 4..9 → 4..7.
+        assert_eq!(multi.ranges[0], DimRange::new(1, 4, 7));
+        assert_eq!(multi.scan_conditions.len(), 2, "both conditions reach the GPU scan");
+        assert!(!multi.provably_empty);
+        // A contradictory pair is provably empty, not an error.
+        let empty = ResolvedQuery::resolve(
+            &EngineQuery::new().range(0, 0, 0, 0).range(0, 1, 12, 15),
+            &t,
+            &c,
+            &d,
+        )
+        .unwrap();
+        assert!(empty.provably_empty);
+        assert!(matches!(
+            err(EngineQuery::new().text_eq(1, 1, "Atlantis")),
+            EngineError::Translate(_)
+        ));
+    }
+
+    #[test]
+    fn scan_query_drops_full_ranges() {
+        let (t, c) = schemas();
+        let q = EngineQuery::new().range(0, 1, 2, 5);
+        let r = ResolvedQuery::resolve(&q, &t, &c, &dicts(&t)).unwrap();
+        let scan = r.scan_query(&c);
+        assert_eq!(scan.predicates.len(), 1, "the All dimension filters nothing");
+        assert_eq!(scan.predicates[0].column, ColumnId::dim(0, 1));
+        // SUM + COUNT over 1 filter column + 1 measure → 2 columns.
+        assert_eq!(scan.columns_accessed(), 2);
+    }
+
+    #[test]
+    fn dict_lens_follow_eq16() {
+        let (t, _c) = schemas();
+        let d = dicts(&t);
+        let q = EngineQuery::new()
+            .text_eq(1, 1, "Boston")
+            .range(0, 0, 0, 1);
+        assert_eq!(q.translation_dict_lens(&t, &d), vec![8]);
+        let q = EngineQuery::new().text_range(1, 1, "A", "Z");
+        assert_eq!(q.translation_dict_lens(&t, &d), vec![8, 8], "range = two lookups");
+    }
+
+    #[test]
+    fn answer_avg() {
+        assert_eq!(Answer { sum: 10.0, count: 4 }.avg(), Some(2.5));
+        assert_eq!(Answer { sum: 0.0, count: 0 }.avg(), None);
+    }
+}

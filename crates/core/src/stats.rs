@@ -1,0 +1,94 @@
+//! Engine-level execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Running counters the engine maintains across queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries whose wall-clock latency met their deadline.
+    pub met_deadline: u64,
+    /// Queries answered by the CPU partition.
+    pub cpu_queries: u64,
+    /// Queries answered by GPU partitions.
+    pub gpu_queries: u64,
+    /// Queries that went through the translation partition.
+    pub translated_queries: u64,
+    /// Sum of wall-clock latencies, seconds.
+    pub total_latency_secs: f64,
+    /// Maximum wall-clock latency, seconds.
+    pub max_latency_secs: f64,
+    /// Queries answered from the result cache (not scheduled at all).
+    pub cache_hits: u64,
+}
+
+impl EngineStats {
+    /// Mean latency over completed queries.
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_latency_secs / self.completed as f64
+        }
+    }
+
+    /// Fraction of queries that met their deadline.
+    pub fn deadline_hit_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.met_deadline as f64 / self.completed as f64
+        }
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        cpu: bool,
+        translated: bool,
+        latency_secs: f64,
+        met_deadline: bool,
+    ) {
+        self.completed += 1;
+        if met_deadline {
+            self.met_deadline += 1;
+        }
+        if cpu {
+            self.cpu_queries += 1;
+        } else {
+            self.gpu_queries += 1;
+        }
+        if translated {
+            self.translated_queries += 1;
+        }
+        self.total_latency_secs += latency_secs;
+        self.max_latency_secs = self.max_latency_secs.max(latency_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = EngineStats::default();
+        s.record(true, false, 0.1, true);
+        s.record(false, true, 0.3, false);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.cpu_queries, 1);
+        assert_eq!(s.gpu_queries, 1);
+        assert_eq!(s.translated_queries, 1);
+        assert_eq!(s.met_deadline, 1);
+        assert!((s.mean_latency_secs() - 0.2).abs() < 1e-12);
+        assert!((s.deadline_hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.max_latency_secs, 0.3);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = EngineStats::default();
+        assert_eq!(s.mean_latency_secs(), 0.0);
+        assert_eq!(s.deadline_hit_ratio(), 1.0);
+    }
+}

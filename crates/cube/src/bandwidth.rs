@@ -1,0 +1,110 @@
+//! Timed aggregation runs for the Fig. 3–5 measurements.
+//!
+//! The paper's CPU performance model is derived from "an OpenMP benchmark
+//! that measures the processing time for different sub-cube sizes"
+//! (§III-D). This module is that benchmark's core: it times full-cube
+//! aggregations under a rayon pool of a chosen size and reports processing
+//! time and effective memory bandwidth.
+
+use crate::cube::{CubeSchema, MolapCube, CELL_BYTES};
+use crate::geometry::Region;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One timed measurement point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthSample {
+    /// Sub-cube size processed, MB.
+    pub size_mb: f64,
+    /// Threads used.
+    pub threads: usize,
+    /// Best-of-N processing time, seconds.
+    pub secs: f64,
+    /// Effective bandwidth, MB/s.
+    pub bandwidth_mbps: f64,
+}
+
+/// Times the aggregation of `region` on `cube` with a dedicated rayon pool
+/// of `threads` threads, taking the best of `reps` runs (standard practice
+/// for bandwidth measurements — the best run is the least perturbed one).
+///
+/// With `threads == 1` the sequential path is used, avoiding pool overhead
+/// so single-thread numbers are honest.
+pub fn measure_aggregation(
+    cube: &MolapCube,
+    region: &Region,
+    threads: usize,
+    reps: usize,
+) -> BandwidthSample {
+    assert!(threads >= 1 && reps >= 1);
+    let size_mb = region.cells() as f64 * CELL_BYTES as f64 / (1024.0 * 1024.0);
+    let mut best = f64::INFINITY;
+    if threads == 1 {
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let agg = cube.aggregate_seq(region);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(agg);
+            best = best.min(dt);
+        }
+    } else {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool");
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let agg = pool.install(|| cube.aggregate_par(region));
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(agg);
+            best = best.min(dt);
+        }
+    }
+    BandwidthSample {
+        size_mb,
+        threads,
+        secs: best,
+        bandwidth_mbps: if best > 0.0 { size_mb / best } else { f64::INFINITY },
+    }
+}
+
+/// Builds a synthetic one-dimensional cube of approximately `size_mb` MB —
+/// the workload shape used for the Fig. 3 bandwidth sweep, where only the
+/// streamed volume matters.
+pub fn synthetic_cube_of_mb(size_mb: f64) -> MolapCube {
+    assert!(size_mb > 0.0);
+    let cells = ((size_mb * 1024.0 * 1024.0) / CELL_BYTES as f64).ceil() as u32;
+    let schema = CubeSchema {
+        dimensions: vec![holap_table::DimensionSchema {
+            name: "flat".into(),
+            levels: vec![holap_table::LevelSchema { name: "cell".into(), cardinality: cells.max(1) }],
+        }],
+    };
+    // Large chunks keep per-chunk overhead negligible at big sizes while
+    // still giving rayon enough parallelism (≥ ~64 chunks).
+    let chunk_side = (cells / 64).clamp(1, 1 << 20);
+    MolapCube::build_filled_with_chunks(schema, 0, 1.0, 1, chunk_side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_cube_has_requested_size() {
+        let cube = synthetic_cube_of_mb(2.0);
+        assert!((cube.size_mb() - 2.0).abs() < 0.01, "size = {}", cube.size_mb());
+    }
+
+    #[test]
+    fn measurement_reports_positive_bandwidth() {
+        let cube = synthetic_cube_of_mb(1.0);
+        let region = Region::full(cube.shape());
+        let s = measure_aggregation(&cube, &region, 1, 2);
+        assert!(s.secs > 0.0);
+        assert!(s.bandwidth_mbps > 0.0);
+        assert_eq!(s.threads, 1);
+        let p = measure_aggregation(&cube, &region, 2, 2);
+        assert!(p.secs > 0.0);
+    }
+}

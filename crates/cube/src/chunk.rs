@@ -1,0 +1,367 @@
+//! Chunk storage: dense arrays with chunk-offset compression.
+//!
+//! Following Zhao, Deshpande & Naughton (the array-based algorithm the
+//! paper's cube engine descends from), chunks whose fill factor drops below
+//! 40 % are stored compressed as `(offset, value)` pairs — "chunk-offset
+//! compression" — while well-filled chunks stay dense.
+
+use crate::geometry::{coords_of, linear_index, Region};
+use serde::{Deserialize, Serialize};
+
+/// Fill-factor threshold below which a chunk is compressed (Zhao et al.'s
+/// 40 %).
+pub const COMPRESSION_FILL_THRESHOLD: f64 = 0.4;
+
+/// Aggregate of a set of cells: the running `(sum, count)` pair every cube
+/// cell stores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellAgg {
+    /// Sum of measure values aggregated into the cells.
+    pub sum: f64,
+    /// Number of fact rows aggregated into the cells.
+    pub count: u64,
+}
+
+impl CellAgg {
+    /// Merges another aggregate into this one.
+    #[inline]
+    pub fn merge(&mut self, other: CellAgg) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// One chunk of the cube: dense or chunk-offset compressed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Chunk {
+    /// Dense storage: one `(sum, count)` per cell, row-major local order.
+    Dense {
+        /// Per-cell sums.
+        sums: Vec<f64>,
+        /// Per-cell counts (0 = empty cell).
+        counts: Vec<u64>,
+    },
+    /// Chunk-offset compression: only non-empty cells, sorted by local
+    /// offset.
+    Sparse {
+        /// Local row-major offsets of the non-empty cells, ascending.
+        offsets: Vec<u32>,
+        /// Sums of the non-empty cells, parallel to `offsets`.
+        sums: Vec<f64>,
+        /// Counts of the non-empty cells, parallel to `offsets`.
+        counts: Vec<u64>,
+    },
+}
+
+impl Chunk {
+    /// A dense chunk of `cells` empty cells.
+    pub fn dense_empty(cells: usize) -> Self {
+        Self::Dense { sums: vec![0.0; cells], counts: vec![0; cells] }
+    }
+
+    /// A dense chunk with every cell holding `(sum, count)`.
+    pub fn dense_filled(cells: usize, sum: f64, count: u64) -> Self {
+        Self::Dense { sums: vec![sum; cells], counts: vec![count; cells] }
+    }
+
+    /// Number of non-empty cells.
+    pub fn filled_cells(&self) -> usize {
+        match self {
+            Self::Dense { counts, .. } => counts.iter().filter(|&&c| c > 0).count(),
+            Self::Sparse { offsets, .. } => offsets.len(),
+        }
+    }
+
+    /// Fill factor relative to `total_cells` of the chunk.
+    pub fn fill_factor(&self, total_cells: usize) -> f64 {
+        if total_cells == 0 {
+            0.0
+        } else {
+            self.filled_cells() as f64 / total_cells as f64
+        }
+    }
+
+    /// Approximate bytes occupied by the chunk's cell data.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Self::Dense { sums, counts } => sums.len() * 8 + counts.len() * 8,
+            Self::Sparse { offsets, sums, counts } => {
+                offsets.len() * 4 + sums.len() * 8 + counts.len() * 8
+            }
+        }
+    }
+
+    /// Adds `(sum, count)` into the cell at local offset `off`.
+    ///
+    /// Dense chunks update in place; sparse chunks insert in offset order.
+    pub fn add(&mut self, off: u32, sum: f64, count: u64) {
+        match self {
+            Self::Dense { sums, counts } => {
+                sums[off as usize] += sum;
+                counts[off as usize] += count;
+            }
+            Self::Sparse { offsets, sums, counts } => {
+                match offsets.binary_search(&off) {
+                    Ok(i) => {
+                        sums[i] += sum;
+                        counts[i] += count;
+                    }
+                    Err(i) => {
+                        offsets.insert(i, off);
+                        sums.insert(i, sum);
+                        counts.insert(i, count);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Converts to sparse form if the fill factor is below
+    /// [`COMPRESSION_FILL_THRESHOLD`]; returns whether a conversion
+    /// happened.
+    pub fn maybe_compress(&mut self, total_cells: usize) -> bool {
+        let fill = self.fill_factor(total_cells);
+        if let Self::Dense { sums, counts } = self {
+            if fill < COMPRESSION_FILL_THRESHOLD {
+                let mut offs = Vec::new();
+                let mut s = Vec::new();
+                let mut c = Vec::new();
+                for (i, (&sum, &count)) in sums.iter().zip(counts.iter()).enumerate() {
+                    if count > 0 {
+                        offs.push(i as u32);
+                        s.push(sum);
+                        c.push(count);
+                    }
+                }
+                *self = Self::Sparse { offsets: offs, sums: s, counts: c };
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Aggregates all cells of this chunk that fall inside `local_region`
+    /// (bounds expressed in the chunk's local coordinates over
+    /// `local_shape`).
+    ///
+    /// The dense path exploits contiguity: the innermost dimension of the
+    /// intersection is a contiguous slice, so the hot loop is a straight
+    /// streaming sum — this is what makes cube processing memory-bandwidth
+    /// bound, as the paper's model assumes.
+    pub fn aggregate(&self, local_shape: &[u32], local_region: &Region) -> CellAgg {
+        debug_assert_eq!(local_shape.len(), local_region.ndim());
+        match self {
+            Self::Dense { sums, counts } => {
+                dense_aggregate(sums, counts, local_shape, local_region)
+            }
+            Self::Sparse { offsets, sums, counts } => {
+                let mut agg = CellAgg::default();
+                for (i, &off) in offsets.iter().enumerate() {
+                    let coords = coords_of(local_shape, off as usize);
+                    if local_region.contains(&coords) {
+                        agg.sum += sums[i];
+                        agg.count += counts[i];
+                    }
+                }
+                agg
+            }
+        }
+    }
+}
+
+impl Chunk {
+    /// Aggregates the cells inside `local_region`, split *along* one axis:
+    /// the cell at local coordinate `c` contributes to
+    /// `out[c[axis] − local_region.bounds[axis].0 + out_base]`.
+    ///
+    /// This is the chunk-level kernel behind per-coordinate (GROUP BY one
+    /// dimension) cube queries.
+    pub fn aggregate_along(
+        &self,
+        local_shape: &[u32],
+        local_region: &Region,
+        axis: usize,
+        out: &mut [CellAgg],
+        out_base: usize,
+    ) {
+        debug_assert!(axis < local_shape.len());
+        let axis_from = local_region.bounds[axis].0;
+        match self {
+            Self::Dense { sums, counts } => {
+                // Odometer over every cell of the intersection.
+                let ndim = local_shape.len();
+                let mut cursor: Vec<u32> =
+                    local_region.bounds.iter().map(|&(f, _)| f).collect();
+                loop {
+                    let idx = linear_index(local_shape, &cursor);
+                    let slot = out_base + (cursor[axis] - axis_from) as usize;
+                    out[slot].sum += sums[idx];
+                    out[slot].count += counts[idx];
+                    let mut d = ndim;
+                    loop {
+                        if d == 0 {
+                            return;
+                        }
+                        d -= 1;
+                        if cursor[d] < local_region.bounds[d].1 {
+                            cursor[d] += 1;
+                            break;
+                        }
+                        cursor[d] = local_region.bounds[d].0;
+                    }
+                }
+            }
+            Self::Sparse { offsets, sums, counts } => {
+                for (i, &off) in offsets.iter().enumerate() {
+                    let coords = coords_of(local_shape, off as usize);
+                    if local_region.contains(&coords) {
+                        let slot = out_base + (coords[axis] - axis_from) as usize;
+                        out[slot].sum += sums[i];
+                        out[slot].count += counts[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming aggregation of a dense chunk: odometer over the outer
+/// dimensions, contiguous slice sum over the innermost one.
+fn dense_aggregate(
+    sums: &[f64],
+    counts: &[u64],
+    shape: &[u32],
+    region: &Region,
+) -> CellAgg {
+    let ndim = shape.len();
+    let (inner_from, inner_to) = region.bounds[ndim - 1];
+    let inner_len = (inner_to - inner_from + 1) as usize;
+    let mut agg = CellAgg::default();
+    // Cursor over the outer dimensions (all but the last).
+    let mut cursor: Vec<u32> = region.bounds[..ndim - 1].iter().map(|&(f, _)| f).collect();
+    let mut coords = vec![0u32; ndim];
+    loop {
+        coords[..ndim - 1].copy_from_slice(&cursor);
+        coords[ndim - 1] = inner_from;
+        let base = linear_index(shape, &coords);
+        for &v in &sums[base..base + inner_len] {
+            agg.sum += v;
+        }
+        for &c in &counts[base..base + inner_len] {
+            agg.count += c;
+        }
+        // Odometer increment over outer dims, last-outer fastest.
+        let mut d = ndim - 1;
+        loop {
+            if d == 0 {
+                return agg;
+            }
+            d -= 1;
+            if cursor[d] < region.bounds[d].1 {
+                cursor[d] += 1;
+                break;
+            }
+            cursor[d] = region.bounds[d].0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_3x4() -> (Chunk, Vec<u32>) {
+        // sums[i] = i, counts[i] = 1
+        let sums: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let counts = vec![1u64; 12];
+        (Chunk::Dense { sums, counts }, vec![3, 4])
+    }
+
+    #[test]
+    fn dense_full_aggregate() {
+        let (c, shape) = dense_3x4();
+        let agg = c.aggregate(&shape, &Region::full(&shape));
+        assert_eq!(agg.sum, (0..12).sum::<i32>() as f64);
+        assert_eq!(agg.count, 12);
+    }
+
+    #[test]
+    fn dense_sub_region() {
+        let (c, shape) = dense_3x4();
+        // rows 1..2, cols 1..2 → cells (1,1)=5 (1,2)=6 (2,1)=9 (2,2)=10
+        let agg = c.aggregate(&shape, &Region::new(vec![(1, 2), (1, 2)]));
+        assert_eq!(agg.sum, 30.0);
+        assert_eq!(agg.count, 4);
+    }
+
+    #[test]
+    fn one_dimensional_chunk() {
+        let c = Chunk::Dense { sums: vec![1.0, 2.0, 3.0, 4.0], counts: vec![1; 4] };
+        let agg = c.aggregate(&[4], &Region::new(vec![(1, 2)]));
+        assert_eq!(agg.sum, 5.0);
+        assert_eq!(agg.count, 2);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let (mut dense, shape) = dense_3x4();
+        // Zero out most cells so compression triggers.
+        if let Chunk::Dense { sums, counts } = &mut dense {
+            for i in 0..12 {
+                if i % 4 != 0 {
+                    sums[i] = 0.0;
+                    counts[i] = 0;
+                }
+            }
+        }
+        let mut sparse = dense.clone();
+        assert!(sparse.maybe_compress(12));
+        assert!(matches!(sparse, Chunk::Sparse { .. }));
+        for region in [
+            Region::full(&shape),
+            Region::new(vec![(0, 1), (0, 1)]),
+            Region::new(vec![(2, 2), (0, 3)]),
+        ] {
+            assert_eq!(dense.aggregate(&shape, &region), sparse.aggregate(&shape, &region));
+        }
+    }
+
+    #[test]
+    fn compression_threshold_respected() {
+        let mut full = Chunk::dense_filled(10, 1.0, 1);
+        assert!(!full.maybe_compress(10), "full chunk must stay dense");
+        let mut half = Chunk::dense_empty(10);
+        for i in 0..5 {
+            half.add(i, 1.0, 1);
+        }
+        assert!(!half.maybe_compress(10), "50% fill stays dense");
+        let mut sparse = Chunk::dense_empty(10);
+        sparse.add(3, 1.0, 1);
+        assert!(sparse.maybe_compress(10), "10% fill compresses");
+        assert!(sparse.bytes() < Chunk::dense_empty(10).bytes());
+    }
+
+    #[test]
+    fn add_into_sparse_keeps_order() {
+        let mut c = Chunk::Sparse { offsets: vec![], sums: vec![], counts: vec![] };
+        c.add(7, 1.0, 1);
+        c.add(2, 2.0, 1);
+        c.add(7, 3.0, 2);
+        if let Chunk::Sparse { offsets, sums, counts } = &c {
+            assert_eq!(offsets, &[2, 7]);
+            assert_eq!(sums, &[2.0, 4.0]);
+            assert_eq!(counts, &[1, 3]);
+        } else {
+            panic!("expected sparse");
+        }
+        assert_eq!(c.filled_cells(), 2);
+    }
+
+    #[test]
+    fn fill_factor() {
+        let mut c = Chunk::dense_empty(8);
+        c.add(0, 1.0, 1);
+        c.add(1, 1.0, 1);
+        assert!((c.fill_factor(8) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,721 @@
+//! The MOLAP cube: schema, construction, roll-up and aggregation.
+
+use crate::chunk::{CellAgg, Chunk};
+use crate::geometry::{ChunkGrid, Region};
+use holap_table::{FactTable, TableSchema};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+pub use crate::chunk::CellAgg as CellAggregate;
+
+/// Bytes one cube cell occupies: an `f64` sum plus a `u64` count.
+/// This is the `E_size` of the paper's Eq. 3.
+pub const CELL_BYTES: usize = 16;
+
+/// Default chunk side length (cells per dimension per chunk).
+pub const DEFAULT_CHUNK_SIDE: u32 = 64;
+
+/// The dimensional schema shared by all cubes of one OLAP system: each
+/// dimension's level hierarchy (coarsest first). A concrete cube
+/// materialises one *resolution* — level `min(r, levels−1)` of every
+/// dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeSchema {
+    /// Dimension hierarchies (reusing the fact-table dimension schema so a
+    /// cube can be built directly from a table).
+    pub dimensions: Vec<holap_table::DimensionSchema>,
+}
+
+impl CubeSchema {
+    /// Builds a cube schema from the dimensional part of a table schema.
+    pub fn from_table_schema(table: &TableSchema) -> Self {
+        Self { dimensions: table.dimensions.clone() }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// The finest resolution any dimension offers (max level index).
+    pub fn max_resolution(&self) -> usize {
+        self.dimensions.iter().map(|d| d.levels.len() - 1).max().unwrap_or(0)
+    }
+
+    /// The level dimension `dim` uses at resolution `r` (clamped to the
+    /// dimension's finest level).
+    pub fn level_for(&self, dim: usize, r: usize) -> usize {
+        r.min(self.dimensions[dim].levels.len() - 1)
+    }
+
+    /// Cardinality of dimension `dim` at resolution `r`.
+    pub fn cardinality_at(&self, dim: usize, r: usize) -> u32 {
+        let level = self.level_for(dim, r);
+        self.dimensions[dim].levels[level].cardinality
+    }
+
+    /// Cube shape (cells per dimension) at resolution `r`.
+    pub fn shape_at(&self, r: usize) -> Vec<u32> {
+        (0..self.ndim()).map(|d| self.cardinality_at(d, r)).collect()
+    }
+
+    /// Total cell count at resolution `r`.
+    pub fn cells_at(&self, r: usize) -> u64 {
+        self.shape_at(r).iter().map(|&c| u64::from(c)).product()
+    }
+
+    /// Dense cube size in MB (`2^20` bytes) at resolution `r` — what Fig. 1
+    /// plots against resolution.
+    pub fn size_mb_at(&self, r: usize) -> f64 {
+        (self.cells_at(r) as f64) * CELL_BYTES as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Whether every dimension's hierarchy has divisible cardinalities
+    /// between adjacent levels (uniform fan-out) — required for exact
+    /// roll-up and exact range conversion between resolutions.
+    pub fn uniform_hierarchy(&self) -> bool {
+        self.dimensions.iter().all(|d| {
+            d.levels
+                .windows(2)
+                .all(|w| w[1].cardinality % w[0].cardinality == 0)
+        })
+    }
+
+    /// Converts an inclusive coordinate range on `dim` from a coarser
+    /// resolution `from_r` to a finer resolution `to_r >= from_r`.
+    ///
+    /// With uniform hierarchies this is exact: each coarse coordinate maps
+    /// to a contiguous block of fine coordinates.
+    pub fn widen_range(
+        &self,
+        dim: usize,
+        from_r: usize,
+        to_r: usize,
+        range: (u32, u32),
+    ) -> (u32, u32) {
+        assert!(to_r >= from_r, "widen_range requires to_r >= from_r");
+        let coarse = u64::from(self.cardinality_at(dim, from_r));
+        let fine = u64::from(self.cardinality_at(dim, to_r));
+        debug_assert!(fine.is_multiple_of(coarse), "non-uniform hierarchy in widen_range");
+        let factor = fine / coarse;
+        let lo = u64::from(range.0) * factor;
+        let hi = (u64::from(range.1) + 1) * factor - 1;
+        (lo as u32, hi as u32)
+    }
+
+    /// Maps a single coordinate from a finer resolution `from_r` down to a
+    /// coarser resolution `to_r <= from_r` (the roll-up direction).
+    pub fn coarsen_coord(&self, dim: usize, from_r: usize, to_r: usize, coord: u32) -> u32 {
+        assert!(to_r <= from_r, "coarsen_coord requires to_r <= from_r");
+        let fine = u64::from(self.cardinality_at(dim, from_r));
+        let coarse = u64::from(self.cardinality_at(dim, to_r));
+        ((u64::from(coord) * coarse) / fine) as u32
+    }
+}
+
+/// A dense, chunked MOLAP cube materialised at one resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MolapCube {
+    schema: CubeSchema,
+    resolution: usize,
+    grid: ChunkGrid,
+    chunks: Vec<Chunk>,
+}
+
+impl MolapCube {
+    /// Creates an empty cube at `resolution` with the default chunk side.
+    pub fn build_empty(schema: CubeSchema, resolution: usize) -> Self {
+        Self::build_empty_with_chunks(schema, resolution, DEFAULT_CHUNK_SIDE)
+    }
+
+    /// Creates an empty cube with an explicit chunk side length.
+    pub fn build_empty_with_chunks(
+        schema: CubeSchema,
+        resolution: usize,
+        chunk_side: u32,
+    ) -> Self {
+        let grid = ChunkGrid::new(schema.shape_at(resolution), chunk_side);
+        let chunks = (0..grid.chunk_count())
+            .map(|i| {
+                let cells: u64 =
+                    grid.chunk_local_shape(i).iter().map(|&c| u64::from(c)).product();
+                Chunk::dense_empty(cells as usize)
+            })
+            .collect();
+        Self { schema, resolution, grid, chunks }
+    }
+
+    /// Creates a cube with every cell holding `(sum, count)` — the fast
+    /// path for synthetic cubes in benchmarks.
+    pub fn build_filled(schema: CubeSchema, resolution: usize, sum: f64, count: u64) -> Self {
+        Self::build_filled_with_chunks(schema, resolution, sum, count, DEFAULT_CHUNK_SIDE)
+    }
+
+    /// [`MolapCube::build_filled`] with an explicit chunk side length.
+    pub fn build_filled_with_chunks(
+        schema: CubeSchema,
+        resolution: usize,
+        sum: f64,
+        count: u64,
+        chunk_side: u32,
+    ) -> Self {
+        let mut cube = Self::build_empty_with_chunks(schema, resolution, chunk_side);
+        for (i, chunk) in cube.chunks.iter_mut().enumerate() {
+            let cells: u64 =
+                cube.grid.chunk_local_shape(i).iter().map(|&c| u64::from(c)).product();
+            *chunk = Chunk::dense_filled(cells as usize, sum, count);
+        }
+        cube
+    }
+
+    /// Builds the cube by aggregating `measure_idx` of a fact table at
+    /// `resolution` — the cube-build task the paper assigns to the GPU
+    /// ("building the cube from relational tables", §III-A), available here
+    /// on the CPU as well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's dimensional schema disagrees with the cube
+    /// schema or the measure index is out of range.
+    pub fn build_from_table(
+        schema: CubeSchema,
+        resolution: usize,
+        table: &FactTable,
+        measure_idx: usize,
+    ) -> Self {
+        assert_eq!(
+            schema.dimensions, table.schema().dimensions,
+            "cube and table dimensional schemas must match"
+        );
+        let mut cube = Self::build_empty(schema, resolution);
+        let ndim = cube.schema.ndim();
+        let columns: Vec<&[u32]> = (0..ndim)
+            .map(|d| table.dim_column(d, cube.schema.level_for(d, resolution)))
+            .collect();
+        let measure = table.measure_column(measure_idx);
+        let mut coords = vec![0u32; ndim];
+        for row in 0..table.rows() {
+            for (d, col) in columns.iter().enumerate() {
+                coords[d] = col[row];
+            }
+            cube.add(&coords, measure[row], 1);
+        }
+        cube
+    }
+
+    /// Borrowed view of the cube's internals — used by persistence layers.
+    pub fn parts(&self) -> (&CubeSchema, usize, &ChunkGrid, &[Chunk]) {
+        (&self.schema, self.resolution, &self.grid, &self.chunks)
+    }
+
+    /// Reassembles a cube from its parts (inverse of [`MolapCube::parts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the grid does not match the schema's shape at
+    /// the resolution, or the chunk list disagrees with the grid.
+    pub fn from_parts(
+        schema: CubeSchema,
+        resolution: usize,
+        grid: ChunkGrid,
+        chunks: Vec<Chunk>,
+    ) -> Result<Self, String> {
+        if grid.shape != schema.shape_at(resolution) {
+            return Err(format!(
+                "grid shape {:?} does not match schema shape {:?} at resolution {resolution}",
+                grid.shape,
+                schema.shape_at(resolution)
+            ));
+        }
+        if chunks.len() != grid.chunk_count() {
+            return Err(format!(
+                "{} chunks supplied, grid has {}",
+                chunks.len(),
+                grid.chunk_count()
+            ));
+        }
+        for (i, chunk) in chunks.iter().enumerate() {
+            let cells: u64 =
+                grid.chunk_local_shape(i).iter().map(|&c| u64::from(c)).product();
+            let ok = match chunk {
+                Chunk::Dense { sums, counts } => {
+                    sums.len() as u64 == cells && counts.len() as u64 == cells
+                }
+                Chunk::Sparse { offsets, sums, counts } => {
+                    offsets.len() == sums.len()
+                        && sums.len() == counts.len()
+                        && offsets.iter().all(|&o| u64::from(o) < cells)
+                        && offsets.windows(2).all(|w| w[0] < w[1])
+                }
+            };
+            if !ok {
+                return Err(format!("chunk {i} is inconsistent with its local shape"));
+            }
+        }
+        Ok(Self { schema, resolution, grid, chunks })
+    }
+
+    /// Adds `(sum, count)` into the cell at `coords` (cube-resolution
+    /// coordinates).
+    pub fn add(&mut self, coords: &[u32], sum: f64, count: u64) {
+        let (ci, off) = self.grid.locate(coords);
+        self.chunks[ci].add(off, sum, count);
+    }
+
+    /// Reads one cell.
+    pub fn cell(&self, coords: &[u32]) -> CellAgg {
+        let region = Region::new(coords.iter().map(|&c| (c, c)).collect());
+        self.aggregate_seq(&region)
+    }
+
+    /// Applies chunk-offset compression to all under-filled chunks;
+    /// returns how many chunks were compressed.
+    pub fn compress(&mut self) -> usize {
+        let grid = &self.grid;
+        self.chunks
+            .iter_mut()
+            .enumerate()
+            .filter(|&(i, ref c)| {
+                let cells: u64 =
+                    grid.chunk_local_shape(i).iter().map(|&x| u64::from(x)).product();
+                let _ = &c;
+                cells > 0
+            })
+            .map(|(i, c)| {
+                let cells: u64 =
+                    grid.chunk_local_shape(i).iter().map(|&x| u64::from(x)).product();
+                usize::from(c.maybe_compress(cells as usize))
+            })
+            .sum()
+    }
+
+    /// The cube's resolution (level index).
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// The cube's schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// Cube shape (cells per dimension).
+    pub fn shape(&self) -> &[u32] {
+        &self.grid.shape
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> u64 {
+        self.grid.total_cells()
+    }
+
+    /// Actual bytes of cell storage (after compression).
+    pub fn bytes(&self) -> usize {
+        self.chunks.iter().map(Chunk::bytes).sum()
+    }
+
+    /// Dense-equivalent size in MB — the quantity the performance model
+    /// works with (compressed chunks still require their dense scan
+    /// equivalent in the model's terms).
+    pub fn size_mb(&self) -> f64 {
+        self.cells() as f64 * CELL_BYTES as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Estimated sub-cube size in MB for a query region (paper Eq. 3):
+    /// `E_size · Π (t_i − f_i + 1) / 2^20`.
+    pub fn estimate_subcube_mb(&self, region: &Region) -> f64 {
+        region.cells() as f64 * CELL_BYTES as f64 / (1024.0 * 1024.0)
+    }
+
+    fn validate_region(&self, region: &Region) {
+        assert_eq!(region.ndim(), self.grid.ndim(), "region dimensionality mismatch");
+        for (d, (&(f, t), &card)) in
+            region.bounds.iter().zip(&self.grid.shape).enumerate()
+        {
+            assert!(
+                f <= t && t < card,
+                "region bound ({f}, {t}) out of range for dimension {d} (cardinality {card})"
+            );
+        }
+    }
+
+    fn chunk_partial(&self, chunk_idx: usize, region: &Region) -> CellAgg {
+        let chunk_region = self.grid.chunk_region(chunk_idx);
+        let inter = chunk_region
+            .intersect(region)
+            .expect("chunk selected but does not intersect region");
+        let local = Region::new(
+            inter
+                .bounds
+                .iter()
+                .zip(&chunk_region.bounds)
+                .map(|(&(f, t), &(base, _))| (f - base, t - base))
+                .collect(),
+        );
+        let local_shape = self.grid.chunk_local_shape(chunk_idx);
+        self.chunks[chunk_idx].aggregate(&local_shape, &local)
+    }
+
+    /// Sequential sub-cube aggregation over the region.
+    pub fn aggregate_seq(&self, region: &Region) -> CellAgg {
+        self.validate_region(region);
+        let mut agg = CellAgg::default();
+        for ci in self.grid.chunks_intersecting(region) {
+            agg.merge(self.chunk_partial(ci, region));
+        }
+        agg
+    }
+
+    /// Parallel sub-cube aggregation: intersecting chunks are processed by
+    /// the current rayon pool and partials reduced — the reproduction of
+    /// the paper's OpenMP parallel cube processing. Run inside
+    /// `ThreadPool::install` to control the thread count.
+    pub fn aggregate_par(&self, region: &Region) -> CellAgg {
+        self.validate_region(region);
+        self.grid
+            .chunks_intersecting(region)
+            .into_par_iter()
+            .map(|ci| self.chunk_partial(ci, region))
+            .reduce(CellAgg::default, |mut a, b| {
+                a.merge(b);
+                a
+            })
+    }
+
+    /// Per-coordinate aggregation along `dim` inside `region`: element `i`
+    /// of the result aggregates the slice `dim == region.bounds[dim].0 + i`
+    /// — the cube-side `GROUP BY` one dimension.
+    pub fn aggregate_along_seq(&self, dim: usize, region: &Region) -> Vec<CellAgg> {
+        self.validate_region(region);
+        assert!(dim < self.grid.ndim(), "axis {dim} out of range");
+        let width = (region.bounds[dim].1 - region.bounds[dim].0 + 1) as usize;
+        let mut out = vec![CellAgg::default(); width];
+        for ci in self.grid.chunks_intersecting(region) {
+            self.chunk_partial_along(ci, dim, region, &mut out);
+        }
+        out
+    }
+
+    /// Parallel variant of [`MolapCube::aggregate_along_seq`]: chunks are
+    /// processed concurrently into per-thread buffers that are reduced.
+    pub fn aggregate_along_par(&self, dim: usize, region: &Region) -> Vec<CellAgg> {
+        self.validate_region(region);
+        assert!(dim < self.grid.ndim(), "axis {dim} out of range");
+        let width = (region.bounds[dim].1 - region.bounds[dim].0 + 1) as usize;
+        self.grid
+            .chunks_intersecting(region)
+            .into_par_iter()
+            .fold(
+                || vec![CellAgg::default(); width],
+                |mut acc, ci| {
+                    self.chunk_partial_along(ci, dim, region, &mut acc);
+                    acc
+                },
+            )
+            .reduce(
+                || vec![CellAgg::default(); width],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        x.merge(y);
+                    }
+                    a
+                },
+            )
+    }
+
+    fn chunk_partial_along(
+        &self,
+        chunk_idx: usize,
+        dim: usize,
+        region: &Region,
+        out: &mut [CellAgg],
+    ) {
+        let chunk_region = self.grid.chunk_region(chunk_idx);
+        let Some(inter) = chunk_region.intersect(region) else { return };
+        let local = Region::new(
+            inter
+                .bounds
+                .iter()
+                .zip(&chunk_region.bounds)
+                .map(|(&(f, t), &(base, _))| (f - base, t - base))
+                .collect(),
+        );
+        let local_shape = self.grid.chunk_local_shape(chunk_idx);
+        // Output base: where this chunk's slice of the axis starts within
+        // the region's axis window.
+        let out_base = (inter.bounds[dim].0 - region.bounds[dim].0) as usize;
+        self.chunks[chunk_idx].aggregate_along(&local_shape, &local, dim, out, out_base);
+    }
+
+    /// Rolls this cube up to a strictly coarser resolution, producing the
+    /// new cube from its "smallest parent" (paper §II-B) instead of
+    /// rescanning the fact table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= self.resolution()` changes nothing, or if the
+    /// schema's hierarchy is not uniform (roll-up would be inexact).
+    pub fn rollup_to(&self, target: usize) -> MolapCube {
+        assert!(target < self.resolution, "roll-up target must be coarser");
+        assert!(self.schema.uniform_hierarchy(), "roll-up needs uniform hierarchies");
+        let mut out = MolapCube::build_empty(self.schema.clone(), target);
+        let ndim = self.schema.ndim();
+        let mut target_coords = vec![0u32; ndim];
+        self.for_each_cell(|coords, sum, count| {
+            for d in 0..ndim {
+                target_coords[d] =
+                    self.schema.coarsen_coord(d, self.resolution, target, coords[d]);
+            }
+            out.add(&target_coords, sum, count);
+        });
+        out
+    }
+
+    /// Visits every non-empty cell as `(global coords, sum, count)`.
+    pub fn for_each_cell<F: FnMut(&[u32], f64, u64)>(&self, mut f: F) {
+        let ndim = self.grid.ndim();
+        let mut global = vec![0u32; ndim];
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let chunk_region = self.grid.chunk_region(ci);
+            let local_shape = self.grid.chunk_local_shape(ci);
+            let visit = |off: u32,
+                         sum: f64,
+                         count: u64,
+                         global: &mut Vec<u32>,
+                         f: &mut F| {
+                if count == 0 {
+                    return;
+                }
+                let local = crate::geometry::coords_of(&local_shape, off as usize);
+                for d in 0..ndim {
+                    global[d] = chunk_region.bounds[d].0 + local[d];
+                }
+                f(global, sum, count);
+            };
+            match chunk {
+                Chunk::Dense { sums, counts } => {
+                    for (i, (&s, &c)) in sums.iter().zip(counts).enumerate() {
+                        visit(i as u32, s, c, &mut global, &mut f);
+                    }
+                }
+                Chunk::Sparse { offsets, sums, counts } => {
+                    for ((&off, &s), &c) in offsets.iter().zip(sums).zip(counts) {
+                        visit(off, s, c, &mut global, &mut f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_table::{FactTableBuilder, TableSchema};
+
+    fn schema() -> CubeSchema {
+        CubeSchema::from_table_schema(
+            &TableSchema::builder()
+                .dimension("time", &[("year", 4), ("month", 16), ("day", 64)])
+                .dimension("geo", &[("region", 4), ("city", 8)])
+                .measure("sales")
+                .build(),
+        )
+    }
+
+    #[test]
+    fn schema_geometry() {
+        let s = schema();
+        assert_eq!(s.max_resolution(), 2);
+        assert_eq!(s.shape_at(0), vec![4, 4]);
+        assert_eq!(s.shape_at(1), vec![16, 8]);
+        assert_eq!(s.shape_at(2), vec![64, 8]); // geo clamps to city
+        assert_eq!(s.cells_at(2), 512);
+        assert!(s.uniform_hierarchy());
+    }
+
+    #[test]
+    fn widen_and_coarsen_are_inverse_on_blocks() {
+        let s = schema();
+        // time: year 2 at r0 → months 8..11 at r1.
+        assert_eq!(s.widen_range(0, 0, 1, (2, 2)), (8, 11));
+        for m in 8..=11 {
+            assert_eq!(s.coarsen_coord(0, 1, 0, m), 2);
+        }
+    }
+
+    #[test]
+    fn filled_cube_full_aggregate() {
+        let cube = MolapCube::build_filled(schema(), 1, 2.0, 1);
+        let agg = cube.aggregate_seq(&Region::full(cube.shape()));
+        assert_eq!(agg.count, 16 * 8);
+        assert_eq!(agg.sum, 2.0 * 128.0);
+    }
+
+    #[test]
+    fn add_and_cell_roundtrip() {
+        let mut cube = MolapCube::build_empty(schema(), 1);
+        cube.add(&[3, 5], 7.5, 2);
+        cube.add(&[3, 5], 0.5, 1);
+        let c = cube.cell(&[3, 5]);
+        assert_eq!(c.sum, 8.0);
+        assert_eq!(c.count, 3);
+        assert_eq!(cube.cell(&[0, 0]).count, 0);
+    }
+
+    #[test]
+    fn par_equals_seq() {
+        let mut cube = MolapCube::build_empty_with_chunks(schema(), 2, 16);
+        // Deterministic pseudo-random content.
+        let mut x = 1u64;
+        for day in 0..64u32 {
+            for city in 0..8u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                cube.add(&[day, city], (x % 100) as f64, 1);
+            }
+        }
+        for region in [
+            Region::full(cube.shape()),
+            Region::new(vec![(5, 40), (2, 6)]),
+            Region::new(vec![(63, 63), (0, 7)]),
+        ] {
+            let s = cube.aggregate_seq(&region);
+            let p = cube.aggregate_par(&region);
+            assert_eq!(s.count, p.count);
+            assert!((s.sum - p.sum).abs() < 1e-9 * (1.0 + s.sum.abs()));
+        }
+    }
+
+    #[test]
+    fn build_from_table_aggregates_rows() {
+        let tschema = TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 16)])
+            .dimension("geo", &[("city", 8)])
+            .measure("sales")
+            .build();
+        let cschema = CubeSchema::from_table_schema(&tschema);
+        let mut b = FactTableBuilder::new(tschema);
+        // rows: (year, month, city, sales)
+        b.push_row(&[0, 1, 3], &[10.0]).unwrap();
+        b.push_row(&[0, 1, 3], &[5.0]).unwrap();
+        b.push_row(&[2, 9, 3], &[7.0]).unwrap();
+        let table = b.finish();
+
+        // Fine cube at month resolution.
+        let cube = MolapCube::build_from_table(cschema.clone(), 1, &table, 0);
+        assert_eq!(cube.cell(&[1, 3]).sum, 15.0);
+        assert_eq!(cube.cell(&[1, 3]).count, 2);
+        assert_eq!(cube.cell(&[9, 3]).sum, 7.0);
+        // Whole-cube totals match the table.
+        let total = cube.aggregate_seq(&Region::full(cube.shape()));
+        assert_eq!(total.sum, 22.0);
+        assert_eq!(total.count, 3);
+    }
+
+    #[test]
+    fn aggregate_along_matches_per_slice_aggregates() {
+        let mut cube = MolapCube::build_empty_with_chunks(schema(), 2, 16);
+        let mut x = 5u64;
+        for day in 0..64u32 {
+            for city in 0..8u32 {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if !x.is_multiple_of(3) {
+                    cube.add(&[day, city], (x % 40) as f64, 1);
+                }
+            }
+        }
+        cube.compress(); // exercise the sparse path too
+        let region = Region::new(vec![(10, 50), (2, 6)]);
+        for dim in 0..2usize {
+            let along = cube.aggregate_along_seq(dim, &region);
+            let along_par = cube.aggregate_along_par(dim, &region);
+            assert_eq!(along.len(), (region.bounds[dim].1 - region.bounds[dim].0 + 1) as usize);
+            for (i, agg) in along.iter().enumerate() {
+                let mut slice = region.clone();
+                let c = region.bounds[dim].0 + i as u32;
+                slice.bounds[dim] = (c, c);
+                let direct = cube.aggregate_seq(&slice);
+                assert_eq!(agg.count, direct.count, "dim {dim} slice {c}");
+                assert!((agg.sum - direct.sum).abs() < 1e-9 * (1.0 + direct.sum.abs()));
+                assert_eq!(along_par[i].count, direct.count);
+                assert!((along_par[i].sum - direct.sum).abs() < 1e-9 * (1.0 + direct.sum.abs()));
+            }
+            // Slices sum to the region total.
+            let total = cube.aggregate_seq(&region);
+            let sum: f64 = along.iter().map(|a| a.sum).sum();
+            let count: u64 = along.iter().map(|a| a.count).sum();
+            assert_eq!(count, total.count);
+            assert!((sum - total.sum).abs() < 1e-9 * (1.0 + total.sum.abs()));
+        }
+    }
+
+    #[test]
+    fn rollup_preserves_totals_and_grouping() {
+        let tschema = TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 16)])
+            .dimension("geo", &[("region", 2), ("city", 8)])
+            .measure("sales")
+            .build();
+        let cschema = CubeSchema::from_table_schema(&tschema);
+        let mut b = FactTableBuilder::new(tschema);
+        // month 5 is in year 1 (16/4 = 4 months per year); city 6 in region 1.
+        b.push_row(&[1, 5, 1, 6], &[3.0]).unwrap();
+        b.push_row(&[1, 7, 1, 7], &[4.0]).unwrap();
+        b.push_row(&[0, 0, 0, 0], &[9.0]).unwrap();
+        let table = b.finish();
+        let fine = MolapCube::build_from_table(cschema.clone(), 1, &table, 0);
+        let coarse = fine.rollup_to(0);
+        // Coarse cube == building directly at resolution 0.
+        let direct = MolapCube::build_from_table(cschema, 0, &table, 0);
+        let full = Region::full(coarse.shape());
+        assert_eq!(coarse.aggregate_seq(&full), direct.aggregate_seq(&full));
+        assert_eq!(coarse.cell(&[1, 1]).sum, 7.0);
+        assert_eq!(coarse.cell(&[0, 0]).sum, 9.0);
+    }
+
+    #[test]
+    fn compression_reduces_bytes_and_keeps_answers() {
+        let mut cube = MolapCube::build_empty_with_chunks(schema(), 2, 16);
+        cube.add(&[10, 3], 5.0, 1);
+        cube.add(&[50, 7], 2.0, 1);
+        let full = Region::full(cube.shape());
+        let before = cube.aggregate_seq(&full);
+        let dense_bytes = cube.bytes();
+        let compressed = cube.compress();
+        assert!(compressed > 0);
+        assert!(cube.bytes() < dense_bytes);
+        assert_eq!(cube.aggregate_seq(&full), before);
+        // Parallel path over sparse chunks agrees too.
+        assert_eq!(cube.aggregate_par(&full), before);
+    }
+
+    #[test]
+    fn size_estimates_follow_eq3() {
+        let cube = MolapCube::build_filled(schema(), 1, 1.0, 1);
+        let region = Region::new(vec![(0, 7), (0, 3)]); // 8 × 4 = 32 cells
+        let mb = cube.estimate_subcube_mb(&region);
+        assert!((mb - 32.0 * 16.0 / (1024.0 * 1024.0)).abs() < 1e-15);
+        assert!((cube.size_mb() - 128.0 * 16.0 / (1024.0 * 1024.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn aggregate_rejects_out_of_range_region() {
+        let cube = MolapCube::build_filled(schema(), 0, 1.0, 1);
+        cube.aggregate_seq(&Region::new(vec![(0, 4), (0, 3)]));
+    }
+
+    #[test]
+    fn for_each_cell_visits_only_nonempty() {
+        let mut cube = MolapCube::build_empty(schema(), 0);
+        cube.add(&[1, 2], 4.0, 2);
+        cube.add(&[3, 0], 1.0, 1);
+        let mut seen = Vec::new();
+        cube.for_each_cell(|c, s, n| seen.push((c.to_vec(), s, n)));
+        seen.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            seen,
+            vec![(vec![1, 2], 4.0, 2), (vec![3, 0], 1.0, 1)]
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! n-dimensional shapes, regions and chunk grids.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box of cube cells: one inclusive coordinate range per
+/// dimension. This is the "area of limited search" of the paper's Fig. 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Inclusive `(from, to)` bounds per dimension.
+    pub bounds: Vec<(u32, u32)>,
+}
+
+impl Region {
+    /// Creates a region from inclusive per-dimension bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is inverted.
+    pub fn new(bounds: Vec<(u32, u32)>) -> Self {
+        for &(f, t) in &bounds {
+            assert!(f <= t, "inverted bound ({f}, {t})");
+        }
+        Self { bounds }
+    }
+
+    /// The full region of a shape.
+    pub fn full(shape: &[u32]) -> Self {
+        Self { bounds: shape.iter().map(|&c| (0, c - 1)).collect() }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Number of cells inside the region.
+    pub fn cells(&self) -> u64 {
+        self.bounds.iter().map(|&(f, t)| u64::from(t - f) + 1).product()
+    }
+
+    /// Intersection with another region, or `None` if disjoint.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        let mut bounds = Vec::with_capacity(self.ndim());
+        for (&(af, at), &(bf, bt)) in self.bounds.iter().zip(&other.bounds) {
+            let f = af.max(bf);
+            let t = at.min(bt);
+            if f > t {
+                return None;
+            }
+            bounds.push((f, t));
+        }
+        Some(Region { bounds })
+    }
+
+    /// Whether `coords` lies inside the region.
+    pub fn contains(&self, coords: &[u32]) -> bool {
+        self.bounds.iter().zip(coords).all(|(&(f, t), &c)| c >= f && c <= t)
+    }
+}
+
+/// Row-major linearisation helpers over a shape (last dimension fastest).
+pub fn linear_index(shape: &[u32], coords: &[u32]) -> usize {
+    debug_assert_eq!(shape.len(), coords.len());
+    let mut idx = 0usize;
+    for (&c, &s) in coords.iter().zip(shape) {
+        debug_assert!(c < s);
+        idx = idx * s as usize + c as usize;
+    }
+    idx
+}
+
+/// Inverse of [`linear_index`].
+pub fn coords_of(shape: &[u32], mut idx: usize) -> Vec<u32> {
+    let mut coords = vec![0u32; shape.len()];
+    for d in (0..shape.len()).rev() {
+        let s = shape[d] as usize;
+        coords[d] = (idx % s) as u32;
+        idx /= s;
+    }
+    debug_assert_eq!(idx, 0);
+    coords
+}
+
+/// The chunking of an n-dimensional array: how a cube shape is split into
+/// equally-shaped chunks (edge chunks may be smaller), following the
+/// array-based algorithms the paper builds on (§II-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkGrid {
+    /// Global cube shape (cells per dimension).
+    pub shape: Vec<u32>,
+    /// Nominal chunk shape (cells per dimension inside one chunk).
+    pub chunk_shape: Vec<u32>,
+    /// Number of chunks along each dimension.
+    pub chunks_per_dim: Vec<u32>,
+}
+
+impl ChunkGrid {
+    /// Builds a grid for `shape` with chunks of at most `chunk_side` cells
+    /// per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shape, zero extents, or zero `chunk_side`.
+    pub fn new(shape: Vec<u32>, chunk_side: u32) -> Self {
+        assert!(!shape.is_empty(), "shape must have at least one dimension");
+        assert!(chunk_side > 0, "chunk side must be positive");
+        assert!(shape.iter().all(|&c| c > 0), "zero-extent dimension");
+        let chunk_shape: Vec<u32> = shape.iter().map(|&c| c.min(chunk_side)).collect();
+        let chunks_per_dim: Vec<u32> =
+            shape.iter().zip(&chunk_shape).map(|(&c, &s)| c.div_ceil(s)).collect();
+        Self { shape, chunk_shape, chunks_per_dim }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of cells in the cube.
+    pub fn total_cells(&self) -> u64 {
+        self.shape.iter().map(|&c| u64::from(c)).product()
+    }
+
+    /// Total number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks_per_dim.iter().map(|&c| c as usize).product()
+    }
+
+    /// Global cell region covered by chunk `chunk_idx` (row-major over the
+    /// chunk grid).
+    pub fn chunk_region(&self, chunk_idx: usize) -> Region {
+        let grid_coords = coords_of(&self.chunks_per_dim, chunk_idx);
+        let bounds = grid_coords
+            .iter()
+            .zip(self.chunk_shape.iter().zip(&self.shape))
+            .map(|(&g, (&cs, &total))| {
+                let from = g * cs;
+                let to = (from + cs - 1).min(total - 1);
+                (from, to)
+            })
+            .collect();
+        Region { bounds }
+    }
+
+    /// Local (within-chunk) shape of chunk `chunk_idx` — smaller than
+    /// `chunk_shape` for edge chunks.
+    pub fn chunk_local_shape(&self, chunk_idx: usize) -> Vec<u32> {
+        self.chunk_region(chunk_idx)
+            .bounds
+            .iter()
+            .map(|&(f, t)| t - f + 1)
+            .collect()
+    }
+
+    /// Maps a global cell coordinate to `(chunk index, local row-major
+    /// offset within that chunk)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `coords` lies outside the shape.
+    pub fn locate(&self, coords: &[u32]) -> (usize, u32) {
+        debug_assert_eq!(coords.len(), self.ndim());
+        let grid_coords: Vec<u32> =
+            coords.iter().zip(&self.chunk_shape).map(|(&c, &cs)| c / cs).collect();
+        let chunk_idx = linear_index(&self.chunks_per_dim, &grid_coords);
+        let local_shape = self.chunk_local_shape(chunk_idx);
+        let local_coords: Vec<u32> =
+            coords.iter().zip(&self.chunk_shape).map(|(&c, &cs)| c % cs).collect();
+        let off = linear_index(&local_shape, &local_coords) as u32;
+        (chunk_idx, off)
+    }
+
+    /// Indices of all chunks whose region intersects `region`.
+    pub fn chunks_intersecting(&self, region: &Region) -> Vec<usize> {
+        debug_assert_eq!(region.ndim(), self.ndim());
+        // Per-dimension chunk-coordinate ranges, then odometer product.
+        let ranges: Vec<(u32, u32)> = region
+            .bounds
+            .iter()
+            .zip(&self.chunk_shape)
+            .map(|(&(f, t), &cs)| (f / cs, t / cs))
+            .collect();
+        let mut out = Vec::new();
+        let mut cursor: Vec<u32> = ranges.iter().map(|&(f, _)| f).collect();
+        loop {
+            out.push(linear_index(&self.chunks_per_dim, &cursor));
+            // Odometer increment, last dimension fastest.
+            let mut d = self.ndim();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                if cursor[d] < ranges[d].1 {
+                    cursor[d] += 1;
+                    break;
+                }
+                cursor[d] = ranges[d].0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_cells_and_contains() {
+        let r = Region::new(vec![(1, 3), (0, 4)]);
+        assert_eq!(r.cells(), 3 * 5);
+        assert!(r.contains(&[2, 4]));
+        assert!(!r.contains(&[0, 0]));
+    }
+
+    #[test]
+    fn region_intersection() {
+        let a = Region::new(vec![(0, 5), (2, 8)]);
+        let b = Region::new(vec![(3, 9), (0, 4)]);
+        assert_eq!(a.intersect(&b), Some(Region::new(vec![(3, 5), (2, 4)])));
+        let c = Region::new(vec![(6, 9), (0, 4)]);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn linear_roundtrip() {
+        let shape = [3, 4, 5];
+        for idx in 0..60 {
+            let coords = coords_of(&shape, idx);
+            assert_eq!(linear_index(&shape, &coords), idx);
+        }
+    }
+
+    #[test]
+    fn row_major_last_dim_fastest() {
+        let shape = [2, 3];
+        assert_eq!(linear_index(&shape, &[0, 0]), 0);
+        assert_eq!(linear_index(&shape, &[0, 1]), 1);
+        assert_eq!(linear_index(&shape, &[1, 0]), 3);
+    }
+
+    #[test]
+    fn grid_chunk_counts() {
+        let g = ChunkGrid::new(vec![10, 7], 4);
+        assert_eq!(g.chunks_per_dim, vec![3, 2]);
+        assert_eq!(g.chunk_count(), 6);
+        assert_eq!(g.total_cells(), 70);
+    }
+
+    #[test]
+    fn chunk_regions_tile_the_cube() {
+        let g = ChunkGrid::new(vec![10, 7], 4);
+        let mut covered = 0u64;
+        for i in 0..g.chunk_count() {
+            covered += g.chunk_region(i).cells();
+        }
+        assert_eq!(covered, g.total_cells());
+    }
+
+    #[test]
+    fn edge_chunks_are_smaller() {
+        let g = ChunkGrid::new(vec![10], 4);
+        assert_eq!(g.chunk_local_shape(0), vec![4]);
+        assert_eq!(g.chunk_local_shape(2), vec![2]);
+        assert_eq!(g.chunk_region(2), Region::new(vec![(8, 9)]));
+    }
+
+    #[test]
+    fn chunks_intersecting_finds_exact_set() {
+        let g = ChunkGrid::new(vec![10, 7], 4);
+        // Region covering rows 5..9, cols 0..3 → chunk rows 1..2, col 0.
+        let hits = g.chunks_intersecting(&Region::new(vec![(5, 9), (0, 3)]));
+        assert_eq!(hits.len(), 2);
+        for &h in &hits {
+            assert!(g
+                .chunk_region(h)
+                .intersect(&Region::new(vec![(5, 9), (0, 3)]))
+                .is_some());
+        }
+        // Every non-hit chunk must be disjoint.
+        for i in 0..g.chunk_count() {
+            if !hits.contains(&i) {
+                assert!(g
+                    .chunk_region(i)
+                    .intersect(&Region::new(vec![(5, 9), (0, 3)]))
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn locate_is_consistent_with_chunk_regions() {
+        let g = ChunkGrid::new(vec![10, 7], 4);
+        for x in 0..10u32 {
+            for y in 0..7u32 {
+                let (ci, off) = g.locate(&[x, y]);
+                let region = g.chunk_region(ci);
+                assert!(region.contains(&[x, y]), "cell ({x},{y}) not in chunk {ci}");
+                let local_shape = g.chunk_local_shape(ci);
+                assert!((off as u64) < local_shape.iter().map(|&c| u64::from(c)).product());
+            }
+        }
+    }
+
+    #[test]
+    fn locate_distinct_cells_have_distinct_slots() {
+        let g = ChunkGrid::new(vec![6, 6], 4);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..6u32 {
+            for y in 0..6u32 {
+                assert!(seen.insert(g.locate(&[x, y])), "collision at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn full_region_hits_all_chunks() {
+        let g = ChunkGrid::new(vec![9, 9, 9], 4);
+        let hits = g.chunks_intersecting(&Region::full(&g.shape));
+        assert_eq!(hits.len(), g.chunk_count());
+    }
+
+    #[test]
+    fn single_cell_region_hits_one_chunk() {
+        let g = ChunkGrid::new(vec![16, 16], 4);
+        let hits = g.chunks_intersecting(&Region::new(vec![(5, 5), (11, 11)]));
+        assert_eq!(hits.len(), 1);
+        assert!(g.chunk_region(hits[0]).contains(&[5, 11]));
+    }
+}

@@ -1,0 +1,68 @@
+//! Chunked dense MOLAP cube storage with parallel sub-cube aggregation —
+//! the CPU-side data substrate of the hybrid OLAP system (paper §III-A/C).
+//!
+//! A *cube* is an n-dimensional dense array of pre-aggregated cells, one
+//! axis per dimension, materialised at a particular **resolution**: level
+//! `r` of every dimension's hierarchy (paper Fig. 1 — years/months/days/…).
+//! A system holds several cubes of the same schema at different resolutions
+//! ([`CubeSet`]); an incoming query needs resolution `R = max(r_i)` over its
+//! conditions (Eq. 2) and is answered from the lowest-resolution resident
+//! cube that is at least that fine — or must fall back to the GPU's fact
+//! table when none is (Fig. 1 levels *M* and *G*).
+//!
+//! Storage follows Zhao, Deshpande & Naughton's array-based design the
+//! paper builds on: the cube is split into n-dimensional **chunks**, and
+//! chunks whose fill factor is below 40 % are kept in chunk-offset
+//! compressed form ([`chunk::Chunk::Sparse`]). A sub-cube aggregation
+//! visits only the chunks intersecting the query box (the paper's Fig. 2
+//! "area of limited search") and runs either sequentially or in parallel
+//! over chunks with rayon — the reproduction's stand-in for the paper's
+//! OpenMP parallel implementation.
+//!
+//! Cells hold `(sum, count)` pairs, so SUM/COUNT/AVG aggregates are exact
+//! under roll-up; cubes can be built from a fact table, from a generator
+//! function, or rolled up from a finer cube of the same schema.
+//!
+//! # Example
+//!
+//! ```
+//! use holap_cube::{CubeQuery, CubeSchema, CubeSet, DimRange, MolapCube};
+//! use holap_table::TableSchema;
+//!
+//! let schema = CubeSchema::from_table_schema(
+//!     &TableSchema::builder()
+//!         .dimension("time", &[("year", 4), ("month", 16)])
+//!         .dimension("geo", &[("region", 4), ("city", 8)])
+//!         .measure("sales")
+//!         .build(),
+//! );
+//! // A fine cube (resolution 1: months × cities), each cell sum=1/count=1.
+//! let fine = MolapCube::build_filled(schema.clone(), 1, 1.0, 1);
+//! let mut set = CubeSet::new(schema);
+//! set.insert(fine);
+//!
+//! // Query at month resolution, restricted to months 0–7, all cities.
+//! let q = CubeQuery::new(vec![
+//!     DimRange::new(1, 0, 7), // dimension 0 (time) at level 1
+//!     DimRange::new(0, 0, 3), // dimension 1 (geo) at level 0 (all regions)
+//! ]);
+//! let plan = set.plan(&q).unwrap().expect("cube resident");
+//! let agg = set.execute_seq(&plan).unwrap();
+//! assert_eq!(agg.count, 8 * 8); // 8 months × 8 cities
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod chunk;
+pub mod cube;
+pub mod geometry;
+pub mod query;
+pub mod set;
+
+pub use crate::cube::{CellAggregate, CubeSchema, MolapCube};
+pub use bandwidth::{measure_aggregation, BandwidthSample};
+pub use chunk::{Chunk, COMPRESSION_FILL_THRESHOLD};
+pub use geometry::{ChunkGrid, Region};
+pub use query::{CubeQuery, DimRange, QueryError};
+pub use set::{CubeCatalog, CubePlan, CubeSet};

@@ -1,0 +1,198 @@
+//! Cube queries: one ranged condition per dimension, each at its own
+//! resolution (paper Eq. 1).
+
+use crate::cube::CubeSchema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The condition `C_L(f, t, r)` of Eq. 1: an inclusive coordinate range at
+/// resolution level `level` of one dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimRange {
+    /// Resolution level the bounds are expressed at (`r` in Eq. 1).
+    pub level: usize,
+    /// Lower bound, inclusive (`f`).
+    pub from: u32,
+    /// Upper bound, inclusive (`t`).
+    pub to: u32,
+}
+
+impl DimRange {
+    /// Creates a condition.
+    pub fn new(level: usize, from: u32, to: u32) -> Self {
+        Self { level, from, to }
+    }
+
+    /// A condition spanning the whole dimension at its coarsest level —
+    /// "no restriction".
+    pub fn all(schema: &CubeSchema, dim: usize) -> Self {
+        Self { level: 0, from: 0, to: schema.cardinality_at(dim, 0) - 1 }
+    }
+
+    /// Number of coordinates the range covers.
+    pub fn width(&self) -> u64 {
+        u64::from(self.to - self.from) + 1
+    }
+}
+
+/// A multidimensional cube query `Q(C_1, …, C_N)` (Eq. 1): exactly one
+/// condition per dimension, in dimension order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeQuery {
+    /// Conditions, one per dimension.
+    pub conditions: Vec<DimRange>,
+}
+
+impl CubeQuery {
+    /// Creates a query from per-dimension conditions.
+    pub fn new(conditions: Vec<DimRange>) -> Self {
+        Self { conditions }
+    }
+
+    /// The resolution `R` the answering cube must have (Eq. 2):
+    /// the maximum level over all conditions.
+    pub fn required_resolution(&self) -> usize {
+        self.conditions.iter().map(|c| c.level).max().unwrap_or(0)
+    }
+
+    /// Validates the query against a schema.
+    pub fn validate(&self, schema: &CubeSchema) -> Result<(), QueryError> {
+        if self.conditions.len() != schema.ndim() {
+            return Err(QueryError::DimCount {
+                got: self.conditions.len(),
+                want: schema.ndim(),
+            });
+        }
+        for (dim, c) in self.conditions.iter().enumerate() {
+            let levels = schema.dimensions[dim].levels.len();
+            if c.level >= levels {
+                return Err(QueryError::BadLevel { dim, level: c.level, levels });
+            }
+            if c.from > c.to {
+                return Err(QueryError::Inverted { dim, from: c.from, to: c.to });
+            }
+            let card = schema.cardinality_at(dim, c.level);
+            if c.to >= card {
+                return Err(QueryError::OutOfRange { dim, to: c.to, cardinality: card });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised by cube-query validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// Condition count differs from the schema's dimension count.
+    DimCount {
+        /// Conditions supplied.
+        got: usize,
+        /// Dimensions in the schema.
+        want: usize,
+    },
+    /// A condition's level exceeds the dimension's hierarchy depth.
+    BadLevel {
+        /// Dimension index.
+        dim: usize,
+        /// Offending level.
+        level: usize,
+        /// Levels the dimension has.
+        levels: usize,
+    },
+    /// A condition has `from > to`.
+    Inverted {
+        /// Dimension index.
+        dim: usize,
+        /// Lower bound.
+        from: u32,
+        /// Upper bound.
+        to: u32,
+    },
+    /// A condition's upper bound exceeds the level cardinality.
+    OutOfRange {
+        /// Dimension index.
+        dim: usize,
+        /// Offending bound.
+        to: u32,
+        /// Level cardinality.
+        cardinality: u32,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimCount { got, want } => {
+                write!(f, "query has {got} conditions, schema has {want} dimensions")
+            }
+            Self::BadLevel { dim, level, levels } => {
+                write!(f, "dimension {dim} has {levels} levels, condition uses level {level}")
+            }
+            Self::Inverted { dim, from, to } => {
+                write!(f, "condition on dimension {dim} has from {from} > to {to}")
+            }
+            Self::OutOfRange { dim, to, cardinality } => write!(
+                f,
+                "condition on dimension {dim} reaches {to}, cardinality is {cardinality}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_table::TableSchema;
+
+    fn schema() -> CubeSchema {
+        CubeSchema::from_table_schema(
+            &TableSchema::builder()
+                .dimension("time", &[("year", 4), ("month", 16)])
+                .dimension("geo", &[("city", 8)])
+                .measure("m")
+                .build(),
+        )
+    }
+
+    #[test]
+    fn required_resolution_is_max_level() {
+        let q = CubeQuery::new(vec![DimRange::new(1, 0, 3), DimRange::new(0, 0, 7)]);
+        assert_eq!(q.required_resolution(), 1);
+    }
+
+    #[test]
+    fn validation_accepts_well_formed() {
+        let s = schema();
+        let q = CubeQuery::new(vec![DimRange::new(1, 2, 15), DimRange::new(0, 0, 7)]);
+        assert_eq!(q.validate(&s), Ok(()));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let s = schema();
+        let q = CubeQuery::new(vec![DimRange::new(0, 0, 3)]);
+        assert_eq!(q.validate(&s), Err(QueryError::DimCount { got: 1, want: 2 }));
+
+        let q = CubeQuery::new(vec![DimRange::new(2, 0, 3), DimRange::new(0, 0, 7)]);
+        assert_eq!(q.validate(&s), Err(QueryError::BadLevel { dim: 0, level: 2, levels: 2 }));
+
+        let q = CubeQuery::new(vec![DimRange::new(0, 3, 1), DimRange::new(0, 0, 7)]);
+        assert_eq!(q.validate(&s), Err(QueryError::Inverted { dim: 0, from: 3, to: 1 }));
+
+        let q = CubeQuery::new(vec![DimRange::new(0, 0, 4), DimRange::new(0, 0, 7)]);
+        assert_eq!(
+            q.validate(&s),
+            Err(QueryError::OutOfRange { dim: 0, to: 4, cardinality: 4 })
+        );
+    }
+
+    #[test]
+    fn dim_range_all_spans_dimension() {
+        let s = schema();
+        let r = DimRange::all(&s, 1);
+        assert_eq!((r.level, r.from, r.to), (0, 0, 7));
+        assert_eq!(r.width(), 8);
+    }
+}

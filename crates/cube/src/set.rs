@@ -1,0 +1,509 @@
+//! Multi-resolution cube sets and query planning (paper §III-A/C, Fig. 1).
+
+use crate::cube::{CellAggregate, CubeSchema, MolapCube};
+use crate::geometry::Region;
+use crate::query::{CubeQuery, QueryError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The answer plan for a query that a resident cube can serve: which cube,
+/// the region to aggregate (converted to that cube's resolution), and the
+/// estimated sub-cube size the scheduler's CPU model consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CubePlan {
+    /// Resolution of the chosen cube.
+    pub resolution: usize,
+    /// Aggregation region in the chosen cube's coordinates.
+    pub region: Region,
+    /// Estimated sub-cube size in MB (paper Eq. 3) — the `SC_size`
+    /// argument of the CPU performance model.
+    pub estimated_mb: f64,
+}
+
+/// A set of pre-calculated cubes of one schema at different resolutions —
+/// the CPU partition's multidimensional database.
+///
+/// Planning follows the paper exactly: a query requires resolution
+/// `R = max(r_i)` (Eq. 2); it is answered by the **lowest-resolution**
+/// resident cube with resolution ≥ `R` ("it is always desirable to respond
+/// to the query using a cube with lowest possible resolution to minimize
+/// memory accesses"); if no resident cube is fine enough the query must go
+/// to the GPU (Fig. 1 levels *M*/*G*).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CubeSet {
+    schema: CubeSchema,
+    cubes: BTreeMap<usize, MolapCube>,
+}
+
+impl CubeSet {
+    /// Creates an empty set for `schema`.
+    pub fn new(schema: CubeSchema) -> Self {
+        Self { schema, cubes: BTreeMap::new() }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// Inserts a cube, replacing any existing cube at the same resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube's schema differs from the set's.
+    pub fn insert(&mut self, cube: MolapCube) {
+        assert_eq!(cube.schema(), &self.schema, "cube schema mismatch");
+        self.cubes.insert(cube.resolution(), cube);
+    }
+
+    /// Resolutions of resident cubes, ascending.
+    pub fn resolutions(&self) -> Vec<usize> {
+        self.cubes.keys().copied().collect()
+    }
+
+    /// The cube at exactly `resolution`, if resident.
+    pub fn cube(&self, resolution: usize) -> Option<&MolapCube> {
+        self.cubes.get(&resolution)
+    }
+
+    /// Total bytes of all resident cubes.
+    pub fn bytes(&self) -> usize {
+        self.cubes.values().map(MolapCube::bytes).sum()
+    }
+
+    /// Plans a query: `Some(plan)` when a resident cube can answer it,
+    /// `None` when the query must fall through to the GPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryError`] for malformed queries.
+    pub fn plan(&self, query: &CubeQuery) -> Result<Option<CubePlan>, QueryError> {
+        query.validate(&self.schema)?;
+        let required = query.required_resolution();
+        // Lowest-resolution resident cube that is at least as fine.
+        let Some((&resolution, cube)) = self.cubes.range(required..).next() else {
+            return Ok(None);
+        };
+        let bounds = query
+            .conditions
+            .iter()
+            .enumerate()
+            .map(|(dim, c)| self.schema.widen_range(dim, c.level, resolution, (c.from, c.to)))
+            .collect();
+        let region = Region::new(bounds);
+        let estimated_mb = cube.estimate_subcube_mb(&region);
+        Ok(Some(CubePlan { resolution, region, estimated_mb }))
+    }
+
+    /// Convenience: [`CubeSet::plan`] + `None → QueryError`-free option of
+    /// the estimated size in MB, for schedulers that only need the size.
+    pub fn estimate_mb(&self, query: &CubeQuery) -> Result<Option<f64>, QueryError> {
+        Ok(self.plan(query)?.map(|p| p.estimated_mb))
+    }
+
+    /// Executes a plan sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planned cube is no longer resident.
+    pub fn execute_seq(&self, plan: &CubePlan) -> Option<CellAggregate> {
+        self.cubes.get(&plan.resolution).map(|c| c.aggregate_seq(&plan.region))
+    }
+
+    /// Executes a plan with the current rayon pool.
+    pub fn execute_par(&self, plan: &CubePlan) -> Option<CellAggregate> {
+        self.cubes.get(&plan.resolution).map(|c| c.aggregate_par(&plan.region))
+    }
+
+    /// Executes a plan grouped along dimension `dim`: one aggregate per
+    /// distinct coordinate at `target_level` (which must be at most the
+    /// plan's resolution, since a cube cannot group finer than its cells).
+    /// Groups with no contributing rows are omitted; keys ascend.
+    ///
+    /// Returns `None` when the planned cube is not resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range or `target_level` is finer than the
+    /// plan's resolution.
+    pub fn execute_grouped_par(
+        &self,
+        plan: &CubePlan,
+        dim: usize,
+        target_level: usize,
+    ) -> Option<Vec<(u32, CellAggregate)>> {
+        assert!(
+            target_level <= plan.resolution,
+            "cannot group at level {target_level} on a resolution-{} cube",
+            plan.resolution
+        );
+        let cube = self.cubes.get(&plan.resolution)?;
+        let per_coord = cube.aggregate_along_par(dim, &plan.region);
+        let base = plan.region.bounds[dim].0;
+        let mut out: Vec<(u32, CellAggregate)> = Vec::new();
+        for (i, agg) in per_coord.into_iter().enumerate() {
+            if agg.count == 0 {
+                continue;
+            }
+            let group =
+                self.schema
+                    .coarsen_coord(dim, plan.resolution, target_level, base + i as u32);
+            match out.last_mut() {
+                Some((g, acc)) if *g == group => acc.merge(agg),
+                _ => out.push((group, agg)),
+            }
+        }
+        Some(out)
+    }
+
+    /// Materialises a whole set of resolutions from one fact-table pass
+    /// using the *smallest parent* strategy of the array-based cube
+    /// algorithms the paper builds on (§II-B): only the **finest**
+    /// requested resolution is aggregated from the table; every coarser
+    /// cube is rolled up from the next finer one, avoiding the repeated
+    /// table scans a naïve build would take.
+    ///
+    /// All cubes are chunk-offset compressed after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolutions` is empty, the schema's hierarchy is not
+    /// uniform (roll-up would be inexact), or the table's dimensional
+    /// schema differs from the set's.
+    pub fn materialize_from_table(
+        &mut self,
+        table: &holap_table::FactTable,
+        measure_idx: usize,
+        resolutions: &[usize],
+    ) {
+        assert!(!resolutions.is_empty(), "need at least one resolution");
+        assert!(self.schema.uniform_hierarchy(), "smallest-parent build needs uniform hierarchies");
+        let mut sorted: Vec<usize> = resolutions.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let finest = *sorted.last().expect("non-empty");
+        let mut cube =
+            MolapCube::build_from_table(self.schema.clone(), finest, table, measure_idx);
+        cube.compress();
+        // Roll up coarser cubes from their smallest (finest available)
+        // parent, finest-to-coarsest.
+        for &r in sorted.iter().rev().skip(1) {
+            let mut coarser = cube.rollup_to(r);
+            coarser.compress();
+            let parent = std::mem::replace(&mut cube, coarser);
+            self.insert(parent);
+        }
+        self.insert(cube);
+    }
+}
+
+/// A catalog of cube *resolutions* without materialised cells.
+///
+/// Planning and size estimation (Eq. 2–3) depend only on the schema and on
+/// which resolutions are resident — not on cell data. The catalog lets the
+/// discrete-event simulator and the workload generator reason about cube
+/// sets that would be far too large to allocate (the paper's ~32 GB cube),
+/// with exactly the same planning rule as [`CubeSet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CubeCatalog {
+    schema: CubeSchema,
+    resolutions: Vec<usize>,
+}
+
+impl CubeCatalog {
+    /// Creates a catalog for `schema` with the given resident resolutions.
+    pub fn new(schema: CubeSchema, mut resolutions: Vec<usize>) -> Self {
+        resolutions.sort_unstable();
+        resolutions.dedup();
+        Self { schema, resolutions }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// Resident resolutions, ascending.
+    pub fn resolutions(&self) -> &[usize] {
+        &self.resolutions
+    }
+
+    /// Total dense size in MB of all catalogued cubes.
+    pub fn total_size_mb(&self) -> f64 {
+        self.resolutions.iter().map(|&r| self.schema.size_mb_at(r)).sum()
+    }
+
+    /// Plans a query exactly like [`CubeSet::plan`], without cell data.
+    pub fn plan(&self, query: &CubeQuery) -> Result<Option<CubePlan>, QueryError> {
+        query.validate(&self.schema)?;
+        let required = query.required_resolution();
+        let Some(&resolution) = self.resolutions.iter().find(|&&r| r >= required) else {
+            return Ok(None);
+        };
+        let bounds = query
+            .conditions
+            .iter()
+            .enumerate()
+            .map(|(dim, c)| self.schema.widen_range(dim, c.level, resolution, (c.from, c.to)))
+            .collect();
+        let region = Region::new(bounds);
+        let estimated_mb =
+            region.cells() as f64 * crate::cube::CELL_BYTES as f64 / (1024.0 * 1024.0);
+        Ok(Some(CubePlan { resolution, region, estimated_mb }))
+    }
+}
+
+impl CubeSet {
+    /// The catalog view of this set (schema + resident resolutions).
+    pub fn catalog(&self) -> CubeCatalog {
+        CubeCatalog::new(self.schema.clone(), self.resolutions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::DimRange;
+    use holap_table::TableSchema;
+
+    fn schema() -> CubeSchema {
+        CubeSchema::from_table_schema(
+            &TableSchema::builder()
+                .dimension("time", &[("year", 4), ("month", 16), ("day", 64)])
+                .dimension("geo", &[("region", 4), ("city", 8), ("store", 16)])
+                .measure("sales")
+                .build(),
+        )
+    }
+
+    fn set_with(resolutions: &[usize]) -> CubeSet {
+        let s = schema();
+        let mut set = CubeSet::new(s.clone());
+        for &r in resolutions {
+            set.insert(MolapCube::build_filled(s.clone(), r, 1.0, 1));
+        }
+        set
+    }
+
+    #[test]
+    fn picks_lowest_sufficient_resolution() {
+        let set = set_with(&[0, 1, 2]);
+        // Query needs resolution 1 (months) → cube 1, not cube 2.
+        let q = CubeQuery::new(vec![DimRange::new(1, 0, 3), DimRange::new(0, 0, 3)]);
+        let plan = set.plan(&q).unwrap().unwrap();
+        assert_eq!(plan.resolution, 1);
+    }
+
+    #[test]
+    fn widens_ranges_to_cube_resolution() {
+        let set = set_with(&[1]); // only the month-resolution cube resident
+        // Year 1 at level 0 widens to months 4..7 (16/4 = 4 per year);
+        // region 2 widens to cities 4..5 (8/4 = 2 per region).
+        let q = CubeQuery::new(vec![DimRange::new(0, 1, 1), DimRange::new(0, 2, 2)]);
+        let plan = set.plan(&q).unwrap().unwrap();
+        assert_eq!(plan.region, Region::new(vec![(4, 7), (4, 5)]));
+        let agg = set.execute_seq(&plan).unwrap();
+        assert_eq!(agg.count, 4 * 2);
+    }
+
+    #[test]
+    fn falls_through_to_gpu_when_too_fine() {
+        let set = set_with(&[0, 1]);
+        // Day-level condition (level 2) but finest resident cube is 1.
+        let q = CubeQuery::new(vec![DimRange::new(2, 0, 63), DimRange::new(0, 0, 3)]);
+        assert_eq!(set.plan(&q).unwrap(), None);
+        assert_eq!(set.estimate_mb(&q).unwrap(), None);
+    }
+
+    #[test]
+    fn estimate_matches_eq3() {
+        let set = set_with(&[1]);
+        let q = CubeQuery::new(vec![DimRange::new(1, 0, 7), DimRange::new(1, 0, 3)]);
+        let plan = set.plan(&q).unwrap().unwrap();
+        // 8 months × 4 cities = 32 cells × 16 B.
+        assert!((plan.estimated_mb - 32.0 * 16.0 / (1024.0 * 1024.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn malformed_query_is_an_error() {
+        let set = set_with(&[0]);
+        let q = CubeQuery::new(vec![DimRange::new(0, 0, 3)]);
+        assert!(set.plan(&q).is_err());
+    }
+
+    #[test]
+    fn answers_agree_across_resolutions() {
+        // Build the same data at two resolutions via roll-up and check a
+        // coarse query gets the same answer from either cube.
+        let s = schema();
+        let mut fine = MolapCube::build_empty(s.clone(), 1);
+        let mut x = 7u64;
+        for m in 0..16u32 {
+            for c in 0..8u32 {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                fine.add(&[m, c], (x % 50) as f64, 1);
+            }
+        }
+        let coarse = fine.rollup_to(0);
+        let mut set = CubeSet::new(s.clone());
+        set.insert(fine);
+        set.insert(coarse);
+        // Coarse query: year 2, all regions.
+        let q = CubeQuery::new(vec![DimRange::new(0, 2, 2), DimRange::new(0, 0, 3)]);
+        let plan = set.plan(&q).unwrap().unwrap();
+        assert_eq!(plan.resolution, 0, "coarse cube preferred");
+        let from_coarse = set.execute_seq(&plan).unwrap();
+        // Force the fine cube by removing the coarse one.
+        let mut fine_only = CubeSet::new(s.clone());
+        fine_only.insert(set.cube(1).unwrap().clone());
+        let plan_fine = fine_only.plan(&q).unwrap().unwrap();
+        assert_eq!(plan_fine.resolution, 1);
+        let from_fine = fine_only.execute_par(&plan_fine).unwrap();
+        assert_eq!(from_coarse.count, from_fine.count);
+        assert!((from_coarse.sum - from_fine.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_execution_coarsens_correctly() {
+        // Month-resolution cube, grouped by year.
+        let s = schema();
+        let mut cube = MolapCube::build_empty(s.clone(), 1); // 16 months × 8 cities
+        for m in 0..16u32 {
+            for c in 0..8u32 {
+                cube.add(&[m, c], f64::from(m * 10 + c), 1);
+            }
+        }
+        let mut set = CubeSet::new(s);
+        set.insert(cube);
+        // All months, cities 0..3, grouped by year (level 0, 4 years).
+        let q = CubeQuery::new(vec![DimRange::new(1, 0, 15), DimRange::new(1, 0, 3)]);
+        let plan = set.plan(&q).unwrap().unwrap();
+        let groups = set.execute_grouped_par(&plan, 0, 0).unwrap();
+        assert_eq!(groups.len(), 4);
+        for (year, agg) in &groups {
+            // Year y covers months 4y..4y+3; cities 0..3.
+            let months = (4 * year)..(4 * year + 4);
+            let want_sum: f64 = months
+                .clone()
+                .flat_map(|m| (0..4u32).map(move |c| f64::from(m * 10 + c)))
+                .sum();
+            assert_eq!(agg.count, 16, "year {year}");
+            assert!((agg.sum - want_sum).abs() < 1e-9, "year {year}");
+        }
+        // Grouping at the cube's own resolution yields one group per month.
+        let fine = set.execute_grouped_par(&plan, 0, 1).unwrap();
+        assert_eq!(fine.len(), 16);
+        // Totals are preserved either way.
+        let total = set.execute_par(&plan).unwrap();
+        let sum0: f64 = groups.iter().map(|(_, a)| a.sum).sum();
+        let sum1: f64 = fine.iter().map(|(_, a)| a.sum).sum();
+        assert!((sum0 - total.sum).abs() < 1e-9);
+        assert!((sum1 - total.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot group at level")]
+    fn grouping_finer_than_cube_rejected() {
+        let set = set_with(&[0]);
+        let q = CubeQuery::new(vec![DimRange::new(0, 0, 3), DimRange::new(0, 0, 3)]);
+        let plan = set.plan(&q).unwrap().unwrap();
+        set.execute_grouped_par(&plan, 0, 2);
+    }
+
+    #[test]
+    fn smallest_parent_materialisation_equals_direct_builds() {
+        use holap_table::FactTableBuilder;
+        let tschema = TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 16), ("day", 64)])
+            .dimension("geo", &[("region", 4), ("city", 8), ("store", 16)])
+            .measure("sales")
+            .build();
+        let cschema = CubeSchema::from_table_schema(&tschema);
+        let mut b = FactTableBuilder::new(tschema);
+        let mut x = 3u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let day = (x >> 8) as u32 % 64;
+            let store = (x >> 16) as u32 % 16;
+            b.push_row(
+                &[day / 16, day / 4, day, store / 4, store / 2, store],
+                &[(x % 97) as f64],
+            )
+            .unwrap();
+        }
+        let table = b.finish();
+
+        let mut via_rollup = CubeSet::new(cschema.clone());
+        via_rollup.materialize_from_table(&table, 0, &[0, 1, 2]);
+        assert_eq!(via_rollup.resolutions(), vec![0, 1, 2]);
+
+        for r in 0..=2usize {
+            let direct = MolapCube::build_from_table(cschema.clone(), r, &table, 0);
+            let full = Region::full(direct.shape());
+            let a = via_rollup.cube(r).unwrap().aggregate_seq(&full);
+            let b = direct.aggregate_seq(&full);
+            assert_eq!(a.count, b.count, "resolution {r}");
+            assert!((a.sum - b.sum).abs() < 1e-9 * (1.0 + b.sum.abs()), "resolution {r}");
+            // Spot-check a sub-region as well.
+            let sub = Region::new(
+                direct.shape().iter().map(|&c| (c / 4, c / 2)).collect(),
+            );
+            let sa = via_rollup.cube(r).unwrap().aggregate_seq(&sub);
+            let sb = direct.aggregate_seq(&sub);
+            assert_eq!(sa.count, sb.count, "sub-region at resolution {r}");
+            assert!(
+                (sa.sum - sb.sum).abs() < 1e-9 * (1.0 + sb.sum.abs()),
+                "sub-region at resolution {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_plans_like_the_set() {
+        let set = set_with(&[0, 2]);
+        let catalog = set.catalog();
+        assert_eq!(catalog.resolutions(), &[0, 2]);
+        for q in [
+            CubeQuery::new(vec![DimRange::new(0, 1, 2), DimRange::new(0, 0, 3)]),
+            CubeQuery::new(vec![DimRange::new(1, 0, 15), DimRange::new(1, 2, 5)]),
+            CubeQuery::new(vec![DimRange::new(2, 0, 63), DimRange::new(2, 0, 15)]),
+        ] {
+            assert_eq!(set.plan(&q).unwrap(), catalog.plan(&q).unwrap(), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn catalog_handles_unmaterialisable_sizes() {
+        // A 32 GB-scale cube: 1280³ cells × 16 B ≈ 33.6 GB — planning must
+        // work without allocating it.
+        let s = CubeSchema::from_table_schema(
+            &TableSchema::builder()
+                .dimension("x", &[("a", 8), ("b", 32), ("c", 320), ("d", 1280)])
+                .dimension("y", &[("a", 8), ("b", 32), ("c", 320), ("d", 1280)])
+                .dimension("z", &[("a", 8), ("b", 32), ("c", 320), ("d", 1280)])
+                .measure("m")
+                .build(),
+        );
+        let catalog = CubeCatalog::new(s, vec![0, 1, 2, 3]);
+        assert!(catalog.total_size_mb() > 30.0 * 1024.0);
+        let q = CubeQuery::new(vec![
+            DimRange::new(3, 0, 639),
+            DimRange::new(3, 0, 639),
+            DimRange::new(3, 0, 639),
+        ]);
+        let plan = catalog.plan(&q).unwrap().unwrap();
+        assert_eq!(plan.resolution, 3);
+        // 640³ cells × 16 B = 4 194 304 000 B = 4000 MiB.
+        assert!((plan.estimated_mb - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn schema_mismatch_rejected() {
+        let other = CubeSchema::from_table_schema(
+            &TableSchema::builder().dimension("d", &[("l", 2)]).measure("m").build(),
+        );
+        let mut set = CubeSet::new(schema());
+        set.insert(MolapCube::build_filled(other, 0, 1.0, 1));
+    }
+}

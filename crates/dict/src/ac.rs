@@ -1,0 +1,281 @@
+//! Aho–Corasick multi-pattern matching over dictionary entries.
+//!
+//! The paper's related work (§II-E) leans on Aho & Corasick's automaton
+//! for "occurrences of large numbers of keywords in text strings" — the
+//! machinery behind high-throughput dictionary search. Here it powers
+//! **substring predicates** on text dimensions: a condition like
+//! `city contains 'burg'` (or several alternatives at once) is answered by
+//! building the automaton from the needles and streaming every dictionary
+//! entry through it once, yielding the set of matching codes that the scan
+//! engine then filters with.
+//!
+//! The implementation is the textbook construction: a byte-level trie with
+//! BFS-computed failure links and output sets, `O(Σ|patterns|)` build,
+//! `O(|text| + matches)` search.
+
+use crate::{Code, Dictionary};
+
+/// One node of the automaton.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Byte transitions (sparse: sorted by byte).
+    next: Vec<(u8, u32)>,
+    /// Failure link.
+    fail: u32,
+    /// Pattern indices ending at this node (own outputs only; search
+    /// follows fail links for inherited ones — kept explicit for clarity).
+    out: Vec<u32>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Self { next: Vec::new(), fail: 0, out: Vec::new() }
+    }
+
+    fn step(&self, b: u8) -> Option<u32> {
+        self.next
+            .binary_search_by_key(&b, |&(byte, _)| byte)
+            .ok()
+            .map(|i| self.next[i].1)
+    }
+
+    fn insert(&mut self, b: u8, to: u32) {
+        match self.next.binary_search_by_key(&b, |&(byte, _)| byte) {
+            Ok(i) => self.next[i].1 = to,
+            Err(i) => self.next.insert(i, (b, to)),
+        }
+    }
+}
+
+/// An immutable Aho–Corasick automaton over a pattern set.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    patterns: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton from patterns. Empty patterns are rejected —
+    /// they would match everywhere and signal a malformed query upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or contains an empty string.
+    pub fn build<S: AsRef<str>>(patterns: &[S]) -> Self {
+        assert!(!patterns.is_empty(), "need at least one pattern");
+        let mut nodes = vec![Node::new()];
+        // Phase 1: trie.
+        for (pi, p) in patterns.iter().enumerate() {
+            let bytes = p.as_ref().as_bytes();
+            assert!(!bytes.is_empty(), "empty pattern");
+            let mut at = 0u32;
+            for &b in bytes {
+                at = match nodes[at as usize].step(b) {
+                    Some(n) => n,
+                    None => {
+                        let n = nodes.len() as u32;
+                        nodes.push(Node::new());
+                        nodes[at as usize].insert(b, n);
+                        n
+                    }
+                };
+            }
+            nodes[at as usize].out.push(pi as u32);
+        }
+        // Phase 2: BFS failure links.
+        let mut queue = std::collections::VecDeque::new();
+        let root_children: Vec<(u8, u32)> = nodes[0].next.clone();
+        for &(_, child) in &root_children {
+            nodes[child as usize].fail = 0;
+            queue.push_back(child);
+        }
+        while let Some(u) = queue.pop_front() {
+            let transitions: Vec<(u8, u32)> = nodes[u as usize].next.clone();
+            for (b, v) in transitions {
+                // Follow fails from u's fail to find v's fail.
+                let mut f = nodes[u as usize].fail;
+                let vfail = loop {
+                    if let Some(n) = nodes[f as usize].step(b) {
+                        break n;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                nodes[v as usize].fail = if vfail == v { 0 } else { vfail };
+                queue.push_back(v);
+            }
+        }
+        Self { nodes, patterns: patterns.len() }
+    }
+
+    /// Number of patterns the automaton was built from.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns
+    }
+
+    /// Number of automaton states (diagnostic).
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn step_from(&self, mut at: u32, b: u8) -> u32 {
+        loop {
+            if let Some(n) = self.nodes[at as usize].step(b) {
+                return n;
+            }
+            if at == 0 {
+                return 0;
+            }
+            at = self.nodes[at as usize].fail;
+        }
+    }
+
+    /// Whether any pattern occurs in `text`.
+    pub fn matches_any(&self, text: &str) -> bool {
+        let mut at = 0u32;
+        for &b in text.as_bytes() {
+            at = self.step_from(at, b);
+            // Check outputs along the fail chain.
+            let mut f = at;
+            loop {
+                if !self.nodes[f as usize].out.is_empty() {
+                    return true;
+                }
+                if f == 0 {
+                    break;
+                }
+                f = self.nodes[f as usize].fail;
+            }
+        }
+        false
+    }
+
+    /// All `(pattern index, byte offset past the match)` occurrences in
+    /// `text`, in scan order.
+    pub fn find_all(&self, text: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut at = 0u32;
+        for (i, &b) in text.as_bytes().iter().enumerate() {
+            at = self.step_from(at, b);
+            let mut f = at;
+            loop {
+                for &p in &self.nodes[f as usize].out {
+                    out.push((p as usize, i + 1));
+                }
+                if f == 0 {
+                    break;
+                }
+                f = self.nodes[f as usize].fail;
+            }
+        }
+        out
+    }
+
+    /// Scans a whole dictionary: the sorted codes of all entries that
+    /// contain at least one pattern.
+    pub fn matching_codes<D: Dictionary + ?Sized>(&self, dict: &D) -> Vec<Code> {
+        let mut out = Vec::new();
+        for code in 0..dict.len() as Code {
+            let entry = dict.decode(code).expect("dense codes");
+            if self.matches_any(entry) {
+                out.push(code);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SortedDict;
+
+    #[test]
+    fn classic_aho_corasick_example() {
+        // The canonical {he, she, his, hers} over "ushers".
+        let ac = AhoCorasick::build(&["he", "she", "his", "hers"]);
+        let hits = ac.find_all("ushers");
+        // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+        let mut pats: Vec<usize> = hits.iter().map(|&(p, _)| p).collect();
+        pats.sort_unstable();
+        assert_eq!(pats, vec![0, 1, 3]);
+        assert!(ac.matches_any("ushers"));
+        assert!(ac.matches_any("ushe"), "contains `she` and `he`");
+        assert!(!ac.matches_any("usr"));
+    }
+
+    #[test]
+    fn overlapping_patterns_all_reported() {
+        let ac = AhoCorasick::build(&["aa", "aaa"]);
+        let hits = ac.find_all("aaaa");
+        // "aa" at ends 2,3,4; "aaa" at ends 3,4.
+        assert_eq!(hits.iter().filter(|&&(p, _)| p == 0).count(), 3);
+        assert_eq!(hits.iter().filter(|&&(p, _)| p == 1).count(), 2);
+    }
+
+    #[test]
+    fn matches_agree_with_naive_contains() {
+        let patterns = ["burg", "ton", "new", "x"];
+        let ac = AhoCorasick::build(&patterns);
+        let texts = [
+            "newburg", "hamilton", "plainville", "burgton", "xyz", "", "bur", "to n",
+            "NEWBURG", "tonton",
+        ];
+        for t in texts {
+            let naive = patterns.iter().any(|p| t.contains(p));
+            assert_eq!(ac.matches_any(t), naive, "text `{t}`");
+        }
+    }
+
+    #[test]
+    fn unicode_is_byte_exact() {
+        let ac = AhoCorasick::build(&["öl"]);
+        assert!(ac.matches_any("köln öl"));
+        assert!(!ac.matches_any("kolon"));
+    }
+
+    #[test]
+    fn matching_codes_over_dictionary() {
+        let d = SortedDict::build(
+            ["Newburg", "Hamilton", "Oakburg", "Plainfield", "Harburg"],
+        );
+        let ac = AhoCorasick::build(&["burg"]);
+        let codes = ac.matching_codes(&d);
+        let names: Vec<&str> = codes.iter().map(|&c| d.decode(c).unwrap()).collect();
+        assert_eq!(names, vec!["Harburg", "Newburg", "Oakburg"]);
+        // Codes ascend.
+        assert!(codes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn single_byte_patterns() {
+        let ac = AhoCorasick::build(&["a", "b"]);
+        assert!(ac.matches_any("xyza"));
+        assert!(ac.matches_any("b"));
+        assert!(!ac.matches_any("xyz"));
+        assert_eq!(ac.find_all("ab").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pattern")]
+    fn empty_pattern_rejected() {
+        AhoCorasick::build(&[""]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn empty_pattern_set_rejected() {
+        AhoCorasick::build::<&str>(&[]);
+    }
+
+    #[test]
+    fn state_count_is_bounded_by_total_pattern_length() {
+        let pats = ["abcde", "abxyz", "q"];
+        let ac = AhoCorasick::build(&pats);
+        let total: usize = pats.iter().map(|p| p.len()).sum();
+        assert!(ac.state_count() <= total + 1);
+        assert_eq!(ac.pattern_count(), 3);
+    }
+}

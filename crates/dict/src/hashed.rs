@@ -1,0 +1,176 @@
+//! Hashed dictionary with expected-`O(1)` lookup.
+
+use crate::{Code, Dictionary};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, a small fast hash suitable for short dictionary keys.
+///
+/// Implemented in-crate to keep the dependency set to the approved list;
+/// dictionary keys come from our own data generators, so HashDoS hardening
+/// is not a concern here.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = BuildHasherDefault<Fnv1a>;
+
+/// Dictionary backed by an FNV-hashed map plus a decode array.
+///
+/// Codes are assigned in first-seen order (like [`crate::LinearDict`], so
+/// the two produce identical encodings for the same input stream) but lookup
+/// is a single expected-constant-time probe. One realisation of the paper's
+/// future-work "advanced translation mechanism".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HashDict {
+    #[serde(skip)]
+    index: HashMap<String, Code, FnvBuild>,
+    entries: Vec<String>,
+}
+
+impl HashDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dictionary from an iterator of values, keeping first-seen
+    /// order and dropping duplicates.
+    pub fn build<'a, I: IntoIterator<Item = &'a str>>(values: I) -> Self {
+        let mut dict = Self::new();
+        for v in values {
+            dict.get_or_insert(v);
+        }
+        dict
+    }
+
+    /// Returns the code of `s`, inserting it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dictionary would exceed `u32::MAX` entries.
+    pub fn get_or_insert(&mut self, s: &str) -> Code {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = Code::try_from(self.entries.len()).expect("dictionary overflow");
+        self.entries.push(s.to_owned());
+        self.index.insert(s.to_owned(), code);
+        code
+    }
+
+    /// Rebuilds the (non-serialised) hash index from the entry array.
+    /// Must be called after deserialising.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as Code))
+            .collect();
+    }
+
+    /// Iterates over `(code, entry)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (Code, &str)> {
+        self.entries.iter().enumerate().map(|(i, s)| (i as Code, s.as_str()))
+    }
+}
+
+impl PartialEq for HashDict {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+impl Eq for HashDict {}
+
+impl Dictionary for HashDict {
+    fn encode(&self, s: &str) -> Option<Code> {
+        self.index.get(s).copied()
+    }
+
+    fn decode(&self, code: Code) -> Option<&str> {
+        self.entries.get(code as usize).map(String::as_str)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn probe_bound(&self) -> usize {
+        1
+    }
+
+    fn order_preserving(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_codes_as_linear_for_same_stream() {
+        use crate::LinearDict;
+        let stream = ["b", "a", "c", "a", "b", "d"];
+        let h = HashDict::build(stream);
+        let l = LinearDict::build(stream);
+        for s in ["a", "b", "c", "d"] {
+            assert_eq!(h.encode(s), l.encode(s), "code mismatch for {s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = HashDict::build(["x", "y", "z"]);
+        for code in 0..3 {
+            assert_eq!(d.encode(d.decode(code).unwrap()), Some(code));
+        }
+    }
+
+    #[test]
+    fn constant_probe_bound() {
+        let values: Vec<String> = (0..10_000).map(|i| format!("v{i}")).collect();
+        let d = HashDict::build(values.iter().map(String::as_str));
+        assert_eq!(d.probe_bound(), 1);
+        assert_eq!(d.len(), 10_000);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let d = HashDict::build(["p", "q"]);
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: HashDict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.encode("p"), None, "index is skipped by serde");
+        back.rebuild_index();
+        assert_eq!(back.encode("p"), Some(0));
+        assert_eq!(back.encode("q"), Some(1));
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn fnv_distinguishes_keys() {
+        // Smoke test that the in-crate hasher actually varies with input.
+        use std::hash::BuildHasher;
+        let b = FnvBuild::default();
+        assert_ne!(b.hash_one("abc"), b.hash_one("abd"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-column string dictionaries and text-to-integer query translation
+//! (paper §III-F).
+//!
+//! The GPU side of the hybrid system never stores text: when the fact table
+//! is built, every string column is replaced by a column of integer codes,
+//! and each text column gets its own dictionary ("a smaller dictionary for
+//! each text column … rather than one large dictionary", which keeps the
+//! per-query translation-time bound tight). At query time, every text
+//! parameter of a GPU-bound query is translated to its integer code before
+//! the query is submitted — the job of the scheduler's *translation
+//! partition*.
+//!
+//! Three dictionary implementations are provided:
+//!
+//! * [`LinearDict`] — the paper's implementation: an unordered array scanned
+//!   linearly. Lookup cost is `Θ(len)`, which is what produces the linear
+//!   `P_DICT` cost function of Fig. 9 / Eq. 17.
+//! * [`SortedDict`] — binary search over a sorted key array with
+//!   **order-preserving codes** (`s₁ < s₂ ⇔ code(s₁) < code(s₂)`), which
+//!   additionally lets string *range* predicates translate to integer code
+//!   ranges. This is one realisation of the "more sophisticated translation
+//!   algorithm" the paper's conclusion defers to future work.
+//! * [`HashDict`] — FNV-1a hashed lookup, `O(1)` expected; the other
+//!   future-work realisation (no range support).
+//!
+//! [`DictionarySet`] bundles one dictionary per text column of a table and
+//! performs whole-query translation; [`translate`] defines the predicate
+//! types exchanged with the scheduler and table engine.
+//!
+//! # Example
+//!
+//! ```
+//! use holap_dict::{DictKind, DictionarySet, TextCondition};
+//!
+//! let mut set = DictionarySet::new(DictKind::Sorted);
+//! set.build_column("city", ["Boston", "Austin", "Chicago"].iter().copied());
+//! let codes = set.translate("city", &TextCondition::eq("Boston")).unwrap();
+//! // Order-preserving: Austin=0, Boston=1, Chicago=2.
+//! assert_eq!(codes, (1, 1));
+//! let range = set
+//!     .translate("city", &TextCondition::range("B", "Ch"))
+//!     .unwrap();
+//! assert_eq!(range, (1, 1)); // only "Boston" falls in ["B", "Ch"]
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ac;
+mod hashed;
+mod linear;
+mod set;
+mod sorted;
+pub mod translate;
+
+pub use hashed::HashDict;
+pub use linear::LinearDict;
+pub use ac::AhoCorasick;
+pub use set::{AnyDictionary, CodeSelection, DictKind, DictionarySet};
+pub use sorted::SortedDict;
+pub use translate::{TextCondition, TranslateError};
+
+/// Integer code assigned to a dictionary entry.
+///
+/// 32 bits matches the paper's goal of shrinking GPU-resident columns: a
+/// code column costs 4 bytes/row regardless of string length.
+pub type Code = u32;
+
+/// Common behaviour of all dictionary implementations.
+pub trait Dictionary {
+    /// Looks up the code of `s`, if present.
+    fn encode(&self, s: &str) -> Option<Code>;
+
+    /// Returns the string for `code`, if valid.
+    fn decode(&self, code: Code) -> Option<&str>;
+
+    /// Number of distinct entries.
+    fn len(&self) -> usize;
+
+    /// Whether the dictionary is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Worst-case number of key comparisons (or probes) one lookup costs.
+    ///
+    /// This is the quantity the translation cost model charges for: `len`
+    /// for the linear dictionary, `⌈log₂ len⌉ + 1` for the sorted one, and
+    /// `1` for the hashed one.
+    fn probe_bound(&self) -> usize;
+
+    /// Whether codes preserve the lexicographic order of the keys, i.e.
+    /// whether string range predicates can be translated to code ranges.
+    fn order_preserving(&self) -> bool;
+
+    /// Translates an inclusive string range `[from, to]` into an inclusive
+    /// code range, if this dictionary supports range translation.
+    ///
+    /// Returns `None` when unsupported; `Some(None)` when supported but the
+    /// range matches no entry.
+    fn encode_range(&self, from: &str, to: &str) -> Option<Option<(Code, Code)>> {
+        let _ = (from, to);
+        None
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's dictionary: an append-ordered array scanned linearly.
+
+use crate::{Code, Dictionary};
+use serde::{Deserialize, Serialize};
+
+/// Unordered dictionary with linear-scan lookup.
+///
+/// Codes are assigned in first-seen order, so encoding a column preserves a
+/// stable mapping regardless of value frequency. Lookup walks the entry
+/// array front to back — `Θ(len)` worst case — which is exactly the cost
+/// behaviour the paper measured for Fig. 9 and modelled as Eq. 17.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearDict {
+    entries: Vec<String>,
+}
+
+impl LinearDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dictionary from an iterator of values, keeping first-seen
+    /// order and dropping duplicates.
+    ///
+    /// Construction uses a transient hash index so building a large
+    /// dictionary is `O(n)`, not `O(n²)` — only *lookups* pay the linear
+    /// scan the paper's Eq. 17 models.
+    pub fn build<'a, I: IntoIterator<Item = &'a str>>(values: I) -> Self {
+        let mut dict = Self::new();
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for v in values {
+            if seen.insert(v) {
+                dict.entries.push(v.to_owned());
+            }
+        }
+        assert!(Code::try_from(dict.entries.len().saturating_sub(1)).is_ok() || dict.is_empty());
+        dict
+    }
+
+    /// Returns the code of `s`, inserting it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dictionary would exceed `u32::MAX` entries.
+    pub fn get_or_insert(&mut self, s: &str) -> Code {
+        if let Some(code) = self.encode(s) {
+            return code;
+        }
+        let code = Code::try_from(self.entries.len()).expect("dictionary overflow");
+        self.entries.push(s.to_owned());
+        code
+    }
+
+    /// Iterates over `(code, entry)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (Code, &str)> {
+        self.entries.iter().enumerate().map(|(i, s)| (i as Code, s.as_str()))
+    }
+}
+
+impl Dictionary for LinearDict {
+    fn encode(&self, s: &str) -> Option<Code> {
+        self.entries.iter().position(|e| e == s).map(|i| i as Code)
+    }
+
+    fn decode(&self, code: Code) -> Option<&str> {
+        self.entries.get(code as usize).map(String::as_str)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn probe_bound(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn order_preserving(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_follow_first_seen_order() {
+        let d = LinearDict::build(["b", "a", "c", "a", "b"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.encode("b"), Some(0));
+        assert_eq!(d.encode("a"), Some(1));
+        assert_eq!(d.encode("c"), Some(2));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = LinearDict::build(["x", "y", "z"]);
+        for code in 0..3 {
+            let s = d.decode(code).unwrap();
+            assert_eq!(d.encode(s), Some(code));
+        }
+    }
+
+    #[test]
+    fn missing_entries() {
+        let d = LinearDict::build(["x"]);
+        assert_eq!(d.encode("missing"), None);
+        assert_eq!(d.decode(5), None);
+    }
+
+    #[test]
+    fn get_or_insert_is_idempotent() {
+        let mut d = LinearDict::new();
+        let a = d.get_or_insert("hello");
+        let b = d.get_or_insert("hello");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn probe_bound_is_length() {
+        let d = LinearDict::build(["a", "b", "c", "d"]);
+        assert_eq!(d.probe_bound(), 4);
+        assert!(!d.order_preserving());
+        assert_eq!(d.encode_range("a", "b"), None);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = LinearDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.encode("anything"), None);
+    }
+}

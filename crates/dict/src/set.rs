@@ -1,0 +1,360 @@
+//! One dictionary per text column, plus whole-query translation.
+
+use crate::{Code, Dictionary, HashDict, LinearDict, SortedDict, TextCondition, TranslateError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which dictionary implementation a [`DictionarySet`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DictKind {
+    /// The paper's linear-scan dictionary (Eq. 17 cost behaviour).
+    Linear,
+    /// Order-preserving binary-search dictionary (supports string ranges).
+    Sorted,
+    /// FNV-hashed dictionary (fastest equality lookup).
+    Hashed,
+}
+
+/// Type-erased dictionary so a set can hold any implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnyDictionary {
+    /// Linear-scan dictionary.
+    Linear(LinearDict),
+    /// Sorted, order-preserving dictionary.
+    Sorted(SortedDict),
+    /// Hashed dictionary.
+    Hashed(HashDict),
+}
+
+impl AnyDictionary {
+    fn as_dyn(&self) -> &dyn Dictionary {
+        match self {
+            Self::Linear(d) => d,
+            Self::Sorted(d) => d,
+            Self::Hashed(d) => d,
+        }
+    }
+
+    /// Kind tag of the contained implementation.
+    pub fn kind(&self) -> DictKind {
+        match self {
+            Self::Linear(_) => DictKind::Linear,
+            Self::Sorted(_) => DictKind::Sorted,
+            Self::Hashed(_) => DictKind::Hashed,
+        }
+    }
+}
+
+impl Dictionary for AnyDictionary {
+    fn encode(&self, s: &str) -> Option<Code> {
+        self.as_dyn().encode(s)
+    }
+    fn decode(&self, code: Code) -> Option<&str> {
+        self.as_dyn().decode(code)
+    }
+    fn len(&self) -> usize {
+        self.as_dyn().len()
+    }
+    fn probe_bound(&self) -> usize {
+        self.as_dyn().probe_bound()
+    }
+    fn order_preserving(&self) -> bool {
+        self.as_dyn().order_preserving()
+    }
+    fn encode_range(&self, from: &str, to: &str) -> Option<Option<(Code, Code)>> {
+        self.as_dyn().encode_range(from, to)
+    }
+}
+
+/// What a text condition translates to: a contiguous code range (equality
+/// and lexicographic ranges) or an explicit code set (substring matches).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodeSelection {
+    /// Inclusive contiguous code range.
+    Range(Code, Code),
+    /// Sorted set of codes (possibly empty).
+    Set(Vec<Code>),
+}
+
+/// The per-table collection of per-column dictionaries (paper §III-F:
+/// "a smaller dictionary for each text column … rather than one large
+/// dictionary for all text columns").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DictionarySet {
+    kind: DictKind,
+    columns: BTreeMap<String, AnyDictionary>,
+}
+
+impl DictionarySet {
+    /// Creates an empty set that will build dictionaries of `kind`.
+    pub fn new(kind: DictKind) -> Self {
+        Self { kind, columns: BTreeMap::new() }
+    }
+
+    /// The implementation kind this set builds.
+    pub fn kind(&self) -> DictKind {
+        self.kind
+    }
+
+    /// Builds (or replaces) the dictionary for `column` from its values and
+    /// returns the encoded column: one code per input value, in order.
+    pub fn build_column<'a, I>(&mut self, column: &str, values: I) -> Vec<Code>
+    where
+        I: IntoIterator<Item = &'a str>,
+        I::IntoIter: Clone,
+    {
+        let it = values.into_iter();
+        let dict = match self.kind {
+            DictKind::Linear => AnyDictionary::Linear(LinearDict::build(it.clone())),
+            DictKind::Sorted => AnyDictionary::Sorted(SortedDict::build(it.clone())),
+            DictKind::Hashed => AnyDictionary::Hashed(HashDict::build(it.clone())),
+        };
+        // Encode through a transient hash index: encoding a large column
+        // through the linear dictionary's lookup would be O(n²).
+        let index: std::collections::HashMap<&str, Code> = (0..dict.len() as Code)
+            .map(|c| (dict.decode(c).expect("dense codes"), c))
+            .collect();
+        let codes = it.map(|v| index[v]).collect();
+        drop(index);
+        self.columns.insert(column.to_owned(), dict);
+        codes
+    }
+
+    /// The dictionary of `column`, if it is a text column.
+    pub fn dictionary(&self, column: &str) -> Option<&AnyDictionary> {
+        self.columns.get(column)
+    }
+
+    /// Whether `column` has a dictionary (i.e. is a text column).
+    pub fn has_column(&self, column: &str) -> bool {
+        self.columns.contains_key(column)
+    }
+
+    /// Column names with dictionaries, in name order.
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+
+    /// Number of text columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the set holds no dictionaries.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Dictionary length of `column` (0 if it has no dictionary) — the
+    /// `D_L|i` parameter of the translation cost bound (Eq. 17).
+    pub fn dict_len(&self, column: &str) -> usize {
+        self.columns.get(column).map_or(0, |d| d.len())
+    }
+
+    /// Translates a text condition on `column` into an inclusive code range
+    /// — the core of the preprocessing partition's job. Substring
+    /// conditions are rejected here (they are sets, not ranges); use
+    /// [`DictionarySet::translate_selection`] for those.
+    pub fn translate(
+        &self,
+        column: &str,
+        condition: &TextCondition,
+    ) -> Result<(Code, Code), TranslateError> {
+        match self.translate_selection(column, condition)? {
+            CodeSelection::Range(lo, hi) => Ok((lo, hi)),
+            CodeSelection::Set(_) => {
+                Err(TranslateError::NotARange { column: column.to_owned() })
+            }
+        }
+    }
+
+    /// Translates any text condition on `column` into a [`CodeSelection`]:
+    /// equality and lexicographic ranges become contiguous code ranges;
+    /// substring conditions stream the dictionary through an Aho–Corasick
+    /// automaton built from the patterns and yield the (possibly empty)
+    /// set of matching codes.
+    pub fn translate_selection(
+        &self,
+        column: &str,
+        condition: &TextCondition,
+    ) -> Result<CodeSelection, TranslateError> {
+        let dict = self
+            .columns
+            .get(column)
+            .ok_or_else(|| TranslateError::UnknownColumn(column.to_owned()))?;
+        match condition {
+            TextCondition::Eq(value) => dict
+                .encode(value)
+                .map(|c| CodeSelection::Range(c, c))
+                .ok_or_else(|| TranslateError::ValueNotFound {
+                    column: column.to_owned(),
+                    value: value.clone(),
+                }),
+            TextCondition::Range { from, to } => match dict.encode_range(from, to) {
+                None => Err(TranslateError::RangeUnsupported { column: column.to_owned() }),
+                Some(None) => Err(TranslateError::EmptyRange { column: column.to_owned() }),
+                Some(Some((lo, hi))) => Ok(CodeSelection::Range(lo, hi)),
+            },
+            TextCondition::Contains(patterns) => {
+                let usable: Vec<&str> = patterns
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                if usable.is_empty() {
+                    return Err(TranslateError::BadPattern { column: column.to_owned() });
+                }
+                let ac = crate::ac::AhoCorasick::build(&usable);
+                Ok(CodeSelection::Set(ac.matching_codes(dict)))
+            }
+        }
+    }
+
+    /// Decodes a code back to its string on `column`.
+    pub fn decode(&self, column: &str, code: Code) -> Option<&str> {
+        self.columns.get(column)?.decode(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cities() -> Vec<&'static str> {
+        vec!["Boston", "Austin", "Chicago", "Boston", "Denver", "Austin"]
+    }
+
+    #[test]
+    fn build_column_returns_encoding_of_input() {
+        for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+            let mut set = DictionarySet::new(kind);
+            let codes = set.build_column("city", cities());
+            assert_eq!(codes.len(), 6);
+            // Duplicates encode identically.
+            assert_eq!(codes[0], codes[3], "{kind:?}");
+            assert_eq!(codes[1], codes[5], "{kind:?}");
+            // Decoding recovers the original values.
+            for (code, value) in codes.iter().zip(cities()) {
+                assert_eq!(set.decode("city", *code), Some(value), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq_translation_works_for_all_kinds() {
+        for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+            let mut set = DictionarySet::new(kind);
+            set.build_column("city", cities());
+            let (lo, hi) = set.translate("city", &TextCondition::eq("Chicago")).unwrap();
+            assert_eq!(lo, hi, "{kind:?}");
+            assert_eq!(set.decode("city", lo), Some("Chicago"), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn range_translation_only_for_sorted() {
+        let cond = TextCondition::range("B", "Ch");
+        for kind in [DictKind::Linear, DictKind::Hashed] {
+            let mut set = DictionarySet::new(kind);
+            set.build_column("city", cities());
+            assert_eq!(
+                set.translate("city", &cond),
+                Err(TranslateError::RangeUnsupported { column: "city".into() })
+            );
+        }
+        let mut set = DictionarySet::new(DictKind::Sorted);
+        set.build_column("city", cities());
+        let (lo, hi) = set.translate("city", &cond).unwrap();
+        // ["B", "Ch"] covers exactly "Boston" (Chicago > "Ch").
+        assert_eq!(set.decode("city", lo), Some("Boston"));
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let mut set = DictionarySet::new(DictKind::Sorted);
+        set.build_column("city", cities());
+        let err = set.translate("city", &TextCondition::eq("Atlantis")).unwrap_err();
+        assert!(matches!(err, TranslateError::ValueNotFound { .. }));
+    }
+
+    #[test]
+    fn unknown_column_is_reported() {
+        let set = DictionarySet::new(DictKind::Linear);
+        let err = set.translate("nope", &TextCondition::eq("x")).unwrap_err();
+        assert_eq!(err, TranslateError::UnknownColumn("nope".into()));
+    }
+
+    #[test]
+    fn dict_len_feeds_cost_model() {
+        let mut set = DictionarySet::new(DictKind::Linear);
+        set.build_column("city", cities());
+        assert_eq!(set.dict_len("city"), 4); // 4 distinct cities
+        assert_eq!(set.dict_len("absent"), 0);
+    }
+
+    #[test]
+    fn contains_translates_to_code_sets() {
+        for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+            let mut set = DictionarySet::new(kind);
+            set.build_column(
+                "city",
+                ["Newburg", "Hamilton", "Oakburg", "Plainfield", "Dayton"],
+            );
+            let sel = set
+                .translate_selection("city", &TextCondition::contains(["burg"]))
+                .unwrap();
+            let CodeSelection::Set(codes) = sel else { panic!("expected set") };
+            let mut names: Vec<&str> =
+                codes.iter().map(|&c| set.decode("city", c).unwrap()).collect();
+            names.sort_unstable();
+            assert_eq!(names, vec!["Newburg", "Oakburg"], "{kind:?}");
+            // Multiple patterns union.
+            let sel = set
+                .translate_selection("city", &TextCondition::contains(["burg", "ton"]))
+                .unwrap();
+            let CodeSelection::Set(codes) = sel else { panic!("expected set") };
+            assert_eq!(codes.len(), 4, "{kind:?}"); // + Hamilton, Dayton
+            // The range-only API refuses substring conditions.
+            assert_eq!(
+                set.translate("city", &TextCondition::contains(["burg"])),
+                Err(TranslateError::NotARange { column: "city".into() })
+            );
+        }
+    }
+
+    #[test]
+    fn contains_with_no_usable_pattern_is_an_error() {
+        let mut set = DictionarySet::new(DictKind::Sorted);
+        set.build_column("c", ["a"]);
+        assert_eq!(
+            set.translate_selection("c", &TextCondition::contains(Vec::<String>::new())),
+            Err(TranslateError::BadPattern { column: "c".into() })
+        );
+        assert_eq!(
+            set.translate_selection("c", &TextCondition::contains([""])),
+            Err(TranslateError::BadPattern { column: "c".into() })
+        );
+    }
+
+    #[test]
+    fn contains_with_no_matches_is_an_empty_set() {
+        let mut set = DictionarySet::new(DictKind::Sorted);
+        set.build_column("c", ["alpha", "beta"]);
+        let sel = set
+            .translate_selection("c", &TextCondition::contains(["zzz"]))
+            .unwrap();
+        assert_eq!(sel, CodeSelection::Set(vec![]));
+    }
+
+    #[test]
+    fn separate_columns_have_separate_dictionaries() {
+        let mut set = DictionarySet::new(DictKind::Sorted);
+        set.build_column("city", ["a", "b"]);
+        set.build_column("brand", ["x", "y", "z"]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.dict_len("city"), 2);
+        assert_eq!(set.dict_len("brand"), 3);
+        assert_eq!(set.columns().collect::<Vec<_>>(), vec!["brand", "city"]);
+    }
+}

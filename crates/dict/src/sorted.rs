@@ -1,0 +1,167 @@
+//! Order-preserving dictionary with binary-search lookup.
+
+use crate::{Code, Dictionary};
+use serde::{Deserialize, Serialize};
+
+/// Dictionary whose codes are the ranks of the keys in lexicographic order.
+///
+/// Because `s₁ < s₂ ⇔ code(s₁) < code(s₂)`, string range predicates
+/// translate directly to code range predicates — the property the columnar
+/// scan engine needs to filter encoded text columns with the same range
+/// machinery it uses for numeric dimensions. Lookup is `O(log len)`.
+///
+/// The code assignment is fixed at build time, so the dictionary is
+/// immutable; rebuilding is required to admit new values (the usual
+/// trade-off for order-preserving encodings).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortedDict {
+    /// Sorted, deduplicated keys; index == code.
+    keys: Vec<String>,
+}
+
+impl SortedDict {
+    /// Builds the dictionary from an iterator of values (duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than `u32::MAX` distinct values.
+    pub fn build<'a, I: IntoIterator<Item = &'a str>>(values: I) -> Self {
+        let mut keys: Vec<String> = values.into_iter().map(str::to_owned).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert!(Code::try_from(keys.len().saturating_sub(1)).is_ok() || keys.is_empty());
+        Self { keys }
+    }
+
+    /// Smallest code whose key is `>= bound`, or `len` if none.
+    fn lower_bound(&self, bound: &str) -> usize {
+        self.keys.partition_point(|k| k.as_str() < bound)
+    }
+
+    /// Smallest code whose key is `> bound`, or `len` if none.
+    fn upper_bound(&self, bound: &str) -> usize {
+        self.keys.partition_point(|k| k.as_str() <= bound)
+    }
+
+    /// Iterates over `(code, key)` pairs in code (= lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Code, &str)> {
+        self.keys.iter().enumerate().map(|(i, s)| (i as Code, s.as_str()))
+    }
+}
+
+impl Dictionary for SortedDict {
+    fn encode(&self, s: &str) -> Option<Code> {
+        self.keys.binary_search_by(|k| k.as_str().cmp(s)).ok().map(|i| i as Code)
+    }
+
+    fn decode(&self, code: Code) -> Option<&str> {
+        self.keys.get(code as usize).map(String::as_str)
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn probe_bound(&self) -> usize {
+        if self.keys.is_empty() {
+            1
+        } else {
+            (usize::BITS - self.keys.len().leading_zeros()) as usize + 1
+        }
+    }
+
+    fn order_preserving(&self) -> bool {
+        true
+    }
+
+    fn encode_range(&self, from: &str, to: &str) -> Option<Option<(Code, Code)>> {
+        if from > to {
+            return Some(None);
+        }
+        let lo = self.lower_bound(from);
+        let hi = self.upper_bound(to);
+        if lo >= hi {
+            Some(None) // no key falls inside [from, to]
+        } else {
+            Some(Some((lo as Code, (hi - 1) as Code)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SortedDict {
+        SortedDict::build(["delta", "alpha", "charlie", "bravo", "alpha"])
+    }
+
+    #[test]
+    fn codes_are_lexicographic_ranks() {
+        let d = sample();
+        assert_eq!(d.encode("alpha"), Some(0));
+        assert_eq!(d.encode("bravo"), Some(1));
+        assert_eq!(d.encode("charlie"), Some(2));
+        assert_eq!(d.encode("delta"), Some(3));
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn order_preservation_property() {
+        let d = sample();
+        let pairs: Vec<_> = d.iter().collect();
+        for w in pairs.windows(2) {
+            assert!(w[0].1 < w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn range_translation_exact_keys() {
+        let d = sample();
+        assert_eq!(d.encode_range("bravo", "delta"), Some(Some((1, 3))));
+    }
+
+    #[test]
+    fn range_translation_between_keys() {
+        let d = sample();
+        // "b".."cz" covers bravo and charlie only.
+        assert_eq!(d.encode_range("b", "cz"), Some(Some((1, 2))));
+    }
+
+    #[test]
+    fn range_translation_empty_window() {
+        let d = sample();
+        assert_eq!(d.encode_range("be", "bq"), Some(None));
+        assert_eq!(d.encode_range("zz", "zzz"), Some(None));
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let d = sample();
+        assert_eq!(d.encode_range("delta", "alpha"), Some(None));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        for code in 0..d.len() as Code {
+            assert_eq!(d.encode(d.decode(code).unwrap()), Some(code));
+        }
+    }
+
+    #[test]
+    fn probe_bound_is_logarithmic() {
+        let values: Vec<String> = (0..1024).map(|i| format!("k{i:05}")).collect();
+        let d = SortedDict::build(values.iter().map(String::as_str));
+        assert_eq!(d.len(), 1024);
+        assert!(d.probe_bound() <= 12, "bound = {}", d.probe_bound());
+        assert!(d.order_preserving());
+    }
+
+    #[test]
+    fn full_range_covers_everything() {
+        let d = sample();
+        assert_eq!(d.encode_range("", "zzzz"), Some(Some((0, 3))));
+    }
+}

@@ -1,0 +1,149 @@
+//! Text predicates and the errors raised when translating them to codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A predicate on a text column, as it arrives in an incoming query.
+///
+/// Both variants translate to an inclusive code range `(lo, hi)` — equality
+/// becomes the degenerate range `(c, c)` — matching the paper's uniform
+/// `C_L(f, t, l)` condition form (Eq. 11).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TextCondition {
+    /// `column = value`.
+    Eq(String),
+    /// `from <= column <= to` (lexicographic, inclusive).
+    Range {
+        /// Lower bound (inclusive).
+        from: String,
+        /// Upper bound (inclusive).
+        to: String,
+    },
+    /// `column contains any of the patterns` (substring match). Unlike the
+    /// other variants this translates to a *set* of codes, generally not
+    /// contiguous, so it can only be answered by the fact-table scan
+    /// engine (never by a cube region).
+    Contains(Vec<String>),
+}
+
+impl TextCondition {
+    /// Convenience constructor for an equality condition.
+    pub fn eq(value: impl Into<String>) -> Self {
+        Self::Eq(value.into())
+    }
+
+    /// Convenience constructor for a range condition.
+    pub fn range(from: impl Into<String>, to: impl Into<String>) -> Self {
+        Self::Range { from: from.into(), to: to.into() }
+    }
+
+    /// Convenience constructor for a substring condition.
+    pub fn contains<S: Into<String>, I: IntoIterator<Item = S>>(patterns: I) -> Self {
+        Self::Contains(patterns.into_iter().map(Into::into).collect())
+    }
+
+    /// Number of whole-dictionary-scan-equivalent lookups this condition
+    /// costs (`CDT` contribution in Eq. 16): one for equality, two for a
+    /// range (both bounds), one for a substring scan (a single streaming
+    /// pass over the dictionary, whatever the pattern count).
+    pub fn lookup_count(&self) -> usize {
+        match self {
+            Self::Eq(_) => 1,
+            Self::Range { .. } => 2,
+            Self::Contains(_) => 1,
+        }
+    }
+}
+
+/// Errors raised by query translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The named column has no dictionary (not a text column).
+    UnknownColumn(String),
+    /// The value is not present in the column's dictionary, so no row can
+    /// match. Carries column and value for diagnostics; callers typically
+    /// turn this into an empty result rather than an error.
+    ValueNotFound {
+        /// Column whose dictionary was probed.
+        column: String,
+        /// The missing value.
+        value: String,
+    },
+    /// A range condition was used with a dictionary whose codes do not
+    /// preserve key order (linear/hashed dictionaries).
+    RangeUnsupported {
+        /// Column whose dictionary cannot translate ranges.
+        column: String,
+    },
+    /// A supported range condition matched no dictionary entry; no row can
+    /// match.
+    EmptyRange {
+        /// Column whose dictionary was probed.
+        column: String,
+    },
+    /// The condition translates to a code *set*, but the caller asked for
+    /// a contiguous range (cube-side translation of a substring predicate).
+    NotARange {
+        /// Column the condition targets.
+        column: String,
+    },
+    /// A substring condition carried no (or only empty) patterns.
+    BadPattern {
+        /// Column the condition targets.
+        column: String,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownColumn(c) => write!(f, "column `{c}` has no dictionary"),
+            Self::ValueNotFound { column, value } => {
+                write!(f, "value `{value}` not found in dictionary of column `{column}`")
+            }
+            Self::RangeUnsupported { column } => write!(
+                f,
+                "dictionary of column `{column}` is not order-preserving; \
+                 range predicates require the sorted dictionary"
+            ),
+            Self::EmptyRange { column } => {
+                write!(f, "range matches no entry in dictionary of column `{column}`")
+            }
+            Self::NotARange { column } => write!(
+                f,
+                "substring condition on `{column}` yields a code set, not a range"
+            ),
+            Self::BadPattern { column } => {
+                write!(f, "substring condition on `{column}` has no usable pattern")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts() {
+        assert_eq!(TextCondition::eq("x").lookup_count(), 1);
+        assert_eq!(TextCondition::range("a", "b").lookup_count(), 2);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = TranslateError::ValueNotFound { column: "city".into(), value: "Atlantis".into() };
+        assert!(e.to_string().contains("Atlantis"));
+        let e = TranslateError::RangeUnsupported { column: "city".into() };
+        assert!(e.to_string().contains("order-preserving"));
+    }
+
+    #[test]
+    fn conditions_roundtrip_serde() {
+        let c = TextCondition::range("a", "m");
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<TextCondition>(&json).unwrap(), c);
+    }
+}

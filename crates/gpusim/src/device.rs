@@ -1,0 +1,204 @@
+//! The device model: SM budget and global-memory residency.
+
+use holap_table::FactTable;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Static characteristics of the simulated accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Streaming multiprocessors available for partitioning.
+    pub total_sms: u32,
+    /// Global memory capacity in bytes.
+    pub memory_bytes: usize,
+}
+
+impl DeviceConfig {
+    /// The paper's accelerator: Tesla C2070 — 14 active SMs, 6 GB GDDR5.
+    pub fn tesla_c2070() -> Self {
+        Self { total_sms: 14, memory_bytes: 6 * 1024 * 1024 * 1024 }
+    }
+
+    /// A small configuration for tests.
+    pub fn tiny(memory_bytes: usize) -> Self {
+        Self { total_sms: 4, memory_bytes }
+    }
+}
+
+/// Handle to a table resident in device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TableId(pub usize);
+
+/// Errors raised by device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Loading the table would exceed global memory.
+    OutOfMemory {
+        /// Bytes the table needs.
+        requested: usize,
+        /// Bytes still free.
+        free: usize,
+    },
+    /// The referenced table is not resident.
+    UnknownTable(TableId),
+    /// A kernel requested more SMs than the device has.
+    TooManySms {
+        /// SMs requested.
+        requested: u32,
+        /// SMs on the device.
+        available: u32,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfMemory { requested, free } => {
+                write!(f, "table needs {requested} B, only {free} B of device memory free")
+            }
+            Self::UnknownTable(id) => write!(f, "table {id:?} is not resident"),
+            Self::TooManySms { requested, available } => {
+                write!(f, "kernel requested {requested} SMs, device has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// The simulated GPU: global memory holding fact tables, plus the SM
+/// budget partitions are carved from.
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    config: DeviceConfig,
+    tables: Vec<(String, Arc<FactTable>)>,
+    used_bytes: usize,
+}
+
+impl GpuDevice {
+    /// Creates an empty device.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self { config, tables: Vec::new(), used_bytes: 0 }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> DeviceConfig {
+        self.config
+    }
+
+    /// Bytes of global memory in use.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Bytes of global memory still free.
+    pub fn free_bytes(&self) -> usize {
+        self.config.memory_bytes - self.used_bytes
+    }
+
+    /// Uploads a table into global memory.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::OutOfMemory`] when the table does not fit — the
+    /// situation dictionary encoding exists to avoid.
+    pub fn load_table(&mut self, name: &str, table: FactTable) -> Result<TableId, DeviceError> {
+        let bytes = table.bytes();
+        let free = self.free_bytes();
+        if bytes > free {
+            return Err(DeviceError::OutOfMemory { requested: bytes, free });
+        }
+        self.used_bytes += bytes;
+        self.tables.push((name.to_owned(), Arc::new(table)));
+        Ok(TableId(self.tables.len() - 1))
+    }
+
+    /// Shared handle to a resident table.
+    pub fn table(&self, id: TableId) -> Result<&Arc<FactTable>, DeviceError> {
+        self.tables
+            .get(id.0)
+            .map(|(_, t)| t)
+            .ok_or(DeviceError::UnknownTable(id))
+    }
+
+    /// Looks a table up by name.
+    pub fn table_by_name(&self, name: &str) -> Option<TableId> {
+        self.tables.iter().position(|(n, _)| n == name).map(TableId)
+    }
+
+    /// Number of resident tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Validates an SM request against the device budget.
+    pub fn check_sms(&self, requested: u32) -> Result<(), DeviceError> {
+        if requested == 0 || requested > self.config.total_sms {
+            Err(DeviceError::TooManySms { requested, available: self.config.total_sms })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_table::{FactTableBuilder, TableSchema};
+
+    fn small_table(rows: u32) -> FactTable {
+        let schema = TableSchema::builder()
+            .dimension("d", &[("l", 100)])
+            .measure("m")
+            .build();
+        let mut b = FactTableBuilder::new(schema);
+        for i in 0..rows {
+            b.push_row(&[i % 100], &[i as f64]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn load_and_lookup() {
+        let mut d = GpuDevice::new(DeviceConfig::tiny(1 << 20));
+        let t = small_table(10);
+        let bytes = t.bytes();
+        let id = d.load_table("facts", t).unwrap();
+        assert_eq!(d.used_bytes(), bytes);
+        assert_eq!(d.table_by_name("facts"), Some(id));
+        assert_eq!(d.table(id).unwrap().rows(), 10);
+        assert_eq!(d.table_count(), 1);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut d = GpuDevice::new(DeviceConfig::tiny(16));
+        let err = d.load_table("big", small_table(100)).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        assert_eq!(d.table_count(), 0);
+        assert_eq!(d.used_bytes(), 0);
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let d = GpuDevice::new(DeviceConfig::tiny(1 << 20));
+        assert_eq!(d.table(TableId(3)).unwrap_err(), DeviceError::UnknownTable(TableId(3)));
+        assert_eq!(d.table_by_name("nope"), None);
+    }
+
+    #[test]
+    fn sm_budget_enforced() {
+        let d = GpuDevice::new(DeviceConfig::tesla_c2070());
+        assert!(d.check_sms(14).is_ok());
+        assert!(d.check_sms(15).is_err());
+        assert!(d.check_sms(0).is_err());
+    }
+
+    #[test]
+    fn c2070_constants() {
+        let c = DeviceConfig::tesla_c2070();
+        assert_eq!(c.total_sms, 14);
+        assert_eq!(c.memory_bytes, 6 * 1024 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,59 @@
+//! A simulated Fermi-class GPU device for the hybrid OLAP system.
+//!
+//! # Why a simulator
+//!
+//! The paper evaluates on an NVIDIA Tesla C2070 (Fermi, 14 streaming
+//! multiprocessors, concurrent kernel execution). Neither the scheduler nor
+//! the paper's own Section-IV evaluation ever observes the silicon
+//! directly: both consume the *measured performance functions*
+//! `P_GPU(C/C_TOT, n_SM)` (Eq. 14–15). This crate therefore reproduces the
+//! GPU as the composition the rest of the system actually depends on:
+//!
+//! * **functional behaviour** — kernels really execute the columnar scan
+//!   (`holap-table`) or cube build (`holap-cube`) against tables resident
+//!   in the device's global memory, on a per-partition thread pool whose
+//!   width scales with the partition's SM count (concurrent kernel
+//!   execution across partitions, as Fermi introduced);
+//! * **cost behaviour** — every kernel reports a *modeled* execution time
+//!   from the calibrated [`holap_model::GpuModelSet`], which is the time
+//!   the scheduler and the discrete-event simulator account with.
+//!
+//! Memory is accounted like a real accelerator: tables must be explicitly
+//! loaded into the device's global memory and loading fails when the
+//! capacity (6 GB for the C2070) would be exceeded — this is precisely why
+//! the paper dictionary-encodes text columns before upload.
+//!
+//! # Example
+//!
+//! ```
+//! use holap_gpusim::{DeviceConfig, GpuDevice};
+//! use holap_model::GpuModelSet;
+//! use holap_table::{AggSpec, FactTableBuilder, ScanQuery, TableSchema};
+//!
+//! let mut device = GpuDevice::new(DeviceConfig::tesla_c2070());
+//! let schema = TableSchema::builder()
+//!     .dimension("d", &[("l", 10)])
+//!     .measure("m")
+//!     .build();
+//! let mut b = FactTableBuilder::new(schema);
+//! for i in 0..10 {
+//!     b.push_row(&[i], &[i as f64]).unwrap();
+//! }
+//! let id = device.load_table("facts", b.finish()).unwrap();
+//!
+//! let model = GpuModelSet::paper_c2070();
+//! let q = ScanQuery::new().aggregate(AggSpec::new(holap_table::AggOp::Sum, Some(0)));
+//! let out = device.execute_scan(id, 4, &q, &model).unwrap();
+//! assert_eq!(out.result.values[0].value(), Some(45.0));
+//! assert!(out.modeled_secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod executor;
+pub mod kernel;
+
+pub use device::{DeviceConfig, DeviceError, GpuDevice, TableId};
+pub use executor::{GpuExecutor, KernelJob};
+pub use kernel::{KernelOutput, KernelError};

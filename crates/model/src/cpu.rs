@@ -1,0 +1,315 @@
+//! CPU-partition performance models (paper §III-B/D, Eq. 4–10).
+//!
+//! Processing an OLAP cube on the CPU is memory-bandwidth bound, so query
+//! time is estimated purely from the amount of data the sub-cube aggregation
+//! must stream from memory. The paper splits the size axis at 512 MB: below
+//! the split a power law fits best (*Range A*), above it an affine function
+//! does (*Range B*).
+
+use crate::fit::{self, FitMetrics, Linear, PowerLaw};
+use serde::{Deserialize, Serialize};
+
+/// Default Range A / Range B split used by the paper: 512 MB.
+pub const PAPER_SPLIT_MB: f64 = 512.0;
+
+/// Piecewise performance model for parallel CPU cube processing
+/// (paper Eq. 4): a power law below `split_mb`, affine above.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPerfModel {
+    /// Range A (small sub-cubes): `t = coeff · size^exponent`.
+    pub range_a: PowerLaw,
+    /// Range B (large sub-cubes): `t = slope · size + intercept`.
+    pub range_b: Linear,
+    /// Size threshold between the ranges, in MB.
+    pub split_mb: f64,
+}
+
+impl CpuPerfModel {
+    /// Builds a model from explicitly fitted pieces.
+    pub fn new(range_a: PowerLaw, range_b: Linear, split_mb: f64) -> Self {
+        assert!(split_mb > 0.0, "split must be positive");
+        Self { range_a, range_b, split_mb }
+    }
+
+    /// The paper's 4-thread model for 2× Xeon X5667 (Eq. 5–7).
+    pub fn paper_4t() -> Self {
+        Self::new(
+            PowerLaw::new(0.0001, 0.9341),
+            Linear::new(5e-5, 0.0096),
+            PAPER_SPLIT_MB,
+        )
+    }
+
+    /// The paper's 8-thread model for 2× Xeon X5667 (Eq. 8–10).
+    pub fn paper_8t() -> Self {
+        Self::new(
+            PowerLaw::new(6e-5, 0.984),
+            Linear::new(4e-5, 0.0146),
+            PAPER_SPLIT_MB,
+        )
+    }
+
+    /// Estimated processing time, in seconds, of a query that must stream
+    /// `sc_size_mb` MB of OLAP-cube data (paper Eq. 4).
+    ///
+    /// Negative model outputs (possible for pathological fitted constants at
+    /// tiny sizes) are clamped to zero; a processing time can never be
+    /// negative.
+    #[inline]
+    pub fn estimate_secs(&self, sc_size_mb: f64) -> f64 {
+        assert!(sc_size_mb >= 0.0, "sub-cube size cannot be negative");
+        let t = if sc_size_mb < self.split_mb {
+            self.range_a.eval(sc_size_mb)
+        } else {
+            self.range_b.eval(sc_size_mb)
+        };
+        t.max(0.0)
+    }
+
+    /// Effective memory bandwidth (MB/s) implied by the model at a given
+    /// sub-cube size. Useful for regenerating the Fig. 3 bandwidth curves
+    /// from a fitted model.
+    pub fn implied_bandwidth_mbps(&self, sc_size_mb: f64) -> f64 {
+        let t = self.estimate_secs(sc_size_mb);
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            sc_size_mb / t
+        }
+    }
+
+    /// Fits a piecewise model from measurements `(sizes_mb, secs)` with a
+    /// fixed split. Points below the split feed the power-law fit; points at
+    /// or above it feed the linear fit. Both sides need ≥ 2 points.
+    pub fn fit(sizes_mb: &[f64], secs: &[f64], split_mb: f64) -> Self {
+        assert_eq!(sizes_mb.len(), secs.len());
+        let (mut ax, mut ay, mut bx, mut by) = (vec![], vec![], vec![], vec![]);
+        for (&x, &y) in sizes_mb.iter().zip(secs) {
+            if x < split_mb {
+                ax.push(x);
+                ay.push(y);
+            } else {
+                bx.push(x);
+                by.push(y);
+            }
+        }
+        assert!(
+            ax.len() >= 2 && bx.len() >= 2,
+            "need at least two measurements on each side of the split \
+             (got {} below, {} above)",
+            ax.len(),
+            bx.len()
+        );
+        Self::new(
+            fit::fit_power_law(&ax, &ay),
+            fit::fit_linear(&bx, &by),
+            split_mb,
+        )
+    }
+
+    /// Fits a piecewise model, searching the candidate split that minimises
+    /// the summed squared residual. Candidates are the sample sizes that
+    /// leave at least two points on each side.
+    pub fn fit_auto_split(sizes_mb: &[f64], secs: &[f64]) -> Self {
+        assert_eq!(sizes_mb.len(), secs.len());
+        assert!(sizes_mb.len() >= 4, "need at least four measurements");
+        let mut sorted: Vec<f64> = sizes_mb.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        let mut best: Option<(f64, Self)> = None;
+        for &candidate in &sorted[2..sorted.len().saturating_sub(1)] {
+            let below = sizes_mb.iter().filter(|&&x| x < candidate).count();
+            let above = sizes_mb.len() - below;
+            if below < 2 || above < 2 {
+                continue;
+            }
+            let model = Self::fit(sizes_mb, secs, candidate);
+            let sse: f64 = sizes_mb
+                .iter()
+                .zip(secs)
+                .map(|(&x, &y)| {
+                    let e = y - model.estimate_secs(x);
+                    e * e
+                })
+                .sum();
+            if best.as_ref().is_none_or(|(b, _)| sse < *b) {
+                best = Some((sse, model));
+            }
+        }
+        best.expect("no valid split candidate").1
+    }
+
+    /// Goodness of fit of this model over a sample.
+    pub fn metrics(&self, sizes_mb: &[f64], secs: &[f64]) -> FitMetrics {
+        fit::fit_metrics(|x| self.estimate_secs(x), sizes_mb, secs)
+    }
+}
+
+/// The pre-parallelisation baseline implementation from the authors' earlier
+/// system \[16\]: a single-threaded scan with a flat effective bandwidth
+/// (≈1 GB/s originally, ≈5 GB/s after the scalar rewrite; paper §III-D).
+///
+/// Modelled as `t = size / bandwidth + overhead`. The simulator uses this as
+/// the "Sequential" column of Tables 1 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LegacyCpuModel {
+    /// Effective streaming bandwidth, MB/s.
+    pub bandwidth_mbps: f64,
+    /// Fixed per-query overhead, seconds.
+    pub overhead_secs: f64,
+}
+
+impl LegacyCpuModel {
+    /// Creates a legacy model from a bandwidth in GB/s and an overhead.
+    pub fn new(bandwidth_gbps: f64, overhead_secs: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0);
+        assert!(overhead_secs >= 0.0);
+        Self { bandwidth_mbps: bandwidth_gbps * 1024.0, overhead_secs }
+    }
+
+    /// The paper's original single-threaded implementation: ~1 GB/s.
+    pub fn paper_original() -> Self {
+        Self::new(1.0, 0.001)
+    }
+
+    /// The improved single-threaded implementation: ~5 GB/s.
+    pub fn paper_improved() -> Self {
+        Self::new(5.0, 0.001)
+    }
+
+    /// The sequential baseline calibrated against Table 1's reported
+    /// 12 queries/second: on the ~160 MB sub-cubes that make the 4T/8T
+    /// models land at 87/110 Q/s, a 12 Q/s sequential rate implies an
+    /// effective ~1.93 GB/s (the paper's quoted "1 GB/s" refers to an even
+    /// earlier implementation; the 12 Q/s figure is what Table 1 pins).
+    pub fn calibrated_table1() -> Self {
+        Self::new(1.926, 0.001)
+    }
+
+    /// Estimated processing time in seconds for `sc_size_mb` MB.
+    #[inline]
+    pub fn estimate_secs(&self, sc_size_mb: f64) -> f64 {
+        assert!(sc_size_mb >= 0.0);
+        sc_size_mb / self.bandwidth_mbps + self.overhead_secs
+    }
+
+    /// Converts the legacy model into the piecewise representation so it can
+    /// be used anywhere a [`CpuPerfModel`] is expected (both ranges affine
+    /// with the same slope; the power law degenerates to the same line only
+    /// approximately, so we instead use an exponent of 1).
+    pub fn as_cpu_model(&self) -> CpuPerfModel {
+        // t = x / bw + c  ==  power law a·x^1 only when c == 0, so Range A
+        // keeps the affine behaviour by using the linear piece on both sides:
+        // split at 0 forces everything through Range B.
+        CpuPerfModel {
+            range_a: PowerLaw::new(1.0 / self.bandwidth_mbps, 1.0),
+            range_b: Linear::new(1.0 / self.bandwidth_mbps, self.overhead_secs),
+            split_mb: f64::MIN_POSITIVE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_4t_matches_printed_constants() {
+        let m = CpuPerfModel::paper_4t();
+        // Range A at 100 MB: 0.0001 * 100^0.9341
+        let expect = 0.0001 * 100f64.powf(0.9341);
+        assert!((m.estimate_secs(100.0) - expect).abs() < 1e-12);
+        // Range B at 1024 MB: 5e-5 * 1024 + 0.0096
+        let expect_b = 5e-5 * 1024.0 + 0.0096;
+        assert!((m.estimate_secs(1024.0) - expect_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_8t_faster_than_4t_in_range_b() {
+        let m4 = CpuPerfModel::paper_4t();
+        let m8 = CpuPerfModel::paper_8t();
+        for size in [600.0, 1024.0, 8192.0, 32.0 * 1024.0] {
+            assert!(
+                m8.estimate_secs(size) < m4.estimate_secs(size),
+                "8T should beat 4T at {size} MB"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_monotone_within_each_range() {
+        let m = CpuPerfModel::paper_8t();
+        let mut prev = 0.0;
+        for i in 1..500 {
+            let size = i as f64;
+            let t = m.estimate_secs(size);
+            assert!(t >= prev);
+            prev = t;
+        }
+        let mut prev = m.estimate_secs(512.0);
+        for i in 1..100 {
+            let size = 512.0 + i as f64 * 100.0;
+            let t = m.estimate_secs(size);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_piecewise_model() {
+        let truth = CpuPerfModel::paper_4t();
+        let sizes: Vec<f64> = (0..60).map(|i| 2f64.powf(i as f64 * 0.25)).collect();
+        let secs: Vec<f64> = sizes.iter().map(|&s| truth.estimate_secs(s)).collect();
+        let fitted = CpuPerfModel::fit(&sizes, &secs, PAPER_SPLIT_MB);
+        for &s in &sizes {
+            let a = truth.estimate_secs(s);
+            let b = fitted.estimate_secs(s);
+            assert!((a - b).abs() <= 1e-6 * (1.0 + a), "mismatch at {s} MB");
+        }
+        let m = fitted.metrics(&sizes, &secs);
+        assert!(m.r_squared > 0.999);
+    }
+
+    #[test]
+    fn auto_split_lands_near_true_split() {
+        let truth = CpuPerfModel::paper_8t();
+        let sizes: Vec<f64> = (0..80).map(|i| 2f64.powf(i as f64 * 0.2)).collect();
+        let secs: Vec<f64> = sizes.iter().map(|&s| truth.estimate_secs(s)).collect();
+        let fitted = CpuPerfModel::fit_auto_split(&sizes, &secs);
+        let m = fitted.metrics(&sizes, &secs);
+        assert!(m.r_squared > 0.99, "r² = {}", m.r_squared);
+    }
+
+    #[test]
+    fn legacy_model_bandwidth() {
+        let legacy = LegacyCpuModel::paper_original();
+        // 1024 MB at 1 GB/s ≈ 1 second (+1 ms overhead).
+        let t = legacy.estimate_secs(1024.0);
+        assert!((t - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_as_cpu_model_agrees() {
+        let legacy = LegacyCpuModel::paper_improved();
+        let as_model = legacy.as_cpu_model();
+        for size in [1.0, 64.0, 512.0, 4096.0] {
+            let a = legacy.estimate_secs(size);
+            let b = as_model.estimate_secs(size);
+            assert!((a - b).abs() < 1e-12, "mismatch at {size}");
+        }
+    }
+
+    #[test]
+    fn implied_bandwidth_plateaus_in_range_b() {
+        let m = CpuPerfModel::paper_8t();
+        // In Range B bandwidth approaches 1/slope = 25 000 MB/s ≈ 24.4 GB/s.
+        let bw_large = m.implied_bandwidth_mbps(32.0 * 1024.0);
+        assert!(bw_large > 20_000.0 && bw_large < 25_000.0, "bw = {bw_large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_size_rejected() {
+        CpuPerfModel::paper_4t().estimate_secs(-1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Text-to-integer translation cost model (paper §III-F, Eq. 16–18).
+//!
+//! Every text parameter of a query bound for the GPU must first be looked up
+//! in the dictionary of its column. With the paper's linear-scan dictionary
+//! the worst-case lookup cost grows linearly with the dictionary length
+//! (Fig. 9), so the upper bound on a query's translation time is the sum of
+//! `P_DICT(D_L|i)` over the text conditions `i` in the decomposed query
+//! (Eq. 18).
+
+use crate::fit::{self, FitMetrics, Linear};
+use serde::{Deserialize, Serialize};
+
+/// Linear dictionary-search cost model: `t = secs_per_entry · len + overhead`.
+///
+/// The paper's fitted function (Eq. 17) has zero intercept
+/// (`P_DICT(D_L) = 0.0138 µs · D_L`); fitted host models may carry a small
+/// constant overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DictPerfModel {
+    /// Cost per dictionary entry scanned, seconds.
+    pub secs_per_entry: f64,
+    /// Fixed per-lookup overhead, seconds.
+    pub overhead_secs: f64,
+}
+
+impl DictPerfModel {
+    /// Creates a model from a per-entry cost and a fixed overhead.
+    pub fn new(secs_per_entry: f64, overhead_secs: f64) -> Self {
+        assert!(secs_per_entry >= 0.0 && overhead_secs >= 0.0);
+        Self { secs_per_entry, overhead_secs }
+    }
+
+    /// The paper's measured single-threaded model (Eq. 17): 0.0138 µs/entry.
+    pub fn paper() -> Self {
+        Self::new(0.0138e-6, 0.0)
+    }
+
+    /// Upper bound on one lookup in a dictionary of `len` entries, seconds.
+    #[inline]
+    pub fn lookup_secs(&self, len: usize) -> f64 {
+        self.secs_per_entry * len as f64 + self.overhead_secs
+    }
+
+    /// Upper bound on translating a whole query (Eq. 18): the sum of lookup
+    /// bounds over the dictionary lengths of its text conditions.
+    pub fn translation_secs<I: IntoIterator<Item = usize>>(&self, dict_lens: I) -> f64 {
+        dict_lens.into_iter().map(|l| self.lookup_secs(l)).sum()
+    }
+
+    /// Fits the model from `(dictionary length, seconds)` measurements.
+    pub fn fit(lens: &[f64], secs: &[f64]) -> Self {
+        let line: Linear = fit::fit_linear(lens, secs);
+        Self {
+            secs_per_entry: line.slope.max(0.0),
+            overhead_secs: line.intercept.max(0.0),
+        }
+    }
+
+    /// Goodness of fit over a sample of `(length, seconds)` pairs.
+    pub fn metrics(&self, lens: &[f64], secs: &[f64]) -> FitMetrics {
+        fit::fit_metrics(|l| self.secs_per_entry * l + self.overhead_secs, lens, secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constant_matches_eq17() {
+        let m = DictPerfModel::paper();
+        // A 1 M-entry dictionary: 0.0138 µs * 1e6 = 13.8 ms.
+        assert!((m.lookup_secs(1_000_000) - 0.0138).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_sums_over_conditions() {
+        let m = DictPerfModel::paper();
+        let total = m.translation_secs([1000, 2000, 3000]);
+        assert!((total - m.lookup_secs(6000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_translation_is_free() {
+        assert_eq!(DictPerfModel::paper().translation_secs([]), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_paper_slope() {
+        let truth = DictPerfModel::paper();
+        let lens: Vec<f64> = (1..=10).map(|i| i as f64 * 1e5).collect();
+        let secs: Vec<f64> = lens.iter().map(|&l| truth.secs_per_entry * l).collect();
+        let fitted = DictPerfModel::fit(&lens, &secs);
+        assert!((fitted.secs_per_entry - 0.0138e-6).abs() < 1e-15);
+        assert!(fitted.metrics(&lens, &secs).r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn overhead_included_once_per_lookup() {
+        let m = DictPerfModel::new(1e-8, 1e-4);
+        let t = m.translation_secs([100, 100]);
+        assert!((t - 2.0 * (1e-8 * 100.0 + 1e-4)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,223 @@
+//! Least-squares fitting primitives used to derive the performance models
+//! from benchmark measurements.
+//!
+//! The paper derives its estimation functions "based on best fit for a
+//! particular range" (§III-D). Two functional forms appear in the paper:
+//!
+//! * an affine function `t = a·x + b` (Range B of the CPU model, the GPU
+//!   model, and the dictionary model) — fitted here by ordinary least
+//!   squares ([`fit_linear`]);
+//! * a power law `t = a·x^b` (Range A of the CPU model) — fitted by OLS on
+//!   `ln t = ln a + b·ln x` ([`fit_power_law`]).
+
+use serde::{Deserialize, Serialize};
+
+/// An affine function `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Slope `a` of `y = a·x + b`.
+    pub slope: f64,
+    /// Intercept `b` of `y = a·x + b`.
+    pub intercept: f64,
+}
+
+impl Linear {
+    /// Creates an affine function with the given slope and intercept.
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        Self { slope, intercept }
+    }
+
+    /// Evaluates the function at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A power law `y = coeff·x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLaw {
+    /// Coefficient `a` of `y = a·x^b`.
+    pub coeff: f64,
+    /// Exponent `b` of `y = a·x^b`.
+    pub exponent: f64,
+}
+
+impl PowerLaw {
+    /// Creates a power law with the given coefficient and exponent.
+    pub fn new(coeff: f64, exponent: f64) -> Self {
+        Self { coeff, exponent }
+    }
+
+    /// Evaluates the function at `x`. Defined for `x > 0`; `eval(0)` returns
+    /// `0` when the exponent is positive (the natural continuous extension).
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeff * x.powf(self.exponent)
+    }
+}
+
+/// Goodness-of-fit metrics for a fitted model over a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitMetrics {
+    /// Coefficient of determination, `1 − SS_res / SS_tot`.
+    pub r_squared: f64,
+    /// Mean absolute percentage error over the sample, in `[0, ∞)`.
+    pub mape: f64,
+}
+
+/// Fits `y = a·x + b` to the sample by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points, or
+/// if all `x` values are identical (the system is singular).
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Linear {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must have the same length");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    assert!(sxx > 0.0, "all x values are identical; cannot fit a line");
+    let slope = sxy / sxx;
+    Linear { slope, intercept: mean_y - slope * mean_x }
+}
+
+/// Fits `y = a·x^b` by linear regression in log-log space.
+///
+/// All sample values must be strictly positive (the transform takes
+/// logarithms of both coordinates).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`fit_linear`], or if any sample
+/// coordinate is not strictly positive.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerLaw {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must have the same length");
+    let (lx, ly): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            assert!(x > 0.0 && y > 0.0, "power-law fit requires positive samples");
+            (x.ln(), y.ln())
+        })
+        .unzip();
+    let line = fit_linear(&lx, &ly);
+    PowerLaw { coeff: line.intercept.exp(), exponent: line.slope }
+}
+
+/// Computes goodness-of-fit metrics for an arbitrary model function `f` over
+/// the sample `(xs, ys)`.
+///
+/// `mape` skips sample points whose observed value is exactly zero (the
+/// percentage error is undefined there).
+pub fn fit_metrics<F: Fn(f64) -> f64>(f: F, xs: &[f64], ys: &[f64]) -> FitMetrics {
+    assert_eq!(xs.len(), ys.len());
+    assert!(!xs.is_empty());
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    let mut ape_sum = 0.0;
+    let mut ape_n = 0usize;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let pred = f(x);
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - mean_y) * (y - mean_y);
+        if y != 0.0 {
+            ape_sum += ((y - pred) / y).abs();
+            ape_n += 1;
+        }
+    }
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let mape = if ape_n == 0 { 0.0 } else { ape_sum / ape_n as f64 };
+    FitMetrics { r_squared, mape }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.5 * x - 2.0).collect();
+        let l = fit_linear(&xs, &ys);
+        assert!(close(l.slope, 3.5, 1e-12));
+        assert!(close(l.intercept, -2.0, 1e-12));
+    }
+
+    #[test]
+    fn linear_fit_minimises_residuals_under_noise() {
+        // Symmetric noise around a known line: the fit must stay close.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let l = fit_linear(&xs, &ys);
+        assert!(close(l.slope, 2.0, 1e-3));
+        assert!(close(l.intercept, 1.0, 1e-2));
+    }
+
+    #[test]
+    fn power_fit_recovers_exact_power_law() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 7.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1e-4 * x.powf(0.9341)).collect();
+        let p = fit_power_law(&xs, &ys);
+        assert!(close(p.coeff, 1e-4, 1e-9));
+        assert!(close(p.exponent, 0.9341, 1e-9));
+    }
+
+    #[test]
+    fn metrics_perfect_fit() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let m = fit_metrics(|x| 2.0 * x, &xs, &ys);
+        assert!(close(m.r_squared, 1.0, 1e-12));
+        assert!(close(m.mape, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn metrics_detect_bad_fit() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let m = fit_metrics(|_| 5.0, &xs, &ys);
+        assert!(m.r_squared < 0.5);
+        assert!(m.mape > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn linear_fit_rejects_mismatched_lengths() {
+        fit_linear(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive samples")]
+    fn power_fit_rejects_nonpositive() {
+        fit_power_law(&[1.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn linear_fit_rejects_singular_system() {
+        fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn power_law_eval_at_zero_with_positive_exponent() {
+        let p = PowerLaw::new(3.0, 0.5);
+        assert_eq!(p.eval(0.0), 0.0);
+    }
+}

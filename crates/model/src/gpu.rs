@@ -1,0 +1,195 @@
+//! GPU-partition performance models (paper §III-E, Eq. 13–15).
+//!
+//! The GPU answers queries by scanning columns of a fact table resident in
+//! its global memory. Because a query always reads *entire* columns, its
+//! cost depends only on the fraction of the table's columns it touches
+//! (`C / C_TOT`, Eq. 12) and on the number of streaming multiprocessors in
+//! the partition executing it. For each partition size the paper fits an
+//! affine function of the column fraction (Eq. 14, and Eq. 15 for the whole
+//! unpartitioned device).
+
+use crate::fit::{self, FitMetrics, Linear};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Affine performance function of one GPU partition size:
+/// `t = slope · (C / C_TOT) + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuPerfModel {
+    /// Underlying affine function of the column fraction.
+    pub line: Linear,
+    /// Number of streaming multiprocessors this model was measured for.
+    pub sm_count: u32,
+}
+
+impl GpuPerfModel {
+    /// Builds a model from a slope/intercept pair for a given partition size.
+    pub fn new(sm_count: u32, slope: f64, intercept: f64) -> Self {
+        assert!(sm_count > 0, "a partition must have at least one SM");
+        Self { line: Linear::new(slope, intercept), sm_count }
+    }
+
+    /// Estimated processing time in seconds for a query touching the given
+    /// fraction of the table's columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `column_fraction ∈ [0, 1]`.
+    #[inline]
+    pub fn estimate_secs(&self, column_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&column_fraction),
+            "column fraction must be in [0, 1], got {column_fraction}"
+        );
+        self.line.eval(column_fraction).max(0.0)
+    }
+
+    /// Fits a partition model from measurements of `(column_fraction, secs)`.
+    pub fn fit(sm_count: u32, fractions: &[f64], secs: &[f64]) -> Self {
+        Self { line: fit::fit_linear(fractions, secs), sm_count }
+    }
+
+    /// Goodness of fit over a sample.
+    pub fn metrics(&self, fractions: &[f64], secs: &[f64]) -> FitMetrics {
+        fit::fit_metrics(|x| self.estimate_secs(x), fractions, secs)
+    }
+}
+
+/// The family of per-partition-size GPU models the scheduler stores
+/// (one entry per distinct SM count used by the partition layout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuModelSet {
+    models: BTreeMap<u32, GpuPerfModel>,
+    /// Total number of SMs on the device (14 for Tesla C2070).
+    pub device_sms: u32,
+}
+
+impl GpuModelSet {
+    /// Creates an empty model set for a device with `device_sms` SMs.
+    pub fn new(device_sms: u32) -> Self {
+        assert!(device_sms > 0);
+        Self { models: BTreeMap::new(), device_sms }
+    }
+
+    /// The paper's measured Tesla C2070 model set (Eq. 14–15): partitions of
+    /// 1, 2 and 4 SMs plus the whole 14-SM device.
+    pub fn paper_c2070() -> Self {
+        let mut set = Self::new(14);
+        set.insert(GpuPerfModel::new(1, 0.003, 0.0258));
+        set.insert(GpuPerfModel::new(2, 0.0015, 0.013));
+        set.insert(GpuPerfModel::new(4, 0.0008, 0.0065));
+        set.insert(GpuPerfModel::new(14, 0.00021, 0.0020));
+        set
+    }
+
+    /// Inserts (or replaces) the model for its SM count.
+    pub fn insert(&mut self, model: GpuPerfModel) {
+        assert!(
+            model.sm_count <= self.device_sms,
+            "partition of {} SMs exceeds device with {} SMs",
+            model.sm_count,
+            self.device_sms
+        );
+        self.models.insert(model.sm_count, model);
+    }
+
+    /// The model measured for exactly `sm_count` SMs, if present.
+    pub fn model(&self, sm_count: u32) -> Option<&GpuPerfModel> {
+        self.models.get(&sm_count)
+    }
+
+    /// Estimates the processing time on a partition of `sm_count` SMs.
+    ///
+    /// If no model was measured for exactly that partition size, the nearest
+    /// *smaller* measured size is used (a conservative upper bound, since
+    /// more SMs can only be faster), falling back to the smallest measured
+    /// model if none is smaller.
+    pub fn estimate_secs(&self, sm_count: u32, column_fraction: f64) -> f64 {
+        let model = self
+            .models
+            .range(..=sm_count)
+            .next_back()
+            .map(|(_, m)| m)
+            .or_else(|| self.models.values().next())
+            .expect("GpuModelSet is empty");
+        model.estimate_secs(column_fraction)
+    }
+
+    /// SM counts with measured models, ascending.
+    pub fn measured_sizes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.models.keys().copied()
+    }
+
+    /// Number of measured models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the set holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match_eq14() {
+        let set = GpuModelSet::paper_c2070();
+        let m1 = set.model(1).unwrap();
+        assert_eq!(m1.estimate_secs(1.0), 0.003 + 0.0258);
+        let m2 = set.model(2).unwrap();
+        assert_eq!(m2.estimate_secs(0.0), 0.013);
+        let m4 = set.model(4).unwrap();
+        assert!((m4.estimate_secs(0.5) - (0.0008 * 0.5 + 0.0065)).abs() < 1e-15);
+        let m14 = set.model(14).unwrap();
+        assert!((m14.estimate_secs(1.0) - 0.00221).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_sms_is_never_slower() {
+        let set = GpuModelSet::paper_c2070();
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t1 = set.estimate_secs(1, frac);
+            let t2 = set.estimate_secs(2, frac);
+            let t4 = set.estimate_secs(4, frac);
+            let t14 = set.estimate_secs(14, frac);
+            assert!(t1 >= t2 && t2 >= t4 && t4 >= t14, "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn estimate_falls_back_to_nearest_smaller_model() {
+        let set = GpuModelSet::paper_c2070();
+        // 3 SMs is unmeasured → conservative 2-SM model is used.
+        assert_eq!(set.estimate_secs(3, 0.5), set.estimate_secs(2, 0.5));
+        // Everything below 1 falls back to smallest model.
+        assert_eq!(set.estimate_secs(0, 0.5), set.estimate_secs(1, 0.5));
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_partition_model() {
+        let truth = GpuPerfModel::new(2, 0.0015, 0.013);
+        let fracs: Vec<f64> = (0..=12).map(|i| i as f64 / 12.0).collect();
+        let secs: Vec<f64> = fracs.iter().map(|&f| truth.estimate_secs(f)).collect();
+        let fitted = GpuPerfModel::fit(2, &fracs, &secs);
+        assert!((fitted.line.slope - 0.0015).abs() < 1e-12);
+        assert!((fitted.line.intercept - 0.013).abs() < 1e-12);
+        assert!(fitted.metrics(&fracs, &secs).r_squared > 0.999_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "column fraction")]
+    fn fraction_out_of_range_rejected() {
+        GpuModelSet::paper_c2070().estimate_secs(1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device")]
+    fn oversized_partition_rejected() {
+        let mut set = GpuModelSet::new(4);
+        set.insert(GpuPerfModel::new(8, 0.1, 0.1));
+    }
+}

@@ -1,0 +1,56 @@
+//! Performance models and least-squares fitting for the hybrid OLAP scheduler.
+//!
+//! The scheduling algorithm of Malik et al. (IPDPSW 2012) never inspects the
+//! hardware directly: every placement decision is driven by three families of
+//! *measured* performance functions that are fitted offline by benchmarks and
+//! stored inside the scheduler (paper §III-G):
+//!
+//! * [`CpuPerfModel`] — processing time of a sub-cube aggregation on the
+//!   CPU partition as a function of the sub-cube size in MB (paper
+//!   Eq. 4–10). The model is piecewise: a power law for small sub-cubes
+//!   (*Range A*, cache and loop-overhead dominated) and an affine function
+//!   for large ones (*Range B*, memory-bandwidth dominated).
+//! * [`GpuPerfModel`] / [`GpuModelSet`] — processing time of a fact-table scan
+//!   on a GPU partition as a function of the *fraction of columns touched*
+//!   `C / C_TOT` and the number of streaming multiprocessors in the partition
+//!   (paper Eq. 13–15).
+//! * [`DictPerfModel`] — upper bound on the text-to-integer translation time
+//!   as a function of dictionary length (paper Eq. 16–18).
+//!
+//! The constants printed in the paper for the authors' testbed (2× Xeon
+//! X5667 + Tesla C2070) ship as presets ([`SystemProfile::paper`]); the
+//! [`fit`] module re-derives equivalent constants from measurements taken
+//! on the host machine (see the `calibrate` binary in `holap-bench`).
+//!
+//! # Units
+//!
+//! All times are **seconds**, all sizes are **MB** (`2^20` bytes, matching the
+//! paper's Eq. 3), and column usage is a dimensionless fraction in `[0, 1]`.
+//!
+//! # Example
+//!
+//! ```
+//! use holap_model::SystemProfile;
+//!
+//! let profile = SystemProfile::paper();
+//! // A 256 MB sub-cube on the 8-thread CPU partition (Range A):
+//! let t_cpu = profile.cpu(8).unwrap().estimate_secs(256.0);
+//! assert!(t_cpu > 0.0 && t_cpu < 0.1);
+//! // A query touching half the table's columns on a 4-SM GPU partition:
+//! let t_gpu = profile.gpu.model(4).unwrap().estimate_secs(0.5);
+//! assert!((t_gpu - (0.0008 * 0.5 + 0.0065)).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod dict;
+pub mod fit;
+pub mod gpu;
+pub mod profile;
+
+pub use cpu::{CpuPerfModel, LegacyCpuModel};
+pub use dict::DictPerfModel;
+pub use fit::{fit_linear, fit_power_law, FitMetrics, Linear, PowerLaw};
+pub use gpu::{GpuModelSet, GpuPerfModel};
+pub use profile::SystemProfile;

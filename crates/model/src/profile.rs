@@ -1,0 +1,95 @@
+//! The bundle of "system performance variables … measured by benchmarks and
+//! stored inside the scheduler" (paper §III-G).
+
+use crate::cpu::{CpuPerfModel, LegacyCpuModel};
+use crate::dict::DictPerfModel;
+use crate::gpu::GpuModelSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything the scheduler needs to estimate `T_CPU`, `T_GPU1..3` and
+/// `T_TRANS` for an incoming query: one CPU model per supported thread
+/// count, the per-partition-size GPU model family, and the dictionary model.
+///
+/// Serialisable so a calibration run on one machine can be replayed by the
+/// simulator later (`holap-bench`'s `calibrate` binary emits this as JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemProfile {
+    /// Parallel CPU models keyed by OpenMP/rayon thread count.
+    pub cpu_by_threads: BTreeMap<u32, CpuPerfModel>,
+    /// The pre-parallelisation sequential baseline \[16\].
+    pub legacy_cpu: LegacyCpuModel,
+    /// GPU partition models.
+    pub gpu: GpuModelSet,
+    /// Dictionary translation model.
+    pub dict: DictPerfModel,
+}
+
+impl SystemProfile {
+    /// The profile printed in the paper for 2× Xeon X5667 + Tesla C2070.
+    pub fn paper() -> Self {
+        let mut cpu_by_threads = BTreeMap::new();
+        cpu_by_threads.insert(4, CpuPerfModel::paper_4t());
+        cpu_by_threads.insert(8, CpuPerfModel::paper_8t());
+        Self {
+            cpu_by_threads,
+            legacy_cpu: LegacyCpuModel::paper_original(),
+            gpu: GpuModelSet::paper_c2070(),
+            dict: DictPerfModel::paper(),
+        }
+    }
+
+    /// The CPU model measured for exactly `threads` threads, if any.
+    pub fn cpu(&self, threads: u32) -> Option<&CpuPerfModel> {
+        self.cpu_by_threads.get(&threads)
+    }
+
+    /// The CPU model for `threads`, falling back to the nearest smaller
+    /// measured thread count (a conservative estimate), then to the legacy
+    /// model converted to piecewise form.
+    pub fn cpu_or_nearest(&self, threads: u32) -> CpuPerfModel {
+        self.cpu_by_threads
+            .range(..=threads)
+            .next_back()
+            .map(|(_, m)| *m)
+            .unwrap_or_else(|| self.legacy_cpu.as_cpu_model())
+    }
+
+    /// Registers (or replaces) the CPU model for a thread count.
+    pub fn set_cpu(&mut self, threads: u32, model: CpuPerfModel) {
+        assert!(threads > 0);
+        self.cpu_by_threads.insert(threads, model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_has_both_thread_counts() {
+        let p = SystemProfile::paper();
+        assert!(p.cpu(4).is_some());
+        assert!(p.cpu(8).is_some());
+        assert!(p.cpu(2).is_none());
+    }
+
+    #[test]
+    fn nearest_fallback_is_conservative() {
+        let p = SystemProfile::paper();
+        // 6 threads unmeasured → 4-thread model used.
+        let m6 = p.cpu_or_nearest(6);
+        assert_eq!(m6, *p.cpu(4).unwrap());
+        // 2 threads below all measurements → legacy model.
+        let m2 = p.cpu_or_nearest(2);
+        assert_eq!(m2, p.legacy_cpu.as_cpu_model());
+    }
+
+    #[test]
+    fn profile_roundtrips_through_json() {
+        let p = SystemProfile::paper();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SystemProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

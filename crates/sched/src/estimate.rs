@@ -1,0 +1,160 @@
+//! Per-query time estimation (paper Fig. 10 step 2).
+
+use crate::partition::PartitionLayout;
+use holap_model::SystemProfile;
+use serde::{Deserialize, Serialize};
+
+/// The abstract features of a query the estimator consumes — produced by
+/// the engine/simulator from the concrete query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryFeatures {
+    /// Estimated sub-cube size in MB if a resident cube can answer the
+    /// query (Eq. 3), `None` if the CPU cannot answer it at all.
+    pub cpu_subcube_mb: Option<f64>,
+    /// Fraction of fact-table columns the GPU scan touches (Eq. 12/13).
+    pub gpu_column_fraction: f64,
+    /// Dictionary lengths of the text conditions needing translation
+    /// (Eq. 16/17); empty when no translation is needed.
+    pub translation_dict_lens: Vec<usize>,
+}
+
+impl QueryFeatures {
+    /// Whether the query needs text-to-integer translation before GPU
+    /// processing.
+    pub fn needs_translation(&self) -> bool {
+        !self.translation_dict_lens.is_empty()
+    }
+}
+
+/// The estimated processing times of one query on each partition class —
+/// what the placement algorithm actually consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskEstimate {
+    /// CPU processing time `T_CPU`, `None` when no resident cube can
+    /// answer the query (it *must* go to the GPU).
+    pub t_cpu: Option<f64>,
+    /// GPU processing time per SM class, in the order of
+    /// [`PartitionLayout::sm_classes`] (`T_GPU1 … T_GPUk`).
+    pub t_gpu_by_class: Vec<f64>,
+    /// Translation time `T_TRANS` (0 when no translation is needed).
+    pub t_trans: f64,
+}
+
+impl TaskEstimate {
+    /// Whether the query requires the translation partition.
+    pub fn needs_translation(&self) -> bool {
+        self.t_trans > 0.0
+    }
+
+    /// `T_GPU` of the fastest class (the paper's `T_GPU3` for the 4-SM
+    /// class) — the CPU-preference comparison in step 5.
+    pub fn t_gpu_fastest(&self) -> f64 {
+        self.t_gpu_by_class
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Turns query features into a [`TaskEstimate`] using the measured
+/// performance models.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    profile: SystemProfile,
+    layout: PartitionLayout,
+}
+
+impl Estimator {
+    /// Creates an estimator for a profile and partition layout.
+    pub fn new(profile: SystemProfile, layout: PartitionLayout) -> Self {
+        Self { profile, layout }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &SystemProfile {
+        &self.profile
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    /// Estimates all partition-class times for a query (Fig. 10 step 2).
+    pub fn estimate(&self, f: &QueryFeatures) -> TaskEstimate {
+        let t_cpu = f.cpu_subcube_mb.map(|mb| {
+            self.profile
+                .cpu_or_nearest(self.layout.cpu_threads)
+                .estimate_secs(mb)
+        });
+        let t_gpu_by_class = self
+            .layout
+            .sm_classes()
+            .iter()
+            .map(|&sm| self.profile.gpu.estimate_secs(sm, f.gpu_column_fraction))
+            .collect();
+        let t_trans = self
+            .profile
+            .dict
+            .translation_secs(f.translation_dict_lens.iter().copied());
+        TaskEstimate { t_cpu, t_gpu_by_class, t_trans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator() -> Estimator {
+        Estimator::new(SystemProfile::paper(), PartitionLayout::paper())
+    }
+
+    #[test]
+    fn estimates_use_paper_models() {
+        let e = estimator();
+        let f = QueryFeatures {
+            cpu_subcube_mb: Some(100.0),
+            gpu_column_fraction: 0.5,
+            translation_dict_lens: vec![100_000],
+        };
+        let est = e.estimate(&f);
+        // 8-thread CPU model, Range A.
+        let expect_cpu = 6e-5 * 100f64.powf(0.984);
+        assert!((est.t_cpu.unwrap() - expect_cpu).abs() < 1e-12);
+        // Three classes: 1, 2, 4 SMs.
+        assert_eq!(est.t_gpu_by_class.len(), 3);
+        assert!((est.t_gpu_by_class[0] - (0.003 * 0.5 + 0.0258)).abs() < 1e-12);
+        assert!((est.t_gpu_by_class[2] - (0.0008 * 0.5 + 0.0065)).abs() < 1e-12);
+        assert!((est.t_gpu_fastest() - est.t_gpu_by_class[2]).abs() < 1e-15);
+        // Translation: 0.0138 µs × 100 000 = 1.38 ms.
+        assert!((est.t_trans - 0.00138).abs() < 1e-9);
+        assert!(est.needs_translation());
+    }
+
+    #[test]
+    fn gpu_only_query_has_no_cpu_estimate() {
+        let e = estimator();
+        let f = QueryFeatures {
+            cpu_subcube_mb: None,
+            gpu_column_fraction: 1.0,
+            translation_dict_lens: vec![],
+        };
+        let est = e.estimate(&f);
+        assert_eq!(est.t_cpu, None);
+        assert!(!est.needs_translation());
+        assert_eq!(est.t_trans, 0.0);
+    }
+
+    #[test]
+    fn class_times_decrease_with_sm_count() {
+        let e = estimator();
+        let f = QueryFeatures {
+            cpu_subcube_mb: None,
+            gpu_column_fraction: 0.75,
+            translation_dict_lens: vec![],
+        };
+        let est = e.estimate(&f);
+        assert!(est.t_gpu_by_class[0] > est.t_gpu_by_class[1]);
+        assert!(est.t_gpu_by_class[1] > est.t_gpu_by_class[2]);
+    }
+}

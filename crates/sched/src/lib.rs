@@ -1,0 +1,67 @@
+//! Deadline-aware CPU/GPU co-scheduling for hybrid OLAP queries — the
+//! paper's third contribution, the Figure-10 algorithm.
+//!
+//! The system exposes a set of *partitions*, each with its own queue:
+//!
+//! * one **CPU processing partition** answering queries from resident OLAP
+//!   cubes with the parallel (rayon/OpenMP) implementation;
+//! * one **CPU translation partition** running text-to-integer translation
+//!   for GPU-bound queries ("the scheduler divides multi-core processor(s)
+//!   … into a processing partition and a preprocessing partition");
+//! * several **GPU partitions** (the paper's layout for the 14-SM Tesla
+//!   C2070: 2×1 SM, 2×2 SM, 2×4 SM) answering queries from the fact table
+//!   in GPU memory.
+//!
+//! For each incoming query the scheduler estimates the processing time on
+//! every partition class from the measured performance models
+//! (`holap-model`), derives per-partition *response times* (queue drain +
+//! own processing, with GPU response coupled to the translation queue via
+//! `max(T_Q|Gi, T_Q|TRANS + T_TRANS)`), and places the query:
+//!
+//! 1. among partitions that meet the deadline (`P_BD`), the CPU is chosen
+//!    iff it would beat the fastest GPU class outright (`T_CPU < T_GPU3`);
+//! 2. otherwise the **slowest feasible GPU queue** is chosen, deliberately
+//!    keeping fast partitions free "for the computationally expensive
+//!    queries that might be submitted later";
+//! 3. if no partition can meet the deadline, the one with the earliest
+//!    response time is used ("deliver the answer as soon as possible").
+//!
+//! Completion feedback corrects queue clocks by the estimation error so the
+//! model's inaccuracy does not accumulate (§III-G, last paragraph).
+//!
+//! Besides the paper policy, classic heuristics from the related work are
+//! provided for head-to-head evaluation: MET and MCT (Braun et al.),
+//! round-robin, and single-resource (CPU-only / GPU-only) policies.
+//!
+//! The scheduler is clock-agnostic: all times are `f64` seconds on a caller
+//! supplied timeline, so the same code drives both the wall-clock engine
+//! (`holap-core`) and the virtual-time simulator (`holap-sim`).
+//!
+//! # Example
+//!
+//! ```
+//! use holap_sched::{PartitionLayout, Policy, Scheduler, TaskEstimate};
+//!
+//! let mut sched = Scheduler::new(PartitionLayout::paper(), Policy::Paper);
+//! // A query answerable by the CPU in 2 ms, by 1/2/4-SM GPU partitions in
+//! // 28/14/7 ms, with no translation needed; deadline window 100 ms.
+//! let est = TaskEstimate {
+//!     t_cpu: Some(0.002),
+//!     t_gpu_by_class: vec![0.028, 0.014, 0.007],
+//!     t_trans: 0.0,
+//! };
+//! let d = sched.schedule(0.0, &est, 0.1);
+//! assert!(d.placement.is_cpu()); // CPU beats the fastest GPU class
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod partition;
+pub mod policy;
+pub mod scheduler;
+
+pub use estimate::{Estimator, QueryFeatures, TaskEstimate};
+pub use partition::{PartitionId, PartitionLayout};
+pub use policy::Policy;
+pub use scheduler::{Decision, Placement, SchedStats, Scheduler};

@@ -1,0 +1,128 @@
+//! Partition identities and layouts (paper Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one partition/queue of the hybrid system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionId {
+    /// The CPU OLAP-cube processing partition (queue `Q_CPU`).
+    Cpu,
+    /// The CPU text-to-integer translation partition (queue `Q_TRANS`).
+    Translation,
+    /// GPU partition `i` (queue `Q_G(i+1)`).
+    Gpu(usize),
+}
+
+/// The static partitioning of the system's resources.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionLayout {
+    /// SM count of each GPU partition, in queue order `Q_G1 … Q_Gn`.
+    /// The paper orders slowest first so the placement loop naturally
+    /// "tasks the slower queues first".
+    pub gpu_partition_sms: Vec<u32>,
+    /// Threads of the CPU processing partition.
+    pub cpu_threads: u32,
+    /// Threads of the translation partition.
+    pub translation_threads: u32,
+}
+
+impl PartitionLayout {
+    /// The paper's layout for the Tesla C2070 + dual X5667 testbed:
+    /// GPU split 1/1/2/2/4/4 SMs (Fig. 7), 8 CPU processing threads, one
+    /// translation thread.
+    pub fn paper() -> Self {
+        Self {
+            gpu_partition_sms: vec![1, 1, 2, 2, 4, 4],
+            cpu_threads: 8,
+            translation_threads: 1,
+        }
+    }
+
+    /// The paper's layout but with the 4-thread CPU model (Table 1/3's
+    /// middle column).
+    pub fn paper_4t() -> Self {
+        Self { cpu_threads: 4, ..Self::paper() }
+    }
+
+    /// Creates a custom layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty GPU layout or zero thread counts.
+    pub fn new(gpu_partition_sms: Vec<u32>, cpu_threads: u32, translation_threads: u32) -> Self {
+        assert!(!gpu_partition_sms.is_empty(), "need at least one GPU partition");
+        assert!(gpu_partition_sms.iter().all(|&s| s > 0), "zero-SM partition");
+        assert!(cpu_threads > 0 && translation_threads > 0);
+        Self { gpu_partition_sms, cpu_threads, translation_threads }
+    }
+
+    /// Number of GPU partitions.
+    pub fn gpu_partitions(&self) -> usize {
+        self.gpu_partition_sms.len()
+    }
+
+    /// SM count of GPU partition `i` — the paper's `j = ⌈i/2⌉` class lookup
+    /// generalised to arbitrary layouts.
+    pub fn sms_of(&self, gpu_partition: usize) -> u32 {
+        self.gpu_partition_sms[gpu_partition]
+    }
+
+    /// The distinct SM classes in ascending order — the classes for which
+    /// `T_GPU1..T_GPUk` are estimated (paper step 2 estimates one time per
+    /// class, not per partition).
+    pub fn sm_classes(&self) -> Vec<u32> {
+        let mut classes = self.gpu_partition_sms.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+
+    /// Index of partition `i`'s SM class within [`PartitionLayout::sm_classes`].
+    pub fn class_of(&self, gpu_partition: usize) -> usize {
+        let sm = self.sms_of(gpu_partition);
+        self.sm_classes().iter().position(|&c| c == sm).expect("class must exist")
+    }
+
+    /// Total SMs consumed by the layout (must not exceed the device's).
+    pub fn total_sms(&self) -> u32 {
+        self.gpu_partition_sms.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_matches_fig7() {
+        let l = PartitionLayout::paper();
+        assert_eq!(l.gpu_partitions(), 6);
+        assert_eq!(l.gpu_partition_sms, vec![1, 1, 2, 2, 4, 4]);
+        assert_eq!(l.total_sms(), 14);
+        assert_eq!(l.sm_classes(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn class_lookup_reproduces_ceil_i_over_2() {
+        // Paper: queues Q_G1..Q_G6 use T_GPUj with j = ⌈(i+1)/2⌉.
+        let l = PartitionLayout::paper();
+        let expect = [0usize, 0, 1, 1, 2, 2];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(l.class_of(i), e, "partition {i}");
+        }
+    }
+
+    #[test]
+    fn custom_layout() {
+        let l = PartitionLayout::new(vec![2, 4, 8], 4, 2);
+        assert_eq!(l.sm_classes(), vec![2, 4, 8]);
+        assert_eq!(l.class_of(2), 2);
+        assert_eq!(l.total_sms(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU partition")]
+    fn empty_layout_rejected() {
+        PartitionLayout::new(vec![], 1, 1);
+    }
+}

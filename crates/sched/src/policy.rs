@@ -1,0 +1,64 @@
+//! Placement policies: the paper's algorithm plus the baselines it is
+//! evaluated against.
+
+use serde::{Deserialize, Serialize};
+
+/// Which placement policy the scheduler runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// The paper's Figure-10 algorithm: deadline set `P_BD`, CPU preference
+    /// when it beats the fastest GPU class, slowest-feasible-GPU-first,
+    /// earliest-response fallback.
+    Paper,
+    /// Minimum Completion Time (Braun et al. \[2\]): always the partition
+    /// with the earliest estimated response time, ignoring deadlines.
+    Mct,
+    /// Minimum Execution Time (Siegel & Ali \[15\]): the partition class
+    /// with the smallest raw processing time, ignoring queue state — the
+    /// classic load-blind heuristic.
+    Met,
+    /// Round-robin over all eligible partitions.
+    RoundRobin,
+    /// CPU whenever a resident cube can answer; GPU only when forced.
+    CpuOnly,
+    /// GPU always (the "disabled CPU processing" configuration used for
+    /// the paper's translation-overhead measurement).
+    GpuOnly,
+}
+
+impl Policy {
+    /// All policies, for sweep-style benchmarks.
+    pub const ALL: [Policy; 6] = [
+        Policy::Paper,
+        Policy::Mct,
+        Policy::Met,
+        Policy::RoundRobin,
+        Policy::CpuOnly,
+        Policy::GpuOnly,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Paper => "paper",
+            Policy::Mct => "mct",
+            Policy::Met => "met",
+            Policy::RoundRobin => "round-robin",
+            Policy::CpuOnly => "cpu-only",
+            Policy::GpuOnly => "gpu-only",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Policy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Policy::ALL.len());
+    }
+}

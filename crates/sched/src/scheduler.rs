@@ -1,0 +1,656 @@
+//! The scheduler proper: queue clocks, the Figure-10 placement algorithm,
+//! baseline policies and completion feedback.
+
+use crate::estimate::TaskEstimate;
+use crate::partition::{PartitionId, PartitionLayout};
+use crate::policy::Policy;
+use serde::{Deserialize, Serialize};
+
+/// Where a query was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// The CPU OLAP-cube processing partition.
+    Cpu,
+    /// GPU partition `partition` (index into the layout).
+    Gpu {
+        /// Index of the GPU partition within the layout.
+        partition: usize,
+    },
+}
+
+impl Placement {
+    /// Whether the query went to the CPU processing partition.
+    pub fn is_cpu(&self) -> bool {
+        matches!(self, Placement::Cpu)
+    }
+
+    /// The partition id of this placement.
+    pub fn partition_id(&self) -> PartitionId {
+        match *self {
+            Placement::Cpu => PartitionId::Cpu,
+            Placement::Gpu { partition } => PartitionId::Gpu(partition),
+        }
+    }
+}
+
+/// The scheduler's verdict for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Chosen partition.
+    pub placement: Placement,
+    /// Whether the query was also submitted to the translation queue
+    /// (GPU placement with text parameters).
+    pub with_translation: bool,
+    /// Absolute estimated response time `T_R` of the chosen partition.
+    pub response_time: f64,
+    /// Absolute deadline `T_D = T_Q + T_C`.
+    pub deadline: f64,
+    /// Whether the chosen partition was estimated to meet the deadline.
+    pub before_deadline: bool,
+    /// Estimated processing time charged to the chosen queue.
+    pub t_proc: f64,
+    /// Estimated translation time charged to the translation queue
+    /// (0 unless `with_translation`).
+    pub t_trans: f64,
+}
+
+/// Aggregate counters the scheduler maintains.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Queries placed on the CPU partition.
+    pub cpu_queries: u64,
+    /// Queries placed on GPU partitions (any).
+    pub gpu_queries: u64,
+    /// Queries that required translation.
+    pub translated_queries: u64,
+    /// Queries whose chosen partition met the deadline at placement time.
+    pub feasible: u64,
+    /// Queries placed despite no partition meeting the deadline (step 6).
+    pub infeasible: u64,
+}
+
+/// The co-scheduler: one instance owns all queue clocks.
+///
+/// All times are seconds on a caller-supplied monotonically non-decreasing
+/// timeline (`now` arguments). Queue clocks are *absolute completion
+/// times*: `T_Q|C`, `T_Q|TRANS`, `T_Q|G1..Gn` in the paper's notation —
+/// "each queue is aware of … when all its jobs will be finished".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scheduler {
+    layout: PartitionLayout,
+    policy: Policy,
+    q_cpu: f64,
+    q_trans: f64,
+    q_gpu: Vec<f64>,
+    rr_cursor: usize,
+    stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with idle queues at time 0.
+    pub fn new(layout: PartitionLayout, policy: Policy) -> Self {
+        let q_gpu = vec![0.0; layout.gpu_partitions()];
+        Self { layout, policy, q_cpu: 0.0, q_trans: 0.0, q_gpu, rr_cursor: 0, stats: SchedStats::default() }
+    }
+
+    /// The partition layout.
+    pub fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Absolute completion clock of a queue.
+    pub fn queue_clock(&self, id: PartitionId) -> f64 {
+        match id {
+            PartitionId::Cpu => self.q_cpu,
+            PartitionId::Translation => self.q_trans,
+            PartitionId::Gpu(i) => self.q_gpu[i],
+        }
+    }
+
+    /// Estimated response times of every partition for `est` at `now` —
+    /// Fig. 10 step 3. Index 0 is the CPU (`None` when the CPU cannot
+    /// answer), the rest are GPU partitions in layout order.
+    fn response_times(&self, now: f64, est: &TaskEstimate) -> (Option<f64>, Vec<f64>) {
+        let eff = |clock: f64| clock.max(now);
+        let resp_cpu = est.t_cpu.map(|t| eff(self.q_cpu) + t);
+        let trans_ready = if est.needs_translation() {
+            Some(eff(self.q_trans) + est.t_trans)
+        } else {
+            None
+        };
+        let resp_gpu = (0..self.layout.gpu_partitions())
+            .map(|i| {
+                let t_gpu = est.t_gpu_by_class[self.layout.class_of(i)];
+                let start = match trans_ready {
+                    // "max(T_Q|Gi, T_Q|TRANS + T_TRANS) + T_GPUj with translation"
+                    Some(tr) => eff(self.q_gpu[i]).max(tr),
+                    None => eff(self.q_gpu[i]),
+                };
+                start + t_gpu
+            })
+            .collect();
+        (resp_cpu, resp_gpu)
+    }
+
+    /// Schedules one query submitted at `now` with deadline window `t_c`
+    /// seconds, charging the chosen queues. Returns the decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimate's class vector disagrees with the layout.
+    pub fn schedule(&mut self, now: f64, est: &TaskEstimate, t_c: f64) -> Decision {
+        assert_eq!(
+            est.t_gpu_by_class.len(),
+            self.layout.sm_classes().len(),
+            "estimate classes must match layout classes"
+        );
+        assert!(t_c > 0.0, "deadline window must be positive");
+        let deadline = now + t_c;
+        let (resp_cpu, resp_gpu) = self.response_times(now, est);
+        let placement = self.choose(now, est, deadline, resp_cpu, &resp_gpu);
+
+        // Charge the queues (Fig. 10 steps 5/6 updates).
+        let (response_time, t_proc, with_translation) = match placement {
+            Placement::Cpu => {
+                let t = est.t_cpu.expect("CPU placement requires a CPU estimate");
+                let resp = resp_cpu.expect("CPU placement requires a CPU response");
+                self.q_cpu = resp; // == max(T_Q|C, now) + T_CPU
+                self.stats.cpu_queries += 1;
+                (resp, t, false)
+            }
+            Placement::Gpu { partition } => {
+                let t = est.t_gpu_by_class[self.layout.class_of(partition)];
+                let resp = resp_gpu[partition];
+                let with_trans = est.needs_translation();
+                if with_trans {
+                    self.q_trans = self.q_trans.max(now) + est.t_trans;
+                    self.stats.translated_queries += 1;
+                }
+                // The partition finishes when the kernel it just accepted
+                // finishes; with translation this is the coupled response,
+                // which generalises the paper's `T_Q|Gi += T_GPUj` update
+                // to the case where the kernel must wait for translation.
+                self.q_gpu[partition] = resp;
+                self.stats.gpu_queries += 1;
+                (resp, t, with_trans)
+            }
+        };
+        let before_deadline = response_time <= deadline;
+        if before_deadline {
+            self.stats.feasible += 1;
+        } else {
+            self.stats.infeasible += 1;
+        }
+        Decision {
+            placement,
+            with_translation,
+            response_time,
+            deadline,
+            before_deadline,
+            t_proc,
+            t_trans: if with_translation { est.t_trans } else { 0.0 },
+        }
+    }
+
+    /// Policy dispatch: picks a partition given the response-time vector.
+    fn choose(
+        &mut self,
+        _now: f64,
+        est: &TaskEstimate,
+        deadline: f64,
+        resp_cpu: Option<f64>,
+        resp_gpu: &[f64],
+    ) -> Placement {
+        match self.policy {
+            Policy::Paper => self.choose_paper(est, deadline, resp_cpu, resp_gpu),
+            Policy::Mct => Self::argmin_placement(resp_cpu, resp_gpu),
+            Policy::Met => self.choose_met(est),
+            Policy::RoundRobin => self.choose_round_robin(est),
+            Policy::CpuOnly => {
+                if resp_cpu.is_some() {
+                    Placement::Cpu
+                } else {
+                    // Forced to the GPU: behave like MCT among GPU queues.
+                    Self::argmin_placement(None, resp_gpu)
+                }
+            }
+            Policy::GpuOnly => Self::argmin_placement(None, resp_gpu),
+        }
+    }
+
+    /// Figure 10 steps 4–6.
+    fn choose_paper(
+        &self,
+        est: &TaskEstimate,
+        deadline: f64,
+        resp_cpu: Option<f64>,
+        resp_gpu: &[f64],
+    ) -> Placement {
+        // Step 4: the before-deadline set P_BD.
+        let cpu_feasible = resp_cpu.is_some_and(|r| deadline - r > 0.0);
+        let gpu_feasible: Vec<usize> = resp_gpu
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| deadline - r > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+
+        if cpu_feasible || !gpu_feasible.is_empty() {
+            // Step 5. CPU preference: in P_BD *and* faster than the fastest
+            // GPU class.
+            if cpu_feasible {
+                let t_cpu = est.t_cpu.expect("cpu_feasible implies estimate");
+                if t_cpu < est.t_gpu_fastest() {
+                    return Placement::Cpu;
+                }
+            }
+            // Slowest feasible GPU queue first: layout order is slowest
+            // first, and the paper's FOR loop takes the first hit.
+            if let Some(&i) = gpu_feasible.first() {
+                return Placement::Gpu { partition: i };
+            }
+            // Only the CPU is feasible but it lost the speed comparison.
+            // The paper's step 5 pseudocode would fall through without a
+            // placement here; we submit to the CPU (the only partition
+            // that still meets the deadline). Documented deviation.
+            return Placement::Cpu;
+        }
+        // Step 6: nothing meets the deadline — earliest response wins
+        // (min |T_D − T_R| with every T_R past the deadline).
+        Self::argmin_placement(resp_cpu, resp_gpu)
+    }
+
+    /// MET: smallest raw execution time, ignoring queues. Deterministically
+    /// picks the *first* partition of the winning class — exactly the
+    /// load-blindness the heuristic is known for.
+    fn choose_met(&self, est: &TaskEstimate) -> Placement {
+        let best_gpu_class = est
+            .t_gpu_by_class
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are comparable"))
+            .map(|(c, _)| c)
+            .expect("at least one class");
+        let gpu_time = est.t_gpu_by_class[best_gpu_class];
+        if let Some(t_cpu) = est.t_cpu {
+            if t_cpu < gpu_time {
+                return Placement::Cpu;
+            }
+        }
+        let partition = (0..self.layout.gpu_partitions())
+            .find(|&i| self.layout.class_of(i) == best_gpu_class)
+            .expect("class has a partition");
+        Placement::Gpu { partition }
+    }
+
+    /// Round-robin over CPU + GPU partitions, skipping the CPU when the
+    /// query cannot run there.
+    fn choose_round_robin(&mut self, est: &TaskEstimate) -> Placement {
+        let slots = 1 + self.layout.gpu_partitions();
+        for _ in 0..slots {
+            let slot = self.rr_cursor % slots;
+            self.rr_cursor = (self.rr_cursor + 1) % slots;
+            match slot {
+                0 if est.t_cpu.is_some() => return Placement::Cpu,
+                0 => continue,
+                g => return Placement::Gpu { partition: g - 1 },
+            }
+        }
+        unreachable!("at least one GPU partition always exists");
+    }
+
+    /// The partition with the earliest response time.
+    fn argmin_placement(resp_cpu: Option<f64>, resp_gpu: &[f64]) -> Placement {
+        let mut best = resp_cpu.map(|r| (Placement::Cpu, r));
+        for (i, &r) in resp_gpu.iter().enumerate() {
+            if best.as_ref().is_none_or(|&(_, b)| r < b) {
+                best = Some((Placement::Gpu { partition: i }, r));
+            }
+        }
+        best.expect("at least one partition").0
+    }
+
+    /// Completion feedback (§III-G last paragraph): the measured processing
+    /// time is compared with the estimate and the difference corrects the
+    /// owning queue's clock, so systematic model error does not skew later
+    /// placements.
+    pub fn complete(&mut self, queue: PartitionId, estimated: f64, actual: f64) {
+        let delta = actual - estimated;
+        match queue {
+            PartitionId::Cpu => self.q_cpu += delta,
+            PartitionId::Translation => self.q_trans += delta,
+            PartitionId::Gpu(i) => self.q_gpu[i] += delta,
+        }
+    }
+
+    /// Resets all queue clocks and counters (new experiment run).
+    pub fn reset(&mut self) {
+        self.q_cpu = 0.0;
+        self.q_trans = 0.0;
+        self.q_gpu.iter_mut().for_each(|q| *q = 0.0);
+        self.rr_cursor = 0;
+        self.stats = SchedStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(t_cpu: Option<f64>, gpu: [f64; 3], t_trans: f64) -> TaskEstimate {
+        TaskEstimate { t_cpu, t_gpu_by_class: gpu.to_vec(), t_trans }
+    }
+
+    fn paper_sched() -> Scheduler {
+        Scheduler::new(PartitionLayout::paper(), Policy::Paper)
+    }
+
+    // --- Step-by-step traces of Figure 10 ---
+
+    #[test]
+    fn step5_cpu_wins_when_faster_than_fastest_gpu() {
+        let mut s = paper_sched();
+        let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.0);
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Cpu);
+        assert!(d.before_deadline);
+        assert!((s.queue_clock(PartitionId::Cpu) - 0.002).abs() < 1e-12);
+        assert_eq!(s.stats().cpu_queries, 1);
+    }
+
+    #[test]
+    fn step5_slowest_feasible_gpu_when_cpu_loses() {
+        let mut s = paper_sched();
+        // CPU slower than the 4-SM class → GPU; all queues idle so the
+        // slowest queue (partition 0, 1 SM) is feasible and chosen.
+        let e = est(Some(0.050), [0.028, 0.014, 0.007], 0.0);
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Gpu { partition: 0 });
+        assert!((s.queue_clock(PartitionId::Gpu(0)) - 0.028).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step5_skips_infeasible_slow_queues() {
+        let mut s = paper_sched();
+        // Deadline 0.020: the 1-SM class (0.028) cannot make it, the 2-SM
+        // class (0.014) can → partition 2 (first 2-SM queue).
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        let d = s.schedule(0.0, &e, 0.020);
+        assert_eq!(d.placement, Placement::Gpu { partition: 2 });
+        assert!(d.before_deadline);
+    }
+
+    #[test]
+    fn queue_backlog_moves_placement_to_faster_partitions() {
+        let mut s = paper_sched();
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        // Saturate both 1-SM queues so their response exceeds the deadline.
+        for _ in 0..4 {
+            s.schedule(0.0, &e, 0.060);
+        }
+        // The four placements: G0, G1 (both 1-SM idle first), then the
+        // 1-SM queues are at 0.028 → next response 0.056 < 0.060 still ok…
+        // schedule a fifth with a tighter deadline.
+        let d = s.schedule(0.0, &e, 0.030);
+        assert!(matches!(d.placement, Placement::Gpu { partition } if partition >= 2));
+    }
+
+    #[test]
+    fn step6_picks_earliest_response_when_nothing_feasible() {
+        let mut s = paper_sched();
+        // Deadline far too tight for anything.
+        let e = est(Some(0.5), [0.9, 0.8, 0.7], 0.0);
+        let d = s.schedule(0.0, &e, 0.001);
+        assert!(!d.before_deadline);
+        assert_eq!(d.placement, Placement::Cpu); // 0.5 is the earliest
+        assert_eq!(s.stats().infeasible, 1);
+    }
+
+    #[test]
+    fn step6_gpu_when_cpu_unavailable() {
+        let mut s = paper_sched();
+        let e = est(None, [0.9, 0.8, 0.7], 0.0);
+        let d = s.schedule(0.0, &e, 0.001);
+        // Earliest response among GPUs: a 4-SM partition (first of class).
+        assert_eq!(d.placement, Placement::Gpu { partition: 4 });
+    }
+
+    #[test]
+    fn translation_couples_gpu_response_to_trans_queue() {
+        let mut s = paper_sched();
+        // Query A: translation 0.010, GPU(1SM) 0.028 → response 0.038.
+        let e = est(None, [0.028, 0.014, 0.007], 0.010);
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Gpu { partition: 0 });
+        assert!(d.with_translation);
+        assert!((d.response_time - 0.038).abs() < 1e-12);
+        assert!((s.queue_clock(PartitionId::Translation) - 0.010).abs() < 1e-12);
+        assert!((s.queue_clock(PartitionId::Gpu(0)) - 0.038).abs() < 1e-12);
+        // Query B immediately after: the slowest queue (partition 0) is
+        // still feasible and is picked again; its kernel cannot start
+        // before its own backlog (0.038) nor before B's translation is done
+        // (0.010 + 0.010 = 0.020) → max(0.038, 0.020) + 0.028 = 0.066.
+        let d2 = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d2.placement, Placement::Gpu { partition: 0 });
+        assert!((d2.response_time - 0.066).abs() < 1e-12);
+        assert_eq!(s.stats().translated_queries, 2);
+    }
+
+    #[test]
+    fn no_translation_queue_charge_for_cpu_placement() {
+        let mut s = paper_sched();
+        // Query with text parameters but CPU fast enough → CPU placement
+        // does not need translation (cubes store raw coordinates).
+        let e = est(Some(0.001), [0.028, 0.014, 0.007], 0.010);
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Cpu);
+        assert!(!d.with_translation);
+        assert_eq!(d.t_trans, 0.0);
+        assert_eq!(s.queue_clock(PartitionId::Translation), 0.0);
+    }
+
+    #[test]
+    fn queue_clocks_drain_with_time() {
+        let mut s = paper_sched();
+        let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.0);
+        s.schedule(0.0, &e, 1.0); // CPU busy until 0.002
+        // Submitting much later: the queue is idle again, so the response
+        // starts from `now`.
+        let d = s.schedule(10.0, &e, 1.0);
+        assert!((d.response_time - 10.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_only_feasible_but_slower_still_goes_cpu() {
+        let mut s = paper_sched();
+        // GPU responses all past the deadline (busy queues), CPU feasible
+        // but slower than the 4-SM class: documented deviation → CPU.
+        // Deadline 1.0 forces each 0.9 s query onto a fresh queue, loading
+        // all six GPU queues.
+        let e = est(None, [0.9, 0.9, 0.9], 0.0);
+        for i in 0..6 {
+            let d = s.schedule(0.0, &e, 1.0);
+            assert_eq!(d.placement, Placement::Gpu { partition: i });
+        }
+        let e2 = est(Some(0.10), [0.05, 0.04, 0.03], 0.0);
+        let d = s.schedule(0.0, &e2, 0.5);
+        assert_eq!(d.placement, Placement::Cpu);
+        assert!(d.before_deadline);
+    }
+
+    // --- Feedback correction ---
+
+    #[test]
+    fn completion_feedback_corrects_clock() {
+        let mut s = paper_sched();
+        let e = est(Some(0.010), [0.1, 0.1, 0.1], 0.0);
+        s.schedule(0.0, &e, 1.0);
+        assert!((s.queue_clock(PartitionId::Cpu) - 0.010).abs() < 1e-12);
+        // Actual run took 0.014 → clock shifts by +0.004.
+        s.complete(PartitionId::Cpu, 0.010, 0.014);
+        assert!((s.queue_clock(PartitionId::Cpu) - 0.014).abs() < 1e-12);
+        // Overestimates shift it back.
+        s.complete(PartitionId::Cpu, 0.010, 0.006);
+        assert!((s.queue_clock(PartitionId::Cpu) - 0.010).abs() < 1e-12);
+    }
+
+    // --- Baseline policies ---
+
+    #[test]
+    fn mct_balances_over_queues() {
+        let mut s = Scheduler::new(PartitionLayout::paper(), Policy::Mct);
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        // First placement: fastest response = idle 4-SM partition.
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Gpu { partition: 4 });
+        // Second: the other 4-SM partition is now faster.
+        let d2 = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d2.placement, Placement::Gpu { partition: 5 });
+    }
+
+    #[test]
+    fn met_is_load_blind() {
+        let mut s = Scheduler::new(PartitionLayout::paper(), Policy::Met);
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        for _ in 0..3 {
+            let d = s.schedule(0.0, &e, 1.0);
+            assert_eq!(d.placement, Placement::Gpu { partition: 4 }, "always same queue");
+        }
+        assert!(s.queue_clock(PartitionId::Gpu(4)) > 0.02);
+        assert_eq!(s.queue_clock(PartitionId::Gpu(5)), 0.0);
+    }
+
+    #[test]
+    fn met_prefers_cpu_when_faster() {
+        let mut s = Scheduler::new(PartitionLayout::paper(), Policy::Met);
+        let e = est(Some(0.001), [0.028, 0.014, 0.007], 0.0);
+        assert_eq!(s.schedule(0.0, &e, 1.0).placement, Placement::Cpu);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_unavailable_cpu() {
+        let mut s = Scheduler::new(PartitionLayout::paper(), Policy::RoundRobin);
+        let with_cpu = est(Some(0.01), [0.028, 0.014, 0.007], 0.0);
+        let gpu_only = est(None, [0.028, 0.014, 0.007], 0.0);
+        assert_eq!(s.schedule(0.0, &with_cpu, 1.0).placement, Placement::Cpu);
+        assert_eq!(
+            s.schedule(0.0, &with_cpu, 1.0).placement,
+            Placement::Gpu { partition: 0 }
+        );
+        // Skip several, then a GPU-only query at the CPU slot jumps ahead.
+        for expect in 1..=5 {
+            assert_eq!(
+                s.schedule(0.0, &with_cpu, 1.0).placement,
+                Placement::Gpu { partition: expect }
+            );
+        }
+        assert_eq!(
+            s.schedule(0.0, &gpu_only, 1.0).placement,
+            Placement::Gpu { partition: 0 },
+            "CPU slot skipped for a GPU-only query"
+        );
+    }
+
+    #[test]
+    fn cpu_only_falls_back_when_forced() {
+        let mut s = Scheduler::new(PartitionLayout::paper(), Policy::CpuOnly);
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        let d = s.schedule(0.0, &e, 1.0);
+        assert!(matches!(d.placement, Placement::Gpu { .. }));
+        let e2 = est(Some(5.0), [0.028, 0.014, 0.007], 0.0);
+        assert_eq!(s.schedule(0.0, &e2, 1.0).placement, Placement::Cpu);
+    }
+
+    #[test]
+    fn gpu_only_never_uses_cpu() {
+        let mut s = Scheduler::new(PartitionLayout::paper(), Policy::GpuOnly);
+        let e = est(Some(0.0001), [0.028, 0.014, 0.007], 0.0);
+        for _ in 0..10 {
+            assert!(!s.schedule(0.0, &e, 1.0).placement.is_cpu());
+        }
+        assert_eq!(s.stats().cpu_queries, 0);
+        assert_eq!(s.stats().gpu_queries, 10);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = paper_sched();
+        let e = est(Some(0.01), [0.028, 0.014, 0.007], 0.005);
+        s.schedule(0.0, &e, 1.0);
+        s.reset();
+        assert_eq!(s.queue_clock(PartitionId::Cpu), 0.0);
+        assert_eq!(s.stats(), &SchedStats::default());
+    }
+
+    #[test]
+    fn deadline_boundary_is_strict_per_paper() {
+        // Step 4 requires (T_D − T_R) > 0: a response exactly on the
+        // deadline is NOT in P_BD (the paper's strict inequality), so the
+        // scheduler falls to step 6 and the decision reports infeasible…
+        // but the chosen partition still is the earliest-response one.
+        let mut s = paper_sched();
+        let e = est(None, [0.028, 0.014, 0.010], 0.0);
+        let d = s.schedule(0.0, &e, 0.010);
+        assert!(!d.before_deadline || d.response_time < 0.010 + 1e-15);
+        assert!(matches!(d.placement, Placement::Gpu { .. }));
+    }
+
+    #[test]
+    fn gpu_only_query_with_cpu_feasible_goes_gpu() {
+        // t_cpu = None means the cube set cannot answer: even a CPU-friendly
+        // deadline must not place it on the CPU.
+        let mut s = paper_sched();
+        let e = est(None, [0.001, 0.001, 0.001], 0.0);
+        for _ in 0..5 {
+            assert!(!s.schedule(0.0, &e, 10.0).placement.is_cpu());
+        }
+    }
+
+    #[test]
+    fn translation_clock_drains_with_time_like_the_others() {
+        let mut s = paper_sched();
+        let e = est(None, [0.028, 0.014, 0.007], 0.020);
+        s.schedule(0.0, &e, 1.0);
+        assert!((s.queue_clock(PartitionId::Translation) - 0.020).abs() < 1e-12);
+        // A much later query re-anchors the translation queue at `now`.
+        let d = s.schedule(5.0, &e, 1.0);
+        assert!((s.queue_clock(PartitionId::Translation) - 5.020).abs() < 1e-12);
+        // Its kernel cannot start before its own translation completes.
+        assert!(d.response_time >= 5.020 + 0.028 - 1e-12);
+    }
+
+    #[test]
+    fn stats_feasibility_counters_are_consistent() {
+        let mut s = paper_sched();
+        let feasible = est(Some(0.001), [0.028, 0.014, 0.007], 0.0);
+        let hopeless = est(Some(5.0), [9.0, 8.0, 7.0], 0.0);
+        for _ in 0..3 {
+            s.schedule(0.0, &feasible, 1.0);
+        }
+        for _ in 0..2 {
+            s.schedule(0.0, &hopeless, 0.01);
+        }
+        let st = s.stats();
+        assert_eq!(st.feasible, 3);
+        assert_eq!(st.infeasible, 2);
+        assert_eq!(st.feasible + st.infeasible, st.cpu_queries + st.gpu_queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes must match")]
+    fn class_mismatch_rejected() {
+        let mut s = paper_sched();
+        let e = TaskEstimate { t_cpu: None, t_gpu_by_class: vec![0.1], t_trans: 0.0 };
+        s.schedule(0.0, &e, 1.0);
+    }
+}

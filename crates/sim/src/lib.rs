@@ -1,0 +1,41 @@
+//! Discrete-event simulation of the whole hybrid OLAP system — the
+//! reproduction of the paper's own evaluation method.
+//!
+//! Section IV of the paper does **not** measure a live cluster: "to test
+//! the efficiency of the proposed hybrid OLAP solution … we have developed
+//! a system model. The setup of the model is done based on characteristics
+//! extracted from performance measurements." This crate is that system
+//! model: service times come from the calibrated performance functions
+//! (`holap-model`), placement comes from the real scheduler
+//! (`holap-sched`), queries come from the calibrated generators
+//! (`holap-workload`), and the simulation advances in virtual time.
+//!
+//! Two drive modes are provided:
+//!
+//! * [`run_closed_loop`] — a fixed population of workers, each submitting
+//!   its next query the moment the previous one completes. Saturation
+//!   throughput in queries/second is what the paper's Tables 1–3 report.
+//! * [`run_open_loop`] — Poisson arrivals at a chosen rate; reports the
+//!   deadline hit ratio and latency, exercising the scheduler's `P_BD`
+//!   machinery under varying load.
+//!
+//! One modelling addition is made explicit: a per-query **GPU dispatch
+//! overhead** `h` (default [`DEFAULT_GPU_DISPATCH_OVERHEAD`]). The paper's
+//! Eq. 14 kernel-cost functions alone imply a GPU saturation rate of
+//! several hundred queries/second, yet §IV reports 69 Q/s for the GPU-only
+//! configuration — the difference is host-side work (query setup, PCIe
+//! parameter/result transfer, driver launch latency) that their end-to-end
+//! rates include but their kernel model omits. `h` is calibrated once so
+//! the GPU-only no-translation rate lands at the paper's 69 Q/s, and then
+//! held fixed across every other scenario. See EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod optimizer;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+
+pub use optimizer::{integer_partitions, optimize_layout, LayoutCandidate};
+pub use report::SimReport;
+pub use runner::{run_closed_loop, run_open_loop, SimConfig, DEFAULT_GPU_DISPATCH_OVERHEAD};

@@ -1,0 +1,161 @@
+//! GPU partition-layout optimisation.
+//!
+//! The paper states its 6-queue split "has been optimized for the Tesla
+//! C2070 GPU with its 14 SM units" (§III-G) without showing the search.
+//! This module performs that search: enumerate the integer partitions of
+//! the device's SMs (optionally capped in part count, since each partition
+//! needs a host-side queue and a model), evaluate each candidate layout on
+//! a closed-loop simulation of a target workload, and return the ranking.
+
+use crate::report::SimReport;
+use crate::runner::{run_closed_loop, SimConfig};
+use holap_sched::PartitionLayout;
+use holap_workload::{PaperHierarchy, QueryGenerator, QueryMix};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated candidate layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutCandidate {
+    /// SM count per GPU partition, ascending (the scheduler's
+    /// slowest-first queue order).
+    pub sms: Vec<u32>,
+    /// Saturation throughput on the target workload, queries/second.
+    pub qps: f64,
+    /// Deadline hit ratio observed during the evaluation run.
+    pub deadline_hit_ratio: f64,
+    /// Full report of the evaluation run.
+    pub report: SimReport,
+}
+
+/// Enumerates the integer partitions of `total` with at most `max_parts`
+/// parts and parts no smaller than `min_part`, each sorted ascending.
+pub fn integer_partitions(total: u32, max_parts: usize, min_part: u32) -> Vec<Vec<u32>> {
+    assert!(total > 0 && max_parts > 0 && min_part > 0);
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    // Non-decreasing parts to avoid permutations.
+    fn rec(
+        remaining: u32,
+        min_next: u32,
+        max_parts: usize,
+        current: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        if remaining == 0 {
+            out.push(current.clone());
+            return;
+        }
+        if current.len() == max_parts {
+            return;
+        }
+        let mut part = min_next;
+        while part <= remaining {
+            current.push(part);
+            rec(remaining - part, part, max_parts, current, out);
+            current.pop();
+            part += 1;
+        }
+    }
+    rec(total, min_part, max_parts, &mut current, &mut out);
+    out
+}
+
+/// Searches all layouts of the configured device for the one with the
+/// highest saturation throughput on `mix`, holding everything else in
+/// `base` fixed. Returns candidates sorted best-first.
+///
+/// `max_parts` bounds the queue count (the paper uses 6); the search cost
+/// is the number of integer partitions (`p(14) = 135` unbounded, far less
+/// when capped), each costing one closed-loop run.
+pub fn optimize_layout(
+    base: &SimConfig,
+    hierarchy: &PaperHierarchy,
+    mix: QueryMix,
+    max_parts: usize,
+    seed: u64,
+) -> Vec<LayoutCandidate> {
+    let total_sms: u32 = base.layout.gpu_partition_sms.iter().sum();
+    let mut candidates = Vec::new();
+    for sms in integer_partitions(total_sms, max_parts, 1) {
+        let mut cfg = base.clone();
+        cfg.layout = PartitionLayout::new(
+            sms.clone(),
+            base.layout.cpu_threads,
+            base.layout.translation_threads,
+        );
+        let mut generator = QueryGenerator::new(
+            hierarchy.catalog(&[0, 1, 2, 3]),
+            hierarchy.total_columns(),
+            mix.clone(),
+            seed,
+        );
+        let report = run_closed_loop(&cfg, &mut generator);
+        candidates.push(LayoutCandidate {
+            sms,
+            qps: report.throughput_qps,
+            deadline_hit_ratio: report.deadline_hit_ratio(),
+            report,
+        });
+    }
+    candidates.sort_by(|a, b| b.qps.total_cmp(&a.qps));
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_sched::Policy;
+    use holap_workload::WorkloadPreset;
+
+    #[test]
+    fn partitions_of_small_numbers() {
+        assert_eq!(integer_partitions(3, 3, 1), vec![
+            vec![1, 1, 1],
+            vec![1, 2],
+            vec![3],
+        ]);
+        assert_eq!(integer_partitions(4, 2, 1), vec![
+            vec![1, 3],
+            vec![2, 2],
+            vec![4],
+        ]);
+        // Min part size filters.
+        assert_eq!(integer_partitions(4, 4, 2), vec![vec![2, 2], vec![4]]);
+    }
+
+    #[test]
+    fn partitions_are_valid_and_distinct() {
+        let parts = integer_partitions(14, 6, 1);
+        assert!(!parts.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            assert_eq!(p.iter().sum::<u32>(), 14, "{p:?}");
+            assert!(p.len() <= 6);
+            assert!(p.windows(2).all(|w| w[0] <= w[1]), "{p:?} not sorted");
+            assert!(seen.insert(p.clone()), "duplicate {p:?}");
+        }
+        // p(14) with ≤6 parts = 90.
+        assert_eq!(parts.len(), 90);
+    }
+
+    #[test]
+    fn optimizer_ranks_layouts_and_includes_papers() {
+        let mut base = SimConfig::paper(Policy::Paper, 8, 600);
+        base.workers = 64;
+        let h = PaperHierarchy::default();
+        // Small search space for test speed: at most 3 partitions.
+        let ranking = optimize_layout(&base, &h, WorkloadPreset::Table3.mix(), 3, 7);
+        assert!(!ranking.is_empty());
+        // Best-first ordering.
+        for w in ranking.windows(2) {
+            assert!(w[0].qps >= w[1].qps);
+        }
+        // Every candidate used all 14 SMs.
+        for c in &ranking {
+            assert_eq!(c.sms.iter().sum::<u32>(), 14);
+        }
+        // More queues generally wins under saturation: the best candidate
+        // should not be the monolithic device.
+        assert_ne!(ranking[0].sms, vec![14]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulation output metrics.
+
+use holap_sched::SchedStats;
+use serde::{Deserialize, Serialize};
+
+/// Everything one simulation run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Queries completed.
+    pub queries: u64,
+    /// Virtual time from first submission to last completion, seconds.
+    pub makespan_secs: f64,
+    /// Saturation throughput, queries per second.
+    pub throughput_qps: f64,
+    /// Queries whose response met their deadline.
+    pub met_deadline: u64,
+    /// Queries that missed their deadline.
+    pub missed_deadline: u64,
+    /// Mean response latency (completion − submission), seconds.
+    pub mean_latency_secs: f64,
+    /// Maximum response latency, seconds.
+    pub max_latency_secs: f64,
+    /// Scheduler counters (placements, translations, feasibility).
+    pub sched: SchedStats,
+    /// Completed queries per GPU partition, in layout order.
+    pub per_gpu_partition: Vec<u64>,
+}
+
+impl SimReport {
+    /// Fraction of queries that met their deadline.
+    pub fn deadline_hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        self.met_deadline as f64 / self.queries as f64
+    }
+
+    /// Fraction of queries answered by the CPU partition.
+    pub fn cpu_share(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.sched.cpu_queries as f64 / self.queries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let r = SimReport {
+            queries: 10,
+            makespan_secs: 1.0,
+            throughput_qps: 10.0,
+            met_deadline: 7,
+            missed_deadline: 3,
+            mean_latency_secs: 0.1,
+            max_latency_secs: 0.5,
+            sched: SchedStats { cpu_queries: 4, gpu_queries: 6, ..Default::default() },
+            per_gpu_partition: vec![1; 6],
+        };
+        assert!((r.deadline_hit_ratio() - 0.7).abs() < 1e-12);
+        assert!((r.cpu_share() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,311 @@
+//! The event loops: closed-loop saturation and open-loop Poisson arrivals.
+
+use crate::report::SimReport;
+use holap_sched::{Estimator, PartitionLayout, Placement, Policy, Scheduler, TaskEstimate};
+use holap_model::SystemProfile;
+use holap_workload::QueryGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Calibrated host-side overhead per GPU-bound query, seconds (see the
+/// crate docs and EXPERIMENTS.md for the derivation against the paper's
+/// GPU-only 69 Q/s).
+pub const DEFAULT_GPU_DISPATCH_OVERHEAD: f64 = 0.0705;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Placement policy.
+    pub policy: Policy,
+    /// Partition layout (its `cpu_threads` selects the CPU model: 1 →
+    /// legacy sequential baseline, 4/8 → the parallel models).
+    pub layout: PartitionLayout,
+    /// Measured performance profile.
+    pub profile: SystemProfile,
+    /// Host-side per-query overhead added to every GPU class estimate.
+    pub gpu_dispatch_overhead: f64,
+    /// Queries to complete.
+    pub queries: usize,
+    /// Closed-loop worker population (ignored by the open loop).
+    pub workers: usize,
+    /// Optional estimation noise: actual service time is the estimate
+    /// scaled by a uniform factor in `[1−σ, 1+σ]`, and the scheduler's
+    /// completion feedback corrects the queue clocks. `None` = exact model.
+    pub estimation_noise: Option<f64>,
+    /// RNG seed for the noise stream.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A paper-profile configuration with the given policy and CPU threads.
+    ///
+    /// The legacy (sequential) CPU model is the Table-1-calibrated variant,
+    /// so `cpu_threads == 1` reproduces the paper's 12 Q/s baseline.
+    pub fn paper(policy: Policy, cpu_threads: u32, queries: usize) -> Self {
+        let layout = PartitionLayout { cpu_threads, ..PartitionLayout::paper() };
+        let mut profile = SystemProfile::paper();
+        profile.legacy_cpu = holap_model::LegacyCpuModel::calibrated_table1();
+        Self {
+            policy,
+            layout,
+            profile,
+            gpu_dispatch_overhead: DEFAULT_GPU_DISPATCH_OVERHEAD,
+            queries,
+            workers: 8,
+            estimation_noise: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// `f64` ordered by `total_cmp` so completions can sit in a binary heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct RunState {
+    sched: Scheduler,
+    estimator: Estimator,
+    overhead: f64,
+    noise: Option<f64>,
+    rng: StdRng,
+    completed: u64,
+    met: u64,
+    latency_sum: f64,
+    latency_max: f64,
+    last_completion: f64,
+    per_gpu: Vec<u64>,
+}
+
+impl RunState {
+    fn new(cfg: &SimConfig) -> Self {
+        Self {
+            sched: Scheduler::new(cfg.layout.clone(), cfg.policy),
+            estimator: Estimator::new(cfg.profile.clone(), cfg.layout.clone()),
+            overhead: cfg.gpu_dispatch_overhead,
+            noise: cfg.estimation_noise,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            completed: 0,
+            met: 0,
+            latency_sum: 0.0,
+            latency_max: 0.0,
+            last_completion: 0.0,
+            per_gpu: vec![0; cfg.layout.gpu_partitions()],
+        }
+    }
+
+    /// Schedules one generated query at `now`; returns its completion time.
+    fn submit(&mut self, now: f64, generator: &mut QueryGenerator) -> f64 {
+        let q = generator.next_query();
+        let mut est: TaskEstimate = self.estimator.estimate(&q.features);
+        for t in &mut est.t_gpu_by_class {
+            *t += self.overhead;
+        }
+        let decision = self.sched.schedule(now, &est, q.deadline_secs);
+        let mut completion = decision.response_time;
+        if let Some(sigma) = self.noise {
+            let factor = self.rng.gen_range(1.0 - sigma..1.0 + sigma);
+            let actual = decision.t_proc * factor;
+            self.sched
+                .complete(decision.placement.partition_id(), decision.t_proc, actual);
+            completion += actual - decision.t_proc;
+        }
+        if let Placement::Gpu { partition } = decision.placement {
+            self.per_gpu[partition] += 1;
+        }
+        // Deadline accounting uses the (possibly noise-shifted) completion.
+        if completion <= decision.deadline {
+            self.met += 1;
+        }
+        self.completed += 1;
+        let latency = completion - now;
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        self.last_completion = self.last_completion.max(completion);
+        completion
+    }
+
+    fn report(self, queries: u64) -> SimReport {
+        let makespan = self.last_completion.max(f64::MIN_POSITIVE);
+        SimReport {
+            queries,
+            makespan_secs: makespan,
+            throughput_qps: queries as f64 / makespan,
+            met_deadline: self.met,
+            missed_deadline: queries - self.met,
+            mean_latency_secs: self.latency_sum / queries as f64,
+            max_latency_secs: self.latency_max,
+            sched: self.sched.stats().clone(),
+            per_gpu_partition: self.per_gpu,
+        }
+    }
+}
+
+/// Closed-loop saturation run: `cfg.workers` workers each keep exactly one
+/// query in flight. Reports saturation throughput — the "queries per
+/// second" metric of the paper's Tables 1–3.
+pub fn run_closed_loop(cfg: &SimConfig, generator: &mut QueryGenerator) -> SimReport {
+    assert!(cfg.workers > 0 && cfg.queries > 0);
+    let mut state = RunState::new(cfg);
+    let mut heap: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::new();
+    let mut submitted = 0usize;
+    for _ in 0..cfg.workers.min(cfg.queries) {
+        let c = state.submit(0.0, generator);
+        heap.push(Reverse(OrdF64(c)));
+        submitted += 1;
+    }
+    while let Some(Reverse(OrdF64(t))) = heap.pop() {
+        if submitted < cfg.queries {
+            let c = state.submit(t, generator);
+            heap.push(Reverse(OrdF64(c)));
+            submitted += 1;
+        }
+    }
+    state.report(cfg.queries as u64)
+}
+
+/// Open-loop run: Poisson arrivals at `lambda_qps` until `cfg.queries`
+/// queries have been submitted. Reports the deadline hit ratio and latency
+/// under that offered load.
+pub fn run_open_loop(
+    cfg: &SimConfig,
+    generator: &mut QueryGenerator,
+    lambda_qps: f64,
+) -> SimReport {
+    assert!(lambda_qps > 0.0 && cfg.queries > 0);
+    let mut state = RunState::new(cfg);
+    let mut arrival_rng = StdRng::seed_from_u64(cfg.seed ^ 0x00a1_1ce5);
+    let mut now = 0.0f64;
+    for _ in 0..cfg.queries {
+        let u: f64 = arrival_rng.gen_range(f64::MIN_POSITIVE..1.0);
+        now += -u.ln() / lambda_qps; // exponential inter-arrival
+        state.submit(now, generator);
+    }
+    state.report(cfg.queries as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_workload::{PaperHierarchy, WorkloadPreset};
+
+    fn generator(preset: WorkloadPreset, seed: u64) -> QueryGenerator {
+        QueryGenerator::preset(preset, &PaperHierarchy::default(), seed)
+    }
+
+    #[test]
+    fn closed_loop_counts_all_queries() {
+        let cfg = SimConfig::paper(Policy::Paper, 8, 500);
+        let mut g = generator(WorkloadPreset::Table3, 1);
+        let r = run_closed_loop(&cfg, &mut g);
+        assert_eq!(r.queries, 500);
+        assert_eq!(r.met_deadline + r.missed_deadline, 500);
+        assert_eq!(
+            r.sched.cpu_queries + r.sched.gpu_queries,
+            500,
+            "every query placed exactly once"
+        );
+        assert!(r.throughput_qps > 0.0);
+        assert!(r.mean_latency_secs > 0.0);
+        assert!(r.max_latency_secs >= r.mean_latency_secs);
+    }
+
+    #[test]
+    fn cpu_only_table1_is_single_queue_rate() {
+        // Closed-loop CPU-only throughput must equal 1 / mean service time.
+        let mut cfg = SimConfig::paper(Policy::CpuOnly, 8, 400);
+        cfg.workers = 2;
+        let mut g = generator(WorkloadPreset::Table1, 2);
+        let r = run_closed_loop(&cfg, &mut g);
+        assert_eq!(r.sched.gpu_queries, 0, "Table 1 queries are all CPU-answerable");
+        // 8T model at ~160 MB: ≈ 8.9 ms → ≈ 112 Q/s.
+        assert!(
+            r.throughput_qps > 95.0 && r.throughput_qps < 130.0,
+            "qps = {}",
+            r.throughput_qps
+        );
+    }
+
+    #[test]
+    fn sequential_layout_uses_legacy_model() {
+        let mut cfg = SimConfig::paper(Policy::CpuOnly, 1, 300);
+        cfg.workers = 2;
+        let mut g = generator(WorkloadPreset::Table1, 3);
+        let r = run_closed_loop(&cfg, &mut g);
+        // Legacy 1 GB/s model: ~160 MB → ≈ 157 ms → ≈ 6.4 Q/s.
+        assert!(r.throughput_qps < 20.0, "qps = {}", r.throughput_qps);
+    }
+
+    #[test]
+    fn more_cpu_threads_means_more_throughput() {
+        let mut rates = Vec::new();
+        for threads in [1u32, 4, 8] {
+            let mut cfg = SimConfig::paper(Policy::CpuOnly, threads, 300);
+            cfg.workers = 2;
+            let mut g = generator(WorkloadPreset::Table1, 4);
+            rates.push(run_closed_loop(&cfg, &mut g).throughput_qps);
+        }
+        assert!(rates[0] < rates[1] && rates[1] < rates[2], "{rates:?}");
+    }
+
+    #[test]
+    fn gpu_only_uses_all_partitions() {
+        let cfg = SimConfig::paper(Policy::GpuOnly, 8, 600);
+        let mut g = generator(WorkloadPreset::Table1, 5);
+        let r = run_closed_loop(&cfg, &mut g);
+        assert_eq!(r.sched.cpu_queries, 0);
+        for (i, &n) in r.per_gpu_partition.iter().enumerate() {
+            assert!(n > 0, "partition {i} unused");
+        }
+    }
+
+    #[test]
+    fn open_loop_low_load_meets_deadlines() {
+        let cfg = SimConfig::paper(Policy::Paper, 8, 300);
+        let mut g = generator(WorkloadPreset::Table3, 6);
+        let light = run_open_loop(&cfg, &mut g, 5.0);
+        assert!(light.deadline_hit_ratio() > 0.95, "{}", light.deadline_hit_ratio());
+    }
+
+    #[test]
+    fn open_loop_overload_misses_deadlines() {
+        let cfg = SimConfig::paper(Policy::Paper, 8, 2000);
+        let mut g = generator(WorkloadPreset::Table3, 7);
+        let heavy = run_open_loop(&cfg, &mut g, 500.0);
+        assert!(heavy.deadline_hit_ratio() < 0.5, "{}", heavy.deadline_hit_ratio());
+    }
+
+    #[test]
+    fn noise_with_feedback_preserves_throughput_scale() {
+        let base_cfg = SimConfig::paper(Policy::Paper, 8, 800);
+        let mut g1 = generator(WorkloadPreset::Table3, 8);
+        let base = run_closed_loop(&base_cfg, &mut g1);
+        let mut noisy_cfg = base_cfg.clone();
+        noisy_cfg.estimation_noise = Some(0.2);
+        let mut g2 = generator(WorkloadPreset::Table3, 8);
+        let noisy = run_closed_loop(&noisy_cfg, &mut g2);
+        let ratio = noisy.throughput_qps / base.throughput_qps;
+        assert!((0.8..1.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = SimConfig::paper(Policy::Paper, 4, 300);
+        let mut g1 = generator(WorkloadPreset::Table2, 9);
+        let mut g2 = generator(WorkloadPreset::Table2, 9);
+        assert_eq!(run_closed_loop(&cfg, &mut g1), run_closed_loop(&cfg, &mut g2));
+    }
+}

@@ -1,0 +1,227 @@
+//! Ready-made runs for every table of the paper's Section IV (plus the
+//! in-text GPU translation-overhead experiment and the scheduler-policy
+//! ablation). The `repro` binary in `holap-bench` prints these.
+
+use crate::report::SimReport;
+use crate::runner::{run_closed_loop, SimConfig};
+use holap_sched::Policy;
+use holap_workload::{PaperHierarchy, QueryGenerator, QueryMix, WorkloadPreset};
+use serde::{Deserialize, Serialize};
+
+/// Queries per scenario run — large enough that the closed-loop rate has
+/// converged.
+const RUN_QUERIES: usize = 4000;
+
+/// One labelled measured rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateRow {
+    /// Configuration label (e.g. "sequential", "4 threads").
+    pub label: String,
+    /// Measured saturation throughput, queries/second.
+    pub qps: f64,
+    /// The value the paper reports for this cell, if any.
+    pub paper_qps: Option<f64>,
+    /// The full report behind the rate.
+    pub report: SimReport,
+}
+
+fn generator(preset: WorkloadPreset, seed: u64) -> QueryGenerator {
+    QueryGenerator::preset(preset, &PaperHierarchy::default(), seed)
+}
+
+fn cpu_only_run(preset: WorkloadPreset, threads: u32, seed: u64) -> SimReport {
+    let mut cfg = SimConfig::paper(Policy::CpuOnly, threads, RUN_QUERIES);
+    cfg.workers = 2; // a single CPU queue: small population suffices
+    run_closed_loop(&cfg, &mut generator(preset, seed))
+}
+
+/// **Table 1** — CPU-only processing rate over the {~4 KB, ~500 KB,
+/// ~500 MB} cube set, for the sequential baseline and 4/8 threads.
+pub fn table1() -> Vec<RateRow> {
+    let cells = [(1u32, "sequential", 12.0), (4, "4 threads", 87.0), (8, "8 threads", 110.0)];
+    cells
+        .iter()
+        .map(|&(threads, label, paper)| {
+            let report = cpu_only_run(WorkloadPreset::Table1, threads, 101);
+            RateRow {
+                label: label.to_owned(),
+                qps: report.throughput_qps,
+                paper_qps: Some(paper),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// **Table 2** — CPU-only rate once the ~32 GB cube joins the set
+/// (4 and 8 threads; the paper does not report a sequential cell).
+pub fn table2() -> Vec<RateRow> {
+    let cells = [(4u32, "4 threads", 9.0), (8, "8 threads", 11.0)];
+    cells
+        .iter()
+        .map(|&(threads, label, paper)| {
+            let report = cpu_only_run(WorkloadPreset::Table2, threads, 102);
+            RateRow {
+                label: label.to_owned(),
+                qps: report.throughput_qps,
+                paper_qps: Some(paper),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// **Table 3** — the whole hybrid system (paper scheduler, all partitions)
+/// with the sequential / 4-thread / 8-thread CPU partition.
+pub fn table3() -> Vec<RateRow> {
+    let cells = [(1u32, "sequential", 102.0), (4, "4 threads", 206.0), (8, "8 threads", 228.0)];
+    cells
+        .iter()
+        .map(|&(threads, label, paper)| {
+            let mut cfg = SimConfig::paper(Policy::Paper, threads, RUN_QUERIES);
+            // Saturation measurement: a large closed-loop population builds
+            // enough backlog that the slowest-feasible-first rule spills
+            // past the 1-SM queues and every partition is kept busy.
+            cfg.workers = 128;
+            let report = run_closed_loop(&cfg, &mut generator(WorkloadPreset::Table3, 103));
+            RateRow {
+                label: label.to_owned(),
+                qps: report.throughput_qps,
+                paper_qps: Some(paper),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// **§IV in-text** — GPU-only processing with and without text-to-integer
+/// translation (paper: 69 → 64 Q/s, a ≈7 % slowdown).
+pub fn gpu_translation_effect() -> Vec<RateRow> {
+    let h = PaperHierarchy::default();
+    // Same query stream; the "without translation" variant strips the text
+    // parameters (the original system simply could not handle them).
+    let with_text = WorkloadPreset::Table3.mix();
+    let without_text = QueryMix {
+        classes: with_text
+            .classes
+            .iter()
+            .cloned()
+            .map(|mut c| {
+                c.text_prob = 0.0;
+                c.dict_len = 0;
+                c
+            })
+            .collect(),
+        ..with_text.clone()
+    };
+    let run = |mix: QueryMix, label: &str, paper: f64| {
+        let mut cfg = SimConfig::paper(Policy::GpuOnly, 8, RUN_QUERIES);
+        // Interactive (shallow-queue) operation: one query in flight per
+        // GPU partition. Translation then sits on the critical path of
+        // every translated query — the regime in which the paper observed
+        // its ≈7 % slowdown. Under deep backlog the same translation work
+        // is hidden behind queueing and the effect vanishes.
+        cfg.workers = cfg.layout.gpu_partitions();
+        let mut g = QueryGenerator::new(
+            h.catalog(WorkloadPreset::Table3.resolutions()),
+            h.total_columns(),
+            mix,
+            104,
+        );
+        let report = run_closed_loop(&cfg, &mut g);
+        RateRow {
+            label: label.to_owned(),
+            qps: report.throughput_qps,
+            paper_qps: Some(paper),
+            report,
+        }
+    };
+    vec![
+        run(without_text, "GPU only, no translation", 69.0),
+        run(with_text, "GPU only, with translation", 64.0),
+    ]
+}
+
+/// **Ablation** — every scheduling policy on the full Table-3 scenario
+/// (8-thread CPU partition). Not in the paper; quantifies what the
+/// Figure-10 algorithm buys over the related-work heuristics it cites.
+pub fn policy_ablation() -> Vec<RateRow> {
+    Policy::ALL
+        .iter()
+        .map(|&policy| {
+            let mut cfg = SimConfig::paper(policy, 8, RUN_QUERIES);
+            cfg.workers = 128; // saturation, as in table3()
+            let report = run_closed_loop(&cfg, &mut generator(WorkloadPreset::Table3, 105));
+            RateRow {
+                label: policy.name().to_owned(),
+                qps: report.throughput_qps,
+                paper_qps: None,
+                report,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let rows = table1();
+        assert_eq!(rows.len(), 3);
+        let (seq, t4, t8) = (rows[0].qps, rows[1].qps, rows[2].qps);
+        assert!(seq < t4 && t4 < t8, "{seq} {t4} {t8}");
+        // Paper speed-ups: 4T ≈ 7.3×, 8T ≈ 9.2× over sequential. Allow a
+        // generous band — the shape, not the third digit, must transfer.
+        assert!(t4 / seq > 4.0 && t4 / seq < 16.0, "4T/seq = {}", t4 / seq);
+        assert!(t8 / t4 > 1.05 && t8 / t4 < 2.0, "8T/4T = {}", t8 / t4);
+    }
+
+    #[test]
+    fn table2_big_cube_slows_cpu_to_single_digits() {
+        let rows = table2();
+        for r in &rows {
+            assert!(r.qps < 25.0, "{}: {}", r.label, r.qps);
+            assert!(r.qps > 3.0, "{}: {}", r.label, r.qps);
+        }
+        assert!(rows[0].qps < rows[1].qps, "8T beats 4T");
+    }
+
+    #[test]
+    fn table3_hybrid_beats_its_parts() {
+        let hybrid = table3();
+        let t1 = table1();
+        let gpu = gpu_translation_effect();
+        // 8T hybrid > 8T CPU alone and > GPU alone.
+        assert!(hybrid[2].qps > t1[2].qps, "{} vs {}", hybrid[2].qps, t1[2].qps);
+        assert!(hybrid[2].qps > gpu[1].qps, "{} vs {}", hybrid[2].qps, gpu[1].qps);
+        // Parallelising the CPU partition lifts the hybrid total ≈2×
+        // (paper: 102 → 228, i.e. 2.24×).
+        let lift = hybrid[2].qps / hybrid[0].qps;
+        assert!(lift > 1.3, "lift = {lift}");
+    }
+
+    #[test]
+    fn translation_costs_single_digit_percent() {
+        let rows = gpu_translation_effect();
+        let (without, with) = (rows[0].qps, rows[1].qps);
+        let slowdown = 1.0 - with / without;
+        assert!(
+            slowdown > 0.01 && slowdown < 0.20,
+            "translation slowdown = {slowdown} ({without} → {with})"
+        );
+    }
+
+    #[test]
+    fn paper_policy_is_competitive_in_ablation() {
+        let rows = policy_ablation();
+        let paper = rows.iter().find(|r| r.label == "paper").unwrap().qps;
+        let met = rows.iter().find(|r| r.label == "met").unwrap().qps;
+        let cpu_only = rows.iter().find(|r| r.label == "cpu-only").unwrap().qps;
+        // The deadline-aware policy must beat the load-blind MET heuristic
+        // and single-resource scheduling on the hybrid workload.
+        assert!(paper > met, "paper {paper} vs met {met}");
+        assert!(paper > cpu_only, "paper {paper} vs cpu-only {cpu_only}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Cube persistence: schema + grid header, chunk payloads (dense chunks
+//! as raw arrays, compressed chunks stay in chunk-offset form).
+
+use crate::error::StoreError;
+use crate::format::{ArtifactKind, Reader, Writer};
+use holap_cube::{Chunk, ChunkGrid, CubeSchema, MolapCube};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+#[derive(Serialize, Deserialize)]
+struct CubeHeader {
+    schema: CubeSchema,
+    resolution: usize,
+    grid: ChunkGrid,
+}
+
+const CHUNK_DENSE: u8 = 0;
+const CHUNK_SPARSE: u8 = 1;
+
+/// Saves a cube.
+pub fn save_cube(path: &Path, cube: &MolapCube) -> Result<(), StoreError> {
+    let (schema, resolution, grid, chunks) = cube.parts();
+    let header =
+        CubeHeader { schema: schema.clone(), resolution, grid: grid.clone() };
+    let mut w = Writer::new(ArtifactKind::Cube, &header)?;
+    w.put_u64(chunks.len() as u64);
+    for chunk in chunks {
+        match chunk {
+            Chunk::Dense { sums, counts } => {
+                w.put_u8(CHUNK_DENSE);
+                w.put_f64_array(sums);
+                w.put_u64_array(counts);
+            }
+            Chunk::Sparse { offsets, sums, counts } => {
+                w.put_u8(CHUNK_SPARSE);
+                w.put_u32_array(offsets);
+                w.put_f64_array(sums);
+                w.put_u64_array(counts);
+            }
+        }
+    }
+    w.finish(path)
+}
+
+/// Loads a cube.
+pub fn load_cube(path: &Path) -> Result<MolapCube, StoreError> {
+    let mut r = Reader::open(path, ArtifactKind::Cube)?;
+    let header: CubeHeader = r.header()?;
+    let n = r.u64()? as usize;
+    if n != header.grid.chunk_count() {
+        return Err(StoreError::Invalid(format!(
+            "file holds {n} chunks, grid expects {}",
+            header.grid.chunk_count()
+        )));
+    }
+    let mut chunks = Vec::with_capacity(n);
+    for i in 0..n {
+        let tag = r.u8()?;
+        let chunk = match tag {
+            CHUNK_DENSE => {
+                let sums = r.f64_array()?;
+                let counts = r.u64_array()?;
+                Chunk::Dense { sums, counts }
+            }
+            CHUNK_SPARSE => {
+                let offsets = r.u32_array()?;
+                let sums = r.f64_array()?;
+                let counts = r.u64_array()?;
+                Chunk::Sparse { offsets, sums, counts }
+            }
+            other => {
+                return Err(StoreError::Invalid(format!("chunk {i} has unknown tag {other}")))
+            }
+        };
+        chunks.push(chunk);
+    }
+    r.finish()?;
+    MolapCube::from_parts(header.schema, header.resolution, header.grid, chunks)
+        .map_err(StoreError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_cube::Region;
+    use holap_table::TableSchema;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("holap-cube-{tag}-{}.holap", std::process::id()))
+    }
+
+    fn cube() -> MolapCube {
+        let schema = CubeSchema::from_table_schema(
+            &TableSchema::builder()
+                .dimension("a", &[("l0", 4), ("l1", 16)])
+                .dimension("b", &[("l0", 4), ("l1", 8)])
+                .measure("m")
+                .build(),
+        );
+        let mut cube = MolapCube::build_empty_with_chunks(schema, 1, 5);
+        let mut x = 11u64;
+        for _ in 0..60 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cube.add(&[(x >> 5) as u32 % 16, (x >> 13) as u32 % 8], (x % 50) as f64, 1);
+        }
+        cube
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let c = cube();
+        let path = temp("dense");
+        save_cube(&path, &c).unwrap();
+        let back = load_cube(&path).unwrap();
+        assert_eq!(back, c);
+        let full = Region::full(c.shape());
+        assert_eq!(back.aggregate_seq(&full), c.aggregate_seq(&full));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let mut c = cube();
+        assert!(c.compress() > 0, "sparse content compresses");
+        let path = temp("sparse");
+        save_cube(&path, &c).unwrap();
+        let back = load_cube(&path).unwrap();
+        assert_eq!(back, c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_chunk_count_rejected() {
+        let c = cube();
+        let (schema, resolution, grid, chunks) = c.parts();
+        let header =
+            CubeHeader { schema: schema.clone(), resolution, grid: grid.clone() };
+        let path = temp("badcount");
+        let mut w = Writer::new(ArtifactKind::Cube, &header).unwrap();
+        w.put_u64((chunks.len() - 1) as u64); // lie about the count
+        w.finish(&path).unwrap();
+        assert!(matches!(load_cube(&path), Err(StoreError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_chunk_tag_rejected() {
+        let schema = CubeSchema::from_table_schema(
+            &TableSchema::builder().dimension("a", &[("l", 2)]).measure("m").build(),
+        );
+        let grid = ChunkGrid::new(vec![2], 64);
+        let header = CubeHeader { schema, resolution: 0, grid };
+        let path = temp("badtag");
+        let mut w = Writer::new(ArtifactKind::Cube, &header).unwrap();
+        w.put_u64(1);
+        w.put_u8(9);
+        w.finish(&path).unwrap();
+        assert!(matches!(load_cube(&path), Err(StoreError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

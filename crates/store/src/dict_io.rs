@@ -1,0 +1,153 @@
+//! Dictionary persistence: per-column entry lists with kind tags.
+//!
+//! Entries are written in code order, so rebuilding with each
+//! implementation's `build` reproduces identical codes: linear and hashed
+//! dictionaries assign first-seen order (= the written order), and the
+//! sorted dictionary re-derives ranks from the (already sorted) entries.
+
+use crate::error::StoreError;
+use crate::format::{ArtifactKind, Reader, Writer};
+use holap_dict::{DictKind, Dictionary, DictionarySet};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+#[derive(Serialize, Deserialize)]
+struct DictsHeader {
+    kind: DictKind,
+    columns: Vec<String>,
+}
+
+fn kind_tag(kind: DictKind) -> u8 {
+    match kind {
+        DictKind::Linear => 1,
+        DictKind::Sorted => 2,
+        DictKind::Hashed => 3,
+    }
+}
+
+fn tag_kind(tag: u8) -> Option<DictKind> {
+    match tag {
+        1 => Some(DictKind::Linear),
+        2 => Some(DictKind::Sorted),
+        3 => Some(DictKind::Hashed),
+        _ => None,
+    }
+}
+
+/// Saves a dictionary set.
+pub fn save_dicts(path: &Path, dicts: &DictionarySet) -> Result<(), StoreError> {
+    let columns: Vec<String> = dicts.columns().map(str::to_owned).collect();
+    let header = DictsHeader { kind: dicts.kind(), columns: columns.clone() };
+    let mut w = Writer::new(ArtifactKind::Dicts, &header)?;
+    for column in &columns {
+        let dict = dicts.dictionary(column).expect("listed column exists");
+        w.put_u8(kind_tag(dict.kind()));
+        w.put_u64(dict.len() as u64);
+        for code in 0..dict.len() as u32 {
+            w.put_str(dict.decode(code).expect("dense codes"));
+        }
+    }
+    w.finish(path)
+}
+
+/// Loads a dictionary set.
+pub fn load_dicts(path: &Path) -> Result<DictionarySet, StoreError> {
+    let mut r = Reader::open(path, ArtifactKind::Dicts)?;
+    let header: DictsHeader = r.header()?;
+    let mut set = DictionarySet::new(header.kind);
+    for column in &header.columns {
+        let tag = r.u8()?;
+        let kind = tag_kind(tag)
+            .ok_or_else(|| StoreError::Invalid(format!("unknown dictionary tag {tag}")))?;
+        if kind != header.kind {
+            return Err(StoreError::Invalid(format!(
+                "column `{column}` has kind {kind:?}, set is {:?}",
+                header.kind
+            )));
+        }
+        let len = r.u64()? as usize;
+        let mut entries = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            entries.push(r.str()?);
+        }
+        let codes = set.build_column(column, entries.iter().map(String::as_str));
+        // Entries were written in code order; rebuilding must reproduce
+        // exactly those codes, or the stored fact table's code columns
+        // would silently decode to the wrong strings.
+        if !codes.iter().enumerate().all(|(i, &c)| c as usize == i) {
+            return Err(StoreError::Invalid(format!(
+                "column `{column}`: rebuilt codes disagree with stored order \
+                 (duplicate or unsorted entries)"
+            )));
+        }
+    }
+    r.finish()?;
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("holap-dict-{tag}-{}.holap", std::process::id()))
+    }
+
+    fn sample(kind: DictKind) -> DictionarySet {
+        let mut set = DictionarySet::new(kind);
+        set.build_column("city", ["delta", "alpha", "charlie", "bravo"]);
+        set.build_column("brand", ["z1", "a2", "m3"]);
+        set
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+            let set = sample(kind);
+            let path = temp(&format!("{kind:?}"));
+            save_dicts(&path, &set).unwrap();
+            let back = load_dicts(&path).unwrap();
+            assert_eq!(back, set, "{kind:?}");
+            // Codes must be identical, not just sets of strings.
+            for column in set.columns() {
+                let a = set.dictionary(column).unwrap();
+                let b = back.dictionary(column).unwrap();
+                for code in 0..a.len() as u32 {
+                    assert_eq!(a.decode(code), b.decode(code), "{kind:?} {column} {code}");
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn unicode_entries_survive() {
+        let mut set = DictionarySet::new(DictKind::Sorted);
+        set.build_column("names", ["Ångström", "Ω", "héllo", "中文"]);
+        let path = temp("unicode");
+        save_dicts(&path, &set).unwrap();
+        assert_eq!(load_dicts(&path).unwrap(), set);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_set_roundtrip() {
+        let set = DictionarySet::new(DictKind::Linear);
+        let path = temp("emptyset");
+        save_dicts(&path, &set).unwrap();
+        let back = load_dicts(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let header = DictsHeader { kind: DictKind::Linear, columns: vec!["c".into()] };
+        let path = temp("badtag");
+        let mut w = Writer::new(ArtifactKind::Dicts, &header).unwrap();
+        w.put_u8(77);
+        w.finish(&path).unwrap();
+        assert!(matches!(load_dicts(&path), Err(StoreError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

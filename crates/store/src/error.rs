@@ -1,0 +1,62 @@
+//! Persistence errors.
+
+use crate::format::ArtifactKind;
+use std::fmt;
+
+/// Anything that can go wrong while saving or loading an artefact.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the format magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    BadVersion(u32),
+    /// The file holds a different artefact kind than requested.
+    WrongKind {
+        /// Kind found in the file.
+        found: u8,
+        /// Kind the caller asked for.
+        expected: ArtifactKind,
+    },
+    /// The trailing digest does not match — truncation or bit-rot.
+    Corrupt(String),
+    /// The payload is structurally invalid (lengths, ranges, schema).
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::BadMagic => write!(f, "not a holap store file (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            Self::WrongKind { found, expected } => {
+                write!(f, "file holds artefact kind {found}, expected {expected:?}")
+            }
+            Self::Corrupt(ctx) => write!(f, "corrupt file: {ctx}"),
+            Self::Invalid(ctx) => write!(f, "invalid payload: {ctx}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Invalid(format!("header: {e}"))
+    }
+}

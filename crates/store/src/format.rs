@@ -1,0 +1,333 @@
+//! Binary container primitives: magic, sections, digests.
+
+use crate::error::StoreError;
+use bytes::{Buf, BufMut, BytesMut};
+use std::path::Path;
+
+/// File magic: "HOLAPST" + format generation digit.
+pub const MAGIC: &[u8; 8] = b"HOLAPST1";
+
+/// Current format version (bumped on incompatible layout changes).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// What a store file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ArtifactKind {
+    /// A columnar fact table.
+    Table = 1,
+    /// A MOLAP cube.
+    Cube = 2,
+    /// A dictionary set.
+    Dicts = 3,
+}
+
+/// FNV-1a 64 over a byte stream — the trailing integrity digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A write cursor for one artefact file.
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Starts a file of the given kind with a JSON header.
+    pub fn new<H: serde::Serialize>(kind: ArtifactKind, header: &H) -> Result<Self, StoreError> {
+        let mut buf = BytesMut::with_capacity(1 << 16);
+        buf.put_slice(MAGIC);
+        buf.put_u8(kind as u8);
+        buf.put_u32_le(FORMAT_VERSION);
+        let header = serde_json::to_vec(header)?;
+        buf.put_u32_le(u32::try_from(header.len()).expect("header fits in u32"));
+        buf.put_slice(&header);
+        Ok(Self { buf })
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a `u32` (LE).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a `u64` (LE).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a length-prefixed `u32` array.
+    pub fn put_u32_array(&mut self, values: &[u32]) {
+        self.put_u64(values.len() as u64);
+        self.buf.reserve(values.len() * 4);
+        for &v in values {
+            self.buf.put_u32_le(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` array.
+    pub fn put_u64_array(&mut self, values: &[u64]) {
+        self.put_u64(values.len() as u64);
+        self.buf.reserve(values.len() * 8);
+        for &v in values {
+            self.buf.put_u64_le(v);
+        }
+    }
+
+    /// Appends a length-prefixed `f64` array (IEEE-754 LE bits).
+    pub fn put_f64_array(&mut self, values: &[f64]) {
+        self.put_u64(values.len() as u64);
+        self.buf.reserve(values.len() * 8);
+        for &v in values {
+            self.buf.put_f64_le(v);
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Appends the digest and writes the file atomically (write-to-temp +
+    /// rename).
+    pub fn finish(mut self, path: &Path) -> Result<(), StoreError> {
+        let digest = fnv1a(&self.buf[MAGIC.len()..]);
+        self.buf.put_u64_le(digest);
+        let tmp = path.with_extension("holap.tmp");
+        std::fs::write(&tmp, &self.buf)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// A read cursor over one artefact file.
+pub struct Reader {
+    data: Vec<u8>,
+    pos: usize,
+    payload_end: usize,
+}
+
+impl Reader {
+    /// Opens a file, validating magic, kind, version and digest, and
+    /// returns the reader positioned at the header.
+    pub fn open(path: &Path, expected: ArtifactKind) -> Result<Self, StoreError> {
+        let data = std::fs::read(path)?;
+        if data.len() < MAGIC.len() + 1 + 4 + 8 || &data[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let payload_end = data.len() - 8;
+        let stored = u64::from_le_bytes(
+            data[payload_end..].try_into().expect("8 trailing bytes"),
+        );
+        let actual = fnv1a(&data[MAGIC.len()..payload_end]);
+        if stored != actual {
+            return Err(StoreError::Corrupt(format!(
+                "digest mismatch: stored {stored:#x}, computed {actual:#x}"
+            )));
+        }
+        let mut r = Self { data, pos: MAGIC.len(), payload_end };
+        let kind = r.u8()?;
+        if kind != expected as u8 {
+            return Err(StoreError::WrongKind { found: kind, expected });
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        Ok(r)
+    }
+
+    /// Parses the JSON header.
+    pub fn header<H: serde::de::DeserializeOwned>(&mut self) -> Result<H, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        Ok(serde_json::from_slice(bytes)?)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        if self.pos + n > self.payload_end {
+            return Err(StoreError::Corrupt("unexpected end of payload".into()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32` (LE).
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let mut s = self.take(4)?;
+        Ok(s.get_u32_le())
+    }
+
+    /// Reads a `u64` (LE).
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let mut s = self.take(8)?;
+        Ok(s.get_u64_le())
+    }
+
+    fn array_len(&mut self, elem_bytes: usize) -> Result<usize, StoreError> {
+        let len = self.u64()? as usize;
+        if len.saturating_mul(elem_bytes) > self.payload_end - self.pos {
+            return Err(StoreError::Corrupt(format!("array of {len} elements overruns file")));
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed `u32` array.
+    pub fn u32_array(&mut self) -> Result<Vec<u32>, StoreError> {
+        let len = self.array_len(4)?;
+        let mut s = self.take(len * 4)?;
+        Ok((0..len).map(|_| s.get_u32_le()).collect())
+    }
+
+    /// Reads a length-prefixed `u64` array.
+    pub fn u64_array(&mut self) -> Result<Vec<u64>, StoreError> {
+        let len = self.array_len(8)?;
+        let mut s = self.take(len * 8)?;
+        Ok((0..len).map(|_| s.get_u64_le()).collect())
+    }
+
+    /// Reads a length-prefixed `f64` array.
+    pub fn f64_array(&mut self) -> Result<Vec<f64>, StoreError> {
+        let len = self.array_len(8)?;
+        let mut s = self.take(len * 8)?;
+        Ok((0..len).map(|_| s.get_f64_le()).collect())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.array_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("invalid UTF-8 string".into()))
+    }
+
+    /// Verifies that the payload was fully consumed.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.pos != self.payload_end {
+            return Err(StoreError::Corrupt(format!(
+                "{} unread payload bytes",
+                self.payload_end - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("holap-fmt-{tag}-{}.holap", std::process::id()))
+    }
+
+    #[test]
+    fn primitive_roundtrip() {
+        let path = temp("prim");
+        let mut w = Writer::new(ArtifactKind::Table, &"hdr").unwrap();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u32_array(&[1, 2, 3]);
+        w.put_u64_array(&[9, 8]);
+        w.put_f64_array(&[1.5, -2.25]);
+        w.put_str("héllo");
+        w.finish(&path).unwrap();
+
+        let mut r = Reader::open(&path, ArtifactKind::Table).unwrap();
+        assert_eq!(r.header::<String>().unwrap(), "hdr");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u32_array().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u64_array().unwrap(), vec![9, 8]);
+        assert_eq!(r.f64_array().unwrap(), vec![1.5, -2.25]);
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = temp("corrupt");
+        let mut w = Writer::new(ArtifactKind::Cube, &42u32).unwrap();
+        w.put_u32_array(&[1, 2, 3, 4]);
+        w.finish(&path).unwrap();
+        // Flip one payload byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Reader::open(&path, ArtifactKind::Cube),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = temp("trunc");
+        let mut w = Writer::new(ArtifactKind::Cube, &1u32).unwrap();
+        w.put_f64_array(&[1.0; 100]);
+        w.finish(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 32]).unwrap();
+        assert!(Reader::open(&path, ArtifactKind::Cube).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_and_magic_rejected() {
+        let path = temp("kind");
+        Writer::new(ArtifactKind::Dicts, &0u8).unwrap().finish(&path).unwrap();
+        assert!(matches!(
+            Reader::open(&path, ArtifactKind::Table),
+            Err(StoreError::WrongKind { found: 3, .. })
+        ));
+        std::fs::write(&path, b"garbage!").unwrap();
+        assert!(matches!(Reader::open(&path, ArtifactKind::Table), Err(StoreError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_array_header_is_rejected_not_allocated() {
+        // A tiny file claiming a huge array must fail cleanly.
+        let path = temp("huge");
+        let mut w = Writer::new(ArtifactKind::Table, &0u8).unwrap();
+        w.put_u64(u64::MAX / 2); // bogus length, no data behind it
+        w.finish(&path).unwrap();
+        let mut r = Reader::open(&path, ArtifactKind::Table).unwrap();
+        let _: u8 = r.header().unwrap();
+        assert!(matches!(r.u32_array(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leftover_payload_is_reported() {
+        let path = temp("leftover");
+        let mut w = Writer::new(ArtifactKind::Table, &0u8).unwrap();
+        w.put_u32(5);
+        w.finish(&path).unwrap();
+        let mut r = Reader::open(&path, ArtifactKind::Table).unwrap();
+        let _: u8 = r.header().unwrap();
+        assert!(matches!(r.finish(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,145 @@
+//! Binary on-disk persistence for the hybrid OLAP system's data artefacts.
+//!
+//! The array-based cube algorithms the paper builds on assume chunked
+//! cubes "stored on disk" with chunks matching the disk blocking (Zhao et
+//! al., §II-B), and a production OLAP system must survive restarts without
+//! re-aggregating terabytes. This crate provides a compact, checksummed
+//! binary container for:
+//!
+//! * [`FactTable`] — schema header + raw little-endian column pools;
+//! * [`MolapCube`] — schema header + chunk grid + dense/sparse chunk
+//!   payloads (compressed chunks stay compressed on disk);
+//! * [`DictionarySet`] — per-column dictionaries with their kind tag.
+//!
+//! # Format
+//!
+//! ```text
+//! magic   "HOLAPST1"                            8 bytes
+//! kind    u8 (1 = table, 2 = cube, 3 = dicts)   1 byte
+//! header  u32 length + JSON (schema, metadata)
+//! payload sections (kind-specific, length-prefixed arrays)
+//! digest  u64 FNV-1a over everything before it
+//! ```
+//!
+//! All integers are little-endian. The trailing digest detects truncation
+//! and bit-rot ([`StoreError::Corrupt`]); the magic/kind/version bytes
+//! reject foreign files ([`StoreError::BadMagic`] /
+//! [`StoreError::WrongKind`]).
+//!
+//! # Example
+//!
+//! ```
+//! use holap_store::{load_table, save_table};
+//! use holap_table::{FactTableBuilder, TableSchema};
+//!
+//! let schema = TableSchema::builder().dimension("d", &[("l", 4)]).measure("m").build();
+//! let mut b = FactTableBuilder::new(schema);
+//! b.push_row(&[1], &[2.0]).unwrap();
+//! let table = b.finish();
+//!
+//! let dir = std::env::temp_dir().join("holap-store-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("facts.holap");
+//! save_table(&path, &table).unwrap();
+//! assert_eq!(load_table(&path).unwrap(), table);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cube_io;
+mod dict_io;
+mod error;
+pub mod format;
+mod table_io;
+
+pub use cube_io::{load_cube, save_cube};
+pub use dict_io::{load_dicts, save_dicts};
+pub use error::StoreError;
+pub use format::{ArtifactKind, FORMAT_VERSION};
+pub use table_io::{load_table, save_table};
+
+use holap_cube::MolapCube;
+use holap_dict::DictionarySet;
+use holap_table::FactTable;
+use std::path::Path;
+
+/// Saves a whole system image — table, cubes and dictionaries — into a
+/// directory (one file per artefact).
+pub fn save_system(
+    dir: &Path,
+    table: &FactTable,
+    cubes: &[&MolapCube],
+    dicts: &DictionarySet,
+) -> Result<(), StoreError> {
+    std::fs::create_dir_all(dir)?;
+    save_table(&dir.join("facts.holap"), table)?;
+    save_dicts(&dir.join("dicts.holap"), dicts)?;
+    for cube in cubes {
+        save_cube(&dir.join(format!("cube-r{}.holap", cube.resolution())), cube)?;
+    }
+    Ok(())
+}
+
+/// Loads a system image saved by [`save_system`]. Cube files are
+/// discovered by their `cube-r<resolution>.holap` names.
+pub fn load_system(
+    dir: &Path,
+) -> Result<(FactTable, Vec<MolapCube>, DictionarySet), StoreError> {
+    let table = load_table(&dir.join("facts.holap"))?;
+    let dicts = load_dicts(&dir.join("dicts.holap"))?;
+    let mut cubes = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            if name.starts_with("cube-r") && name.ends_with(".holap") {
+                cubes.push(load_cube(&path)?);
+            }
+        }
+    }
+    cubes.sort_by_key(MolapCube::resolution);
+    Ok((table, cubes, dicts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_cube::CubeSchema;
+    use holap_dict::DictKind;
+    use holap_table::{FactTableBuilder, TableSchema};
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("holap-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn whole_system_roundtrip() {
+        let schema = TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 16)])
+            .dimension("geo", &[("city", 8)])
+            .measure("sales")
+            .build();
+        let mut b = FactTableBuilder::new(schema.clone());
+        for i in 0..500u32 {
+            b.push_row(&[i % 4, i % 16, i % 8], &[i as f64]).unwrap();
+        }
+        let table = b.finish();
+        let cschema = CubeSchema::from_table_schema(&schema);
+        let mut fine = MolapCube::build_from_table(cschema.clone(), 1, &table, 0);
+        fine.compress();
+        let coarse = fine.rollup_to(0);
+        let mut dicts = DictionarySet::new(DictKind::Sorted);
+        dicts.build_column("geo.city", ["a", "b", "c"]);
+
+        let dir = tempdir("system");
+        save_system(&dir, &table, &[&fine, &coarse], &dicts).unwrap();
+        let (t2, cubes, d2) = load_system(&dir).unwrap();
+        assert_eq!(t2, table);
+        assert_eq!(cubes.len(), 2);
+        assert_eq!(cubes[0], coarse);
+        assert_eq!(cubes[1], fine);
+        assert_eq!(d2, dicts);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,111 @@
+//! Fact-table persistence: JSON schema header + raw column pools.
+
+use crate::error::StoreError;
+use crate::format::{ArtifactKind, Reader, Writer};
+use holap_table::{FactTable, TableSchema};
+use std::path::Path;
+
+/// Saves a fact table.
+pub fn save_table(path: &Path, table: &FactTable) -> Result<(), StoreError> {
+    let schema = table.schema();
+    let mut w = Writer::new(ArtifactKind::Table, schema)?;
+    w.put_u64(table.rows() as u64);
+    for (d, ds) in schema.dimensions.iter().enumerate() {
+        for l in 0..ds.levels.len() {
+            w.put_u32_array(table.dim_column(d, l));
+        }
+    }
+    for m in 0..schema.measures.len() {
+        w.put_f64_array(table.measure_column(m));
+    }
+    w.finish(path)
+}
+
+/// Loads a fact table.
+pub fn load_table(path: &Path) -> Result<FactTable, StoreError> {
+    let mut r = Reader::open(path, ArtifactKind::Table)?;
+    let schema: TableSchema = r.header()?;
+    let rows = r.u64()? as usize;
+    let mut dim_columns = Vec::with_capacity(schema.dim_column_count());
+    for _ in 0..schema.dim_column_count() {
+        dim_columns.push(r.u32_array()?);
+    }
+    let mut measure_columns = Vec::with_capacity(schema.measures.len());
+    for _ in 0..schema.measures.len() {
+        measure_columns.push(r.f64_array()?);
+    }
+    r.finish()?;
+    if dim_columns.iter().any(|c| c.len() != rows)
+        || measure_columns.iter().any(|c| c.len() != rows)
+    {
+        return Err(StoreError::Invalid("column length disagrees with row count".into()));
+    }
+    FactTable::from_parts(schema, dim_columns, measure_columns).map_err(StoreError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_table::{AggOp, AggSpec, ColumnId, FactTableBuilder, Predicate, ScanQuery};
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("holap-table-{tag}-{}.holap", std::process::id()))
+    }
+
+    fn table(rows: u32) -> FactTable {
+        let schema = TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 16)])
+            .dimension("geo", &[("city", 8)])
+            .measure("sales")
+            .measure("qty")
+            .build();
+        let mut b = FactTableBuilder::new(schema);
+        for i in 0..rows {
+            b.push_row(&[i % 4, i % 16, i % 8], &[i as f64 * 1.5, (i % 7) as f64])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_table_and_answers() {
+        let t = table(2000);
+        let path = temp("roundtrip");
+        save_table(&path, &t).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back, t);
+        // Loaded table answers queries identically.
+        let q = ScanQuery::new()
+            .filter(Predicate::range(ColumnId::dim(0, 1), 3, 12))
+            .aggregate(AggSpec::new(AggOp::Sum, Some(0)))
+            .aggregate(AggSpec::count_star());
+        assert_eq!(back.scan_seq(&q).unwrap(), t.scan_seq(&q).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = table(0);
+        let path = temp("empty");
+        save_table(&path, &t).unwrap();
+        assert_eq!(load_table(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_coordinate_is_rejected() {
+        // Corrupting a coordinate past its cardinality must fail validation
+        // — rebuild the file with a bad value but a valid digest, by
+        // writing it through the Writer.
+        use crate::format::Writer;
+        let path = temp("tamper");
+        let schema = TableSchema::builder().dimension("d", &[("l", 4)]).measure("m").build();
+        let mut w = Writer::new(ArtifactKind::Table, &schema).unwrap();
+        w.put_u64(1);
+        w.put_u32_array(&[9]); // 9 >= cardinality 4
+        w.put_f64_array(&[1.0]);
+        w.finish(&path).unwrap();
+        assert!(matches!(load_table(&path), Err(StoreError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,159 @@
+//! Pooled columnar storage: the paper's "1D array memory structure".
+//!
+//! All dimension data of a table lives in one contiguous `u32` pool and all
+//! measure data in one contiguous `f64` pool, each column occupying a
+//! `(offset, len)` window. This mirrors the paper's GPU memory layout
+//! ("placing all columns of the table one after another", Fig. 6) and makes
+//! byte-level memory accounting trivial for the GPU simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A `(offset, len)` window into a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Window {
+    offset: usize,
+    len: usize,
+}
+
+/// Contiguous pool of `u32` columns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct U32Pool {
+    data: Vec<u32>,
+    windows: Vec<Window>,
+}
+
+impl U32Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a column and returns its index in the pool.
+    pub fn push_column(&mut self, values: Vec<u32>) -> usize {
+        let offset = self.data.len();
+        let len = values.len();
+        self.data.extend(values);
+        self.windows.push(Window { offset, len });
+        self.windows.len() - 1
+    }
+
+    /// Read-only view of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn column(&self, idx: usize) -> &[u32] {
+        let w = self.windows[idx];
+        &self.data[w.offset..w.offset + w.len]
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total bytes occupied by the pool's data.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+/// Contiguous pool of `f64` columns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct F64Pool {
+    data: Vec<f64>,
+    windows: Vec<Window>,
+}
+
+impl F64Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a column and returns its index in the pool.
+    pub fn push_column(&mut self, values: Vec<f64>) -> usize {
+        let offset = self.data.len();
+        let len = values.len();
+        self.data.extend(values);
+        self.windows.push(Window { offset, len });
+        self.windows.len() - 1
+    }
+
+    /// Read-only view of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn column(&self, idx: usize) -> &[f64] {
+        let w = self.windows[idx];
+        &self.data[w.offset..w.offset + w.len]
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total bytes occupied by the pool's data.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+/// The two pools of one fact table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStore {
+    /// Dimension (and dictionary-code) columns.
+    pub dims: U32Pool,
+    /// Measure columns.
+    pub measures: F64Pool,
+}
+
+impl ColumnStore {
+    /// Total bytes of column data — what the table occupies in (simulated)
+    /// GPU global memory.
+    pub fn bytes(&self) -> usize {
+        self.dims.bytes() + self.measures.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_contiguous_and_ordered() {
+        let mut pool = U32Pool::new();
+        let a = pool.push_column(vec![1, 2, 3]);
+        let b = pool.push_column(vec![4, 5]);
+        assert_eq!(pool.column(a), &[1, 2, 3]);
+        assert_eq!(pool.column(b), &[4, 5]);
+        assert_eq!(pool.columns(), 2);
+        assert_eq!(pool.bytes(), 5 * 4);
+    }
+
+    #[test]
+    fn f64_pool_bytes() {
+        let mut pool = F64Pool::new();
+        pool.push_column(vec![1.0; 10]);
+        assert_eq!(pool.bytes(), 80);
+    }
+
+    #[test]
+    fn store_totals() {
+        let mut store = ColumnStore::default();
+        store.dims.push_column(vec![0; 100]);
+        store.measures.push_column(vec![0.0; 100]);
+        assert_eq!(store.bytes(), 400 + 800);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_column_panics() {
+        let pool = U32Pool::new();
+        pool.column(0);
+    }
+}

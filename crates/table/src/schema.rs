@@ -1,0 +1,236 @@
+//! Fact-table schemas: dimensions with resolution levels, and measures.
+
+use serde::{Deserialize, Serialize};
+
+/// One resolution level of a dimension (e.g. `year`, `month`, `day`).
+///
+/// Level values are dense coordinates `0..cardinality`; finer levels have
+/// larger cardinalities (paper Fig. 1: resolution grows down the hierarchy).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelSchema {
+    /// Human-readable level name.
+    pub name: String,
+    /// Number of distinct coordinates at this level.
+    pub cardinality: u32,
+}
+
+/// A dimension with its ordered resolution levels (coarsest first).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimensionSchema {
+    /// Dimension name (e.g. `time`, `location`, `product`).
+    pub name: String,
+    /// Levels from coarsest (index 0) to finest.
+    pub levels: Vec<LevelSchema>,
+}
+
+impl DimensionSchema {
+    /// Number of resolution levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Cardinality at `level`, panicking if out of range.
+    pub fn cardinality(&self, level: usize) -> u32 {
+        self.levels[level].cardinality
+    }
+}
+
+/// A measure (data) column that aggregations read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasureSchema {
+    /// Measure name (e.g. `sales`, `quantity`).
+    pub name: String,
+}
+
+/// Addresses one physical column of the fact table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ColumnId {
+    /// The column of dimension `dim` at resolution level `level`
+    /// (the paper's `(L, K)` pair addressing a column in Fig. 6).
+    Dim {
+        /// Dimension index.
+        dim: usize,
+        /// Level index within the dimension (0 = coarsest).
+        level: usize,
+    },
+    /// The `idx`-th measure column.
+    Measure(usize),
+}
+
+impl ColumnId {
+    /// Shorthand for a dimension-level column id.
+    pub fn dim(dim: usize, level: usize) -> Self {
+        Self::Dim { dim, level }
+    }
+
+    /// Shorthand for a measure column id.
+    pub fn measure(idx: usize) -> Self {
+        Self::Measure(idx)
+    }
+}
+
+/// Full schema of a fact table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Dimensions, each with its level hierarchy.
+    pub dimensions: Vec<DimensionSchema>,
+    /// Measure columns.
+    pub measures: Vec<MeasureSchema>,
+}
+
+impl TableSchema {
+    /// Starts a fluent schema builder.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Total number of dimension columns (Σ levels over dimensions).
+    pub fn dim_column_count(&self) -> usize {
+        self.dimensions.iter().map(|d| d.levels.len()).sum()
+    }
+
+    /// Total number of physical columns, `C_TOTAL` of Eq. 13.
+    pub fn total_columns(&self) -> usize {
+        self.dim_column_count() + self.measures.len()
+    }
+
+    /// Flat index of a dimension column within the dimension pool, in
+    /// schema order (all levels of dim 0, then dim 1, …).
+    ///
+    /// Returns `None` if the pair is out of range.
+    pub fn dim_column_index(&self, dim: usize, level: usize) -> Option<usize> {
+        if dim >= self.dimensions.len() || level >= self.dimensions[dim].levels.len() {
+            return None;
+        }
+        let before: usize = self.dimensions[..dim].iter().map(|d| d.levels.len()).sum();
+        Some(before + level)
+    }
+
+    /// Validates a [`ColumnId`] against this schema.
+    pub fn contains(&self, id: ColumnId) -> bool {
+        match id {
+            ColumnId::Dim { dim, level } => self.dim_column_index(dim, level).is_some(),
+            ColumnId::Measure(i) => i < self.measures.len(),
+        }
+    }
+
+    /// Iterates all dimension column ids in schema order.
+    pub fn dim_column_ids(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        self.dimensions.iter().enumerate().flat_map(|(d, ds)| {
+            (0..ds.levels.len()).map(move |l| ColumnId::Dim { dim: d, level: l })
+        })
+    }
+
+    /// Bytes one row occupies across all columns (4 per dimension column,
+    /// 8 per measure column) — used for GPU memory accounting.
+    pub fn row_bytes(&self) -> usize {
+        self.dim_column_count() * 4 + self.measures.len() * 8
+    }
+}
+
+/// Fluent builder for [`TableSchema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    dimensions: Vec<DimensionSchema>,
+    measures: Vec<MeasureSchema>,
+}
+
+impl SchemaBuilder {
+    /// Adds a dimension with `(level name, cardinality)` pairs, coarsest
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or any cardinality is zero.
+    pub fn dimension(mut self, name: &str, levels: &[(&str, u32)]) -> Self {
+        assert!(!levels.is_empty(), "dimension `{name}` needs at least one level");
+        let levels = levels
+            .iter()
+            .map(|&(n, c)| {
+                assert!(c > 0, "level `{n}` of `{name}` has zero cardinality");
+                LevelSchema { name: n.to_owned(), cardinality: c }
+            })
+            .collect();
+        self.dimensions.push(DimensionSchema { name: name.to_owned(), levels });
+        self
+    }
+
+    /// Adds a measure column.
+    pub fn measure(mut self, name: &str) -> Self {
+        self.measures.push(MeasureSchema { name: name.to_owned() });
+        self
+    }
+
+    /// Finalises the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dimension was added (a fact table needs at least one).
+    pub fn build(self) -> TableSchema {
+        assert!(!self.dimensions.is_empty(), "schema needs at least one dimension");
+        TableSchema { dimensions: self.dimensions, measures: self.measures }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 48), ("day", 1440)])
+            .dimension("geo", &[("state", 50), ("city", 500)])
+            .measure("sales")
+            .measure("qty")
+            .build()
+    }
+
+    #[test]
+    fn column_counts() {
+        let s = sample();
+        assert_eq!(s.dim_column_count(), 5);
+        assert_eq!(s.total_columns(), 7);
+        assert_eq!(s.row_bytes(), 5 * 4 + 2 * 8);
+    }
+
+    #[test]
+    fn dim_column_index_is_schema_order() {
+        let s = sample();
+        assert_eq!(s.dim_column_index(0, 0), Some(0));
+        assert_eq!(s.dim_column_index(0, 2), Some(2));
+        assert_eq!(s.dim_column_index(1, 0), Some(3));
+        assert_eq!(s.dim_column_index(1, 1), Some(4));
+        assert_eq!(s.dim_column_index(1, 2), None);
+        assert_eq!(s.dim_column_index(2, 0), None);
+    }
+
+    #[test]
+    fn contains_validates_ids() {
+        let s = sample();
+        assert!(s.contains(ColumnId::dim(0, 2)));
+        assert!(!s.contains(ColumnId::dim(0, 3)));
+        assert!(s.contains(ColumnId::measure(1)));
+        assert!(!s.contains(ColumnId::measure(2)));
+    }
+
+    #[test]
+    fn dim_column_ids_enumerates_all() {
+        let s = sample();
+        let ids: Vec<_> = s.dim_column_ids().collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[0], ColumnId::dim(0, 0));
+        assert_eq!(ids[4], ColumnId::dim(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cardinality")]
+    fn zero_cardinality_rejected() {
+        TableSchema::builder().dimension("d", &[("l", 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_schema_rejected() {
+        TableSchema::builder().measure("m").build();
+    }
+}

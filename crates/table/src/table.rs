@@ -1,0 +1,334 @@
+//! The fact table: schema + pooled column data + row append.
+
+use crate::column::ColumnStore;
+use crate::schema::{ColumnId, TableSchema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while appending rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowError {
+    /// Wrong number of dimension coordinates for the schema.
+    DimArity {
+        /// Coordinates supplied.
+        got: usize,
+        /// Coordinates the schema requires (Σ levels).
+        want: usize,
+    },
+    /// Wrong number of measure values for the schema.
+    MeasureArity {
+        /// Values supplied.
+        got: usize,
+        /// Values the schema requires.
+        want: usize,
+    },
+    /// A coordinate exceeds its level's cardinality.
+    CoordOutOfRange {
+        /// Dimension index.
+        dim: usize,
+        /// Level index.
+        level: usize,
+        /// Offending coordinate.
+        coord: u32,
+        /// Level cardinality.
+        cardinality: u32,
+    },
+}
+
+impl fmt::Display for RowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimArity { got, want } => {
+                write!(f, "row has {got} dimension coordinates, schema requires {want}")
+            }
+            Self::MeasureArity { got, want } => {
+                write!(f, "row has {got} measures, schema requires {want}")
+            }
+            Self::CoordOutOfRange { dim, level, coord, cardinality } => write!(
+                f,
+                "coordinate {coord} out of range for dimension {dim} level {level} \
+                 (cardinality {cardinality})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RowError {}
+
+/// Builder that accumulates rows column-wise before freezing into pools.
+#[derive(Debug, Clone)]
+pub struct FactTableBuilder {
+    schema: TableSchema,
+    dim_cols: Vec<Vec<u32>>,
+    measure_cols: Vec<Vec<f64>>,
+    rows: usize,
+}
+
+impl FactTableBuilder {
+    /// Starts a builder for `schema`.
+    pub fn new(schema: TableSchema) -> Self {
+        let dim_cols = vec![Vec::new(); schema.dim_column_count()];
+        let measure_cols = vec![Vec::new(); schema.measures.len()];
+        Self { schema, dim_cols, measure_cols, rows: 0 }
+    }
+
+    /// Pre-allocates column capacity for `rows` rows.
+    pub fn reserve(&mut self, rows: usize) {
+        for c in &mut self.dim_cols {
+            c.reserve(rows);
+        }
+        for c in &mut self.measure_cols {
+            c.reserve(rows);
+        }
+    }
+
+    /// Appends one row. `dims` holds the coordinates of every dimension
+    /// column in schema order (all levels of dimension 0, then dimension 1,
+    /// …); `measures` holds one value per measure column.
+    pub fn push_row(&mut self, dims: &[u32], measures: &[f64]) -> Result<(), RowError> {
+        if dims.len() != self.dim_cols.len() {
+            return Err(RowError::DimArity { got: dims.len(), want: self.dim_cols.len() });
+        }
+        if measures.len() != self.measure_cols.len() {
+            return Err(RowError::MeasureArity {
+                got: measures.len(),
+                want: self.measure_cols.len(),
+            });
+        }
+        let mut flat = 0;
+        for (d, ds) in self.schema.dimensions.iter().enumerate() {
+            for (l, ls) in ds.levels.iter().enumerate() {
+                let coord = dims[flat];
+                if coord >= ls.cardinality {
+                    return Err(RowError::CoordOutOfRange {
+                        dim: d,
+                        level: l,
+                        coord,
+                        cardinality: ls.cardinality,
+                    });
+                }
+                flat += 1;
+            }
+        }
+        for (c, &v) in self.dim_cols.iter_mut().zip(dims) {
+            c.push(v);
+        }
+        for (c, &v) in self.measure_cols.iter_mut().zip(measures) {
+            c.push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Freezes the builder into a [`FactTable`] with pooled storage.
+    pub fn finish(self) -> FactTable {
+        let mut store = ColumnStore::default();
+        for col in self.dim_cols {
+            store.dims.push_column(col);
+        }
+        for col in self.measure_cols {
+            store.measures.push_column(col);
+        }
+        FactTable { schema: self.schema, store, rows: self.rows }
+    }
+}
+
+/// An immutable columnar fact table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactTable {
+    schema: TableSchema,
+    store: ColumnStore,
+    rows: usize,
+}
+
+impl FactTable {
+    /// Reassembles a table from raw columns (the inverse of reading them
+    /// back with [`FactTable::dim_column`]/[`FactTable::measure_column`]) —
+    /// used by persistence layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when column counts or lengths disagree with the
+    /// schema, or coordinates exceed their level cardinalities.
+    pub fn from_parts(
+        schema: TableSchema,
+        dim_columns: Vec<Vec<u32>>,
+        measure_columns: Vec<Vec<f64>>,
+    ) -> Result<Self, String> {
+        if dim_columns.len() != schema.dim_column_count() {
+            return Err(format!(
+                "{} dimension columns supplied, schema has {}",
+                dim_columns.len(),
+                schema.dim_column_count()
+            ));
+        }
+        if measure_columns.len() != schema.measures.len() {
+            return Err(format!(
+                "{} measure columns supplied, schema has {}",
+                measure_columns.len(),
+                schema.measures.len()
+            ));
+        }
+        let rows = dim_columns
+            .first()
+            .map(Vec::len)
+            .or_else(|| measure_columns.first().map(Vec::len))
+            .unwrap_or(0);
+        if dim_columns.iter().any(|c| c.len() != rows)
+            || measure_columns.iter().any(|c| c.len() != rows)
+        {
+            return Err("column lengths disagree".to_owned());
+        }
+        let mut flat = 0usize;
+        for (d, ds) in schema.dimensions.iter().enumerate() {
+            for (l, ls) in ds.levels.iter().enumerate() {
+                if let Some(&bad) =
+                    dim_columns[flat].iter().find(|&&c| c >= ls.cardinality)
+                {
+                    return Err(format!(
+                        "coordinate {bad} out of range for dimension {d} level {l} \
+                         (cardinality {})",
+                        ls.cardinality
+                    ));
+                }
+                flat += 1;
+            }
+        }
+        let mut store = ColumnStore::default();
+        for col in dim_columns {
+            store.dims.push_column(col);
+        }
+        for col in measure_columns {
+            store.measures.push_column(col);
+        }
+        Ok(Self { schema, store, rows })
+    }
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total bytes of column data (GPU-resident footprint).
+    pub fn bytes(&self) -> usize {
+        self.store.bytes()
+    }
+
+    /// The `u32` column of dimension `dim` at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not in the schema.
+    pub fn dim_column(&self, dim: usize, level: usize) -> &[u32] {
+        let idx = self
+            .schema
+            .dim_column_index(dim, level)
+            .unwrap_or_else(|| panic!("no column for dimension {dim} level {level}"));
+        self.store.dims.column(idx)
+    }
+
+    /// The `f64` column of measure `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn measure_column(&self, idx: usize) -> &[f64] {
+        assert!(idx < self.schema.measures.len(), "no measure column {idx}");
+        self.store.measures.column(idx)
+    }
+
+    /// The `u32` data of any dimension column id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a measure id or out of schema.
+    pub fn u32_column(&self, id: ColumnId) -> &[u32] {
+        match id {
+            ColumnId::Dim { dim, level } => self.dim_column(dim, level),
+            ColumnId::Measure(_) => panic!("{id:?} is not a u32 column"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder()
+            .dimension("time", &[("year", 4), ("month", 48)])
+            .dimension("geo", &[("city", 10)])
+            .measure("sales")
+            .build()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let mut b = FactTableBuilder::new(schema());
+        b.push_row(&[0, 1, 2], &[1.5]).unwrap();
+        b.push_row(&[3, 47, 9], &[2.5]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.dim_column(0, 0), &[0, 3]);
+        assert_eq!(t.dim_column(0, 1), &[1, 47]);
+        assert_eq!(t.dim_column(1, 0), &[2, 9]);
+        assert_eq!(t.measure_column(0), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut b = FactTableBuilder::new(schema());
+        for _ in 0..10 {
+            b.push_row(&[0, 0, 0], &[0.0]).unwrap();
+        }
+        let t = b.finish();
+        // 3 u32 columns * 10 rows * 4 B + 1 f64 column * 10 rows * 8 B
+        assert_eq!(t.bytes(), 3 * 10 * 4 + 10 * 8);
+        assert_eq!(t.schema().row_bytes() * t.rows(), t.bytes());
+    }
+
+    #[test]
+    fn arity_errors() {
+        let mut b = FactTableBuilder::new(schema());
+        assert_eq!(
+            b.push_row(&[0, 0], &[0.0]),
+            Err(RowError::DimArity { got: 2, want: 3 })
+        );
+        assert_eq!(
+            b.push_row(&[0, 0, 0], &[]),
+            Err(RowError::MeasureArity { got: 0, want: 1 })
+        );
+    }
+
+    #[test]
+    fn coordinate_bounds_enforced() {
+        let mut b = FactTableBuilder::new(schema());
+        let err = b.push_row(&[4, 0, 0], &[0.0]).unwrap_err();
+        assert_eq!(
+            err,
+            RowError::CoordOutOfRange { dim: 0, level: 0, coord: 4, cardinality: 4 }
+        );
+        // Failed push leaves no partial row behind.
+        b.push_row(&[1, 1, 1], &[1.0]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.rows(), 1);
+        assert_eq!(t.dim_column(0, 0), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measure column")]
+    fn bad_measure_access_panics() {
+        let t = FactTableBuilder::new(schema()).finish();
+        t.measure_column(3);
+    }
+}

@@ -1,0 +1,280 @@
+//! Synthetic fact tables with hierarchically-consistent dimensions and
+//! dictionary-encoded text columns.
+
+use crate::names::{name_pool, NameStyle};
+use holap_dict::{DictKind, DictionarySet};
+use holap_table::{FactTable, FactTableBuilder, TableSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Marks one dimension level as a text column: its coordinates are
+/// dictionary codes of generated strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextLevel {
+    /// Dimension index.
+    pub dim: usize,
+    /// Level index within the dimension.
+    pub level: usize,
+    /// String flavour of the members.
+    pub style: NameStyle,
+}
+
+/// Specification of a synthetic fact table.
+#[derive(Debug, Clone)]
+pub struct FactsSpec {
+    /// Table schema (dimension hierarchies + measures).
+    pub schema: TableSchema,
+    /// Rows to generate.
+    pub rows: usize,
+    /// Which (dimension, level) pairs are text columns.
+    pub text_levels: Vec<TextLevel>,
+    /// Dictionary implementation to build for text columns.
+    pub dict_kind: DictKind,
+    /// Optional Zipf skew exponent for the finest-level coordinates
+    /// (`None`/0 = uniform). Skewed data under-fills cold cube chunks,
+    /// exercising chunk-offset compression end-to-end.
+    pub skew: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated fact table plus its dictionaries and member name pools.
+#[derive(Debug, Clone)]
+pub struct SyntheticFacts {
+    /// The columnar fact table (text levels already dictionary-encoded).
+    pub table: FactTable,
+    /// Per-column dictionaries for the text levels.
+    pub dicts: DictionarySet,
+    /// The text levels, with the column name used in `dicts`.
+    pub text_columns: Vec<(TextLevel, String)>,
+}
+
+impl From<SyntheticFacts> for (FactTable, DictionarySet) {
+    /// Lets `holap_core::HybridSystemBuilder::facts` accept generated data
+    /// directly.
+    fn from(f: SyntheticFacts) -> Self {
+        (f.table, f.dicts)
+    }
+}
+
+/// Canonical dictionary-column name for a (dimension, level) pair.
+pub fn text_column_name(schema: &TableSchema, dim: usize, level: usize) -> String {
+    format!(
+        "{}.{}",
+        schema.dimensions[dim].name, schema.dimensions[dim].levels[level].name
+    )
+}
+
+impl SyntheticFacts {
+    /// Generates a table per `spec`.
+    ///
+    /// Rows draw a uniform coordinate at each dimension's **finest** level
+    /// and derive every coarser level by exact coarsening, so the level
+    /// columns are hierarchically consistent (a "month" always falls inside
+    /// its "year"). Text-level member strings are sorted before code
+    /// assignment, so the dictionary code of member *i* equals coordinate
+    /// *i* for every dictionary implementation.
+    pub fn generate(spec: &FactsSpec) -> Self {
+        let schema = &spec.schema;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut builder = FactTableBuilder::new(schema.clone());
+        builder.reserve(spec.rows);
+        let ndim = schema.dimensions.len();
+        let nmeasure = schema.measures.len();
+        let mut dims_flat = Vec::with_capacity(schema.dim_column_count());
+        let mut measures = vec![0.0f64; nmeasure];
+        // Per-dimension Zipf samplers over the finest level, when skewed.
+        let zipf: Vec<Option<crate::zipf::Zipf>> = (0..ndim)
+            .map(|d| {
+                let finest = schema.dimensions[d]
+                    .levels
+                    .last()
+                    .expect("dimension has levels")
+                    .cardinality;
+                match spec.skew {
+                    Some(s) if s > 0.0 => Some(crate::zipf::Zipf::new(finest, s)),
+                    _ => None,
+                }
+            })
+            .collect();
+        for _ in 0..spec.rows {
+            dims_flat.clear();
+            for (d, sampler) in zipf.iter().enumerate() {
+                let levels = &schema.dimensions[d].levels;
+                let finest = levels.last().expect("dimension has levels").cardinality;
+                let fine = match sampler {
+                    Some(z) => z.sample(&mut rng),
+                    None => rng.gen_range(0..finest),
+                };
+                for l in levels {
+                    // Exact coarsening: fine * card_l / card_finest.
+                    let coord = (u64::from(fine) * u64::from(l.cardinality)
+                        / u64::from(finest)) as u32;
+                    dims_flat.push(coord);
+                }
+            }
+            for m in measures.iter_mut() {
+                *m = rng.gen_range(0.0..1000.0);
+            }
+            builder
+                .push_row(&dims_flat, &measures)
+                .expect("generated row must satisfy the schema");
+        }
+        let table = builder.finish();
+
+        // Build dictionaries: member i of a text level gets the i-th
+        // *sorted* name, making code == coordinate for all dict kinds.
+        let mut dicts = DictionarySet::new(spec.dict_kind);
+        let mut text_columns = Vec::with_capacity(spec.text_levels.len());
+        for (k, t) in spec.text_levels.iter().enumerate() {
+            let card = schema.dimensions[t.dim].levels[t.level].cardinality as usize;
+            let mut members = name_pool(card, t.style, spec.seed ^ (0x9e37 + k as u64));
+            members.sort_unstable();
+            let column = text_column_name(schema, t.dim, t.level);
+            let codes =
+                dicts.build_column(&column, members.iter().map(String::as_str));
+            debug_assert!(codes.iter().enumerate().all(|(i, &c)| c as usize == i));
+            text_columns.push((t.clone(), column));
+        }
+        Self { table, dicts, text_columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PaperHierarchy;
+    use holap_dict::{Dictionary, TextCondition};
+
+    fn spec(rows: usize, kind: DictKind) -> FactsSpec {
+        let h = PaperHierarchy::scaled_down(8);
+        FactsSpec {
+            schema: h.table_schema(),
+            rows,
+            text_levels: vec![
+                TextLevel { dim: 1, level: 3, style: NameStyle::City },
+                TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+            ],
+            dict_kind: kind,
+            skew: None,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn rows_are_hierarchically_consistent() {
+        let f = SyntheticFacts::generate(&spec(2000, DictKind::Sorted));
+        let schema = f.table.schema().clone();
+        for d in 0..schema.dimensions.len() {
+            let levels = &schema.dimensions[d].levels;
+            let finest_idx = levels.len() - 1;
+            let fine_col = f.table.dim_column(d, finest_idx);
+            for l in 0..finest_idx {
+                let col = f.table.dim_column(d, l);
+                let ratio = u64::from(levels[l].cardinality);
+                let fine_card = u64::from(levels[finest_idx].cardinality);
+                for (row, (&c, &fine)) in col.iter().zip(fine_col).enumerate() {
+                    let expect = (u64::from(fine) * ratio / fine_card) as u32;
+                    assert_eq!(c, expect, "dim {d} level {l} row {row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dict_codes_equal_coordinates_for_all_kinds() {
+        for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+            let f = SyntheticFacts::generate(&spec(100, kind));
+            for (t, column) in &f.text_columns {
+                let card = f.table.schema().dimensions[t.dim].levels[t.level].cardinality;
+                let dict = f.dicts.dictionary(column).unwrap();
+                assert_eq!(dict.len() as u32, card);
+                // Every code decodes and re-encodes to itself.
+                for code in (0..card).step_by(37) {
+                    let s = dict.decode(code).unwrap();
+                    assert_eq!(dict.encode(s), Some(code), "{kind:?} {column}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_predicates_translate_and_filter() {
+        let f = SyntheticFacts::generate(&spec(5000, DictKind::Sorted));
+        let (t, column) = &f.text_columns[0];
+        let dict = f.dicts.dictionary(column).unwrap();
+        let member = dict.decode(3).unwrap().to_owned();
+        let (lo, hi) = f
+            .dicts
+            .translate(column, &TextCondition::eq(&member))
+            .unwrap();
+        assert_eq!((lo, hi), (3, 3));
+        // Filtering the encoded column by the translated code matches the
+        // rows whose coordinate is 3.
+        let col = f.table.dim_column(t.dim, t.level);
+        let direct = col.iter().filter(|&&c| c == 3).count();
+        let via_codes = col.iter().filter(|&&c| c >= lo && c <= hi).count();
+        assert_eq!(direct, via_codes);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticFacts::generate(&spec(500, DictKind::Sorted));
+        let b = SyntheticFacts::generate(&spec(500, DictKind::Sorted));
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.dicts, b.dicts);
+    }
+
+    #[test]
+    fn skewed_generation_concentrates_mass_and_compresses_cubes() {
+        let mut skewed_spec = spec(20_000, DictKind::Sorted);
+        skewed_spec.skew = Some(1.2);
+        let skewed = SyntheticFacts::generate(&skewed_spec);
+        let uniform = SyntheticFacts::generate(&spec(20_000, DictKind::Sorted));
+
+        // Head coordinate dominates under skew.
+        let count_of = |f: &SyntheticFacts, v: u32| {
+            f.table.dim_column(0, 3).iter().filter(|&&c| c == v).count()
+        };
+        assert!(
+            count_of(&skewed, 0) > 4 * count_of(&uniform, 0),
+            "skew concentrates the head: {} vs {}",
+            count_of(&skewed, 0),
+            count_of(&uniform, 0)
+        );
+
+        // Hierarchical consistency is preserved under skew.
+        let fine = skewed.table.dim_column(0, 3);
+        let coarse = skewed.table.dim_column(0, 0);
+        let schema = skewed.table.schema();
+        let f_card = u64::from(schema.dimensions[0].levels[3].cardinality);
+        let c_card = u64::from(schema.dimensions[0].levels[0].cardinality);
+        for (&c, &f) in coarse.iter().zip(fine) {
+            assert_eq!(u64::from(c), u64::from(f) * c_card / f_card);
+        }
+
+        // Cold chunks fall under the 40 % fill threshold: a cube over the
+        // skewed data compresses more than over uniform data.
+        use holap_cube::{CubeSchema, MolapCube};
+        let cschema = CubeSchema::from_table_schema(schema);
+        let mut cube_s = MolapCube::build_from_table(cschema.clone(), 3, &skewed.table, 0);
+        let mut cube_u = MolapCube::build_from_table(cschema, 3, &uniform.table, 0);
+        let compressed_s = cube_s.compress();
+        let compressed_u = cube_u.compress();
+        assert!(
+            compressed_s >= compressed_u,
+            "skewed data compresses at least as many chunks ({compressed_s} vs {compressed_u})"
+        );
+        assert!(cube_s.bytes() <= cube_u.bytes());
+    }
+
+    #[test]
+    fn measures_are_in_range() {
+        let f = SyntheticFacts::generate(&spec(300, DictKind::Linear));
+        for m in 0..f.table.schema().measures.len() {
+            for &v in f.table.measure_column(m) {
+                assert!((0.0..1000.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Synthetic data and query workload generation for the hybrid OLAP system.
+//!
+//! The paper evaluates with (a) fact tables "from the renowned TPC-DS
+//! benchmark" for translation performance and (b) a system model configured
+//! with a ~4 GB, 3-dimension × 4-level fact table on the GPU and four
+//! pre-calculated cubes of ~32 GB / ~500 MB / ~500 KB / ~4 KB on the CPU
+//! (§IV). TPC-DS data itself is not redistributable, so this crate
+//! generates the *equivalent* synthetic inputs:
+//!
+//! * [`names`] — deterministic pools of city/person/brand-like strings with
+//!   realistic lengths and cardinalities (what dictionary behaviour
+//!   actually depends on);
+//! * [`facts`] — hierarchically-consistent columnar fact tables with
+//!   dictionary-encoded text dimensions, at any row scale;
+//! * [`spec`] — the paper's cube hierarchy: per-dimension level
+//!   cardinalities `8 / 32 / 320 / 1280` over three dimensions, whose four
+//!   resolutions materialise to ~4 KB, ~512 KB, ~500 MB and ~32 GB — the
+//!   exact cube set of Section IV;
+//! * [`queries`] — seeded random query streams over a cube catalog,
+//!   emitting both the structured cube query and the
+//!   [`holap_sched::QueryFeatures`] the scheduler consumes, with
+//!   paper-calibrated mixes for each table of the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use holap_workload::{PaperHierarchy, QueryGenerator, WorkloadPreset};
+//!
+//! let hierarchy = PaperHierarchy::default();
+//! // ~4 KB / ~512 KB / ~500 MB cubes resident (Table 1 configuration).
+//! let mut generator =
+//!     QueryGenerator::preset(WorkloadPreset::Table1, &hierarchy, 42);
+//! let q = generator.next_query();
+//! assert!(q.features.cpu_subcube_mb.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod facts;
+pub mod names;
+pub mod queries;
+pub mod spec;
+pub mod zipf;
+
+pub use facts::{FactsSpec, SyntheticFacts, TextLevel};
+pub use names::{name_pool, NameStyle};
+pub use queries::{QueryClass, QueryGenerator, QueryMix, SimQuery, WorkloadPreset};
+pub use spec::PaperHierarchy;
+pub use zipf::Zipf;

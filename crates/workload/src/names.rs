@@ -1,0 +1,117 @@
+//! Deterministic pools of TPC-DS-like strings.
+//!
+//! Dictionary behaviour depends on key cardinality and length distribution,
+//! not on the actual words, so syllable-composed synthetic names are an
+//! adequate stand-in for TPC-DS city/customer/brand columns (see DESIGN.md,
+//! substitution table).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The flavour of strings to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameStyle {
+    /// City-like names ("Barton Falls", "Newcrest").
+    City,
+    /// Person-like names ("Dana Oakfield").
+    Person,
+    /// Brand-like names ("Maxibright #3").
+    Brand,
+}
+
+const SYLLABLES: &[&str] = &[
+    "bar", "new", "oak", "riv", "stone", "wood", "lake", "hill", "fair", "glen", "mill",
+    "spring", "crest", "dale", "ford", "haven", "bridge", "port", "marsh", "ash", "bright",
+    "clear", "deep", "east", "west", "north", "south", "gold", "silver", "iron",
+];
+
+const SUFFIXES_CITY: &[&str] = &["ton", "ville", "burg", "field", "wood", " Falls", " Springs", " Heights"];
+const FIRST_NAMES: &[&str] = &[
+    "Dana", "Alex", "Sam", "Robin", "Casey", "Jordan", "Taylor", "Morgan", "Riley", "Avery",
+    "Quinn", "Harper", "Rowan", "Sage", "Emerson", "Finley",
+];
+
+fn one_name(style: NameStyle, rng: &mut StdRng) -> String {
+    match style {
+        NameStyle::City => {
+            let a = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+            let b = SUFFIXES_CITY[rng.gen_range(0..SUFFIXES_CITY.len())];
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(a);
+            s.push_str(b);
+            // Capitalise first letter.
+            let mut c = s.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => s,
+            }
+        }
+        NameStyle::Person => {
+            let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+            let a = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+            let b = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+            let mut last: String = format!("{a}{b}");
+            let mut c = last.chars();
+            last = match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => last,
+            };
+            format!("{first} {last}")
+        }
+        NameStyle::Brand => {
+            let a = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+            let b = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+            let n = rng.gen_range(1..100);
+            format!("{}{} #{n}", a.to_uppercase().chars().next().unwrap(), &format!("{a}{b}")[1..])
+        }
+    }
+}
+
+/// Generates `n` **distinct** names of the given style, deterministically
+/// from `seed`. Collisions are resolved by appending a numeric tag, so any
+/// `n` is reachable.
+pub fn name_pool(n: usize, style: NameStyle, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut tag = 0u64;
+    while out.len() < n {
+        let mut name = one_name(style, &mut rng);
+        if seen.contains(&name) {
+            tag += 1;
+            name = format!("{name} {tag}");
+        }
+        if seen.insert(name.clone()) {
+            out.push(name);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_distinct_and_sized() {
+        for style in [NameStyle::City, NameStyle::Person, NameStyle::Brand] {
+            let pool = name_pool(5000, style, 7);
+            assert_eq!(pool.len(), 5000);
+            let set: std::collections::HashSet<_> = pool.iter().collect();
+            assert_eq!(set.len(), 5000, "{style:?} produced duplicates");
+        }
+    }
+
+    #[test]
+    fn pools_are_deterministic() {
+        assert_eq!(name_pool(100, NameStyle::City, 1), name_pool(100, NameStyle::City, 1));
+        assert_ne!(name_pool(100, NameStyle::City, 1), name_pool(100, NameStyle::City, 2));
+    }
+
+    #[test]
+    fn names_have_realistic_lengths() {
+        let pool = name_pool(1000, NameStyle::Person, 3);
+        let avg: f64 = pool.iter().map(|s| s.len() as f64).sum::<f64>() / 1000.0;
+        assert!(avg > 5.0 && avg < 30.0, "avg len {avg}");
+    }
+}

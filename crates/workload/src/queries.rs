@@ -1,0 +1,364 @@
+//! Seeded random OLAP query streams with paper-calibrated mixes.
+//!
+//! Every generated query carries both its structured form
+//! ([`holap_cube::CubeQuery`]) and the abstract
+//! [`holap_sched::QueryFeatures`] the scheduler estimates from. The preset
+//! mixes are calibrated against the paper's Section-IV rates — see
+//! EXPERIMENTS.md for the derivation of the width constants.
+
+use crate::spec::PaperHierarchy;
+use holap_cube::{CubeCatalog, CubeQuery, DimRange};
+use holap_sched::QueryFeatures;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One stratum of the query mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryClass {
+    /// Relative weight of this class within the mix.
+    pub weight: f64,
+    /// Resolution level of every condition in the query.
+    pub level: usize,
+    /// Per-dimension width as a fraction of the level cardinality, for the
+    /// restricted dimensions.
+    pub width_frac: f64,
+    /// How many dimensions carry a real restriction (the rest span their
+    /// whole level and are not read as filter columns by the GPU).
+    pub restricted_dims: usize,
+    /// Probability the query carries one text parameter that must be
+    /// translated before GPU processing.
+    pub text_prob: f64,
+    /// Dictionary length of the text column (Eq. 17's `D_L`).
+    pub dict_len: usize,
+    /// Measure columns the query aggregates (data columns of Eq. 12).
+    pub data_columns: usize,
+}
+
+/// A full mix: weighted classes plus the deadline window `T_C`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryMix {
+    /// Weighted strata.
+    pub classes: Vec<QueryClass>,
+    /// Relative deadline `T_C` in seconds applied to every query.
+    pub deadline_secs: f64,
+}
+
+/// One generated query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimQuery {
+    /// Structured cube-query form (engine replay, validation).
+    pub cube_query: CubeQuery,
+    /// The scheduler-facing features.
+    pub features: QueryFeatures,
+    /// Relative deadline `T_C` for this query, seconds.
+    pub deadline_secs: f64,
+    /// Index of the generating [`QueryClass`] in the mix.
+    pub class_idx: usize,
+}
+
+/// The paper's evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadPreset {
+    /// Table 1: cube set {~4 KB, ~500 KB, ~500 MB}; medium sub-cube
+    /// queries answerable by the CPU.
+    Table1,
+    /// Table 2: Table 1 plus the ~32 GB cube and a 50 % share of large
+    /// sub-cube queries against it.
+    Table2,
+    /// Table 3 / full system: the Table 2 mix with text parameters on half
+    /// the queries (1 M-entry dictionaries).
+    Table3,
+}
+
+/// Width fraction per dimension reproducing the Table 1 CPU rates: a
+/// ~160 MB sub-cube of the ~500 MB cube (see EXPERIMENTS.md §Table 1).
+pub const TABLE1_WIDTH_FRAC: f64 = 0.6847;
+
+/// Width fraction per dimension for the large-query stratum of Tables 2–3:
+/// a ~4.3 GB sub-cube of the ~32 GB cube.
+pub const TABLE2_BIG_WIDTH_FRAC: f64 = 0.5114;
+
+/// Dictionary length used by the Table-3 text parameters — the top of the
+/// paper's Fig. 9 sweep (1 M entries ⇒ T_TRANS ≈ 13.8 ms, which yields the
+/// reported ≈7 % GPU slowdown at a 50 % text share).
+pub const TABLE3_DICT_LEN: usize = 1_000_000;
+
+impl WorkloadPreset {
+    /// Resident cube resolutions of the scenario.
+    pub fn resolutions(&self) -> &'static [usize] {
+        match self {
+            WorkloadPreset::Table1 => &[0, 1, 2],
+            WorkloadPreset::Table2 | WorkloadPreset::Table3 => &[0, 1, 2, 3],
+        }
+    }
+
+    /// The calibrated query mix of the scenario.
+    pub fn mix(&self) -> QueryMix {
+        let standard = QueryClass {
+            weight: 1.0,
+            level: 2,
+            width_frac: TABLE1_WIDTH_FRAC,
+            restricted_dims: 3,
+            text_prob: 0.0,
+            dict_len: 0,
+            data_columns: 1,
+        };
+        let big = QueryClass {
+            weight: 1.0,
+            level: 3,
+            width_frac: TABLE2_BIG_WIDTH_FRAC,
+            restricted_dims: 3,
+            text_prob: 0.0,
+            dict_len: 0,
+            data_columns: 1,
+        };
+        match self {
+            WorkloadPreset::Table1 => {
+                QueryMix { classes: vec![standard], deadline_secs: 0.5 }
+            }
+            WorkloadPreset::Table2 => {
+                QueryMix { classes: vec![big, standard], deadline_secs: 1.0 }
+            }
+            WorkloadPreset::Table3 => {
+                // The full-system mix leans towards the interactive
+                // medium-weight queries the CPU partition excels at (70 %),
+                // with a 30 % share of large scans that only the GPU can
+                // serve quickly — the division of labour §III-A motivates.
+                let text = |c: QueryClass, weight: f64| QueryClass {
+                    weight,
+                    text_prob: 0.5,
+                    dict_len: TABLE3_DICT_LEN,
+                    ..c
+                };
+                QueryMix {
+                    classes: vec![text(big, 0.3), text(standard, 0.7)],
+                    deadline_secs: 0.5,
+                }
+            }
+        }
+    }
+}
+
+/// Seeded generator of [`SimQuery`] streams over a cube catalog.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    catalog: CubeCatalog,
+    total_columns: usize,
+    mix: QueryMix,
+    rng: StdRng,
+    cumulative: Vec<f64>,
+}
+
+impl QueryGenerator {
+    /// Creates a generator over an explicit catalog and mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mix or non-positive weights.
+    pub fn new(catalog: CubeCatalog, total_columns: usize, mix: QueryMix, seed: u64) -> Self {
+        assert!(!mix.classes.is_empty(), "mix needs at least one class");
+        assert!(mix.classes.iter().all(|c| c.weight > 0.0), "weights must be positive");
+        let total: f64 = mix.classes.iter().map(|c| c.weight).sum();
+        let mut acc = 0.0;
+        let cumulative = mix
+            .classes
+            .iter()
+            .map(|c| {
+                acc += c.weight / total;
+                acc
+            })
+            .collect();
+        Self { catalog, total_columns, mix, rng: StdRng::seed_from_u64(seed), cumulative }
+    }
+
+    /// Creates a generator for a paper preset over `hierarchy`.
+    pub fn preset(preset: WorkloadPreset, hierarchy: &PaperHierarchy, seed: u64) -> Self {
+        Self::new(
+            hierarchy.catalog(preset.resolutions()),
+            hierarchy.total_columns(),
+            preset.mix(),
+            seed,
+        )
+    }
+
+    /// The catalog queries are planned against.
+    pub fn catalog(&self) -> &CubeCatalog {
+        &self.catalog
+    }
+
+    /// The mix in use.
+    pub fn mix(&self) -> &QueryMix {
+        &self.mix
+    }
+
+    fn pick_class(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        self.cumulative
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.mix.classes.len() - 1)
+    }
+
+    /// Draws the next query.
+    pub fn next_query(&mut self) -> SimQuery {
+        let class_idx = self.pick_class();
+        let class = self.mix.classes[class_idx].clone();
+        let schema = self.catalog.schema().clone();
+        let ndim = schema.ndim();
+        let restricted = class.restricted_dims.min(ndim);
+
+        let mut conditions = Vec::with_capacity(ndim);
+        for d in 0..ndim {
+            let card = schema.cardinality_at(d, class.level);
+            let cond = if d < restricted {
+                // ±5 % multiplicative jitter on the width.
+                let jitter = self.rng.gen_range(0.95..1.05);
+                let width =
+                    ((card as f64 * class.width_frac * jitter).round() as u32).clamp(1, card);
+                let from = self.rng.gen_range(0..=card - width);
+                DimRange::new(class.level, from, from + width - 1)
+            } else {
+                DimRange::new(class.level, 0, card - 1)
+            };
+            conditions.push(cond);
+        }
+        let cube_query = CubeQuery::new(conditions);
+
+        let cpu_subcube_mb = self
+            .catalog
+            .plan(&cube_query)
+            .expect("generated query must be well-formed")
+            .map(|p| p.estimated_mb);
+
+        let translation_dict_lens =
+            if class.text_prob > 0.0 && self.rng.gen_bool(class.text_prob) {
+                vec![class.dict_len]
+            } else {
+                vec![]
+            };
+
+        // Eq. 12: restricted filter columns + data columns.
+        let columns = restricted + class.data_columns;
+        let gpu_column_fraction = (columns as f64 / self.total_columns as f64).min(1.0);
+
+        SimQuery {
+            cube_query,
+            features: QueryFeatures { cpu_subcube_mb, gpu_column_fraction, translation_dict_lens },
+            deadline_secs: self.mix.deadline_secs,
+            class_idx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> PaperHierarchy {
+        PaperHierarchy::default()
+    }
+
+    #[test]
+    fn table1_queries_average_160mb() {
+        let mut g = QueryGenerator::preset(WorkloadPreset::Table1, &hierarchy(), 1);
+        let n = 500;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let q = g.next_query();
+            let mb = q.features.cpu_subcube_mb.expect("Table 1 queries are CPU-answerable");
+            assert!(mb > 100.0 && mb < 230.0, "mb = {mb}");
+            sum += mb;
+            assert!(q.features.translation_dict_lens.is_empty());
+            assert_eq!(q.cube_query.required_resolution(), 2);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 160.5).abs() < 10.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn table2_big_queries_average_4_3gb() {
+        let mut g = QueryGenerator::preset(WorkloadPreset::Table2, &hierarchy(), 2);
+        let mut big = Vec::new();
+        for _ in 0..600 {
+            let q = g.next_query();
+            if q.class_idx == 0 {
+                big.push(q.features.cpu_subcube_mb.unwrap());
+            }
+        }
+        assert!(big.len() > 200 && big.len() < 400, "roughly half: {}", big.len());
+        let mean: f64 = big.iter().sum::<f64>() / big.len() as f64;
+        assert!((mean - 4280.0).abs() < 300.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn table3_has_half_text_queries() {
+        let mut g = QueryGenerator::preset(WorkloadPreset::Table3, &hierarchy(), 3);
+        let n = 1000;
+        let text = (0..n)
+            .filter(|_| !g.next_query().features.translation_dict_lens.is_empty())
+            .count();
+        assert!((400..600).contains(&text), "text share: {text}/{n}");
+    }
+
+    #[test]
+    fn column_fraction_matches_eq12() {
+        let mut g = QueryGenerator::preset(WorkloadPreset::Table1, &hierarchy(), 4);
+        let q = g.next_query();
+        // 3 restricted dims + 1 data column over 14 columns.
+        assert!((q.features.gpu_column_fraction - 4.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = QueryGenerator::preset(WorkloadPreset::Table3, &hierarchy(), 9);
+        let mut b = QueryGenerator::preset(WorkloadPreset::Table3, &hierarchy(), 9);
+        for _ in 0..50 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn queries_validate_against_schema() {
+        let h = hierarchy();
+        let mut g = QueryGenerator::preset(WorkloadPreset::Table2, &h, 5);
+        let schema = h.cube_schema();
+        for _ in 0..200 {
+            let q = g.next_query();
+            q.cube_query.validate(&schema).expect("generated query must validate");
+        }
+    }
+
+    #[test]
+    fn table1_never_needs_gpu_but_table2_standard_class_stays_cpu() {
+        let mut g = QueryGenerator::preset(WorkloadPreset::Table1, &hierarchy(), 6);
+        for _ in 0..100 {
+            assert!(g.next_query().features.cpu_subcube_mb.is_some());
+        }
+    }
+
+    #[test]
+    fn unrestricted_dims_span_their_level() {
+        let h = hierarchy();
+        let mix = QueryMix {
+            classes: vec![QueryClass {
+                weight: 1.0,
+                level: 1,
+                width_frac: 0.25,
+                restricted_dims: 1,
+                text_prob: 0.0,
+                dict_len: 0,
+                data_columns: 2,
+            }],
+            deadline_secs: 1.0,
+        };
+        let mut g = QueryGenerator::new(h.catalog(&[1]), h.total_columns(), mix, 7);
+        let q = g.next_query();
+        let c1 = q.cube_query.conditions[1];
+        let c2 = q.cube_query.conditions[2];
+        assert_eq!((c1.from, c1.to), (0, 31));
+        assert_eq!((c2.from, c2.to), (0, 31));
+        // 1 filter + 2 data columns over 14.
+        assert!((q.features.gpu_column_fraction - 3.0 / 14.0).abs() < 1e-12);
+    }
+}

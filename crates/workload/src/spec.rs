@@ -1,0 +1,149 @@
+//! The paper's evaluation geometry (§IV).
+//!
+//! The Section-IV model has three dimensions with four levels each; the
+//! four cube resolutions must land at ~4 KB, ~500 KB, ~500 MB and ~32 GB.
+//! Level cardinalities `8 / 32 / 320 / 1280` (uniform, divisible fan-out)
+//! hit those sizes exactly with 16-byte cells:
+//!
+//! | resolution | shape  | cells      | dense size |
+//! |-----------:|--------|-----------:|-----------:|
+//! | 0          | 8³     | 512        | 8 KB       |
+//! | 1          | 32³    | 32 768     | 512 KB     |
+//! | 2          | 320³   | 3.28 × 10⁷ | 500 MB     |
+//! | 3          | 1280³  | 2.10 × 10⁹ | 32 000 MB  |
+
+use holap_cube::{CubeCatalog, CubeSchema};
+use holap_table::TableSchema;
+use serde::{Deserialize, Serialize};
+
+/// The per-dimension level cardinalities of the paper's model.
+pub const PAPER_LEVEL_CARDS: [u32; 4] = [8, 32, 320, 1280];
+
+/// The Section-IV cube/table geometry, parameterised so scaled-down
+/// variants fit on a laptop for the real-execution engine and benches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperHierarchy {
+    /// Level cardinalities, coarsest first, shared by all dimensions.
+    pub level_cards: Vec<u32>,
+    /// Number of dimensions.
+    pub dims: usize,
+    /// Number of measure columns in the fact table.
+    pub measures: usize,
+}
+
+impl Default for PaperHierarchy {
+    fn default() -> Self {
+        Self { level_cards: PAPER_LEVEL_CARDS.to_vec(), dims: 3, measures: 2 }
+    }
+}
+
+impl PaperHierarchy {
+    /// A scaled-down variant: every cardinality divided by `factor`
+    /// (minimum 2), preserving divisibility. Useful for real execution.
+    pub fn scaled_down(factor: u32) -> Self {
+        assert!(factor > 0);
+        let level_cards = PAPER_LEVEL_CARDS
+            .iter()
+            .map(|&c| (c / factor).max(2))
+            .collect();
+        Self { level_cards, ..Self::default() }
+    }
+
+    /// Dimension names used by generated schemas.
+    fn dim_name(d: usize) -> String {
+        match d {
+            0 => "time".into(),
+            1 => "geo".into(),
+            2 => "product".into(),
+            n => format!("dim{n}"),
+        }
+    }
+
+    /// Level names used by generated schemas.
+    fn level_name(l: usize) -> String {
+        format!("level{l}")
+    }
+
+    /// The fact-table schema of this geometry.
+    pub fn table_schema(&self) -> TableSchema {
+        let mut b = TableSchema::builder();
+        for d in 0..self.dims {
+            let levels: Vec<(String, u32)> = self
+                .level_cards
+                .iter()
+                .enumerate()
+                .map(|(l, &c)| (Self::level_name(l), c))
+                .collect();
+            let level_refs: Vec<(&str, u32)> =
+                levels.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+            b = b.dimension(&Self::dim_name(d), &level_refs);
+        }
+        for m in 0..self.measures {
+            b = b.measure(&format!("measure{m}"));
+        }
+        b.build()
+    }
+
+    /// The cube schema of this geometry.
+    pub fn cube_schema(&self) -> CubeSchema {
+        CubeSchema::from_table_schema(&self.table_schema())
+    }
+
+    /// A cube catalog with the given resident resolutions.
+    pub fn catalog(&self, resolutions: &[usize]) -> CubeCatalog {
+        CubeCatalog::new(self.cube_schema(), resolutions.to_vec())
+    }
+
+    /// Total physical columns of the fact table (`C_TOTAL` of Eq. 13).
+    pub fn total_columns(&self) -> usize {
+        self.dims * self.level_cards.len() + self.measures
+    }
+
+    /// Number of levels per dimension.
+    pub fn levels(&self) -> usize {
+        self.level_cards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_section_iv() {
+        let h = PaperHierarchy::default();
+        let s = h.cube_schema();
+        let mb = |r: usize| s.size_mb_at(r);
+        assert!((mb(0) - 8.0 / 1024.0).abs() < 1e-9); // 8 KB
+        assert!((mb(1) - 0.5).abs() < 1e-9); // 512 KB
+        assert!((mb(2) - 500.0).abs() < 0.1); // ~500 MB
+        assert!((mb(3) - 32_000.0).abs() < 1.0); // ~32 GB
+        assert!(s.uniform_hierarchy());
+    }
+
+    #[test]
+    fn table_geometry() {
+        let h = PaperHierarchy::default();
+        let t = h.table_schema();
+        assert_eq!(t.dimensions.len(), 3);
+        assert_eq!(t.dim_column_count(), 12);
+        assert_eq!(h.total_columns(), 14);
+        // Row bytes: 12 × 4 + 2 × 8 = 64 → a ~4 GB table is ~67 M rows.
+        assert_eq!(t.row_bytes(), 64);
+    }
+
+    #[test]
+    fn scaled_down_preserves_divisibility() {
+        let h = PaperHierarchy::scaled_down(8);
+        assert_eq!(h.level_cards, vec![2, 4, 40, 160]);
+        assert!(h.cube_schema().uniform_hierarchy());
+    }
+
+    #[test]
+    fn catalog_resolutions() {
+        let h = PaperHierarchy::default();
+        let c = h.catalog(&[0, 1, 2]);
+        assert_eq!(c.resolutions(), &[0, 1, 2]);
+        assert!(c.total_size_mb() < 1024.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Cold-start persistence: build the system once, save everything to disk
+//! (fact table, pre-aggregated cubes, dictionaries), and bring it back up
+//! without re-aggregating — the operational flow of a production OLAP
+//! server whose 32 GB cubes are far too expensive to rebuild per restart.
+//!
+//! ```text
+//! cargo run --release --example persistence
+//! ```
+
+use holap::prelude::*;
+use holap::store::{load_system, save_system};
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join("holap-persistence-demo");
+
+    // --- Cold build: aggregate cubes from the raw rows. ---
+    let hierarchy = PaperHierarchy::scaled_down(8);
+    let facts = SyntheticFacts::generate(&FactsSpec {
+        schema: hierarchy.table_schema(),
+        rows: 300_000,
+        text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+        dict_kind: DictKind::Sorted,
+        skew: None,
+        seed: 99,
+    });
+    let t0 = Instant::now();
+    let system = HybridSystem::builder(SystemConfig::default())
+        .facts(facts)
+        .cube_at(1)
+        .cube_at(2)
+        .build()
+        .expect("cold build");
+    let cold = t0.elapsed();
+    let reference = system
+        .query("select sum(measure0) where time.level2 in 3..17")
+        .expect("reference query");
+    println!(
+        "cold start : {:>8.1} ms (aggregated cubes at {:?})",
+        cold.as_secs_f64() * 1e3,
+        system.cube_resolutions()
+    );
+
+    // --- Save the whole image. ---
+    let t0 = Instant::now();
+    let cubes: Vec<&MolapCube> = system
+        .cube_resolutions()
+        .into_iter()
+        .map(|r| system.cube(r).expect("resident"))
+        .collect();
+    save_system(&dir, system.fact_table(), &cubes, system.dictionaries()).expect("save");
+    let bytes: u64 = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum();
+    println!(
+        "saved      : {:>8.1} ms ({} files, {:.1} MB) -> {}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        std::fs::read_dir(&dir).unwrap().count(),
+        bytes as f64 / (1024.0 * 1024.0),
+        dir.display()
+    );
+    drop(system);
+
+    // --- Warm start: load, install prebuilt cubes, no aggregation. ---
+    let t0 = Instant::now();
+    let (table, cubes, dicts) = load_system(&dir).expect("load");
+    let mut builder = HybridSystem::builder(SystemConfig::default()).facts((table, dicts));
+    for cube in cubes {
+        builder = builder.prebuilt_cube(cube);
+    }
+    let warm_system = builder.build().expect("warm build");
+    let warm = t0.elapsed();
+    println!(
+        "warm start : {:>8.1} ms (cubes loaded at {:?})",
+        warm.as_secs_f64() * 1e3,
+        warm_system.cube_resolutions()
+    );
+
+    // --- Same answers. ---
+    let replay = warm_system
+        .query("select sum(measure0) where time.level2 in 3..17")
+        .expect("replay query");
+    assert_eq!(replay.answer.count, reference.answer.count);
+    assert!((replay.answer.sum - reference.answer.sum).abs() < 1e-6);
+    println!(
+        "verified   : identical answers (sum = {:.1}, count = {})",
+        replay.answer.sum, replay.answer.count
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,80 @@
+//! Quickstart: bring up the hybrid system on generated data and ask it
+//! questions through the DSL.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use holap::prelude::*;
+
+fn main() {
+    // 1. Generate a laptop-scale instance of the paper's data geometry:
+    //    3 dimensions × 4 levels, with text (dictionary-encoded) columns on
+    //    the finest geo and product levels.
+    let hierarchy = PaperHierarchy::scaled_down(8);
+    let facts = SyntheticFacts::generate(&FactsSpec {
+        schema: hierarchy.table_schema(),
+        rows: 200_000,
+        text_levels: vec![
+            TextLevel { dim: 1, level: 3, style: NameStyle::City },
+            TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+        ],
+        dict_kind: DictKind::Sorted,
+        skew: None,
+        seed: 42,
+    });
+    // Remember a couple of real dictionary members to query for.
+    let city = facts.dicts.decode("geo.level3", 17).unwrap().to_owned();
+    let brand = facts.dicts.decode("product.level3", 3).unwrap().to_owned();
+
+    // 2. Build the system: upload the fact table to the (simulated) GPU,
+    //    pre-calculate cubes at two resolutions, start the scheduler.
+    let system = HybridSystem::builder(SystemConfig::default())
+        .facts(facts)
+        .cube_at(1)
+        .cube_at(2)
+        .build()
+        .expect("system builds");
+    println!(
+        "system up: cubes at {:?} ({} KB in CPU memory), fact table {} MB in GPU memory\n",
+        system.cube_resolutions(),
+        system.cube_memory_used() / 1024,
+        system.gpu_memory_used() / (1024 * 1024),
+    );
+
+    // 3. Ask questions.
+    let queries = [
+        "select sum(measure0) where time.level1 in 0..1".to_owned(),
+        "select avg(measure0) where time.level2 in 5..25 and geo.level1 = 2".to_owned(),
+        format!("select sum(measure0) where geo.level3 = '{city}'"),
+        format!("select count(*) where product.level3 = '{brand}' and time.level0 = 0"),
+        "select sum(measure1) where time.level3 in 40..90 deadline 0.1".to_owned(),
+    ];
+    for text in &queries {
+        let out = system.query(text).expect("query runs");
+        println!("query : {text}");
+        println!(
+            "answer: sum = {:.1}, count = {}, avg = {:?}",
+            out.answer.sum,
+            out.answer.count,
+            out.answer.avg().map(|a| (a * 100.0).round() / 100.0)
+        );
+        println!(
+            "ran on: {:?}{} in {:.2} ms (deadline {})\n",
+            out.placement,
+            if out.translated { " (text translated for the GPU)" } else { "" },
+            out.latency_secs * 1e3,
+            if out.met_deadline { "met" } else { "missed" },
+        );
+    }
+
+    let stats = system.stats();
+    println!(
+        "totals: {} queries, {} on CPU, {} on GPU, {} translated, mean latency {:.2} ms",
+        stats.completed,
+        stats.cpu_queries,
+        stats.gpu_queries,
+        stats.translated_queries,
+        stats.mean_latency_secs() * 1e3
+    );
+}

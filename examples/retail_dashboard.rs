@@ -1,0 +1,111 @@
+//! A business-intelligence dashboard burst: the workload the paper's
+//! introduction motivates — many concurrent analysts firing mixed
+//! drill-down queries with interactive deadlines, some cheap (coarse cube
+//! slices) and some expensive (fine-grained scans), some with text
+//! parameters.
+//!
+//! Shows the scheduler dividing labour between the CPU cube partition and
+//! the GPU partitions, and the deadline bookkeeping.
+//!
+//! ```text
+//! cargo run --release --example retail_dashboard
+//! ```
+
+use holap::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let hierarchy = PaperHierarchy::scaled_down(8);
+    let facts = SyntheticFacts::generate(&FactsSpec {
+        schema: hierarchy.table_schema(),
+        rows: 400_000,
+        text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+        dict_kind: DictKind::Sorted,
+        skew: None,
+        seed: 7,
+    });
+    let cities: Vec<String> = (0..16)
+        .map(|i| facts.dicts.decode("geo.level3", i * 7).unwrap().to_owned())
+        .collect();
+
+    // Dashboards re-issue the same queries constantly: turn on the result
+    // cache (sound — the data is immutable after build).
+    let config = SystemConfig { cache_capacity: 256, ..SystemConfig::default() };
+    let system = Arc::new(
+        HybridSystem::builder(config)
+            .facts(facts)
+            .cube_at(0)
+            .cube_at(1)
+            .cube_at(2)
+            .build()
+            .expect("system builds"),
+    );
+
+    // Eight "analysts", each firing 25 queries back-to-back.
+    let mut handles = Vec::new();
+    for analyst in 0..8u64 {
+        let system = Arc::clone(&system);
+        let cities = cities.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(analyst);
+            let mut cpu = 0u32;
+            let mut gpu = 0u32;
+            for _ in 0..25 {
+                let q = match rng.gen_range(0..4u32) {
+                    // Coarse slice: "sales by year" — cube fodder.
+                    0 => {
+                        let y = rng.gen_range(0..2u32);
+                        EngineQuery::new().range(0, 0, y % 2, y % 2).deadline(0.5)
+                    }
+                    // Medium drill-down across months × regions.
+                    1 => {
+                        let from = rng.gen_range(0..2u32);
+                        EngineQuery::new()
+                            .range(0, 1, from, from + 1)
+                            .range(1, 1, 0, 1)
+                            .deadline(0.5)
+                    }
+                    // Fine-grained: day-level scan, too fine for the cubes.
+                    2 => {
+                        let from = rng.gen_range(0..80u32);
+                        EngineQuery::new().range(0, 3, from, from + 60).deadline(0.5)
+                    }
+                    // Text lookup: a specific city at the finest level.
+                    _ => {
+                        let city = &cities[rng.gen_range(0..cities.len())];
+                        EngineQuery::new().text_eq(1, 3, city).deadline(0.5)
+                    }
+                };
+                let out = system.execute(&q).expect("query runs");
+                if out.placement.is_cpu() {
+                    cpu += 1;
+                } else {
+                    gpu += 1;
+                }
+            }
+            (analyst, cpu, gpu)
+        }));
+    }
+    for h in handles {
+        let (analyst, cpu, gpu) = h.join().expect("analyst thread finishes");
+        println!("analyst {analyst}: {cpu} queries on CPU, {gpu} on GPU");
+    }
+
+    let s = system.stats();
+    println!("\ndashboard burst totals");
+    println!("  completed          : {}", s.completed);
+    println!("  CPU partition      : {}", s.cpu_queries);
+    println!("  GPU partitions     : {}", s.gpu_queries);
+    println!("  translated (text)  : {}", s.translated_queries);
+    println!("  mean latency       : {:.2} ms", s.mean_latency_secs() * 1e3);
+    println!("  max latency        : {:.2} ms", s.max_latency_secs * 1e3);
+    println!("  deadlines met      : {:.1} %", s.deadline_hit_ratio() * 100.0);
+    let (hits, misses) = system.cache_counters();
+    println!(
+        "  result cache       : {hits} hits / {misses} misses ({:.0} % hit rate)",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
+    assert_eq!(s.completed, 200);
+}

@@ -1,0 +1,91 @@
+//! The text-to-integer translation pipeline in isolation: build per-column
+//! dictionaries over TPC-DS-like string columns, translate query
+//! predicates, and compare the paper's linear dictionary with the
+//! "advanced translation mechanism" its conclusion promises (sorted /
+//! hashed dictionaries).
+//!
+//! ```text
+//! cargo run --release --example translation_pipeline
+//! ```
+
+use holap::dict::{DictKind, Dictionary, DictionarySet, TextCondition};
+use holap::model::DictPerfModel;
+use holap::workload::{name_pool, NameStyle};
+use std::time::Instant;
+
+fn main() {
+    // Per-column dictionaries, as the paper prescribes: "a smaller
+    // dictionary for each text column … rather than one large dictionary".
+    let columns = [
+        ("customer.city", NameStyle::City, 40_000usize),
+        ("customer.name", NameStyle::Person, 250_000),
+        ("item.brand", NameStyle::Brand, 10_000),
+    ];
+
+    for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+        println!("\n=== {kind:?} dictionaries ===");
+        let mut set = DictionarySet::new(kind);
+        let mut pools = Vec::new();
+        for (col, style, card) in &columns {
+            let names = name_pool(*card, *style, 77);
+            let t0 = Instant::now();
+            set.build_column(col, names.iter().map(String::as_str));
+            println!(
+                "built {col:<16} {card:>7} entries in {:>8.2} ms (probe bound {})",
+                t0.elapsed().as_secs_f64() * 1e3,
+                set.dictionary(col).unwrap().probe_bound(),
+            );
+            pools.push(names);
+        }
+
+        // Translate a query's text parameters (what the preprocessing
+        // partition does for every GPU-bound query).
+        let city = pools[0][pools[0].len() - 1].clone();
+        let brand = pools[2][1].clone();
+        let conds = [
+            ("customer.city", TextCondition::eq(&*city)),
+            ("item.brand", TextCondition::eq(&*brand)),
+        ];
+        let t0 = Instant::now();
+        for (col, cond) in &conds {
+            let (lo, hi) = set.translate(col, cond).expect("member exists");
+            println!("  {col}: {cond:?} -> codes [{lo}, {hi}]");
+        }
+        println!("  translated in {:.3} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+        // Range predicates only translate on order-preserving codes.
+        let range = TextCondition::range("B", "Cz");
+        match set.translate("customer.city", &range) {
+            Ok((lo, hi)) => println!("  range 'B'..'Cz' -> codes [{lo}, {hi}]"),
+            Err(e) => println!("  range 'B'..'Cz' -> unsupported: {e}"),
+        }
+    }
+
+    // The paper's cost bound (Eq. 17–18) vs. what the implementations do.
+    println!("\n=== Eq. 17 upper bound vs implementation ===");
+    let model = DictPerfModel::paper();
+    for len in [10_000usize, 100_000, 1_000_000] {
+        let names = name_pool(len, NameStyle::City, 5);
+        let needle = names.last().unwrap().clone();
+        let linear = holap::dict::LinearDict::build(names.iter().map(String::as_str));
+        let sorted = holap::dict::SortedDict::build(names.iter().map(String::as_str));
+        let time = |f: &dyn Fn() -> Option<u32>| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        };
+        let t_lin = time(&|| linear.encode(&needle));
+        let t_sort = time(&|| sorted.encode(&needle));
+        println!(
+            "{len:>9} entries: paper bound {:>9.3} ms | linear {:>9.3} ms | sorted {:>9.5} ms",
+            model.lookup_secs(len) * 1e3,
+            t_lin * 1e3,
+            t_sort * 1e3,
+        );
+    }
+    println!(
+        "\nThe linear dictionary tracks the paper's linear bound (Fig. 9); the\n\
+         sorted dictionary replaces it with ~log2(n) comparisons, which is why\n\
+         the 7 % GPU-side translation overhead disappears with it."
+    );
+}

@@ -1,0 +1,79 @@
+//! # holap — a hybrid GPU/CPU OLAP system with deadline-aware co-scheduling
+//!
+//! A from-scratch Rust reproduction of *"Task Scheduling for GPU
+//! Accelerated Hybrid OLAP Systems with Multi-core Support and
+//! Text-to-Integer Translation"* (Malik, Riha, Shea, El-Ghazawi, IPDPSW
+//! 2012).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`model`] | performance models (CPU piecewise, GPU linear, dictionary) + least-squares fitting |
+//! | [`dict`] | per-column string dictionaries + text-to-integer translation |
+//! | [`table`] | columnar fact table + filter/aggregate scan engine |
+//! | [`cube`] | chunked MOLAP cubes, multi-resolution sets, parallel aggregation |
+//! | [`gpusim`] | simulated Fermi GPU: partitions, concurrent kernels, memory accounting |
+//! | [`sched`] | the Figure-10 co-scheduler + MET/MCT/round-robin baselines |
+//! | [`workload`] | TPC-DS-like data generators + calibrated query mixes |
+//! | [`sim`] | discrete-event system model (the paper's Section-IV evaluation) |
+//! | [`store`] | checksummed binary persistence for tables, cubes and dictionaries |
+//! | [`core`] | the runnable hybrid engine with a query DSL |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and
+//! substitutions, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use holap::prelude::*;
+//!
+//! // Generate a laptop-scale instance of the paper's data geometry…
+//! let hierarchy = PaperHierarchy::scaled_down(8);
+//! let facts = SyntheticFacts::generate(&FactsSpec {
+//!     schema: hierarchy.table_schema(),
+//!     rows: 10_000,
+//!     text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+//!     dict_kind: DictKind::Sorted,
+//!     skew: None,
+//!     seed: 1,
+//! });
+//! // …bring up the hybrid system (CPU cubes + simulated GPU + scheduler)…
+//! let system = HybridSystem::builder(SystemConfig::default())
+//!     .facts(facts)
+//!     .cube_at(2)
+//!     .build()
+//!     .unwrap();
+//! // …and ask it something.
+//! let out = system.query("select avg(measure0) where time.level2 in 3..17").unwrap();
+//! assert!(out.answer.count > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use holap_core as core;
+pub use holap_cube as cube;
+pub use holap_dict as dict;
+pub use holap_gpusim as gpusim;
+pub use holap_model as model;
+pub use holap_sched as sched;
+pub use holap_sim as sim;
+pub use holap_store as store;
+pub use holap_table as table;
+pub use holap_workload as workload;
+
+/// The most commonly used types in one import.
+pub mod prelude {
+    pub use holap_core::{Answer, EngineQuery, HybridSystem, QueryOutcome, SystemConfig};
+    pub use holap_cube::{CubeQuery, CubeSchema, CubeSet, DimRange, MolapCube};
+    pub use holap_dict::{DictKind, Dictionary, DictionarySet, TextCondition};
+    pub use holap_gpusim::{DeviceConfig, GpuDevice};
+    pub use holap_model::SystemProfile;
+    pub use holap_sched::{PartitionLayout, Policy, Scheduler};
+    pub use holap_sim::{run_closed_loop, run_open_loop, SimConfig};
+    pub use holap_table::{AggOp, AggSpec, FactTable, Predicate, ScanQuery, TableSchema};
+    pub use holap_workload::{
+        FactsSpec, NameStyle, PaperHierarchy, QueryGenerator, SyntheticFacts, TextLevel,
+        WorkloadPreset,
+    };
+}

@@ -1,0 +1,101 @@
+//! The full calibration loop, end to end: measure this machine → fit a
+//! `SystemProfile` → round-trip it through JSON (what the `calibrate`
+//! binary emits) → drive the scheduler and the engine with it.
+//!
+//! This is the workflow the paper prescribes in §III-G ("the system
+//! performance variables … are measured by benchmarks and stored inside
+//! the scheduler") — here asserted as a regression test with tiny sweeps.
+
+use holap::cube::{bandwidth, Region};
+use holap::dict::{Dictionary, LinearDict};
+use holap::model::{CpuPerfModel, DictPerfModel, SystemProfile};
+use holap::prelude::*;
+use holap::sched::{Estimator, QueryFeatures};
+use holap::workload::name_pool;
+use std::time::Instant;
+
+/// Measures a small cube-processing sweep and fits a piecewise CPU model.
+fn fit_host_cpu_model() -> CpuPerfModel {
+    let sizes = [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0];
+    let cube = bandwidth::synthetic_cube_of_mb(16.0);
+    let total_cells = cube.cells();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &mb in &sizes {
+        let cells = (((mb / 16.0) * total_cells as f64).max(1.0) as u32).min(cube.shape()[0]);
+        let region = Region::new(vec![(0, cells - 1)]);
+        let s = bandwidth::measure_aggregation(&cube, &region, 1, 2);
+        xs.push(s.size_mb);
+        ys.push(s.secs.max(1e-9));
+    }
+    CpuPerfModel::fit(&xs, &ys, 4.0)
+}
+
+/// Measures linear-dictionary lookups and fits the translation model.
+fn fit_host_dict_model() -> DictPerfModel {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for len in [2_000usize, 8_000, 32_000] {
+        let names = name_pool(len, NameStyle::City, 42);
+        let dict = LinearDict::build(names.iter().map(String::as_str));
+        let needle = names.last().unwrap();
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            std::hint::black_box(dict.encode(needle));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        xs.push(len as f64);
+        ys.push(best);
+    }
+    DictPerfModel::fit(&xs, &ys)
+}
+
+#[test]
+fn measured_profile_drives_scheduler_and_engine() {
+    // 1. Measure + fit.
+    let mut profile = SystemProfile::paper();
+    let host_cpu = fit_host_cpu_model();
+    profile.set_cpu(8, host_cpu);
+    profile.dict = fit_host_dict_model();
+
+    // Sanity of the fits: positive predictions, monotone-ish.
+    assert!(profile.cpu(8).unwrap().estimate_secs(8.0) > 0.0);
+    assert!(profile.dict.lookup_secs(1_000_000) > profile.dict.lookup_secs(1_000));
+
+    // 2. Round-trip through JSON — the calibrate binary's output format.
+    let json = serde_json::to_string_pretty(&profile).unwrap();
+    let loaded: SystemProfile = serde_json::from_str(&json).unwrap();
+    assert_eq!(loaded, profile);
+
+    // 3. The scheduler consumes it.
+    let layout = PartitionLayout::paper();
+    let estimator = Estimator::new(loaded.clone(), layout.clone());
+    let est = estimator.estimate(&QueryFeatures {
+        cpu_subcube_mb: Some(8.0),
+        gpu_column_fraction: 0.3,
+        translation_dict_lens: vec![32_000],
+    });
+    assert!(est.t_cpu.unwrap() > 0.0);
+    assert!(est.t_trans > 0.0);
+    let mut sched = Scheduler::new(layout, Policy::Paper);
+    let d = sched.schedule(0.0, &est, 1.0);
+    assert!(d.response_time > 0.0);
+
+    // 4. The engine runs with the host-true profile.
+    let hierarchy = PaperHierarchy::scaled_down(16);
+    let facts = SyntheticFacts::generate(&FactsSpec {
+        schema: hierarchy.table_schema(),
+        rows: 5_000,
+        text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+        dict_kind: DictKind::Sorted,
+        skew: None,
+        seed: 5,
+    });
+    let config = SystemConfig { profile: loaded, ..SystemConfig::default() };
+    let system = HybridSystem::builder(config).facts(facts).cube_at(2).build().unwrap();
+    let out = system
+        .query("select sum(measure0) where time.level2 in 0..9")
+        .unwrap();
+    assert!(out.answer.count > 0);
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the MOLAP cube substrate: aggregation agrees
+//! with brute force over cells; parallelism, compression and roll-up are
+//! all answer-preserving.
+
+use holap::cube::{CubeSchema, MolapCube, Region};
+use holap::table::TableSchema;
+use proptest::prelude::*;
+
+/// Entries of one generated cube: `(x, y, value)` per added cell.
+type CellEntries = Vec<Vec<(u32, u32, f64)>>;
+
+/// A random 2-D cube schema (uniform 2-level hierarchy) plus cell values.
+fn cube_strategy() -> impl Strategy<Value = (MolapCube, CellEntries)> {
+    (2u32..6, 2u32..5, 1u32..4, 1u32..4).prop_flat_map(|(c0, c1, f0, f1)| {
+        let fine0 = c0 * f0;
+        let fine1 = c1 * f1;
+        let schema = CubeSchema::from_table_schema(
+            &TableSchema::builder()
+                .dimension("a", &[("l0", c0), ("l1", fine0)])
+                .dimension("b", &[("l0", c1), ("l1", fine1)])
+                .measure("m")
+                .build(),
+        );
+        let cells = proptest::collection::vec(
+            (0..fine0, 0..fine1, -100.0..100.0f64),
+            0..40,
+        );
+        cells.prop_map(move |entries| {
+            let mut cube = MolapCube::build_empty_with_chunks(schema.clone(), 1, 3);
+            for &(x, y, v) in &entries {
+                cube.add(&[x, y], v, 1);
+            }
+            (cube, vec![entries])
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Region aggregation equals the brute-force sum over added entries.
+    #[test]
+    fn aggregate_matches_brute_force((cube, entries) in cube_strategy()) {
+        let shape = cube.shape().to_vec();
+        let region = Region::full(&shape);
+        let agg = cube.aggregate_seq(&region);
+        let sum: f64 = entries[0].iter().map(|&(_, _, v)| v).sum();
+        prop_assert_eq!(agg.count, entries[0].len() as u64);
+        prop_assert!((agg.sum - sum).abs() < 1e-9 * (1.0 + sum.abs()));
+    }
+
+    /// Sub-region aggregation matches filtering the entries by the region.
+    #[test]
+    fn subregion_matches_filter(
+        (cube, entries) in cube_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let shape = cube.shape().to_vec();
+        // Derive a deterministic sub-region from the seed.
+        let f0 = (seed % u64::from(shape[0])) as u32;
+        let t0 = f0 + ((seed / 7) % u64::from(shape[0] - f0)) as u32;
+        let f1 = ((seed / 3) % u64::from(shape[1])) as u32;
+        let t1 = f1 + ((seed / 11) % u64::from(shape[1] - f1)) as u32;
+        let region = Region::new(vec![(f0, t0), (f1, t1)]);
+        let agg = cube.aggregate_seq(&region);
+        let inside = |x: u32, y: u32| x >= f0 && x <= t0 && y >= f1 && y <= t1;
+        let want_count = entries[0].iter().filter(|&&(x, y, _)| inside(x, y)).count() as u64;
+        let want_sum: f64 = entries[0]
+            .iter()
+            .filter(|&&(x, y, _)| inside(x, y))
+            .map(|&(_, _, v)| v)
+            .sum();
+        prop_assert_eq!(agg.count, want_count);
+        prop_assert!((agg.sum - want_sum).abs() < 1e-9 * (1.0 + want_sum.abs()));
+    }
+
+    /// Parallel, compressed and rolled-up variants all preserve answers.
+    #[test]
+    fn transformations_preserve_answers((cube, _entries) in cube_strategy()) {
+        let shape = cube.shape().to_vec();
+        let full = Region::full(&shape);
+        let reference = cube.aggregate_seq(&full);
+
+        // Parallel == sequential.
+        let par = cube.aggregate_par(&full);
+        prop_assert_eq!(par.count, reference.count);
+        prop_assert!((par.sum - reference.sum).abs() < 1e-9 * (1.0 + reference.sum.abs()));
+
+        // Compression preserves answers.
+        let mut compressed = cube.clone();
+        compressed.compress();
+        let comp = compressed.aggregate_seq(&full);
+        prop_assert_eq!(comp.count, reference.count);
+        prop_assert!((comp.sum - reference.sum).abs() < 1e-12 * (1.0 + reference.sum.abs()));
+        prop_assert!(compressed.bytes() <= cube.bytes());
+
+        // Roll-up to the coarse resolution preserves totals.
+        let coarse = cube.rollup_to(0);
+        let coarse_total = coarse.aggregate_seq(&Region::full(coarse.shape()));
+        prop_assert_eq!(coarse_total.count, reference.count);
+        prop_assert!(
+            (coarse_total.sum - reference.sum).abs() < 1e-9 * (1.0 + reference.sum.abs())
+        );
+
+        // Per-coordinate aggregation along each axis partitions the total.
+        for (dim, &extent) in shape.iter().enumerate() {
+            let along = cube.aggregate_along_par(dim, &full);
+            let count: u64 = along.iter().map(|a| a.count).sum();
+            let sum: f64 = along.iter().map(|a| a.sum).sum();
+            prop_assert_eq!(count, reference.count);
+            prop_assert!((sum - reference.sum).abs() < 1e-9 * (1.0 + reference.sum.abs()));
+            prop_assert_eq!(along.len(), extent as usize);
+        }
+    }
+
+    /// Aggregating any region never panics and its count never exceeds
+    /// the cube-wide total (cells may hold multi-row counts, so the bound
+    /// is the number of added entries, not the region's cell count).
+    #[test]
+    fn region_count_bounded(
+        (cube, entries) in cube_strategy(),
+        region_seed in proptest::num::u64::ANY,
+    ) {
+        let shape = cube.shape().to_vec();
+        // Derive a deterministic region from the seed.
+        let bounds: Vec<(u32, u32)> = shape
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| {
+                let f = ((region_seed >> (8 * d)) % u64::from(c)) as u32;
+                let t = f + ((region_seed >> (8 * d + 4)) % u64::from(c - f)) as u32;
+                (f, t)
+            })
+            .collect();
+        let region = Region::new(bounds);
+        let agg = cube.aggregate_par(&region);
+        prop_assert!(agg.count <= entries[0].len() as u64);
+    }
+}

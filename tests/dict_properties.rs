@@ -1,0 +1,117 @@
+//! Property-based tests of the dictionary substrate: round-trips, order
+//! preservation, and range-translation correctness for arbitrary key sets.
+
+use holap::dict::{
+    DictKind, Dictionary, DictionarySet, HashDict, LinearDict, SortedDict, TextCondition,
+};
+use proptest::prelude::*;
+
+fn keys_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{1,12}", 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode = id and decode ∘ encode = id, for every kind.
+    #[test]
+    fn roundtrip_all_kinds(keys in keys_strategy()) {
+        let linear = LinearDict::build(keys.iter().map(String::as_str));
+        let sorted = SortedDict::build(keys.iter().map(String::as_str));
+        let hashed = HashDict::build(keys.iter().map(String::as_str));
+        let dicts: [&dyn Dictionary; 3] = [&linear, &sorted, &hashed];
+        for d in dicts {
+            for k in &keys {
+                let code = d.encode(k).expect("inserted key encodes");
+                prop_assert_eq!(d.decode(code), Some(k.as_str()));
+            }
+            // All dictionaries agree on the number of distinct keys.
+            prop_assert_eq!(d.len(), sorted.len());
+            // Codes are dense: every code below len decodes.
+            for c in 0..d.len() as u32 {
+                prop_assert!(d.decode(c).is_some());
+            }
+        }
+    }
+
+    /// The sorted dictionary's codes are order-preserving.
+    #[test]
+    fn sorted_dict_preserves_order(keys in keys_strategy()) {
+        let d = SortedDict::build(keys.iter().map(String::as_str));
+        for a in &keys {
+            for b in &keys {
+                let ca = d.encode(a).unwrap();
+                let cb = d.encode(b).unwrap();
+                prop_assert_eq!(a.cmp(b), ca.cmp(&cb), "{} vs {}", a, b);
+            }
+        }
+    }
+
+    /// Range translation matches brute-force membership for arbitrary
+    /// bounds (including bounds that are not keys).
+    #[test]
+    fn range_translation_matches_brute_force(
+        keys in keys_strategy(),
+        lo in "[a-z]{0,12}",
+        hi in "[a-z]{0,12}",
+    ) {
+        let d = SortedDict::build(keys.iter().map(String::as_str));
+        let expected: std::collections::BTreeSet<&str> = keys
+            .iter()
+            .map(String::as_str)
+            .filter(|k| *k >= lo.as_str() && *k <= hi.as_str())
+            .collect();
+        match d.encode_range(&lo, &hi) {
+            Some(Some((a, b))) => {
+                let got: std::collections::BTreeSet<&str> =
+                    (a..=b).map(|c| d.decode(c).unwrap()).collect();
+                prop_assert_eq!(got, expected);
+            }
+            Some(None) => prop_assert!(expected.is_empty()),
+            None => prop_assert!(false, "sorted dict must support ranges"),
+        }
+    }
+
+    /// Whole-column encoding through a DictionarySet is lossless and
+    /// identical across kinds (codes may differ; decoded values may not).
+    #[test]
+    fn column_encoding_is_lossless(values in proptest::collection::vec("[a-z]{1,8}", 1..80)) {
+        for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+            let mut set = DictionarySet::new(kind);
+            let codes = set.build_column("c", values.iter().map(String::as_str));
+            prop_assert_eq!(codes.len(), values.len());
+            for (code, value) in codes.iter().zip(&values) {
+                prop_assert_eq!(set.decode("c", *code), Some(value.as_str()));
+            }
+        }
+    }
+
+    /// Eq-translation returns the degenerate range of the value's code and
+    /// never invents matches.
+    #[test]
+    fn eq_translation_is_exact(values in proptest::collection::vec("[a-z]{1,8}", 1..50), probe in "[a-z]{1,8}") {
+        let mut set = DictionarySet::new(DictKind::Sorted);
+        set.build_column("c", values.iter().map(String::as_str));
+        match set.translate("c", &TextCondition::eq(&probe)) {
+            Ok((lo, hi)) => {
+                prop_assert_eq!(lo, hi);
+                prop_assert_eq!(set.decode("c", lo), Some(probe.as_str()));
+                prop_assert!(values.contains(&probe));
+            }
+            Err(_) => prop_assert!(!values.contains(&probe)),
+        }
+    }
+
+    /// Probe bounds honour their contracts: linear = n, sorted ≤ ⌈log₂ n⌉+1,
+    /// hashed = 1.
+    #[test]
+    fn probe_bounds(keys in keys_strategy()) {
+        let linear = LinearDict::build(keys.iter().map(String::as_str));
+        let sorted = SortedDict::build(keys.iter().map(String::as_str));
+        let hashed = HashDict::build(keys.iter().map(String::as_str));
+        let n = sorted.len();
+        prop_assert_eq!(linear.probe_bound(), n);
+        prop_assert!(sorted.probe_bound() <= (n.ilog2() as usize) + 2);
+        prop_assert_eq!(hashed.probe_bound(), 1);
+    }
+}

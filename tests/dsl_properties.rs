@@ -1,0 +1,121 @@
+//! Property-based tests of the query DSL: programmatically rendered
+//! queries must parse back to the structured form they were rendered
+//! from (print → parse = id).
+
+use holap::core::dsl;
+use holap::core::{ConditionRange, EngineQuery};
+use holap::dict::TextCondition;
+use holap::table::TableSchema;
+use proptest::prelude::*;
+
+fn schema() -> TableSchema {
+    TableSchema::builder()
+        .dimension("time", &[("year", 10), ("month", 120)])
+        .dimension("geo", &[("region", 8), ("city", 64)])
+        .measure("sales")
+        .measure("qty")
+        .build()
+}
+
+/// Renders a structured query as DSL text.
+fn render(q: &EngineQuery, schema: &TableSchema) -> String {
+    let mut out = format!("select sum({})", schema.measures[q.measure].name);
+    if !q.conditions.is_empty() {
+        out.push_str(" where ");
+        let parts: Vec<String> = q
+            .conditions
+            .iter()
+            .map(|c| {
+                let dim = &schema.dimensions[c.dim];
+                let col = format!("{}.{}", dim.name, dim.levels[c.level].name);
+                match &c.range {
+                    ConditionRange::Coords { from, to } if from == to => {
+                        format!("{col} = {from}")
+                    }
+                    ConditionRange::Coords { from, to } => format!("{col} in {from}..{to}"),
+                    ConditionRange::Text(TextCondition::Eq(s)) => format!("{col} = '{s}'"),
+                    ConditionRange::Text(TextCondition::Range { from, to }) => {
+                        format!("{col} in '{from}'..'{to}'")
+                    }
+                    ConditionRange::Text(TextCondition::Contains(ps)) => {
+                        let quoted: Vec<String> =
+                            ps.iter().map(|p| format!("'{p}'")).collect();
+                        format!("{col} contains {}", quoted.join(", "))
+                    }
+                    ConditionRange::All => unreachable!("not rendered"),
+                }
+            })
+            .collect();
+        out.push_str(&parts.join(" and "));
+    }
+    if let Some((d, l)) = q.group_by {
+        let dim = &schema.dimensions[d];
+        out.push_str(&format!(" group by {}.{}", dim.name, dim.levels[l].name));
+    }
+    if let Some(t) = q.deadline_secs {
+        out.push_str(&format!(" deadline {t}"));
+    }
+    out
+}
+
+fn condition_strategy() -> impl Strategy<Value = (usize, usize, ConditionRange)> {
+    (0usize..2, 0usize..2).prop_flat_map(|(dim, level)| {
+        let range = prop_oneof![
+            (0u32..50, 0u32..50).prop_map(|(a, b)| ConditionRange::Coords {
+                from: a.min(b),
+                to: a.max(b),
+            }),
+            "[a-z]{1,6}".prop_map(|s| ConditionRange::Text(TextCondition::eq(s))),
+            ("[a-z]{1,4}", "[m-z]{1,4}").prop_map(|(a, b)| {
+                ConditionRange::Text(TextCondition::range(a, b))
+            }),
+            proptest::collection::vec("[a-z]{1,5}", 1..3)
+                .prop_map(|ps| ConditionRange::Text(TextCondition::contains(ps))),
+        ];
+        (Just(dim), Just(level), range)
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = EngineQuery> {
+    (
+        proptest::collection::vec(condition_strategy(), 0..3),
+        0usize..2,
+        proptest::option::of((0usize..2, 0usize..2)),
+        proptest::option::of(1u32..100),
+    )
+        .prop_map(|(conds, measure, group_by, deadline)| {
+            let mut q = EngineQuery::new().measure(measure);
+            let mut used = std::collections::HashSet::new();
+            for (dim, level, range) in conds {
+                if used.insert(dim) {
+                    q.conditions.push(holap::core::EngineCondition { dim, level, range });
+                }
+            }
+            q.group_by = group_by;
+            q.deadline_secs = deadline.map(|d| f64::from(d) / 10.0);
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse → resolve reproduces the structured query exactly.
+    #[test]
+    fn render_parse_roundtrip(q in query_strategy()) {
+        let schema = schema();
+        let text = render(&q, &schema);
+        let parsed = dsl::parse(&text)
+            .unwrap_or_else(|e| panic!("failed to parse `{text}`: {e}"));
+        let back = parsed
+            .resolve(&schema)
+            .unwrap_or_else(|e| panic!("failed to resolve `{text}`: {e}"));
+        prop_assert_eq!(back, q, "text was: {}", text);
+    }
+
+    /// Arbitrary junk never panics the parser — it errors.
+    #[test]
+    fn parser_never_panics(text in "[ -~]{0,80}") {
+        let _ = dsl::parse(&text);
+    }
+}

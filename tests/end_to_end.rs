@@ -1,0 +1,219 @@
+//! End-to-end integration: generated data → hybrid system → answers that
+//! match brute force, for every placement path.
+
+use holap::prelude::*;
+use std::sync::Arc;
+
+fn facts(rows: usize, kind: DictKind, seed: u64) -> SyntheticFacts {
+    let hierarchy = PaperHierarchy::scaled_down(8);
+    SyntheticFacts::generate(&FactsSpec {
+        schema: hierarchy.table_schema(),
+        rows,
+        text_levels: vec![
+            TextLevel { dim: 1, level: 3, style: NameStyle::City },
+            TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+        ],
+        dict_kind: kind,
+        skew: None,
+        seed,
+    })
+}
+
+/// Brute-force ground truth over the raw table.
+fn brute(f: &SyntheticFacts, conds: &[(usize, usize, u32, u32)], measure: usize) -> (f64, u64) {
+    let m = f.table.measure_column(measure);
+    let cols: Vec<&[u32]> = conds.iter().map(|&(d, l, _, _)| f.table.dim_column(d, l)).collect();
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    'rows: for row in 0..f.table.rows() {
+        for (c, col) in conds.iter().zip(&cols) {
+            if col[row] < c.2 || col[row] > c.3 {
+                continue 'rows;
+            }
+        }
+        sum += m[row];
+        count += 1;
+    }
+    (sum, count)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn hybrid_answers_match_brute_force_across_policies() {
+    let data = facts(30_000, DictKind::Sorted, 1);
+    let cases: Vec<Vec<(usize, usize, u32, u32)>> = vec![
+        vec![(0, 0, 0, 0)],
+        vec![(0, 1, 1, 2), (1, 1, 0, 1)],
+        vec![(0, 2, 3, 30), (2, 0, 1, 1)],
+        vec![(0, 3, 10, 150), (1, 3, 5, 100), (2, 3, 0, 80)],
+    ];
+    for policy in [Policy::Paper, Policy::CpuOnly, Policy::GpuOnly, Policy::Mct] {
+        let system = HybridSystem::builder(SystemConfig {
+            policy,
+            ..SystemConfig::default()
+        })
+        .facts(facts(30_000, DictKind::Sorted, 1))
+        .cube_at(1)
+        .cube_at(2)
+        .cube_at(3)
+        .build()
+        .unwrap();
+        for conds in &cases {
+            let mut q = EngineQuery::new();
+            for &(d, l, f, t) in conds {
+                q = q.range(d, l, f, t);
+            }
+            let out = system.execute(&q).unwrap();
+            let (sum, count) = brute(&data, conds, 0);
+            assert_eq!(out.answer.count, count, "{policy:?} {conds:?}");
+            assert!(close(out.answer.sum, sum), "{policy:?} {conds:?}");
+        }
+    }
+}
+
+#[test]
+fn text_queries_agree_between_dictionary_kinds() {
+    // The same data stream encoded with each dictionary kind must answer
+    // equality text queries identically.
+    let reference = facts(10_000, DictKind::Sorted, 2);
+    let city = reference.dicts.decode("geo.level3", 9).unwrap().to_owned();
+    let mut counts = Vec::new();
+    for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
+        let system = HybridSystem::builder(SystemConfig::default())
+            .facts(facts(10_000, kind, 2))
+            .cube_at(2)
+            .build()
+            .unwrap();
+        let out = system
+            .execute(&EngineQuery::new().text_eq(1, 3, &city))
+            .unwrap();
+        counts.push(out.answer.count);
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+    assert!(counts[0] > 0, "the city occurs in the data");
+}
+
+#[test]
+fn dsl_and_builder_agree() {
+    let system = HybridSystem::builder(SystemConfig::default())
+        .facts(facts(10_000, DictKind::Sorted, 3))
+        .cube_at(2)
+        .build()
+        .unwrap();
+    let a = system
+        .query("select sum(measure0) where time.level2 in 2..11 and geo.level0 = 1")
+        .unwrap();
+    let b = system
+        .execute(&EngineQuery::new().range(0, 2, 2, 11).range(1, 0, 1, 1))
+        .unwrap();
+    assert_eq!(a.answer, b.answer);
+}
+
+#[test]
+fn scheduler_splits_load_between_partitions() {
+    let system = Arc::new(
+        HybridSystem::builder(SystemConfig::default())
+            .facts(facts(50_000, DictKind::Sorted, 4))
+            .cube_at(1)
+            .cube_at(2)
+            .build()
+            .unwrap(),
+    );
+    // Mixed burst: coarse (cube-friendly) and finest-level (GPU-only).
+    let mut handles = Vec::new();
+    for t in 0..4u32 {
+        let system = Arc::clone(&system);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20u32 {
+                let q = if i % 2 == 0 {
+                    EngineQuery::new().range(0, 1, t % 2, 3)
+                } else {
+                    EngineQuery::new().range(0, 3, i, i + 40)
+                };
+                system.execute(&q).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = system.stats();
+    assert_eq!(s.completed, 80);
+    assert!(s.cpu_queries > 0, "coarse queries hit the cubes");
+    assert!(s.gpu_queries > 0, "finest-level queries hit the GPU");
+}
+
+#[test]
+fn multi_level_conditions_agree_across_substrates() {
+    // Eq. 11: several conditions on one dimension at different levels.
+    let data = facts(25_000, DictKind::Sorted, 11);
+    let conds = [(0usize, 0usize, 1u32, 1u32), (0, 2, 15, 55), (1, 1, 0, 2)];
+    let (sum, count) = brute(&data, &conds, 0);
+    assert!(count > 0, "the conjunction selects something");
+    for policy in [Policy::CpuOnly, Policy::GpuOnly, Policy::Paper] {
+        let system = HybridSystem::builder(SystemConfig { policy, ..SystemConfig::default() })
+            .facts(facts(25_000, DictKind::Sorted, 11))
+            .cube_at(2)
+            .cube_at(3)
+            .build()
+            .unwrap();
+        let q = EngineQuery::new()
+            .range(0, 0, 1, 1)
+            .range(0, 2, 15, 55)
+            .range(1, 1, 0, 2);
+        let out = system.execute(&q).unwrap();
+        assert_eq!(out.answer.count, count, "{policy:?}");
+        assert!(close(out.answer.sum, sum), "{policy:?}");
+        // DSL with a repeated dimension parses and agrees.
+        let dsl = system
+            .query(
+                "select sum(measure0) where time.level0 = 1 \
+                 and time.level2 in 15..55 and geo.level1 in 0..2",
+            )
+            .unwrap();
+        assert_eq!(dsl.answer.count, count, "{policy:?} via DSL");
+    }
+}
+
+#[test]
+fn contradictory_conditions_answer_empty_without_error() {
+    let system = HybridSystem::builder(SystemConfig::default())
+        .facts(facts(5_000, DictKind::Sorted, 12))
+        .cube_at(2)
+        .build()
+        .unwrap();
+    // Year 0 but months that belong to year 3 (level1 has 4/ year).
+    let out = system
+        .execute(&EngineQuery::new().range(0, 0, 0, 0).range(0, 1, 3, 3))
+        .unwrap();
+    assert_eq!(out.answer.count, 0);
+    assert_eq!(out.answer.sum, 0.0);
+}
+
+#[test]
+fn gpu_memory_pressure_is_enforced() {
+    use holap::gpusim::DeviceConfig;
+    let err = HybridSystem::builder(SystemConfig::default())
+        .facts(facts(50_000, DictKind::Sorted, 5))
+        .device(DeviceConfig::tiny(1024)) // 1 KB of "global memory"
+        .build();
+    assert!(err.is_err(), "a 50k-row table cannot fit in 1 KB");
+}
+
+#[test]
+fn avg_is_consistent_with_sum_and_count() {
+    let system = HybridSystem::builder(SystemConfig::default())
+        .facts(facts(10_000, DictKind::Sorted, 6))
+        .cube_at(2)
+        .build()
+        .unwrap();
+    let out = system
+        .query("select avg(measure0) where time.level1 = 2")
+        .unwrap();
+    let avg = out.answer.avg().unwrap();
+    assert!(close(avg * out.answer.count as f64, out.answer.sum));
+}

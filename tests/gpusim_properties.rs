@@ -1,0 +1,90 @@
+//! Property-based tests of the simulated GPU: kernels must be
+//! functionally identical to direct scans for arbitrary tables and
+//! queries, and the cost model must respect its structural guarantees.
+
+use holap::gpusim::{DeviceConfig, GpuDevice};
+use holap::model::GpuModelSet;
+use holap::table::{
+    AggOp, AggSpec, ColumnId, FactTable, FactTableBuilder, Predicate, ScanQuery, TableSchema,
+};
+use proptest::prelude::*;
+
+fn table_strategy() -> impl Strategy<Value = FactTable> {
+    (2u32..6, 2u32..8, proptest::collection::vec((0u32..100_000, -1e3..1e3f64), 1..150))
+        .prop_map(|(c0, c1, rows)| {
+            let schema = TableSchema::builder()
+                .dimension("a", &[("l0", c0), ("l1", c0 * 3)])
+                .dimension("b", &[("l0", c1)])
+                .measure("m")
+                .build();
+            let mut b = FactTableBuilder::new(schema);
+            for (coord, v) in rows {
+                let fine = coord % (c0 * 3);
+                b.push_row(&[fine / 3, fine, coord % c1], &[v]).unwrap();
+            }
+            b.finish()
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = ScanQuery> {
+    (0u32..10, 0u32..10, proptest::bool::ANY).prop_map(|(a, b, count_too)| {
+        let mut q = ScanQuery::new()
+            .filter(Predicate::range(ColumnId::dim(0, 1), a.min(b), a.max(b)))
+            .aggregate(AggSpec::new(AggOp::Sum, Some(0)));
+        if count_too {
+            q = q.aggregate(AggSpec::count_star());
+        }
+        q
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel answers equal direct scans, for every partition size.
+    #[test]
+    fn kernel_equals_direct_scan(table in table_strategy(), q in query_strategy()) {
+        let direct = table.scan_seq(&q).unwrap();
+        let mut device = GpuDevice::new(DeviceConfig::tesla_c2070());
+        let id = device.load_table("t", table).unwrap();
+        let model = GpuModelSet::paper_c2070();
+        for sms in [1u32, 2, 4, 14] {
+            let out = device.execute_scan(id, sms, &q, &model).unwrap();
+            prop_assert_eq!(out.result.matched_rows, direct.matched_rows);
+            for (a, b) in out.result.values.iter().zip(&direct.values) {
+                match (a.value(), b.value()) {
+                    (Some(x), Some(y)) => {
+                        prop_assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()))
+                    }
+                    (x, y) => prop_assert_eq!(x, y),
+                }
+            }
+            // Structural cost guarantees.
+            prop_assert!(out.modeled_secs > 0.0);
+            prop_assert_eq!(out.columns_accessed, q.columns_accessed());
+        }
+    }
+
+    /// Modeled cost is non-increasing in SM count and non-decreasing in
+    /// column count.
+    #[test]
+    fn modeled_cost_is_monotone(table in table_strategy()) {
+        let mut device = GpuDevice::new(DeviceConfig::tesla_c2070());
+        let id = device.load_table("t", table).unwrap();
+        let model = GpuModelSet::paper_c2070();
+        let narrow = ScanQuery::new().aggregate(AggSpec::new(AggOp::Sum, Some(0)));
+        let wide = ScanQuery::new()
+            .filter(Predicate::range(ColumnId::dim(0, 0), 0, u32::MAX - 1))
+            .filter(Predicate::range(ColumnId::dim(0, 1), 0, u32::MAX - 1))
+            .filter(Predicate::range(ColumnId::dim(1, 0), 0, u32::MAX - 1))
+            .aggregate(AggSpec::new(AggOp::Sum, Some(0)));
+        let mut prev = f64::INFINITY;
+        for sms in [1u32, 2, 4, 14] {
+            let t = device.execute_scan(id, sms, &narrow, &model).unwrap().modeled_secs;
+            prop_assert!(t <= prev + 1e-15, "more SMs must not cost more");
+            prev = t;
+            let tw = device.execute_scan(id, sms, &wide, &model).unwrap().modeled_secs;
+            prop_assert!(tw >= t, "more columns must not cost less");
+        }
+    }
+}

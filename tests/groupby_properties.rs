@@ -1,0 +1,105 @@
+//! Property-based tests of grouped scans: a GROUP BY must equal the family
+//! of per-group filtered scans, on both execution substrates.
+
+use holap::table::{
+    AggOp, AggSpec, ColumnId, FactTable, FactTableBuilder, GroupByQuery, Predicate, ScanQuery,
+    SetPredicate, TableSchema,
+};
+use proptest::prelude::*;
+
+fn table_strategy() -> impl Strategy<Value = FactTable> {
+    (2u32..5, 2u32..6, proptest::collection::vec((0u32..10_000, -100.0..100.0f64), 1..120))
+        .prop_map(|(c0, c1, rows)| {
+            let schema = TableSchema::builder()
+                .dimension("a", &[("l0", c0)])
+                .dimension("b", &[("l0", c1)])
+                .measure("m")
+                .build();
+            let mut b = FactTableBuilder::new(schema);
+            for (coord, v) in rows {
+                b.push_row(&[coord % c0, coord % c1], &[v]).unwrap();
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Each group's aggregates equal a plain scan filtered to that key.
+    #[test]
+    fn groups_equal_per_key_filters(table in table_strategy()) {
+        let q = GroupByQuery::new(
+            ScanQuery::new()
+                .aggregate(AggSpec::new(AggOp::Sum, Some(0)))
+                .aggregate(AggSpec::new(AggOp::Min, Some(0)))
+                .aggregate(AggSpec::count_star()),
+            vec![ColumnId::dim(0, 0)],
+        );
+        let grouped = table.group_by_seq(&q).unwrap();
+        let mut total_rows = 0u64;
+        for g in &grouped.groups {
+            let plain = table
+                .scan_seq(
+                    &ScanQuery::new()
+                        .filter(Predicate::eq(ColumnId::dim(0, 0), g.key[0]))
+                        .aggregate(AggSpec::new(AggOp::Sum, Some(0)))
+                        .aggregate(AggSpec::new(AggOp::Min, Some(0)))
+                        .aggregate(AggSpec::count_star()),
+                )
+                .unwrap();
+            prop_assert_eq!(g.rows, plain.matched_rows);
+            for (a, b) in g.values.iter().zip(&plain.values) {
+                match (a.value(), b.value()) {
+                    (Some(x), Some(y)) => {
+                        prop_assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()))
+                    }
+                    (x, y) => prop_assert_eq!(x, y),
+                }
+            }
+            prop_assert!(g.rows > 0, "empty groups must not appear");
+            total_rows += g.rows;
+        }
+        prop_assert_eq!(total_rows, grouped.matched_rows);
+        prop_assert_eq!(grouped.matched_rows, table.rows() as u64);
+    }
+
+    /// Parallel grouped scans equal sequential ones.
+    #[test]
+    fn parallel_equals_sequential(table in table_strategy(), lo in 0u32..3, width in 0u32..3) {
+        let q = GroupByQuery::new(
+            ScanQuery::new()
+                .filter(Predicate::range(ColumnId::dim(1, 0), lo, lo + width))
+                .aggregate(AggSpec::new(AggOp::Sum, Some(0)))
+                .aggregate(AggSpec::new(AggOp::Max, Some(0))),
+            vec![ColumnId::dim(0, 0), ColumnId::dim(1, 0)],
+        );
+        let s = table.group_by_seq(&q).unwrap();
+        let p = table.group_by_par(&q).unwrap();
+        prop_assert_eq!(s.matched_rows, p.matched_rows);
+        prop_assert_eq!(s.groups.len(), p.groups.len());
+        for (a, b) in s.groups.iter().zip(&p.groups) {
+            prop_assert_eq!(&a.key, &b.key);
+            prop_assert_eq!(a.rows, b.rows);
+        }
+    }
+
+    /// Set predicates compose with grouping: grouping the set-filtered rows
+    /// only produces keys inside the set.
+    #[test]
+    fn set_filter_restricts_group_keys(
+        table in table_strategy(),
+        picks in proptest::collection::vec(0u32..5, 1..4),
+    ) {
+        let q = GroupByQuery::new(
+            ScanQuery::new()
+                .filter_set(SetPredicate::new(ColumnId::dim(0, 0), picks.clone()))
+                .aggregate(AggSpec::count_star()),
+            vec![ColumnId::dim(0, 0)],
+        );
+        let grouped = table.group_by_par(&q).unwrap();
+        for g in &grouped.groups {
+            prop_assert!(picks.contains(&g.key[0]), "key {} outside the set", g.key[0]);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the performance models and the fitting code.
+
+use holap::model::{fit, CpuPerfModel, DictPerfModel, GpuModelSet, GpuPerfModel, SystemProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Linear fitting recovers exact synthetic lines.
+    #[test]
+    fn linear_fit_recovers(slope in -10.0..10.0f64, intercept in -10.0..10.0f64) {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let l = fit::fit_linear(&xs, &ys);
+        prop_assert!((l.slope - slope).abs() < 1e-9 * (1.0 + slope.abs()));
+        prop_assert!((l.intercept - intercept).abs() < 1e-8 * (1.0 + intercept.abs()));
+    }
+
+    /// Power-law fitting recovers exact synthetic power laws.
+    #[test]
+    fn power_fit_recovers(coeff in 1e-6..10.0f64, exponent in 0.1..2.0f64) {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| coeff * x.powf(exponent)).collect();
+        let p = fit::fit_power_law(&xs, &ys);
+        prop_assert!((p.coeff - coeff).abs() < 1e-6 * (1.0 + coeff));
+        prop_assert!((p.exponent - exponent).abs() < 1e-9);
+    }
+
+    /// CPU model estimates are non-negative and monotone in size within
+    /// each range, for any physical constants.
+    #[test]
+    fn cpu_model_is_sane(
+        a_coeff in 1e-7..1e-2f64,
+        a_exp in 0.5..1.2f64,
+        b_slope in 1e-7..1e-3f64,
+        b_intercept in 0.0..0.1f64,
+        size in 0.0..100_000.0f64,
+    ) {
+        let m = CpuPerfModel::new(
+            fit::PowerLaw::new(a_coeff, a_exp),
+            fit::Linear::new(b_slope, b_intercept),
+            512.0,
+        );
+        let t = m.estimate_secs(size);
+        prop_assert!(t >= 0.0);
+        let bigger = m.estimate_secs(size + 1.0);
+        // Monotone unless straddling the split (the paper's piecewise fit
+        // is not required to be continuous there).
+        let straddles = size < 512.0 && size + 1.0 >= 512.0;
+        if !straddles {
+            prop_assert!(bigger >= t - 1e-12);
+        }
+    }
+
+    /// Piecewise fit on synthetic data from a known model reproduces the
+    /// model's predictions everywhere on the sample.
+    #[test]
+    fn piecewise_fit_reproduces(seed in 1u64..500) {
+        let truth = if seed % 2 == 0 {
+            CpuPerfModel::paper_4t()
+        } else {
+            CpuPerfModel::paper_8t()
+        };
+        let sizes: Vec<f64> = (0..40).map(|i| 2f64.powf(i as f64 * 0.4)).collect();
+        let times: Vec<f64> = sizes.iter().map(|&s| truth.estimate_secs(s)).collect();
+        let fitted = CpuPerfModel::fit(&sizes, &times, 512.0);
+        for (&s, &t) in sizes.iter().zip(&times) {
+            let p = fitted.estimate_secs(s);
+            prop_assert!((p - t).abs() < 1e-6 * (1.0 + t), "at {s} MB: {p} vs {t}");
+        }
+    }
+
+    /// GPU model set: estimates decrease (weakly) with SM count for any
+    /// fraction, when models are physically ordered.
+    #[test]
+    fn gpu_set_monotone_in_sms(frac in 0.0..1.0f64) {
+        let set = GpuModelSet::paper_c2070();
+        let sizes: Vec<u32> = set.measured_sizes().collect();
+        for w in sizes.windows(2) {
+            prop_assert!(set.estimate_secs(w[0], frac) >= set.estimate_secs(w[1], frac));
+        }
+    }
+
+    /// GPU fit recovers synthetic partition models.
+    #[test]
+    fn gpu_fit_recovers(slope in 1e-5..0.1f64, intercept in 1e-5..0.1f64) {
+        let fracs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let secs: Vec<f64> = fracs.iter().map(|&f| slope * f + intercept).collect();
+        let m = GpuPerfModel::fit(2, &fracs, &secs);
+        prop_assert!((m.line.slope - slope).abs() < 1e-9);
+        prop_assert!((m.line.intercept - intercept).abs() < 1e-9);
+    }
+
+    /// Dictionary translation bound: additivity over conditions and
+    /// monotonicity in dictionary length.
+    #[test]
+    fn dict_bound_additive(lens in proptest::collection::vec(0usize..2_000_000, 0..8)) {
+        let m = DictPerfModel::paper();
+        let total = m.translation_secs(lens.iter().copied());
+        let sum: f64 = lens.iter().map(|&l| m.lookup_secs(l)).sum();
+        prop_assert!((total - sum).abs() < 1e-12);
+        prop_assert!(total >= 0.0);
+    }
+
+    /// Profiles survive JSON round-trips regardless of content.
+    #[test]
+    fn profile_roundtrip(threads in 2u32..64, slope in 1e-6..1e-3f64) {
+        let mut p = SystemProfile::paper();
+        p.set_cpu(threads, CpuPerfModel::new(
+            fit::PowerLaw::new(slope, 1.0),
+            fit::Linear::new(slope, 0.001),
+            256.0,
+        ));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SystemProfile = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(p, back);
+    }
+}

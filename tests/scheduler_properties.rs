@@ -1,0 +1,198 @@
+//! Property-based tests of the Figure-10 scheduler: invariants that must
+//! hold for *every* estimate/deadline/queue state, not just the worked
+//! examples.
+
+use holap::sched::{PartitionId, PartitionLayout, Placement, Policy, Scheduler, TaskEstimate};
+use proptest::prelude::*;
+
+fn estimate_strategy() -> impl Strategy<Value = TaskEstimate> {
+    (
+        proptest::option::of(1e-5..1.0f64),
+        1e-4..0.5f64,
+        1e-4..0.5f64,
+        1e-4..0.5f64,
+        proptest::option::of(1e-5..0.1f64),
+    )
+        .prop_map(|(t_cpu, g1, g2, g4, trans)| {
+            // Classes must be non-increasing with SM count to be physical;
+            // enforce by sorting descending.
+            let mut g = [g1, g2, g4];
+            g.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            TaskEstimate {
+                t_cpu,
+                t_gpu_by_class: g.to_vec(),
+                t_trans: trans.unwrap_or(0.0),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every query is placed, on every policy, and the decision's
+    /// bookkeeping is self-consistent.
+    #[test]
+    fn every_query_is_placed(
+        ests in proptest::collection::vec((estimate_strategy(), 0.01..2.0f64), 1..40),
+        policy in proptest::sample::select(&Policy::ALL),
+    ) {
+        let mut sched = Scheduler::new(PartitionLayout::paper(), policy);
+        let mut now = 0.0;
+        for (est, t_c) in &ests {
+            let d = sched.schedule(now, est, *t_c);
+            // A CPU placement requires a CPU estimate.
+            if d.placement.is_cpu() {
+                prop_assert!(est.t_cpu.is_some());
+            }
+            // Response cannot precede submission + own processing.
+            prop_assert!(d.response_time >= now + d.t_proc - 1e-12);
+            // Deadline bookkeeping is consistent.
+            prop_assert_eq!(d.before_deadline, d.response_time <= d.deadline);
+            prop_assert!((d.deadline - (now + t_c)).abs() < 1e-12);
+            // Translation is only charged for GPU placements with text.
+            if d.with_translation {
+                prop_assert!(!d.placement.is_cpu());
+                prop_assert!(est.needs_translation());
+            }
+            now += 0.001;
+        }
+        let stats = sched.stats();
+        prop_assert_eq!(stats.cpu_queries + stats.gpu_queries, ests.len() as u64);
+    }
+
+    /// Queue clocks never run backwards under scheduling.
+    #[test]
+    fn queue_clocks_are_monotone(
+        ests in proptest::collection::vec(estimate_strategy(), 1..40),
+    ) {
+        let layout = PartitionLayout::paper();
+        let mut sched = Scheduler::new(layout.clone(), Policy::Paper);
+        let mut prev: Vec<f64> = (0..layout.gpu_partitions())
+            .map(|i| sched.queue_clock(PartitionId::Gpu(i)))
+            .collect();
+        let mut prev_cpu = sched.queue_clock(PartitionId::Cpu);
+        let mut prev_trans = sched.queue_clock(PartitionId::Translation);
+        for (k, est) in ests.iter().enumerate() {
+            sched.schedule(k as f64 * 0.01, est, 0.5);
+            for (i, p) in prev.iter_mut().enumerate() {
+                let c = sched.queue_clock(PartitionId::Gpu(i));
+                prop_assert!(c >= *p - 1e-12, "gpu {i} clock went backwards");
+                *p = c;
+            }
+            let c = sched.queue_clock(PartitionId::Cpu);
+            prop_assert!(c >= prev_cpu - 1e-12);
+            prev_cpu = c;
+            let t = sched.queue_clock(PartitionId::Translation);
+            prop_assert!(t >= prev_trans - 1e-12);
+            prev_trans = t;
+        }
+    }
+
+    /// Paper policy: when at least one partition can meet the deadline,
+    /// the chosen one does.
+    #[test]
+    fn paper_policy_honours_feasibility(
+        est in estimate_strategy(),
+        t_c in 0.01..2.0f64,
+    ) {
+        let mut sched = Scheduler::new(PartitionLayout::paper(), Policy::Paper);
+        // Fresh scheduler: all queues idle. A partition is feasible iff its
+        // raw processing (plus translation coupling) fits in t_c.
+        let gpu_possible = est
+            .t_gpu_by_class
+            .iter()
+            .any(|t| t + est.t_trans < t_c);
+        let cpu_possible = est.t_cpu.is_some_and(|t| t < t_c);
+        let d = sched.schedule(0.0, &est, t_c);
+        if cpu_possible || gpu_possible {
+            prop_assert!(
+                d.before_deadline,
+                "feasible partition existed but decision missed the deadline: {d:?}"
+            );
+        }
+    }
+
+    /// Completion feedback is exact: correcting with the true time makes
+    /// the queue clock equal to what scheduling with the true time would
+    /// have produced.
+    #[test]
+    fn feedback_correction_is_exact(
+        est in estimate_strategy(),
+        err_factor in 0.5..2.0f64,
+    ) {
+        let mut a = Scheduler::new(PartitionLayout::paper(), Policy::Mct);
+        let d = a.schedule(0.0, &est, 0.5);
+        let actual = d.t_proc * err_factor;
+        a.complete(d.placement.partition_id(), d.t_proc, actual);
+        let clock = a.queue_clock(d.placement.partition_id());
+        prop_assert!((clock - (d.response_time - d.t_proc + actual)).abs() < 1e-12);
+    }
+
+    /// MCT never chooses a strictly worse response time than any other
+    /// partition offers.
+    #[test]
+    fn mct_is_greedy_optimal_per_step(
+        ests in proptest::collection::vec(estimate_strategy(), 1..20),
+    ) {
+        let layout = PartitionLayout::paper();
+        let mut sched = Scheduler::new(layout.clone(), Policy::Mct);
+        for est in &ests {
+            // Recompute all candidate responses from the observable clocks.
+            let now = 0.0;
+            let trans_ready = if est.needs_translation() {
+                Some(sched.queue_clock(PartitionId::Translation).max(now) + est.t_trans)
+            } else {
+                None
+            };
+            let mut best = f64::INFINITY;
+            if let Some(t) = est.t_cpu {
+                best = best.min(sched.queue_clock(PartitionId::Cpu).max(now) + t);
+            }
+            for i in 0..layout.gpu_partitions() {
+                let t = est.t_gpu_by_class[layout.class_of(i)];
+                let start = match trans_ready {
+                    Some(tr) => sched.queue_clock(PartitionId::Gpu(i)).max(now).max(tr),
+                    None => sched.queue_clock(PartitionId::Gpu(i)).max(now),
+                };
+                best = best.min(start + t);
+            }
+            let d = sched.schedule(now, est, 0.5);
+            prop_assert!(d.response_time <= best + 1e-9,
+                "MCT chose {} but {} was available", d.response_time, best);
+        }
+    }
+}
+
+#[test]
+fn gpu_only_and_cpu_only_respect_their_resource() {
+    let est = TaskEstimate {
+        t_cpu: Some(0.001),
+        t_gpu_by_class: vec![0.03, 0.02, 0.01],
+        t_trans: 0.0,
+    };
+    let mut gpu_only = Scheduler::new(PartitionLayout::paper(), Policy::GpuOnly);
+    let mut cpu_only = Scheduler::new(PartitionLayout::paper(), Policy::CpuOnly);
+    for _ in 0..50 {
+        assert!(!gpu_only.schedule(0.0, &est, 1.0).placement.is_cpu());
+        assert!(cpu_only.schedule(0.0, &est, 1.0).placement.is_cpu());
+    }
+}
+
+#[test]
+fn round_robin_covers_all_partitions() {
+    let est = TaskEstimate {
+        t_cpu: Some(0.001),
+        t_gpu_by_class: vec![0.03, 0.02, 0.01],
+        t_trans: 0.0,
+    };
+    let layout = PartitionLayout::paper();
+    let mut sched = Scheduler::new(layout.clone(), Policy::RoundRobin);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..(layout.gpu_partitions() + 1) {
+        seen.insert(match sched.schedule(0.0, &est, 1.0).placement {
+            Placement::Cpu => usize::MAX,
+            Placement::Gpu { partition } => partition,
+        });
+    }
+    assert_eq!(seen.len(), layout.gpu_partitions() + 1);
+}

@@ -1,0 +1,110 @@
+//! Property-based persistence tests: arbitrary artefacts survive the
+//! binary container bit-exactly.
+
+use holap::cube::{CubeSchema, MolapCube, Region};
+use holap::dict::{DictKind, DictionarySet};
+use holap::store::{load_cube, load_dicts, load_table, save_cube, save_dicts, save_table};
+use holap::table::{FactTable, FactTableBuilder, TableSchema};
+use proptest::prelude::*;
+
+fn tempfile(tag: &str, case: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "holap-prop-{tag}-{}-{case}.holap",
+        std::process::id()
+    ))
+}
+
+fn table_strategy() -> impl Strategy<Value = FactTable> {
+    (2u32..6, 2u32..8, 1usize..3, proptest::collection::vec((0u32..1000, -1e6..1e6f64), 0..60))
+        .prop_map(|(c0, c1, measures, rows)| {
+            let mut b = TableSchema::builder()
+                .dimension("a", &[("l0", c0), ("l1", c0 * 4)])
+                .dimension("b", &[("l0", c1)]);
+            for m in 0..measures {
+                b = b.measure(&format!("m{m}"));
+            }
+            let schema = b.build();
+            let mut builder = FactTableBuilder::new(schema);
+            for (coord, value) in rows {
+                let a1 = coord % (c0 * 4);
+                let row = [a1 / 4, a1, coord % c1];
+                let ms: Vec<f64> = (0..measures).map(|k| value * (k + 1) as f64).collect();
+                builder.push_row(&row, &ms).unwrap();
+            }
+            builder.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tables_roundtrip_bit_exactly(table in table_strategy(), case in 0u64..u64::MAX) {
+        let path = tempfile("table", case);
+        save_table(&path, &table).unwrap();
+        let back = load_table(&path).unwrap();
+        prop_assert_eq!(back, table);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cubes_roundtrip_through_build_and_compress(
+        table in table_strategy(),
+        resolution in 0usize..2,
+        compress in proptest::bool::ANY,
+        case in 0u64..u64::MAX,
+    ) {
+        let schema = CubeSchema::from_table_schema(table.schema());
+        let mut cube = MolapCube::build_from_table(schema, resolution, &table, 0);
+        if compress {
+            cube.compress();
+        }
+        let path = tempfile("cube", case);
+        save_cube(&path, &cube).unwrap();
+        let back = load_cube(&path).unwrap();
+        prop_assert_eq!(&back, &cube);
+        // And the loaded cube answers identically.
+        let full = Region::full(cube.shape());
+        prop_assert_eq!(back.aggregate_seq(&full), cube.aggregate_seq(&full));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dicts_roundtrip_with_codes(
+        values in proptest::collection::vec("[a-z]{1,10}", 1..40),
+        kind_idx in 0usize..3,
+        case in 0u64..u64::MAX,
+    ) {
+        let kind = [DictKind::Linear, DictKind::Sorted, DictKind::Hashed][kind_idx];
+        let mut set = DictionarySet::new(kind);
+        let codes = set.build_column("col", values.iter().map(String::as_str));
+        let path = tempfile("dicts", case);
+        save_dicts(&path, &set).unwrap();
+        let back = load_dicts(&path).unwrap();
+        prop_assert_eq!(&back, &set);
+        // Every original value still encodes to the same code.
+        for (v, &c) in values.iter().zip(&codes) {
+            prop_assert_eq!(back.decode("col", c), Some(v.as_str()));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flipping any single payload byte must be detected.
+    #[test]
+    fn any_single_bitflip_is_detected(
+        table in table_strategy(),
+        flip_seed in proptest::num::u64::ANY,
+        case in 0u64..u64::MAX,
+    ) {
+        let path = tempfile("flip", case);
+        save_table(&path, &table).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte anywhere after the magic (the magic check catches
+        // the first 8 bytes trivially).
+        let idx = 8 + (flip_seed as usize % (bytes.len() - 8));
+        bytes[idx] ^= 1 << (flip_seed % 8) as u8;
+        std::fs::write(&path, &bytes).unwrap();
+        prop_assert!(load_table(&path).is_err(), "bit flip at {idx} went unnoticed");
+        std::fs::remove_file(&path).ok();
+    }
+}

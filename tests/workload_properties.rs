@@ -1,0 +1,99 @@
+//! Property-based tests of the workload generator: every generated query
+//! is well-formed and its scheduler-facing features are consistent with
+//! the catalog it was generated against.
+
+use holap::cube::CubeCatalog;
+use holap::workload::{
+    PaperHierarchy, QueryClass, QueryGenerator, QueryMix, WorkloadPreset,
+};
+use proptest::prelude::*;
+
+fn mix_strategy() -> impl Strategy<Value = QueryMix> {
+    proptest::collection::vec(
+        (
+            0.1..10.0f64,   // weight
+            0usize..4,      // level
+            0.05..0.95f64,  // width fraction
+            0usize..4,      // restricted dims
+            0.0..1.0f64,    // text prob
+            1usize..100_000, // dict len
+            1usize..3,      // data columns
+        ),
+        1..4,
+    )
+    .prop_map(|classes| QueryMix {
+        classes: classes
+            .into_iter()
+            .map(|(weight, level, width_frac, restricted_dims, text_prob, dict_len, data_columns)| {
+                QueryClass {
+                    weight,
+                    level,
+                    width_frac,
+                    restricted_dims,
+                    text_prob,
+                    dict_len,
+                    data_columns,
+                }
+            })
+            .collect(),
+        deadline_secs: 0.5,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_queries_are_well_formed(
+        mix in mix_strategy(),
+        resolutions in proptest::sample::subsequence(vec![0usize, 1, 2, 3], 1..=4),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let h = PaperHierarchy::default();
+        let catalog: CubeCatalog = h.catalog(&resolutions);
+        let schema = h.cube_schema();
+        let finest = *resolutions.iter().max().unwrap();
+        let mut g = QueryGenerator::new(catalog.clone(), h.total_columns(), mix, seed);
+        for _ in 0..30 {
+            let q = g.next_query();
+            // Structured form validates.
+            q.cube_query.validate(&schema).expect("generated query validates");
+            // Column fraction is a real fraction.
+            prop_assert!(q.features.gpu_column_fraction > 0.0);
+            prop_assert!(q.features.gpu_column_fraction <= 1.0);
+            // CPU answerable iff the required resolution is catalogued.
+            let required = q.cube_query.required_resolution();
+            prop_assert_eq!(
+                q.features.cpu_subcube_mb.is_some(),
+                required <= finest,
+                "required {} vs finest resident {}",
+                required,
+                finest
+            );
+            // When answerable, the feature equals the catalog's estimate.
+            if let Some(mb) = q.features.cpu_subcube_mb {
+                let plan = catalog.plan(&q.cube_query).unwrap().unwrap();
+                prop_assert!((plan.estimated_mb - mb).abs() < 1e-9);
+            }
+            prop_assert!(q.deadline_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn presets_generate_consistently(seed in proptest::num::u64::ANY) {
+        let h = PaperHierarchy::default();
+        for preset in [WorkloadPreset::Table1, WorkloadPreset::Table2, WorkloadPreset::Table3] {
+            let mut g = QueryGenerator::preset(preset, &h, seed);
+            let schema = h.cube_schema();
+            for _ in 0..20 {
+                let q = g.next_query();
+                q.cube_query.validate(&schema).expect("preset query validates");
+                // Table 1 never needs the GPU.
+                if preset == WorkloadPreset::Table1 {
+                    prop_assert!(q.features.cpu_subcube_mb.is_some());
+                    prop_assert!(q.features.translation_dict_lens.is_empty());
+                }
+            }
+        }
+    }
+}
