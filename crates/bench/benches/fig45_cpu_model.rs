@@ -17,8 +17,8 @@ fn bench(c: &mut Criterion) {
             .build()
             .expect("pool");
         for &size_mb in &[1.0f64, 8.0, 64.0, 256.0] {
-            let cells = (((size_mb / max_mb) * total_cells as f64).max(1.0) as u32)
-                .min(cube.shape()[0]);
+            let cells =
+                (((size_mb / max_mb) * total_cells as f64).max(1.0) as u32).min(cube.shape()[0]);
             let region = Region::new(vec![(0, cells - 1)]);
             group.bench_with_input(
                 BenchmarkId::new(format!("{threads}T"), format!("{size_mb}MB")),

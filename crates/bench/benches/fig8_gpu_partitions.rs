@@ -31,7 +31,12 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{sms}SM"), format!("{cols}cols")),
                 &q,
-                |b, q| b.iter(|| pool.install(|| device.execute_scan(id, sms, q, &model)).unwrap()),
+                |b, q| {
+                    b.iter(|| {
+                        pool.install(|| device.execute_scan(id, sms, q, &model))
+                            .unwrap()
+                    })
+                },
             );
         }
     }

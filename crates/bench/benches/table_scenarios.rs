@@ -13,9 +13,21 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let h = PaperHierarchy::default();
     let cases = [
-        ("table1_cpu8", WorkloadPreset::Table1, Policy::CpuOnly, 8u32, 2usize),
+        (
+            "table1_cpu8",
+            WorkloadPreset::Table1,
+            Policy::CpuOnly,
+            8u32,
+            2usize,
+        ),
         ("table2_cpu8", WorkloadPreset::Table2, Policy::CpuOnly, 8, 2),
-        ("table3_hybrid8", WorkloadPreset::Table3, Policy::Paper, 8, 128),
+        (
+            "table3_hybrid8",
+            WorkloadPreset::Table3,
+            Policy::Paper,
+            8,
+            128,
+        ),
         ("gpu_only", WorkloadPreset::Table3, Policy::GpuOnly, 8, 6),
     ];
     for (name, preset, policy, threads, workers) in cases {

@@ -21,11 +21,17 @@ fn main() {
     let sizes: Vec<f64> = if quick {
         vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
     } else {
-        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
+        vec![
+            1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+        ]
     };
     let split = if quick { 16.0 } else { 128.0 };
 
-    eprintln!("calibrating CPU models over {} sizes (max {} MB)…", sizes.len(), sizes.last().unwrap());
+    eprintln!(
+        "calibrating CPU models over {} sizes (max {} MB)…",
+        sizes.len(),
+        sizes.last().unwrap()
+    );
     let mut profile = SystemProfile::paper();
     for threads in [1u32, 4, 8] {
         let pts = fig45_time_series(&sizes, threads as usize, reps);
@@ -35,8 +41,11 @@ fn main() {
         let m = model.metrics(&xs, &ys);
         eprintln!(
             "  {threads}T: f_A = {:.3e}·x^{:.4}, f_B = {:.3e}·x + {:.3e}  (R² = {:.4})",
-            model.range_a.coeff, model.range_a.exponent, model.range_b.slope,
-            model.range_b.intercept, m.r_squared
+            model.range_a.coeff,
+            model.range_a.exponent,
+            model.range_b.slope,
+            model.range_b.intercept,
+            m.r_squared
         );
         if threads == 1 {
             // The sequential baseline: effective bandwidth from the largest
@@ -100,5 +109,8 @@ fn main() {
         profile.dict.overhead_secs
     );
 
-    println!("{}", serde_json::to_string_pretty(&profile).expect("profile serialises"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&profile).expect("profile serialises")
+    );
 }

@@ -83,8 +83,12 @@ fn tables() {
 }
 
 fn figures(quick: bool) {
-    println!("\n== Host measurements (this machine; shapes, not the paper's Xeon/Fermi absolutes) ==");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\n== Host measurements (this machine; shapes, not the paper's Xeon/Fermi absolutes) =="
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores} CPU(s)");
     if cores < 8 {
         println!(
@@ -103,7 +107,12 @@ fn figures(quick: bool) {
     };
     let series: Vec<(String, Vec<SeriesPoint>)> = [1usize, 4, 8]
         .iter()
-        .map(|&t| (format!("{t} thread(s)"), fig3_bandwidth_series(&sizes, t, reps)))
+        .map(|&t| {
+            (
+                format!("{t} thread(s)"),
+                fig3_bandwidth_series(&sizes, t, reps),
+            )
+        })
         .collect();
     print_series(
         "Figure 3 — cube-processing memory bandwidth (paper: 1T ≈ 5 GB/s, 8T plateaus at 15–20 GB/s)",
@@ -114,7 +123,11 @@ fn figures(quick: bool) {
 
     // Fig. 4/5 — processing time vs sub-cube size + piecewise fits.
     for (threads, fig, paper) in [
-        (4usize, "Figure 4", "f_A = 1.0e-4·x^0.9341, f_B = 5e-5·x + 0.0096"),
+        (
+            4usize,
+            "Figure 4",
+            "f_A = 1.0e-4·x^0.9341, f_B = 5e-5·x + 0.0096",
+        ),
         (8, "Figure 5", "f_A = 6e-5·x^0.984,  f_B = 4e-5·x + 0.0146"),
     ] {
         let pts = fig45_time_series(&sizes, threads, reps);
@@ -127,7 +140,11 @@ fn figures(quick: bool) {
         if pts.len() >= 4 {
             let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
             let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
-            let split = if xs.iter().any(|&x| x >= 64.0) { 64.0 } else { 8.0 };
+            let split = if xs.iter().any(|&x| x >= 64.0) {
+                64.0
+            } else {
+                8.0
+            };
             if xs.iter().filter(|&&x| x < split).count() >= 2
                 && xs.iter().filter(|&&x| x >= split).count() >= 2
             {
@@ -154,7 +171,10 @@ fn figures(quick: bool) {
         let measured = fig8_series(&table, sms, reps);
         let modeled: Vec<SeriesPoint> = measured
             .iter()
-            .map(|p| SeriesPoint { x: p.x, y: model.estimate_secs(sms, p.x.min(1.0)) })
+            .map(|p| SeriesPoint {
+                x: p.x,
+                y: model.estimate_secs(sms, p.x.min(1.0)),
+            })
             .collect();
         fig8.push((format!("{sms} SM measured"), measured));
         fig8.push((format!("{sms} SM paper model"), modeled));

@@ -52,7 +52,12 @@ pub fn print_rate_table(title: &str, rows: &[RateRow]) {
 }
 
 /// Prints a figure series as aligned columns (and CSV-ready).
-pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[(String, Vec<SeriesPoint>)]) {
+pub fn print_series(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<SeriesPoint>)],
+) {
     println!("\n{title}");
     println!("{:-<78}", "");
     print!("{x_label:>14}");
@@ -85,7 +90,10 @@ pub fn fig3_bandwidth_series(sizes_mb: &[f64], threads: usize, reps: usize) -> V
             let cube = bandwidth::synthetic_cube_of_mb(mb);
             let region = Region::full(cube.shape());
             let s = bandwidth::measure_aggregation(&cube, &region, threads, reps);
-            SeriesPoint { x: mb, y: s.bandwidth_mbps }
+            SeriesPoint {
+                x: mb,
+                y: s.bandwidth_mbps,
+            }
         })
         .collect()
 }
@@ -104,7 +112,10 @@ pub fn fig45_time_series(sizes_mb: &[f64], threads: usize, reps: usize) -> Vec<S
             let cells = want.min(cube.shape()[0]);
             let region = Region::new(vec![(0, cells - 1)]);
             let s = bandwidth::measure_aggregation(&cube, &region, threads, reps);
-            SeriesPoint { x: s.size_mb, y: s.secs }
+            SeriesPoint {
+                x: s.size_mb,
+                y: s.secs,
+            }
         })
         .collect()
 }
@@ -127,7 +138,10 @@ pub fn fig9_dictionary_series(lengths: &[usize], reps: usize) -> Vec<SeriesPoint
                 std::hint::black_box(code);
                 best = best.min(dt);
             }
-            SeriesPoint { x: len as f64, y: best }
+            SeriesPoint {
+                x: len as f64,
+                y: best,
+            }
         })
         .collect()
 }
@@ -191,7 +205,10 @@ pub fn fig8_series(table: &holap_table::FactTable, sms: u32, reps: usize) -> Vec
             std::hint::black_box(r);
             best = best.min(dt);
         }
-        out.push(SeriesPoint { x: (k + 1) as f64 / total as f64, y: best });
+        out.push(SeriesPoint {
+            x: (k + 1) as f64 / total as f64,
+            y: best,
+        });
     }
     out
 }

@@ -5,6 +5,7 @@
 //! holap-cli cube     --store DIR --resolutions 1,2 [--measure M]
 //! holap-cli info     --store DIR
 //! holap-cli query    --store DIR 'select sum(measure0) where time.level1 in 0..3'
+//! holap-cli batch    --store DIR [--shedding shed] 'query one; query two'
 //! ```
 //!
 //! `generate` writes a synthetic fact table + dictionaries into a store
@@ -20,10 +21,10 @@
 
 #![warn(missing_docs)]
 
-use holap_core::{HybridSystem, SystemConfig};
-use holap_sched::Policy;
+use holap_core::{AdmissionConfig, BackpressurePolicy, HybridSystem, SheddingPolicy, SystemConfig};
 use holap_cube::CubeSchema;
 use holap_dict::DictKind;
+use holap_sched::Policy;
 use holap_store::{load_system, save_cube, save_system};
 use holap_workload::{FactsSpec, NameStyle, PaperHierarchy, SyntheticFacts, TextLevel};
 use std::fmt::Write as _;
@@ -98,7 +99,9 @@ fn dict_kind(name: &str) -> Result<DictKind, CliError> {
         "sorted" => Ok(DictKind::Sorted),
         "linear" => Ok(DictKind::Linear),
         "hashed" => Ok(DictKind::Hashed),
-        other => err(format!("unknown dictionary kind `{other}` (sorted|linear|hashed)")),
+        other => err(format!(
+            "unknown dictionary kind `{other}` (sorted|linear|hashed)"
+        )),
     }
 }
 
@@ -119,8 +122,16 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
         schema: hierarchy.table_schema(),
         rows,
         text_levels: vec![
-            TextLevel { dim: 1, level: 3, style: NameStyle::City },
-            TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+            TextLevel {
+                dim: 1,
+                level: 3,
+                style: NameStyle::City,
+            },
+            TextLevel {
+                dim: 2,
+                level: 3,
+                style: NameStyle::Brand,
+            },
         ],
         dict_kind: kind,
         skew: (skew > 0.0).then_some(skew),
@@ -246,8 +257,12 @@ pub fn cmd_query(args: &Args) -> Result<String, CliError> {
     for cube in cubes {
         builder = builder.prebuilt_cube(cube);
     }
-    let system = builder.build().map_err(|e| CliError(format!("build failed: {e}")))?;
-    let outcome = system.query(text).map_err(|e| CliError(format!("query failed: {e}")))?;
+    let system = builder
+        .build()
+        .map_err(|e| CliError(format!("build failed: {e}")))?;
+    let outcome = system
+        .query(text)
+        .map_err(|e| CliError(format!("query failed: {e}")))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -262,16 +277,126 @@ pub fn cmd_query(args: &Args) -> Result<String, CliError> {
     );
     if let Some(groups) = &outcome.groups {
         for (key, a) in groups {
-            let _ = writeln!(out, "  group {key}: sum = {:.3}, count = {}", a.sum, a.count);
+            let _ = writeln!(
+                out,
+                "  group {key}: sum = {:.3}, count = {}",
+                a.sum, a.count
+            );
         }
     }
     let _ = writeln!(
         out,
         "ran on {:?}{} in {:.2} ms (deadline {})",
         outcome.placement,
-        if outcome.translated { " via translation partition" } else { "" },
+        if outcome.translated {
+            " via translation partition"
+        } else {
+            ""
+        },
         outcome.latency_secs * 1e3,
-        if outcome.met_deadline { "met" } else { "missed" }
+        if outcome.met_deadline {
+            "met"
+        } else {
+            "missed"
+        }
+    );
+    Ok(out.trim_end().to_owned())
+}
+
+fn backpressure(name: &str) -> Result<BackpressurePolicy, CliError> {
+    match name {
+        "block" => Ok(BackpressurePolicy::Block),
+        "reject" => Ok(BackpressurePolicy::Reject),
+        other => err(format!(
+            "unknown backpressure policy `{other}` (block|reject)"
+        )),
+    }
+}
+
+fn shedding(name: &str) -> Result<SheddingPolicy, CliError> {
+    match name {
+        "off" => Ok(SheddingPolicy::Off),
+        "shed" => Ok(SheddingPolicy::Shed),
+        "reject" => Ok(SheddingPolicy::Reject),
+        other => err(format!(
+            "unknown shedding policy `{other}` (off|shed|reject)"
+        )),
+    }
+}
+
+/// `batch`: run many `;`-separated DSL queries through the asynchronous
+/// admission pipeline in one call and report per-query outcomes plus the
+/// pipeline's statistics (queue peak, shed/rejected, latency percentiles).
+pub fn cmd_batch(args: &Args) -> Result<String, CliError> {
+    let store: PathBuf = args.required("store")?.into();
+    let script = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("queries expected as one `;`-separated positional".into()))?;
+    let texts: Vec<&str> = script
+        .split(';')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    if texts.is_empty() {
+        return err("no queries in the batch");
+    }
+    let config = SystemConfig {
+        policy: policy(args.get("policy").unwrap_or("paper"))?,
+        admission: AdmissionConfig {
+            queue_capacity: args.parsed("queue", 256)?,
+            partition_queue_capacity: args.parsed("partition-queue", 64)?,
+            backpressure: backpressure(args.get("backpressure").unwrap_or("block"))?,
+            shedding: shedding(args.get("shedding").unwrap_or("off"))?,
+        },
+        ..SystemConfig::default()
+    };
+    let (table, cubes, dicts) =
+        load_system(&store).map_err(|e| CliError(format!("load failed: {e}")))?;
+    let mut builder = HybridSystem::builder(config).facts((table, dicts));
+    for cube in cubes {
+        builder = builder.prebuilt_cube(cube);
+    }
+    let system = builder
+        .build()
+        .map_err(|e| CliError(format!("build failed: {e}")))?;
+
+    let tickets = system.submit_batch(texts.iter().copied());
+    let mut out = String::new();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.and_then(|t| t.wait()) {
+            Ok(o) if o.shed => {
+                let _ = writeln!(out, "[{i}] shed (predicted to miss its deadline)");
+            }
+            Ok(o) => {
+                let _ = writeln!(
+                    out,
+                    "[{i}] sum = {:.3}, count = {} on {:?} in {:.2} ms (deadline {})",
+                    o.answer.sum,
+                    o.answer.count,
+                    o.placement,
+                    o.latency_secs * 1e3,
+                    if o.met_deadline { "met" } else { "missed" }
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "[{i}] error: {e}");
+            }
+        }
+    }
+    let s = system.stats();
+    let _ = writeln!(
+        out,
+        "batch: {} completed ({} cpu, {} gpu), {} shed, {} rejected, peak queue depth {}",
+        s.completed, s.cpu_queries, s.gpu_queries, s.shed, s.rejected, s.admission_peak_depth
+    );
+    let _ = writeln!(
+        out,
+        "latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, deadline hit ratio {:.2}",
+        s.p50_latency_secs() * 1e3,
+        s.p95_latency_secs() * 1e3,
+        s.p99_latency_secs() * 1e3,
+        s.deadline_hit_ratio()
     );
     Ok(out.trim_end().to_owned())
 }
@@ -286,6 +411,9 @@ USAGE:
   holap-cli info     --store DIR
   holap-cli query    --store DIR [--policy paper|mct|met|round-robin|cpu-only|gpu-only] \\
                      'select sum(measure0) where time.level1 in 0..3'
+  holap-cli batch    --store DIR [--policy P] [--backpressure block|reject] \\
+                     [--shedding off|shed|reject] [--queue N] [--partition-queue N] \\
+                     'query one; query two; ...'
 ";
 
 /// Dispatches a full argument vector (excluding the program name).
@@ -299,6 +427,7 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "cube" => cmd_cube(&args),
         "info" => cmd_info(&args),
         "query" => cmd_query(&args),
+        "batch" => cmd_batch(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -323,8 +452,10 @@ mod tests {
         let dir = tempdir("flow");
         let dirs = dir.to_str().unwrap();
 
-        let out = run(&s(&["generate", "--out", dirs, "--rows", "5000", "--seed", "3"]))
-            .unwrap();
+        let out = run(&s(&[
+            "generate", "--out", dirs, "--rows", "5000", "--seed", "3",
+        ]))
+        .unwrap();
         assert!(out.contains("generated 5000 rows"), "{out}");
 
         let out = run(&s(&["cube", "--store", dirs, "--resolutions", "1,2"])).unwrap();
@@ -367,10 +498,12 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("ran on Gpu"), "{out}");
-        assert!(run(&s(&["query", "--store", dirs, "--policy", "bogus", "q"]))
-            .unwrap_err()
-            .0
-            .contains("unknown policy"));
+        assert!(
+            run(&s(&["query", "--store", dirs, "--policy", "bogus", "q"]))
+                .unwrap_err()
+                .0
+                .contains("unknown policy")
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -389,19 +522,104 @@ mod tests {
 
     #[test]
     fn errors_are_friendly() {
-        assert!(run(&s(&["bogus"])).unwrap_err().0.contains("unknown command"));
-        assert!(run(&s(&["generate"])).unwrap_err().0.contains("--out"));
-        assert!(run(&s(&["cube", "--store", "/nonexistent", "--resolutions", "1"]))
+        assert!(run(&s(&["bogus"]))
             .unwrap_err()
             .0
-            .contains("load failed"));
-        assert!(run(&s(&["generate", "--out"])).unwrap_err().0.contains("needs a value"));
+            .contains("unknown command"));
+        assert!(run(&s(&["generate"])).unwrap_err().0.contains("--out"));
+        assert!(run(&s(&[
+            "cube",
+            "--store",
+            "/nonexistent",
+            "--resolutions",
+            "1"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("load failed"));
+        assert!(run(&s(&["generate", "--out"]))
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
         assert!(run(&s(&["generate", "--out", "/tmp/x", "--rows", "abc"]))
             .unwrap_err()
             .0
             .contains("cannot parse"));
         assert!(run(&[]).unwrap_err().0.contains("USAGE"));
         assert!(run(&s(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn batch_runs_queries_and_reports_pipeline_stats() {
+        let dir = tempdir("batch");
+        let dirs = dir.to_str().unwrap();
+        run(&s(&[
+            "generate", "--out", dirs, "--rows", "4000", "--seed", "5",
+        ]))
+        .unwrap();
+        run(&s(&["cube", "--store", dirs, "--resolutions", "1,2"])).unwrap();
+
+        let out = run(&s(&[
+            "batch",
+            "--store",
+            dirs,
+            "select sum(measure0) where time.level1 in 0..1; \
+             select sum(measure0) where time.level1 in 0..3 group by time.level0; \
+             select sum(measure0) where time.level3 in 0..40",
+        ]))
+        .unwrap();
+        assert!(out.contains("[0] sum ="), "{out}");
+        assert!(out.contains("[2] sum ="), "{out}");
+        assert!(out.contains("batch: 3 completed"), "{out}");
+        assert!(out.contains("latency: p50"), "{out}");
+
+        // Shedding engages for a hopeless deadline.
+        let out = run(&s(&[
+            "batch",
+            "--store",
+            dirs,
+            "--shedding",
+            "shed",
+            "select sum(measure0) where time.level3 in 0..40 deadline 0.000001",
+        ]))
+        .unwrap();
+        assert!(out.contains("[0] shed"), "{out}");
+        assert!(out.contains("1 shed"), "{out}");
+
+        // A parse error fails that item, not the batch.
+        let out = run(&s(&[
+            "batch",
+            "--store",
+            dirs,
+            "not a query; select sum(measure0) where time.level1 in 0..1",
+        ]))
+        .unwrap();
+        assert!(out.contains("[0] error:"), "{out}");
+        assert!(out.contains("[1] sum ="), "{out}");
+
+        assert!(
+            run(&s(&["batch", "--store", dirs, "--shedding", "maybe", "q"]))
+                .unwrap_err()
+                .0
+                .contains("unknown shedding policy")
+        );
+        assert!(run(&s(&[
+            "batch",
+            "--store",
+            dirs,
+            "--backpressure",
+            "panic",
+            "q"
+        ]))
+        .unwrap_err()
+        .0
+        .contains("unknown backpressure policy"));
+        assert!(run(&s(&["batch", "--store", dirs, " ; ; "]))
+            .unwrap_err()
+            .0
+            .contains("no queries"));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! The asynchronous admission pipeline in front of the scheduler.
+//!
+//! `HybridSystem::submit` hands a prepared query to a **bounded admission
+//! queue**; a single **dispatcher** thread drains it, applies deadline-aware
+//! load shedding, places the query through the Figure-10 scheduler (with a
+//! [`LiveLoad`] floor measured from work still in flight), and forwards it
+//! to the chosen partition's **bounded run queue**. One runner thread per
+//! partition (the CPU processing partition plus each GPU partition)
+//! executes the work and resolves the caller's [`QueryTicket`].
+//!
+//! Backpressure propagates outward: a slow partition fills its run queue,
+//! which stalls the dispatcher, which fills the admission queue, which —
+//! depending on [`BackpressurePolicy`](crate::config::BackpressurePolicy)
+//! — blocks or rejects new submissions.
+
+use crate::config::SheddingPolicy;
+use crate::engine::{EngineCore, Prepared, QueryOutcome};
+use crate::error::EngineError;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use holap_sched::{Decision, LiveLoad, Placement};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A handle to one submitted query. The outcome is delivered exactly once:
+/// consume it with [`QueryTicket::wait`], or poll with
+/// [`QueryTicket::try_wait`].
+#[derive(Debug)]
+pub struct QueryTicket {
+    id: u64,
+    rx: Receiver<Result<QueryOutcome, EngineError>>,
+    /// Whether `try_wait` already handed the outcome out — distinguishes
+    /// "consumed" from "pipeline died" once the sender is gone.
+    delivered: bool,
+}
+
+impl QueryTicket {
+    pub(crate) fn new(id: u64, rx: Receiver<Result<QueryOutcome, EngineError>>) -> Self {
+        Self {
+            id,
+            rx,
+            delivered: false,
+        }
+    }
+
+    /// A ticket that already holds its outcome (cache hits, provably-empty
+    /// answers — nothing was queued).
+    pub(crate) fn immediate(id: u64, outcome: QueryOutcome) -> Self {
+        let (tx, rx) = bounded(1);
+        tx.send(Ok(outcome))
+            .expect("capacity-1 channel accepts one message");
+        Self {
+            id,
+            rx,
+            delivered: false,
+        }
+    }
+
+    /// Monotonically increasing submission id (per system).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the outcome is available and returns it.
+    pub fn wait(self) -> Result<QueryOutcome, EngineError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(EngineError::Shutdown),
+        }
+    }
+
+    /// Returns the outcome if it is already available, `Ok(None)` when the
+    /// query is still in flight. The outcome is consumed by the first call
+    /// that returns it; later calls see `Ok(None)`.
+    pub fn try_wait(&mut self) -> Result<Option<QueryOutcome>, EngineError> {
+        match self.rx.try_recv() {
+            Ok(result) => {
+                self.delivered = true;
+                result.map(Some)
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) if self.delivered => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(EngineError::Shutdown),
+        }
+    }
+}
+
+/// One admitted query travelling from `submit` to the dispatcher.
+pub(crate) struct AdmitJob {
+    pub(crate) prepared: Box<Prepared>,
+    /// Epoch-relative submission time — latencies and absolute deadlines
+    /// are measured from here, not from dispatch.
+    pub(crate) admitted_at: f64,
+    pub(crate) respond: Sender<Result<QueryOutcome, EngineError>>,
+}
+
+/// A scheduled query travelling from the dispatcher to a partition runner.
+pub(crate) struct RunJob {
+    pub(crate) job: AdmitJob,
+    pub(crate) decision: Decision,
+}
+
+/// Estimated seconds of work charged to each queue but not yet completed —
+/// the engine-side measurement behind the scheduler's [`LiveLoad`] floor.
+#[derive(Debug)]
+pub(crate) struct Inflight {
+    cpu: f64,
+    trans: f64,
+    gpu: Vec<f64>,
+}
+
+impl Inflight {
+    pub(crate) fn new(gpu_partitions: usize) -> Self {
+        Self {
+            cpu: 0.0,
+            trans: 0.0,
+            gpu: vec![0.0; gpu_partitions],
+        }
+    }
+
+    pub(crate) fn charge(&mut self, d: &Decision) {
+        match d.placement {
+            Placement::Cpu => self.cpu += d.t_proc,
+            Placement::Gpu { partition } => {
+                self.gpu[partition] += d.t_proc;
+                self.trans += d.t_trans;
+            }
+        }
+    }
+
+    pub(crate) fn discharge(&mut self, d: &Decision) {
+        match d.placement {
+            Placement::Cpu => self.cpu = (self.cpu - d.t_proc).max(0.0),
+            Placement::Gpu { partition } => {
+                self.gpu[partition] = (self.gpu[partition] - d.t_proc).max(0.0);
+                self.trans = (self.trans - d.t_trans).max(0.0);
+            }
+        }
+    }
+
+    pub(crate) fn live_load(&self) -> LiveLoad {
+        LiveLoad {
+            cpu_inflight_secs: self.cpu,
+            trans_inflight_secs: self.trans,
+            gpu_inflight_secs: self.gpu.clone(),
+        }
+    }
+}
+
+/// Spawns the dispatcher and one runner per partition. Returns the
+/// admission-queue sender (dropping it shuts the pipeline down after the
+/// queues drain) and the thread handles to join.
+pub(crate) fn spawn_pipeline(core: &Arc<EngineCore>) -> (Sender<AdmitJob>, Vec<JoinHandle<()>>) {
+    let admission_cap = core.config.admission.queue_capacity.max(1);
+    let run_cap = core.config.admission.partition_queue_capacity.max(1);
+    let gpu_partitions = core.config.layout.gpu_partitions();
+
+    let (admit_tx, admit_rx) = bounded::<AdmitJob>(admission_cap);
+    let (cpu_tx, cpu_rx) = bounded::<RunJob>(run_cap);
+    let mut handles = Vec::with_capacity(gpu_partitions + 2);
+    let mut gpu_txs = Vec::with_capacity(gpu_partitions);
+    for partition in 0..gpu_partitions {
+        let (tx, rx) = bounded::<RunJob>(run_cap);
+        gpu_txs.push(tx);
+        let core = Arc::clone(core);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("gpu-runner-{partition}"))
+                .spawn(move || gpu_runner(core, partition, rx))
+                .expect("failed to spawn GPU runner"),
+        );
+    }
+    {
+        let core = Arc::clone(core);
+        handles.push(
+            std::thread::Builder::new()
+                .name("cpu-runner".into())
+                .spawn(move || cpu_runner(core, cpu_rx))
+                .expect("failed to spawn CPU runner"),
+        );
+    }
+    {
+        let core = Arc::clone(core);
+        handles.push(
+            std::thread::Builder::new()
+                .name("dispatcher".into())
+                .spawn(move || dispatcher(core, admit_rx, cpu_tx, gpu_txs))
+                .expect("failed to spawn dispatcher"),
+        );
+    }
+    (admit_tx, handles)
+}
+
+/// Drains the admission queue: shed check → schedule (with the live-load
+/// floor) → charge in-flight accounting → forward to the partition runner.
+fn dispatcher(
+    core: Arc<EngineCore>,
+    admit_rx: Receiver<AdmitJob>,
+    cpu_tx: Sender<RunJob>,
+    gpu_txs: Vec<Sender<RunJob>>,
+) {
+    for job in admit_rx {
+        core.admission_depth.fetch_sub(1, Ordering::Relaxed);
+        let now = core.epoch.elapsed().as_secs_f64();
+        let abs_deadline = job.admitted_at + job.prepared.deadline_window;
+        let load = core.inflight.lock().live_load();
+
+        // Deadline-aware load shedding: if even the *fastest* partition
+        // cannot answer before the deadline, running the query anywhere
+        // only burns partition time that feasible queries need.
+        let shedding = core.config.admission.shedding;
+        if shedding != SheddingPolicy::Off {
+            let min_rt =
+                core.scheduler
+                    .lock()
+                    .min_response_time(now, &job.prepared.est, Some(&load));
+            if min_rt > abs_deadline {
+                match shedding {
+                    SheddingPolicy::Shed => {
+                        core.stats.lock().record_shed();
+                        let latency = core.epoch.elapsed().as_secs_f64() - job.admitted_at;
+                        let _ = job.respond.send(Ok(QueryOutcome::shed_marker(latency)));
+                    }
+                    SheddingPolicy::Reject => {
+                        core.stats.lock().record_rejected();
+                        let _ = job.respond.send(Err(EngineError::Overloaded(
+                            "predicted completion time exceeds the deadline".into(),
+                        )));
+                    }
+                    SheddingPolicy::Off => unreachable!("checked above"),
+                }
+                continue;
+            }
+        }
+
+        // A query that waited in the admission queue past its whole
+        // deadline still gets a positive window: the scheduler's step 6
+        // then places it for earliest response.
+        let t_c = (abs_deadline - now).max(1e-9);
+        let decision =
+            core.scheduler
+                .lock()
+                .schedule_with_load(now, &job.prepared.est, t_c, Some(&load));
+        core.inflight.lock().charge(&decision);
+
+        let target = match decision.placement {
+            Placement::Cpu => &cpu_tx,
+            Placement::Gpu { partition } => &gpu_txs[partition],
+        };
+        if let Err(err) = target.send(RunJob { job, decision }) {
+            // Runner gone (shutdown race): undo the charge, fail the ticket.
+            let run = err.into_inner();
+            core.inflight.lock().discharge(&run.decision);
+            let _ = run.job.respond.send(Err(EngineError::Shutdown));
+        }
+    }
+}
+
+/// The CPU processing partition: one thread = one queue (`Q_CPU`), fanning
+/// each query out over the partition's rayon pool.
+fn cpu_runner(core: Arc<EngineCore>, rx: Receiver<RunJob>) {
+    for run in rx {
+        let started = Instant::now();
+        let result = core.run_cpu(&run.job.prepared);
+        core.finish(run, result, started.elapsed().as_secs_f64());
+    }
+}
+
+/// One GPU partition queue: routes text lookups through the translation
+/// partition, then executes the kernel on the simulated device.
+fn gpu_runner(core: Arc<EngineCore>, partition: usize, rx: Receiver<RunJob>) {
+    for run in rx {
+        let started = Instant::now();
+        let result = core.run_gpu(partition, &run.job.prepared, run.decision.with_translation);
+        core.finish(run, result, started.elapsed().as_secs_f64());
+    }
+}

@@ -26,7 +26,11 @@ pub(crate) struct CacheKey {
 impl CacheKey {
     pub(crate) fn new(resolved: &ResolvedQuery, group_by: Option<(usize, usize)>) -> Self {
         Self {
-            ranges: resolved.ranges.iter().map(|r| (r.level, r.from, r.to)).collect(),
+            ranges: resolved
+                .ranges
+                .iter()
+                .map(|r| (r.level, r.from, r.to))
+                .collect(),
             sets: resolved
                 .sets
                 .iter()
@@ -90,13 +94,14 @@ impl QueryCache {
             return;
         }
         let mut inner = self.inner.lock();
-        if let std::collections::hash_map::Entry::Occupied(mut e) = inner.map.entry(key.clone())
-        {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = inner.map.entry(key.clone()) {
             e.insert(value);
             return;
         }
         while inner.map.len() >= self.capacity {
-            let Some(oldest) = inner.order.pop_front() else { break };
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
             inner.map.remove(&oldest);
         }
         inner.order.push_back(key.clone());
@@ -105,7 +110,10 @@ impl QueryCache {
 
     /// `(hits, misses)` so far.
     pub(crate) fn counters(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -119,7 +127,11 @@ mod tests {
         let resolved = ResolvedQuery {
             ranges: vec![DimRange::new(1, from, from + 3)],
             scan_conditions: vec![(0, DimRange::new(1, from, from + 3))],
-            sets: vec![SetCondition { dim: 0, level: 1, codes: vec![1, 5] }],
+            sets: vec![SetCondition {
+                dim: 0,
+                level: 1,
+                codes: vec![1, 5],
+            }],
             measure,
             provably_empty: false,
         };
@@ -127,7 +139,10 @@ mod tests {
     }
 
     fn answer(sum: f64) -> CachedAnswer {
-        CachedAnswer { answer: Answer { sum, count: 1 }, groups: None }
+        CachedAnswer {
+            answer: Answer { sum, count: 1 },
+            groups: None,
+        }
     }
 
     #[test]

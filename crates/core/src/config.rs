@@ -4,6 +4,64 @@ use holap_model::SystemProfile;
 use holap_sched::{PartitionLayout, Policy};
 use serde::{Deserialize, Serialize};
 
+/// What `submit` does when the bounded admission queue is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until a slot frees up (default — the
+    /// behaviour a synchronous caller expects).
+    #[default]
+    Block,
+    /// Fail fast with [`EngineError::Overloaded`](crate::EngineError) and
+    /// count the query in [`EngineStats::rejected`](crate::EngineStats).
+    Reject,
+}
+
+/// What the dispatcher does when the scheduler predicts that *no*
+/// partition can answer before the query's deadline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SheddingPolicy {
+    /// Run the query anyway (default — the paper's step-6 behaviour:
+    /// "deliver the answer as soon as possible").
+    #[default]
+    Off,
+    /// Drop the query without burning partition time: the ticket resolves
+    /// to a [`QueryOutcome`](crate::QueryOutcome) with `shed = true` and
+    /// an empty answer.
+    Shed,
+    /// Fail the ticket with [`EngineError::Overloaded`](crate::EngineError).
+    Reject,
+}
+
+/// Configuration of the asynchronous admission pipeline in front of the
+/// scheduler (see [`crate::HybridSystem::submit`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Bound of the admission queue between `submit` callers and the
+    /// dispatcher thread.
+    pub queue_capacity: usize,
+    /// Bound of each partition's run queue between the dispatcher and the
+    /// partition worker. A full run queue stalls the dispatcher, which in
+    /// turn fills the admission queue — backpressure propagates outward.
+    pub partition_queue_capacity: usize,
+    /// Behaviour when the admission queue is full.
+    #[serde(default)]
+    pub backpressure: BackpressurePolicy,
+    /// Deadline-aware load shedding at dispatch time.
+    #[serde(default)]
+    pub shedding: SheddingPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            partition_queue_capacity: 64,
+            backpressure: BackpressurePolicy::default(),
+            shedding: SheddingPolicy::default(),
+        }
+    }
+}
+
 /// Static configuration of a [`crate::HybridSystem`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -22,6 +80,9 @@ pub struct SystemConfig {
     /// default because cached answers bypass the scheduler.
     #[serde(default)]
     pub cache_capacity: usize,
+    /// Admission-pipeline tuning (queue bounds, backpressure, shedding).
+    #[serde(default)]
+    pub admission: AdmissionConfig,
 }
 
 impl Default for SystemConfig {
@@ -34,6 +95,7 @@ impl Default for SystemConfig {
             policy: Policy::Paper,
             default_deadline_secs: 0.5,
             cache_capacity: 0,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -48,5 +110,14 @@ mod tests {
         assert_eq!(c.layout.gpu_partitions(), 6);
         assert_eq!(c.policy, Policy::Paper);
         assert!(c.default_deadline_secs > 0.0);
+    }
+
+    #[test]
+    fn admission_defaults_are_conservative() {
+        let a = AdmissionConfig::default();
+        assert!(a.queue_capacity > 0);
+        assert!(a.partition_queue_capacity > 0);
+        assert_eq!(a.backpressure, BackpressurePolicy::Block);
+        assert_eq!(a.shedding, SheddingPolicy::Off);
     }
 }

@@ -115,9 +115,7 @@ fn lex(text: &str) -> Result<Vec<Tok>, EngineError> {
                     match chars.next() {
                         Some('\'') => break,
                         Some(c) => s.push(c),
-                        None => {
-                            return Err(EngineError::Parse("unterminated string".into()))
-                        }
+                        None => return Err(EngineError::Parse("unterminated string".into())),
                     }
                 }
                 out.push(Tok::Str(s));
@@ -168,7 +166,11 @@ fn lex(text: &str) -> Result<Vec<Tok>, EngineError> {
                 }
                 out.push(Tok::Ident(s));
             }
-            other => return Err(EngineError::Parse(format!("unexpected character `{other}`"))),
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "unexpected character `{other}`"
+                )))
+            }
         }
     }
     Ok(out)
@@ -195,7 +197,9 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> Result<(), EngineError> {
         match self.next() {
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(EngineError::Parse(format!("expected `{kw}`, found {other:?}"))),
+            other => Err(EngineError::Parse(format!(
+                "expected `{kw}`, found {other:?}"
+            ))),
         }
     }
 
@@ -206,7 +210,9 @@ impl Parser {
     fn ident(&mut self, what: &str) -> Result<String, EngineError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(EngineError::Parse(format!("expected {what}, found {other:?}"))),
+            other => Err(EngineError::Parse(format!(
+                "expected {what}, found {other:?}"
+            ))),
         }
     }
 
@@ -215,14 +221,18 @@ impl Parser {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
             Some(Tok::Num(v)) if v.fract() == 0.0 && v >= 0.0 => Ok(format!("{}", v as u64)),
-            other => Err(EngineError::Parse(format!("expected {what}, found {other:?}"))),
+            other => Err(EngineError::Parse(format!(
+                "expected {what}, found {other:?}"
+            ))),
         }
     }
 
     fn expect(&mut self, tok: Tok) -> Result<(), EngineError> {
         match self.next() {
             Some(t) if t == tok => Ok(()),
-            other => Err(EngineError::Parse(format!("expected {tok:?}, found {other:?}"))),
+            other => Err(EngineError::Parse(format!(
+                "expected {tok:?}, found {other:?}"
+            ))),
         }
     }
 
@@ -231,7 +241,9 @@ impl Parser {
             Some(Tok::Num(v)) if v.fract() == 0.0 && v >= 0.0 && v <= u32::MAX as f64 => {
                 Ok(v as u32)
             }
-            other => Err(EngineError::Parse(format!("expected integer, found {other:?}"))),
+            other => Err(EngineError::Parse(format!(
+                "expected integer, found {other:?}"
+            ))),
         }
     }
 
@@ -246,12 +258,14 @@ impl Parser {
                     level,
                     range: ParsedRange::IntEq(v as u32),
                 }),
-                Some(Tok::Str(s)) => {
-                    Ok(ParsedCondition { dim, level, range: ParsedRange::TextEq(s) })
-                }
-                other => {
-                    Err(EngineError::Parse(format!("expected operand after `=`: {other:?}")))
-                }
+                Some(Tok::Str(s)) => Ok(ParsedCondition {
+                    dim,
+                    level,
+                    range: ParsedRange::TextEq(s),
+                }),
+                other => Err(EngineError::Parse(format!(
+                    "expected operand after `=`: {other:?}"
+                ))),
             },
             Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("contains") => {
                 let mut patterns = Vec::new();
@@ -270,7 +284,11 @@ impl Parser {
                         break;
                     }
                 }
-                Ok(ParsedCondition { dim, level, range: ParsedRange::Contains(patterns) })
+                Ok(ParsedCondition {
+                    dim,
+                    level,
+                    range: ParsedRange::Contains(patterns),
+                })
             }
             Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("in") => match self.next() {
                 Some(Tok::Num(v)) if v.fract() == 0.0 => {
@@ -295,9 +313,9 @@ impl Parser {
                         ))),
                     }
                 }
-                other => {
-                    Err(EngineError::Parse(format!("expected range after `in`: {other:?}")))
-                }
+                other => Err(EngineError::Parse(format!(
+                    "expected range after `in`: {other:?}"
+                ))),
             },
             other => Err(EngineError::Parse(format!(
                 "expected `=` or `in` after column, found {other:?}"
@@ -308,7 +326,10 @@ impl Parser {
 
 /// Parses DSL text into a name-based [`ParsedQuery`].
 pub fn parse(text: &str) -> Result<ParsedQuery, EngineError> {
-    let mut p = Parser { toks: lex(text)?, pos: 0 };
+    let mut p = Parser {
+        toks: lex(text)?,
+        pos: 0,
+    };
     p.expect_keyword("select")?;
     let agg = p.ident("aggregate (sum/avg/count)")?.to_lowercase();
     if !matches!(agg.as_str(), "sum" | "avg" | "count") {
@@ -362,7 +383,13 @@ pub fn parse(text: &str) -> Result<ParsedQuery, EngineError> {
     if let Some(t) = p.peek() {
         return Err(EngineError::Parse(format!("trailing input at {t:?}")));
     }
-    Ok(ParsedQuery { agg, measure, conditions, group_by, deadline })
+    Ok(ParsedQuery {
+        agg,
+        measure,
+        conditions,
+        group_by,
+        deadline,
+    })
 }
 
 fn resolve_index<'a, I: Iterator<Item = &'a str>>(
@@ -403,7 +430,10 @@ impl ParsedQuery {
                 )?;
                 let level = resolve_index(
                     l,
-                    schema.dimensions[dim].levels.iter().map(|x| x.name.as_str()),
+                    schema.dimensions[dim]
+                        .levels
+                        .iter()
+                        .map(|x| x.name.as_str()),
                     "level",
                 )?;
                 Some((dim, level))
@@ -423,7 +453,10 @@ impl ParsedQuery {
             )?;
             let level = resolve_index(
                 &c.level,
-                schema.dimensions[dim].levels.iter().map(|l| l.name.as_str()),
+                schema.dimensions[dim]
+                    .levels
+                    .iter()
+                    .map(|l| l.name.as_str()),
                 "level",
             )?;
             let range = match &c.range {
@@ -467,7 +500,10 @@ mod tests {
         assert_eq!(q.conditions.len(), 2);
         assert_eq!(q.conditions[0].dim, 0);
         assert_eq!(q.conditions[0].level, 1);
-        assert_eq!(q.conditions[0].range, ConditionRange::Coords { from: 3, to: 9 });
+        assert_eq!(
+            q.conditions[0].range,
+            ConditionRange::Coords { from: 3, to: 9 }
+        );
         assert_eq!(
             q.conditions[1].range,
             ConditionRange::Text(TextCondition::eq("Boston"))
@@ -488,7 +524,10 @@ mod tests {
 
     #[test]
     fn count_star() {
-        let q = parse("select count(*)").unwrap().resolve(&schema()).unwrap();
+        let q = parse("select count(*)")
+            .unwrap()
+            .resolve(&schema())
+            .unwrap();
         assert_eq!(q.measure, 0);
         assert!(q.conditions.is_empty());
         assert_eq!(q.deadline_secs, None);
@@ -500,7 +539,10 @@ mod tests {
             .unwrap()
             .resolve(&schema())
             .unwrap();
-        assert_eq!(q.conditions[0].range, ConditionRange::Coords { from: 2, to: 2 });
+        assert_eq!(
+            q.conditions[0].range,
+            ConditionRange::Coords { from: 2, to: 2 }
+        );
     }
 
     #[test]
@@ -511,14 +553,14 @@ mod tests {
     #[test]
     fn parse_errors() {
         for bad in [
-            "sum(sales)",                                 // missing select
-            "select blah(sales)",                         // unknown aggregate
-            "select sum sales",                           // missing parens
-            "select sum(sales) where time.year",          // missing op
-            "select sum(sales) where time.year in 3",     // missing range end
-            "select sum(sales) where time.year = 'x' and",// dangling and
-            "select sum(sales) deadline 0",               // non-positive deadline
-            "select sum(sales) trailing",                 // trailing tokens
+            "sum(sales)",                                  // missing select
+            "select blah(sales)",                          // unknown aggregate
+            "select sum sales",                            // missing parens
+            "select sum(sales) where time.year",           // missing op
+            "select sum(sales) where time.year in 3",      // missing range end
+            "select sum(sales) where time.year = 'x' and", // dangling and
+            "select sum(sales) deadline 0",                // non-positive deadline
+            "select sum(sales) trailing",                  // trailing tokens
             "select sum(sales) where time.year = 'unterminated",
         ] {
             assert!(parse(bad).is_err(), "should fail: {bad}");
@@ -540,6 +582,9 @@ mod tests {
             .unwrap()
             .resolve(&schema())
             .unwrap();
-        assert_eq!(q.conditions[0].range, ConditionRange::Coords { from: 10, to: 12 });
+        assert_eq!(
+            q.conditions[0].range,
+            ConditionRange::Coords { from: 10, to: 12 }
+        );
     }
 }

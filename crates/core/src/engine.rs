@@ -1,17 +1,21 @@
 //! The running hybrid system: partitions, queues, wall-clock scheduling.
 
-use crate::config::SystemConfig;
+use crate::admission::{self, AdmitJob, Inflight, QueryTicket, RunJob};
+use crate::config::{BackpressurePolicy, SystemConfig};
 use crate::error::EngineError;
-use crate::query::{text_column_name, Answer, ConditionRange, EngineQuery, ResolvedQuery};
-use crate::stats::EngineStats;
-use crossbeam::channel::{unbounded, Sender};
-use holap_cube::{CubeSchema, CubeSet, MolapCube};
+use crate::query::{
+    text_column_name, Answer, ConditionRange, EngineQuery, IntoEngineQuery, ResolvedQuery,
+};
+use crate::stats::{CompletionKind, EngineStats};
+use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
+use holap_cube::{CubePlan, CubeSchema, CubeSet, MolapCube};
 use holap_dict::{DictionarySet, TextCondition};
 use holap_gpusim::{DeviceConfig, GpuDevice, GpuExecutor, TableId};
-use holap_sched::{Estimator, Placement, QueryFeatures, Scheduler};
-use holap_table::{FactTable, TableSchema};
+use holap_sched::{Estimator, Placement, QueryFeatures, Scheduler, TaskEstimate};
+use holap_table::{ColumnId, FactTable, ScanQuery, TableSchema};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -37,12 +41,57 @@ pub struct QueryOutcome {
     /// Whether the answer came from the result cache (no partition ran).
     #[serde(default)]
     pub from_cache: bool,
+    /// Whether the query was shed by admission control
+    /// ([`SheddingPolicy::Shed`](crate::config::SheddingPolicy)): the
+    /// answer is empty and no partition time was spent.
+    #[serde(default)]
+    pub shed: bool,
+}
+
+impl QueryOutcome {
+    /// The outcome of a shed query: empty answer, deadline missed.
+    pub(crate) fn shed_marker(latency_secs: f64) -> Self {
+        Self {
+            answer: Answer { sum: 0.0, count: 0 },
+            groups: None,
+            placement: Placement::Cpu, // nominal; nothing actually ran
+            translated: false,
+            latency_secs,
+            met_deadline: false,
+            estimated_secs: 0.0,
+            from_cache: false,
+            shed: true,
+        }
+    }
 }
 
 /// A translation request routed through the preprocessing partition.
-struct TransJob {
+pub(crate) struct TransJob {
     lookups: Vec<(String, TextCondition)>,
     respond: Sender<Result<Vec<holap_dict::CodeSelection>, EngineError>>,
+}
+
+/// A query after the submit-side preparation: resolved, validated, planned
+/// and estimated — everything the dispatcher and partition runners need.
+pub(crate) struct Prepared {
+    pub(crate) cache_key: crate::cache::CacheKey,
+    pub(crate) group_by: Option<(usize, usize)>,
+    pub(crate) plan: Option<CubePlan>,
+    pub(crate) scan: ScanQuery,
+    pub(crate) group_column: Option<ColumnId>,
+    pub(crate) est: TaskEstimate,
+    /// Relative deadline window `T_C`, seconds.
+    pub(crate) deadline_window: f64,
+    /// Text lookups for the translation partition (GPU placements only).
+    pub(crate) lookups: Vec<(String, TextCondition)>,
+}
+
+/// What submit-side preparation concluded.
+pub(crate) enum Admitted {
+    /// Answered without queueing (provably empty, or a cache hit).
+    Immediate(QueryOutcome),
+    /// Must run — enqueue for the dispatcher.
+    Run(Box<Prepared>),
 }
 
 /// Builder for [`HybridSystem`].
@@ -54,6 +103,9 @@ pub struct HybridSystemBuilder {
     cube_measure: usize,
     device_config: DeviceConfig,
     gpu_cube_build: bool,
+    /// Problems detected eagerly at call time; [`Self::build`] reports them
+    /// all at once together with whole-configuration checks.
+    diagnostics: Vec<String>,
 }
 
 impl HybridSystemBuilder {
@@ -87,6 +139,12 @@ impl HybridSystemBuilder {
 
     /// Overrides the simulated device configuration (default: Tesla C2070).
     pub fn device(mut self, device_config: DeviceConfig) -> Self {
+        if device_config.total_sms == 0 {
+            self.diagnostics.push("device has zero SMs".into());
+        }
+        if device_config.memory_bytes == 0 {
+            self.diagnostics.push("device has zero memory".into());
+        }
         self.device_config = device_config;
         self
     }
@@ -100,29 +158,57 @@ impl HybridSystemBuilder {
         self
     }
 
-    /// Builds the running system: uploads the table to the (simulated)
-    /// device, pre-calculates the requested cubes, spawns the partition
-    /// workers.
-    pub fn build(self) -> Result<HybridSystem, EngineError> {
-        let (table, dicts) = self
-            .facts
-            .ok_or_else(|| EngineError::Build("no fact table supplied".into()))?;
-        let table_schema = table.schema().clone();
-        let cube_schema = CubeSchema::from_table_schema(&table_schema);
-        if self.cube_measure >= table_schema.measures.len() {
-            return Err(EngineError::Build(format!(
-                "cube measure {} out of range",
-                self.cube_measure
-            )));
-        }
-        for &r in &self.cube_resolutions {
-            if r > cube_schema.max_resolution() {
-                return Err(EngineError::Build(format!(
-                    "cube resolution {r} exceeds the schema's max {}",
-                    cube_schema.max_resolution()
-                )));
+    /// Validates the whole configuration, collecting *every* problem —
+    /// per-call diagnostics plus cross-field checks — so one `build()`
+    /// round-trip surfaces all of them at once.
+    fn validate(&self) -> Vec<String> {
+        let mut problems = self.diagnostics.clone();
+        match &self.facts {
+            None => problems.push("no fact table supplied".into()),
+            Some((table, _)) => {
+                let table_schema = table.schema();
+                let cube_schema = CubeSchema::from_table_schema(table_schema);
+                if self.cube_measure >= table_schema.measures.len() {
+                    problems.push(format!(
+                        "cube measure {} out of range ({} measures)",
+                        self.cube_measure,
+                        table_schema.measures.len()
+                    ));
+                }
+                for &r in &self.cube_resolutions {
+                    if r > cube_schema.max_resolution() {
+                        problems.push(format!(
+                            "cube resolution {r} exceeds the schema's max {}",
+                            cube_schema.max_resolution()
+                        ));
+                    }
+                }
+                for cube in &self.prebuilt_cubes {
+                    if cube.schema() != &cube_schema {
+                        problems.push("prebuilt cube schema does not match the fact table".into());
+                    }
+                }
             }
         }
+        problems
+    }
+
+    /// Builds the running system: uploads the table to the (simulated)
+    /// device, pre-calculates the requested cubes, spawns the partition
+    /// workers and the admission pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a single [`EngineError::Build`] listing **all** detected
+    /// configuration problems, not just the first.
+    pub fn build(self) -> Result<HybridSystem, EngineError> {
+        let problems = self.validate();
+        if !problems.is_empty() {
+            return Err(EngineError::Build(problems.join("; ")));
+        }
+        let (table, dicts) = self.facts.expect("validated above");
+        let table_schema = table.schema().clone();
+        let cube_schema = CubeSchema::from_table_schema(&table_schema);
 
         // GPU side first: the cube-build kernel needs the table resident.
         let mut device = GpuDevice::new(self.device_config);
@@ -136,11 +222,6 @@ impl HybridSystemBuilder {
         // resident table instead of on the CPU.
         let mut cube_set = CubeSet::new(cube_schema.clone());
         for cube in self.prebuilt_cubes {
-            if cube.schema() != &cube_schema {
-                return Err(EngineError::Build(
-                    "prebuilt cube schema does not match the fact table".into(),
-                ));
-            }
             cube_set.insert(cube);
         }
         if !self.cube_resolutions.is_empty() {
@@ -228,7 +309,8 @@ impl HybridSystemBuilder {
         let estimator = Estimator::new(self.config.profile.clone(), self.config.layout.clone());
         let scheduler = Scheduler::new(self.config.layout.clone(), self.config.policy);
         let cache_capacity = self.config.cache_capacity;
-        Ok(HybridSystem {
+        let gpu_partitions = self.config.layout.gpu_partitions();
+        let core = Arc::new(EngineCore {
             config: self.config,
             table_schema,
             cube_schema,
@@ -239,125 +321,79 @@ impl HybridSystemBuilder {
             table_id,
             executor,
             cpu_pool,
-            cpu_queue: Mutex::new(()),
             trans_tx: Some(trans_tx),
-            trans_handles,
+            trans_handles: Mutex::new(trans_handles),
             scheduler: Mutex::new(scheduler),
             estimator,
             epoch: Instant::now(),
             stats: Mutex::new(EngineStats::default()),
             cache: crate::cache::QueryCache::new(cache_capacity),
+            inflight: Mutex::new(Inflight::new(gpu_partitions)),
+            admission_depth: AtomicUsize::new(0),
+            admission_peak: AtomicUsize::new(0),
+        });
+        let (admission_tx, pipeline) = admission::spawn_pipeline(&core);
+        Ok(HybridSystem {
+            core,
+            admission_tx: Some(admission_tx),
+            pipeline,
+            next_ticket: AtomicU64::new(0),
         })
     }
 }
 
-/// The running hybrid OLAP system. Thread-safe: queries may be submitted
-/// concurrently from any number of threads.
-pub struct HybridSystem {
-    config: SystemConfig,
-    table_schema: TableSchema,
-    cube_schema: CubeSchema,
-    cube_set: Arc<CubeSet>,
-    cube_measure: usize,
-    dicts: Arc<DictionarySet>,
-    device: Arc<GpuDevice>,
-    table_id: TableId,
-    executor: GpuExecutor,
-    cpu_pool: rayon::ThreadPool,
-    /// Serialises the CPU processing partition — it is one queue (`Q_CPU`).
-    cpu_queue: Mutex<()>,
-    trans_tx: Option<Sender<TransJob>>,
-    trans_handles: Vec<JoinHandle<()>>,
-    scheduler: Mutex<Scheduler>,
-    estimator: Estimator,
-    epoch: Instant,
-    stats: Mutex<EngineStats>,
-    cache: crate::cache::QueryCache,
+/// Everything the partitions share: the data, the device, the scheduler,
+/// the accounting. Owned by an `Arc` held by the public [`HybridSystem`]
+/// handle and by every pipeline thread.
+pub(crate) struct EngineCore {
+    pub(crate) config: SystemConfig,
+    pub(crate) table_schema: TableSchema,
+    pub(crate) cube_schema: CubeSchema,
+    pub(crate) cube_set: Arc<CubeSet>,
+    pub(crate) cube_measure: usize,
+    pub(crate) dicts: Arc<DictionarySet>,
+    pub(crate) device: Arc<GpuDevice>,
+    pub(crate) table_id: TableId,
+    pub(crate) executor: GpuExecutor,
+    pub(crate) cpu_pool: rayon::ThreadPool,
+    pub(crate) trans_tx: Option<Sender<TransJob>>,
+    pub(crate) trans_handles: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) scheduler: Mutex<Scheduler>,
+    pub(crate) estimator: Estimator,
+    pub(crate) epoch: Instant,
+    pub(crate) stats: Mutex<EngineStats>,
+    pub(crate) cache: crate::cache::QueryCache,
+    /// Estimated seconds charged to each queue but not yet completed —
+    /// feeds the scheduler's live-load floor.
+    pub(crate) inflight: Mutex<Inflight>,
+    /// Tickets currently in the admission queue.
+    pub(crate) admission_depth: AtomicUsize,
+    /// High-water mark of `admission_depth`.
+    pub(crate) admission_peak: AtomicUsize,
 }
 
-impl HybridSystem {
-    /// Starts a builder.
-    pub fn builder(config: SystemConfig) -> HybridSystemBuilder {
-        HybridSystemBuilder {
-            config,
-            facts: None,
-            cube_resolutions: Vec::new(),
-            prebuilt_cubes: Vec::new(),
-            cube_measure: 0,
-            device_config: DeviceConfig::tesla_c2070(),
-            gpu_cube_build: false,
-        }
-    }
-
-    /// The fact-table schema.
-    pub fn table_schema(&self) -> &TableSchema {
-        &self.table_schema
-    }
-
-    /// The cube schema.
-    pub fn cube_schema(&self) -> &CubeSchema {
-        &self.cube_schema
-    }
-
-    /// Resolutions of the pre-calculated cubes.
-    pub fn cube_resolutions(&self) -> Vec<usize> {
-        self.cube_set.resolutions()
-    }
-
-    /// Bytes of (simulated) GPU global memory in use.
-    pub fn gpu_memory_used(&self) -> usize {
-        self.device.used_bytes()
-    }
-
-    /// Bytes of CPU memory the cube set occupies.
-    pub fn cube_memory_used(&self) -> usize {
-        self.cube_set.bytes()
-    }
-
-    /// The resident fact table (GPU-side data).
-    pub fn fact_table(&self) -> &FactTable {
-        self.device.table(self.table_id).expect("table loaded at build time")
-    }
-
-    /// The per-column dictionaries.
-    pub fn dictionaries(&self) -> &DictionarySet {
-        &self.dicts
-    }
-
-    /// The resident cube at `resolution`, if any.
-    pub fn cube(&self, resolution: usize) -> Option<&MolapCube> {
-        self.cube_set.cube(resolution)
-    }
-
-    /// A snapshot of the execution statistics.
-    pub fn stats(&self) -> EngineStats {
-        self.stats.lock().clone()
-    }
-
-    /// Result-cache counters: `(hits, misses)`. Both zero when caching is
-    /// disabled.
-    pub fn cache_counters(&self) -> (u64, u64) {
-        self.cache.counters()
-    }
-
-    /// Parses and executes a DSL query (see [`crate::dsl`]).
-    pub fn query(&self, text: &str) -> Result<QueryOutcome, EngineError> {
-        let q = crate::dsl::parse(text)?.resolve(&self.table_schema)?;
-        self.execute(&q)
-    }
-
-    /// Executes a structured query end-to-end: resolve → estimate →
-    /// schedule → run on the chosen partition → feedback → answer.
-    pub fn execute(&self, q: &EngineQuery) -> Result<QueryOutcome, EngineError> {
-        let resolved = ResolvedQuery::resolve(q, &self.table_schema, &self.cube_schema, &self.dicts)?;
+impl EngineCore {
+    /// Submit-side preparation: resolve → validate grouping → provably
+    /// empty / cache short-circuits → plan, estimate, and package for the
+    /// dispatcher.
+    pub(crate) fn prepare(
+        &self,
+        q: &EngineQuery,
+        admitted_at: f64,
+    ) -> Result<Admitted, EngineError> {
+        let resolved =
+            ResolvedQuery::resolve(q, &self.table_schema, &self.cube_schema, &self.dicts)?;
         let mut cube_query = resolved.cube_query();
+        let deadline_window = q.deadline_secs.unwrap_or(self.config.default_deadline_secs);
 
         // Grouping: validate and fold the grouping level into the planning
         // query — grouping by level g needs a cube of resolution ≥ g, so
         // the group dimension's condition is widened to at least level g.
         if let Some((gdim, glevel)) = q.group_by {
             if gdim >= self.cube_schema.ndim() {
-                return Err(EngineError::Query(format!("group dimension {gdim} out of range")));
+                return Err(EngineError::Query(format!(
+                    "group dimension {gdim} out of range"
+                )));
             }
             let levels = self.cube_schema.dimensions[gdim].levels.len();
             if glevel >= levels {
@@ -367,9 +403,9 @@ impl HybridSystem {
             }
             let cond = cube_query.conditions[gdim];
             if cond.level < glevel {
-                let (f, t) = self
-                    .cube_schema
-                    .widen_range(gdim, cond.level, glevel, (cond.from, cond.to));
+                let (f, t) =
+                    self.cube_schema
+                        .widen_range(gdim, cond.level, glevel, (cond.from, cond.to));
                 cube_query.conditions[gdim] = holap_cube::DimRange::new(glevel, f, t);
             }
         }
@@ -377,7 +413,7 @@ impl HybridSystem {
         // where month 30 is in year 2) selects nothing; answer without
         // running anything.
         if resolved.provably_empty {
-            return Ok(QueryOutcome {
+            return Ok(Admitted::Immediate(QueryOutcome {
                 answer: Answer { sum: 0.0, count: 0 },
                 groups: q.group_by.map(|_| Vec::new()),
                 placement: Placement::Cpu,
@@ -386,36 +422,43 @@ impl HybridSystem {
                 met_deadline: true,
                 estimated_secs: 0.0,
                 from_cache: false,
-            });
+                shed: false,
+            }));
         }
 
         // Result cache: answered queries bypass scheduling entirely.
         let cache_key = crate::cache::CacheKey::new(&resolved, q.group_by);
         if let Some(hit) = self.cache.get(&cache_key) {
-            self.stats.lock().cache_hits += 1;
-            return Ok(QueryOutcome {
+            let latency_secs = self.epoch.elapsed().as_secs_f64() - admitted_at;
+            let met_deadline = latency_secs <= deadline_window;
+            self.stats
+                .lock()
+                .record(CompletionKind::Cached, latency_secs, met_deadline);
+            return Ok(Admitted::Immediate(QueryOutcome {
                 answer: hit.answer,
                 groups: hit.groups,
                 placement: Placement::Cpu, // nominal; nothing actually ran
                 translated: false,
-                latency_secs: 0.0,
-                met_deadline: true,
+                latency_secs,
+                met_deadline,
                 estimated_secs: 0.0,
                 from_cache: true,
-            });
+                shed: false,
+            }));
         }
 
         let plan = self.cube_set.plan(&cube_query)?;
         let scan = resolved.scan_query(&self.cube_schema);
 
         // Eq. 12 (extended with the group-key column when grouping).
-        let group_column = q.group_by.map(|(gdim, glevel)| {
-            holap_table::ColumnId::dim(gdim, self.cube_schema.level_for(gdim, glevel))
-        });
+        let group_column = q
+            .group_by
+            .map(|(gdim, glevel)| ColumnId::dim(gdim, self.cube_schema.level_for(gdim, glevel)));
         let columns_fraction = match group_column {
-            Some(col) => holap_table::GroupByQuery::new(scan.clone(), vec![col])
-                .columns_accessed() as f64
-                / self.table_schema.total_columns() as f64,
+            Some(col) => {
+                holap_table::GroupByQuery::new(scan.clone(), vec![col]).columns_accessed() as f64
+                    / self.table_schema.total_columns() as f64
+            }
             None => scan.column_fraction(self.table_schema.total_columns()),
         };
 
@@ -432,137 +475,389 @@ impl HybridSystem {
             translation_dict_lens: q.translation_dict_lens(&self.table_schema, &self.dicts),
         };
         let est = self.estimator.estimate(&features);
-        let deadline = q.deadline_secs.unwrap_or(self.config.default_deadline_secs);
 
-        // Steps 3–6: place the query and charge the queues.
-        let submit_at = self.epoch.elapsed().as_secs_f64();
-        let decision = self.scheduler.lock().schedule(submit_at, &est, deadline);
+        // Text lookups for the translation partition, ready for a GPU
+        // placement.
+        let lookups: Vec<(String, TextCondition)> = q
+            .conditions
+            .iter()
+            .filter_map(|c| match &c.range {
+                ConditionRange::Text(t) => Some((
+                    text_column_name(&self.table_schema, c.dim, c.level),
+                    t.clone(),
+                )),
+                _ => None,
+            })
+            .collect();
 
-        let run_started = Instant::now();
-        let (answer, groups) = match decision.placement {
-            Placement::Cpu => {
-                let plan = plan.expect("scheduler places CPU only when a cube can answer");
-                // One queue: the partition processes one query at a time.
-                let _queue = self.cpu_queue.lock();
-                match q.group_by {
-                    None => {
-                        let agg = self
-                            .cpu_pool
-                            .install(|| self.cube_set.execute_par(&plan))
-                            .expect("planned cube is resident");
-                        (Answer { sum: agg.sum, count: agg.count }, None)
-                    }
-                    Some((gdim, glevel)) => {
-                        let raw = self
-                            .cpu_pool
-                            .install(|| self.cube_set.execute_grouped_par(&plan, gdim, glevel))
-                            .expect("planned cube is resident");
-                        let groups: Vec<(u32, Answer)> = raw
-                            .into_iter()
-                            .map(|(k, a)| (k, Answer { sum: a.sum, count: a.count }))
-                            .collect();
-                        let total = Answer {
-                            sum: groups.iter().map(|(_, a)| a.sum).sum(),
-                            count: groups.iter().map(|(_, a)| a.count).sum(),
-                        };
-                        (total, Some(groups))
-                    }
-                }
-            }
-            Placement::Gpu { partition } => {
-                if decision.with_translation {
-                    // Physically route the text lookups through the
-                    // translation partition before the kernel launches.
-                    let lookups: Vec<(String, TextCondition)> = q
-                        .conditions
-                        .iter()
-                        .filter_map(|c| match &c.range {
-                            ConditionRange::Text(t) => Some((
-                                text_column_name(&self.table_schema, c.dim, c.level),
-                                t.clone(),
-                            )),
-                            _ => None,
-                        })
-                        .collect();
-                    let (tx, rx) = unbounded();
-                    self.trans_tx
-                        .as_ref()
-                        .expect("translation channel open while system lives")
-                        .send(TransJob { lookups, respond: tx })
-                        .expect("translation partition alive");
-                    rx.recv().expect("translation partition answered")?;
-                }
-                match group_column {
-                    None => {
-                        let rx = self.executor.submit(partition, self.table_id, scan);
-                        let out = rx.recv().expect("GPU partition answered")?;
-                        let sum = out.result.values[0].value().unwrap_or(0.0);
-                        (Answer { sum, count: out.result.matched_rows }, None)
-                    }
-                    Some(col) => {
-                        let gq = holap_table::GroupByQuery::new(scan, vec![col]);
-                        let rx = self.executor.submit_group_by(partition, self.table_id, gq);
-                        let out = rx.recv().expect("GPU partition answered")?;
-                        let groups: Vec<(u32, Answer)> = out
-                            .result
-                            .groups
-                            .iter()
-                            .map(|g| {
-                                (
-                                    g.key[0],
-                                    Answer {
-                                        sum: g.values[0].value().unwrap_or(0.0),
-                                        count: g.rows,
-                                    },
-                                )
-                            })
-                            .collect();
-                        let total = Answer {
-                            sum: groups.iter().map(|(_, a)| a.sum).sum(),
-                            count: out.result.matched_rows,
-                        };
-                        (total, Some(groups))
-                    }
-                }
-            }
-        };
-        let actual = run_started.elapsed().as_secs_f64();
-
-        // Completion feedback (§III-G): correct the queue clock by the
-        // estimation error.
-        self.scheduler
-            .lock()
-            .complete(decision.placement.partition_id(), decision.t_proc, actual);
-
-        let latency_secs = self.epoch.elapsed().as_secs_f64() - submit_at;
-        let met_deadline = latency_secs <= deadline;
-        self.stats.lock().record(
-            decision.placement.is_cpu(),
-            decision.with_translation,
-            latency_secs,
-            met_deadline,
-        );
-        self.cache.put(
+        Ok(Admitted::Run(Box::new(Prepared {
             cache_key,
-            crate::cache::CachedAnswer { answer, groups: groups.clone() },
+            group_by: q.group_by,
+            plan,
+            scan,
+            group_column,
+            est,
+            deadline_window,
+            lookups,
+        })))
+    }
+
+    /// Executes a query on the CPU processing partition.
+    pub(crate) fn run_cpu(
+        &self,
+        p: &Prepared,
+    ) -> Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError> {
+        let plan = p
+            .plan
+            .as_ref()
+            .expect("scheduler places CPU only when a cube can answer");
+        match p.group_by {
+            None => {
+                let agg = self
+                    .cpu_pool
+                    .install(|| self.cube_set.execute_par(plan))
+                    .expect("planned cube is resident");
+                Ok((
+                    Answer {
+                        sum: agg.sum,
+                        count: agg.count,
+                    },
+                    None,
+                ))
+            }
+            Some((gdim, glevel)) => {
+                let raw = self
+                    .cpu_pool
+                    .install(|| self.cube_set.execute_grouped_par(plan, gdim, glevel))
+                    .expect("planned cube is resident");
+                let groups: Vec<(u32, Answer)> = raw
+                    .into_iter()
+                    .map(|(k, a)| {
+                        (
+                            k,
+                            Answer {
+                                sum: a.sum,
+                                count: a.count,
+                            },
+                        )
+                    })
+                    .collect();
+                let total = Answer {
+                    sum: groups.iter().map(|(_, a)| a.sum).sum(),
+                    count: groups.iter().map(|(_, a)| a.count).sum(),
+                };
+                Ok((total, Some(groups)))
+            }
+        }
+    }
+
+    /// Executes a query on GPU partition `partition`, routing text lookups
+    /// through the translation partition first when the decision requires.
+    pub(crate) fn run_gpu(
+        &self,
+        partition: usize,
+        p: &Prepared,
+        with_translation: bool,
+    ) -> Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError> {
+        if with_translation {
+            // Physically route the text lookups through the translation
+            // partition before the kernel launches.
+            let (tx, rx) = unbounded();
+            self.trans_tx
+                .as_ref()
+                .expect("translation channel open while system lives")
+                .send(TransJob {
+                    lookups: p.lookups.clone(),
+                    respond: tx,
+                })
+                .expect("translation partition alive");
+            rx.recv().expect("translation partition answered")?;
+        }
+        match p.group_column {
+            None => {
+                let rx = self
+                    .executor
+                    .submit(partition, self.table_id, p.scan.clone());
+                let out = rx.recv().expect("GPU partition answered")?;
+                let sum = out.result.values[0].value().unwrap_or(0.0);
+                Ok((
+                    Answer {
+                        sum,
+                        count: out.result.matched_rows,
+                    },
+                    None,
+                ))
+            }
+            Some(col) => {
+                let gq = holap_table::GroupByQuery::new(p.scan.clone(), vec![col]);
+                let rx = self.executor.submit_group_by(partition, self.table_id, gq);
+                let out = rx.recv().expect("GPU partition answered")?;
+                let groups: Vec<(u32, Answer)> = out
+                    .result
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        (
+                            g.key[0],
+                            Answer {
+                                sum: g.values[0].value().unwrap_or(0.0),
+                                count: g.rows,
+                            },
+                        )
+                    })
+                    .collect();
+                let total = Answer {
+                    sum: groups.iter().map(|(_, a)| a.sum).sum(),
+                    count: out.result.matched_rows,
+                };
+                Ok((total, Some(groups)))
+            }
+        }
+    }
+
+    /// Completion bookkeeping shared by all runners: discharge the
+    /// in-flight accounting, feed the measured time back to the scheduler
+    /// (§III-G), record stats, memoise, and resolve the ticket.
+    pub(crate) fn finish(
+        &self,
+        run: RunJob,
+        result: Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError>,
+        actual_secs: f64,
+    ) {
+        self.inflight.lock().discharge(&run.decision);
+        self.scheduler.lock().complete(
+            run.decision.placement.partition_id(),
+            run.decision.t_proc,
+            actual_secs,
         );
-        Ok(QueryOutcome {
-            answer,
-            groups,
-            placement: decision.placement,
-            translated: decision.with_translation,
-            latency_secs,
-            met_deadline,
-            estimated_secs: decision.t_proc,
-            from_cache: false,
-        })
+        let response = match result {
+            Ok((answer, groups)) => {
+                let latency_secs = self.epoch.elapsed().as_secs_f64() - run.job.admitted_at;
+                let met_deadline = latency_secs <= run.job.prepared.deadline_window;
+                let kind = match run.decision.placement {
+                    Placement::Cpu => CompletionKind::Cpu,
+                    Placement::Gpu { .. } => CompletionKind::Gpu {
+                        translated: run.decision.with_translation,
+                    },
+                };
+                self.stats.lock().record(kind, latency_secs, met_deadline);
+                self.cache.put(
+                    run.job.prepared.cache_key.clone(),
+                    crate::cache::CachedAnswer {
+                        answer,
+                        groups: groups.clone(),
+                    },
+                );
+                Ok(QueryOutcome {
+                    answer,
+                    groups,
+                    placement: run.decision.placement,
+                    translated: run.decision.with_translation,
+                    latency_secs,
+                    met_deadline,
+                    estimated_secs: run.decision.t_proc,
+                    from_cache: false,
+                    shed: false,
+                })
+            }
+            Err(e) => Err(e),
+        };
+        let _ = run.job.respond.send(response);
+    }
+}
+
+impl Drop for EngineCore {
+    fn drop(&mut self) {
+        self.trans_tx = None; // close the channel → workers exit
+        for h in self.trans_handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The running hybrid OLAP system. Thread-safe: queries may be submitted
+/// concurrently from any number of threads.
+///
+/// Submission is asynchronous: [`HybridSystem::submit`] returns a
+/// [`QueryTicket`] immediately (subject to admission-queue backpressure)
+/// and the answer is collected with [`QueryTicket::wait`]. The synchronous
+/// [`HybridSystem::execute`] / [`HybridSystem::query`] wrappers are
+/// `submit(…)` + `wait()` in one call.
+pub struct HybridSystem {
+    core: Arc<EngineCore>,
+    admission_tx: Option<Sender<AdmitJob>>,
+    pipeline: Vec<JoinHandle<()>>,
+    next_ticket: AtomicU64,
+}
+
+impl HybridSystem {
+    /// Starts a builder.
+    pub fn builder(config: SystemConfig) -> HybridSystemBuilder {
+        HybridSystemBuilder {
+            config,
+            facts: None,
+            cube_resolutions: Vec::new(),
+            prebuilt_cubes: Vec::new(),
+            cube_measure: 0,
+            device_config: DeviceConfig::tesla_c2070(),
+            gpu_cube_build: false,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// The fact-table schema.
+    pub fn table_schema(&self) -> &TableSchema {
+        &self.core.table_schema
+    }
+
+    /// The cube schema.
+    pub fn cube_schema(&self) -> &CubeSchema {
+        &self.core.cube_schema
+    }
+
+    /// Resolutions of the pre-calculated cubes.
+    pub fn cube_resolutions(&self) -> Vec<usize> {
+        self.core.cube_set.resolutions()
+    }
+
+    /// Bytes of (simulated) GPU global memory in use.
+    pub fn gpu_memory_used(&self) -> usize {
+        self.core.device.used_bytes()
+    }
+
+    /// Bytes of CPU memory the cube set occupies.
+    pub fn cube_memory_used(&self) -> usize {
+        self.core.cube_set.bytes()
+    }
+
+    /// The resident fact table (GPU-side data).
+    pub fn fact_table(&self) -> &FactTable {
+        self.core
+            .device
+            .table(self.core.table_id)
+            .expect("table loaded at build time")
+    }
+
+    /// The per-column dictionaries.
+    pub fn dictionaries(&self) -> &DictionarySet {
+        &self.core.dicts
+    }
+
+    /// The resident cube at `resolution`, if any.
+    pub fn cube(&self, resolution: usize) -> Option<&MolapCube> {
+        self.core.cube_set.cube(resolution)
+    }
+
+    /// A snapshot of the execution statistics, including the current and
+    /// peak admission-queue depth.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.core.stats.lock().clone();
+        s.admission_depth = self.core.admission_depth.load(Ordering::Relaxed) as u64;
+        s.admission_peak_depth = self.core.admission_peak.load(Ordering::Relaxed) as u64;
+        s
+    }
+
+    /// Result-cache counters: `(hits, misses)`. Both zero when caching is
+    /// disabled.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.core.cache.counters()
+    }
+
+    /// Submits a query — anything implementing [`IntoEngineQuery`]: a
+    /// structured [`EngineQuery`] (owned or by reference) or DSL text —
+    /// and returns a [`QueryTicket`] resolving to its outcome.
+    ///
+    /// The ticket is answered by the admission pipeline: dispatcher →
+    /// Figure-10 scheduler (with live-load floors) → partition runner.
+    /// Under [`BackpressurePolicy::Block`] (default) this call blocks
+    /// while the admission queue is full; under
+    /// [`BackpressurePolicy::Reject`] it fails fast with
+    /// [`EngineError::Overloaded`].
+    pub fn submit<S: IntoEngineQuery>(&self, submission: S) -> Result<QueryTicket, EngineError> {
+        let q = submission.into_engine_query(&self.core.table_schema)?;
+        self.submit_query(q)
+    }
+
+    /// Submits many queries in one call, amortising preparation over the
+    /// batch; the dispatcher sees them back-to-back, so queue-aware
+    /// placement spreads them over partitions. Per-item results preserve
+    /// input order: a rejected item does not abort the rest of the batch.
+    pub fn submit_batch<S, I>(&self, submissions: I) -> Vec<Result<QueryTicket, EngineError>>
+    where
+        S: IntoEngineQuery,
+        I: IntoIterator<Item = S>,
+    {
+        submissions.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    fn submit_query(&self, q: EngineQuery) -> Result<QueryTicket, EngineError> {
+        let admitted_at = self.core.epoch.elapsed().as_secs_f64();
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        match self.core.prepare(&q, admitted_at)? {
+            Admitted::Immediate(outcome) => Ok(QueryTicket::immediate(id, outcome)),
+            Admitted::Run(prepared) => {
+                let (tx, rx) = bounded(1);
+                let job = AdmitJob {
+                    prepared,
+                    admitted_at,
+                    respond: tx,
+                };
+                // Count the ticket before handing it over so the depth can
+                // never go negative when the dispatcher pops it first.
+                let depth = self.core.admission_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                self.core.admission_peak.fetch_max(depth, Ordering::Relaxed);
+                let admit = self
+                    .admission_tx
+                    .as_ref()
+                    .expect("pipeline alive while system lives");
+                let sent = match self.core.config.admission.backpressure {
+                    BackpressurePolicy::Block => admit.send(job).map_err(|_| EngineError::Shutdown),
+                    BackpressurePolicy::Reject => admit.try_send(job).map_err(|e| match e {
+                        TrySendError::Full(_) => {
+                            self.core.stats.lock().record_rejected();
+                            EngineError::Overloaded(format!(
+                                "admission queue full ({} tickets waiting)",
+                                depth - 1
+                            ))
+                        }
+                        TrySendError::Disconnected(_) => EngineError::Shutdown,
+                    }),
+                };
+                if let Err(e) = sent {
+                    self.core.admission_depth.fetch_sub(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                Ok(QueryTicket::new(id, rx))
+            }
+        }
+    }
+
+    /// Parses and executes a DSL query (see [`crate::dsl`]) synchronously.
+    ///
+    /// Thin wrapper over the unified submission API:
+    /// `submit(text)?.wait()`. Prefer [`HybridSystem::submit`] when the
+    /// caller can overlap queries.
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, EngineError> {
+        self.submit(text)?.wait()
+    }
+
+    /// Executes a structured query synchronously: resolve → estimate →
+    /// schedule → run on the chosen partition → feedback → answer.
+    ///
+    /// Thin wrapper over the unified submission API: `submit(q)?.wait()`.
+    /// Prefer [`HybridSystem::submit`] when the caller can overlap queries.
+    pub fn execute(&self, q: &EngineQuery) -> Result<QueryOutcome, EngineError> {
+        self.submit(q)?.wait()
     }
 }
 
 impl Drop for HybridSystem {
     fn drop(&mut self) {
-        self.trans_tx = None; // close the channel → workers exit
-        for h in self.trans_handles.drain(..) {
+        // Close the admission queue; the dispatcher drains what was
+        // admitted, closes the run queues, and every runner exits after
+        // resolving its remaining tickets.
+        self.admission_tx = None;
+        for h in self.pipeline.drain(..) {
             let _ = h.join();
         }
     }
@@ -571,9 +866,9 @@ impl Drop for HybridSystem {
 impl std::fmt::Debug for HybridSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HybridSystem")
-            .field("cube_resolutions", &self.cube_set.resolutions())
-            .field("gpu_memory_used", &self.device.used_bytes())
-            .field("policy", &self.config.policy)
+            .field("cube_resolutions", &self.core.cube_set.resolutions())
+            .field("gpu_memory_used", &self.core.device.used_bytes())
+            .field("policy", &self.core.config.policy)
             .finish_non_exhaustive()
     }
 }
@@ -581,6 +876,7 @@ impl std::fmt::Debug for HybridSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{AdmissionConfig, SheddingPolicy};
     use crate::query::EngineQuery;
     use holap_dict::DictKind;
     use holap_sched::Policy;
@@ -592,8 +888,16 @@ mod tests {
             schema: h.table_schema(),
             rows,
             text_levels: vec![
-                TextLevel { dim: 1, level: 3, style: NameStyle::City },
-                TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+                TextLevel {
+                    dim: 1,
+                    level: 3,
+                    style: NameStyle::City,
+                },
+                TextLevel {
+                    dim: 2,
+                    level: 3,
+                    style: NameStyle::Brand,
+                },
             ],
             dict_kind: DictKind::Sorted,
             skew: None,
@@ -602,7 +906,10 @@ mod tests {
     }
 
     fn system(policy: Policy) -> HybridSystem {
-        let config = SystemConfig { policy, ..SystemConfig::default() };
+        let config = SystemConfig {
+            policy,
+            ..SystemConfig::default()
+        };
         HybridSystem::builder(config)
             .facts(facts(20_000))
             .cube_at(1)
@@ -616,8 +923,10 @@ mod tests {
         let mut sum = 0.0;
         let mut count = 0;
         let measure = f.table.measure_column(m);
-        let cols: Vec<&[u32]> =
-            conds.iter().map(|&(d, l, _, _)| f.table.dim_column(d, l)).collect();
+        let cols: Vec<&[u32]> = conds
+            .iter()
+            .map(|&(d, l, _, _)| f.table.dim_column(d, l))
+            .collect();
         'rows: for row in 0..f.table.rows() {
             for (c, col) in conds.iter().zip(&cols) {
                 let v = col[row];
@@ -675,7 +984,10 @@ mod tests {
         // cubes are coordinate-indexed, so no translation partition is
         // involved (paper: "the translation is necessary only for the GPU
         // side of the system").
-        let config = SystemConfig { policy: Policy::CpuOnly, ..SystemConfig::default() };
+        let config = SystemConfig {
+            policy: Policy::CpuOnly,
+            ..SystemConfig::default()
+        };
         let sys_cpu3 = HybridSystem::builder(config)
             .facts(facts(20_000))
             .cube_at(3)
@@ -685,9 +997,7 @@ mod tests {
         assert!(on_cpu.placement.is_cpu());
         assert!(!on_cpu.translated);
         assert_eq!(on_cpu.answer.count, gpu.answer.count);
-        assert!(
-            (on_cpu.answer.sum - gpu.answer.sum).abs() < 1e-6 * (1.0 + gpu.answer.sum.abs())
-        );
+        assert!((on_cpu.answer.sum - gpu.answer.sum).abs() < 1e-6 * (1.0 + gpu.answer.sum.abs()));
     }
 
     #[test]
@@ -733,6 +1043,9 @@ mod tests {
         assert_eq!(s.completed, 6);
         assert_eq!(s.cpu_queries + s.gpu_queries, 6);
         assert!(s.mean_latency_secs() > 0.0);
+        assert_eq!(s.latency.count(), 6);
+        assert!(s.p50_latency_secs() > 0.0);
+        assert!(s.p50_latency_secs() <= s.p99_latency_secs());
     }
 
     #[test]
@@ -752,8 +1065,167 @@ mod tests {
     }
 
     #[test]
+    fn submit_wait_matches_execute() {
+        // Two identically-built systems: the asynchronous round-trip must
+        // produce the same outcome (modulo wall-clock latency) as the
+        // synchronous wrapper.
+        let via_execute = system(Policy::Paper);
+        let via_submit = system(Policy::Paper);
+        for q in [
+            EngineQuery::new().range(0, 1, 0, 2),
+            EngineQuery::new().range(0, 3, 0, 9),
+            EngineQuery::new().range(0, 1, 0, 3).grouped_by(0, 1),
+        ] {
+            let a = via_execute.execute(&q).unwrap();
+            let b = via_submit.submit(&q).unwrap().wait().unwrap();
+            assert_eq!(a.answer, b.answer);
+            assert_eq!(a.groups, b.groups);
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.translated, b.translated);
+            assert_eq!(a.from_cache, b.from_cache);
+            assert_eq!(a.shed, b.shed);
+        }
+    }
+
+    #[test]
+    fn tickets_deliver_once_and_poll() {
+        let sys = system(Policy::Paper);
+        let mut ticket = sys
+            .submit("select sum(measure0) where time.level1 in 0..1")
+            .unwrap();
+        // Poll until the outcome lands, then observe it is consumed.
+        let outcome = loop {
+            if let Some(out) = ticket.try_wait().unwrap() {
+                break out;
+            }
+            std::thread::yield_now();
+        };
+        assert!(outcome.answer.count > 0);
+        assert_eq!(
+            ticket.try_wait().unwrap(),
+            None,
+            "outcome is delivered once"
+        );
+    }
+
+    #[test]
+    fn ticket_ids_are_unique_and_ordered() {
+        let sys = system(Policy::Paper);
+        let tickets = sys.submit_batch(vec![
+            EngineQuery::new().range(0, 1, 0, 1),
+            EngineQuery::new().range(0, 1, 0, 2),
+            EngineQuery::new().range(0, 1, 0, 3),
+        ]);
+        let ids: Vec<u64> = tickets.iter().map(|t| t.as_ref().unwrap().id()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        for t in tickets {
+            t.unwrap().wait().unwrap();
+        }
+        assert_eq!(sys.stats().completed, 3);
+    }
+
+    #[test]
+    fn shedding_drops_hopeless_queries() {
+        let config = SystemConfig {
+            admission: AdmissionConfig {
+                shedding: SheddingPolicy::Shed,
+                ..AdmissionConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        let sys = HybridSystem::builder(config)
+            .facts(facts(20_000))
+            .cube_at(1)
+            .cube_at(2)
+            .build()
+            .unwrap();
+        // A 1 ns deadline is hopeless for every partition: the modeled
+        // processing times are microseconds at best.
+        let q = EngineQuery::new().range(0, 3, 0, 9).deadline(1e-9);
+        let out = sys.execute(&q).unwrap();
+        assert!(out.shed);
+        assert!(!out.met_deadline);
+        assert_eq!(out.answer.count, 0);
+        let s = sys.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.completed, 0, "shed queries do not complete");
+        // A feasible query still runs normally.
+        let ok = sys.execute(&EngineQuery::new().range(0, 1, 0, 1)).unwrap();
+        assert!(!ok.shed);
+        assert!(ok.answer.count > 0);
+        assert_eq!(sys.stats().completed, 1);
+    }
+
+    #[test]
+    fn shedding_reject_policy_errors_instead() {
+        let config = SystemConfig {
+            admission: AdmissionConfig {
+                shedding: SheddingPolicy::Reject,
+                ..AdmissionConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        let sys = HybridSystem::builder(config)
+            .facts(facts(20_000))
+            .cube_at(1)
+            .build()
+            .unwrap();
+        let q = EngineQuery::new().range(0, 3, 0, 9).deadline(1e-9);
+        assert!(matches!(sys.execute(&q), Err(EngineError::Overloaded(_))));
+        assert_eq!(sys.stats().rejected, 1);
+    }
+
+    #[test]
+    fn reject_backpressure_fails_fast_when_full() {
+        let config = SystemConfig {
+            admission: AdmissionConfig {
+                queue_capacity: 1,
+                partition_queue_capacity: 1,
+                backpressure: BackpressurePolicy::Reject,
+                ..AdmissionConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        let sys = HybridSystem::builder(config)
+            .facts(facts(20_000))
+            .cube_at(1)
+            .cube_at(2)
+            .build()
+            .unwrap();
+        // Burst far more queries than the capacity-1 queues can hold.
+        let mut tickets = Vec::new();
+        let mut rejections = 0u64;
+        for i in 0..300u32 {
+            let q = EngineQuery::new().range(0, 3, i % 5, 9);
+            match sys.submit(&q) {
+                Ok(t) => tickets.push(t),
+                Err(EngineError::Overloaded(_)) => rejections += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(
+            rejections > 0,
+            "capacity-1 queues must reject under a 300-query burst"
+        );
+        // Every accepted ticket still resolves to an answer.
+        let accepted = tickets.len() as u64;
+        for t in tickets {
+            let out = t.wait().unwrap();
+            assert!(!out.shed);
+            assert!(out.answer.count > 0);
+        }
+        let s = sys.stats();
+        assert_eq!(s.rejected, rejections);
+        assert_eq!(s.completed, accepted);
+        assert!(s.admission_peak_depth >= 1);
+        assert_eq!(s.admission_depth, 0, "queues drained");
+    }
+
+    #[test]
     fn build_errors() {
-        let err = HybridSystem::builder(SystemConfig::default()).build().unwrap_err();
+        let err = HybridSystem::builder(SystemConfig::default())
+            .build()
+            .unwrap_err();
         assert!(matches!(err, EngineError::Build(_)));
         let err = HybridSystem::builder(SystemConfig::default())
             .facts(facts(100))
@@ -767,6 +1239,33 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, EngineError::Build(_)));
+    }
+
+    #[test]
+    fn build_reports_all_errors_at_once() {
+        let err = HybridSystem::builder(SystemConfig::default())
+            .facts(facts(100))
+            .cube_at(99)
+            .cube_at(123)
+            .cube_measure(9)
+            .device(DeviceConfig {
+                total_sms: 0,
+                memory_bytes: 0,
+            })
+            .build()
+            .unwrap_err();
+        let EngineError::Build(msg) = err else {
+            panic!("expected Build, got {err:?}")
+        };
+        for needle in [
+            "cube resolution 99",
+            "cube resolution 123",
+            "cube measure 9",
+            "zero SMs",
+            "zero memory",
+        ] {
+            assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+        }
     }
 
     #[test]
@@ -792,7 +1291,10 @@ mod tests {
         for ((ck, ca), (gk, ga)) in cg.iter().zip(gg) {
             assert_eq!(ck, gk);
             assert_eq!(ca.count, ga.count, "group {ck}");
-            assert!((ca.sum - ga.sum).abs() < 1e-6 * (1.0 + ga.sum.abs()), "group {ck}");
+            assert!(
+                (ca.sum - ga.sum).abs() < 1e-6 * (1.0 + ga.sum.abs()),
+                "group {ck}"
+            );
         }
         // Totals match the ungrouped query.
         let plain = system(Policy::CpuOnly)
@@ -841,7 +1343,10 @@ mod tests {
         let expect = col
             .iter()
             .filter(|&&c| {
-                data.dicts.decode("geo.level3", c).unwrap().contains(pattern)
+                data.dicts
+                    .decode("geo.level3", c)
+                    .unwrap()
+                    .contains(pattern)
             })
             .count() as u64;
         assert_eq!(out.answer.count, expect);
@@ -864,8 +1369,12 @@ mod tests {
         let b = data.dicts.decode("geo.level3", 90).unwrap().to_owned();
         let q = EngineQuery::new().text_contains(1, 3, [a.as_str(), b.as_str()]);
         let union = sys.execute(&q).unwrap().answer.count;
-        let qa = sys.execute(&EngineQuery::new().text_contains(1, 3, [a.as_str()])).unwrap();
-        let qb = sys.execute(&EngineQuery::new().text_contains(1, 3, [b.as_str()])).unwrap();
+        let qa = sys
+            .execute(&EngineQuery::new().text_contains(1, 3, [a.as_str()]))
+            .unwrap();
+        let qb = sys
+            .execute(&EngineQuery::new().text_contains(1, 3, [b.as_str()]))
+            .unwrap();
         assert!(union >= qa.answer.count.max(qb.answer.count));
         assert!(union <= qa.answer.count + qb.answer.count);
     }
@@ -881,7 +1390,10 @@ mod tests {
 
     #[test]
     fn gpu_built_cubes_answer_identically() {
-        let config = SystemConfig { policy: Policy::CpuOnly, ..SystemConfig::default() };
+        let config = SystemConfig {
+            policy: Policy::CpuOnly,
+            ..SystemConfig::default()
+        };
         let cpu_built = HybridSystem::builder(config.clone())
             .facts(facts(10_000))
             .cube_at(1)
@@ -909,7 +1421,10 @@ mod tests {
 
     #[test]
     fn result_cache_serves_repeats() {
-        let config = SystemConfig { cache_capacity: 16, ..SystemConfig::default() };
+        let config = SystemConfig {
+            cache_capacity: 16,
+            ..SystemConfig::default()
+        };
         let sys = HybridSystem::builder(config)
             .facts(facts(10_000))
             .cube_at(2)
@@ -932,6 +1447,42 @@ mod tests {
         // A different query misses.
         let other = sys.execute(&EngineQuery::new().range(0, 2, 1, 8)).unwrap();
         assert!(!other.from_cache);
+    }
+
+    #[test]
+    fn cached_answers_do_not_claim_partition_work() {
+        // Regression test for stats attribution: a `from_cache` outcome
+        // must not increment `cpu_queries`/`gpu_queries`.
+        let config = SystemConfig {
+            cache_capacity: 16,
+            ..SystemConfig::default()
+        };
+        let sys = HybridSystem::builder(config)
+            .facts(facts(10_000))
+            .cube_at(2)
+            .build()
+            .unwrap();
+        let q = EngineQuery::new().range(0, 2, 1, 9);
+        sys.execute(&q).unwrap();
+        let before = sys.stats();
+        let hit = sys.execute(&q).unwrap();
+        assert!(hit.from_cache);
+        let after = sys.stats();
+        assert_eq!(
+            after.cpu_queries, before.cpu_queries,
+            "cache hit did no CPU work"
+        );
+        assert_eq!(
+            after.gpu_queries, before.gpu_queries,
+            "cache hit did no GPU work"
+        );
+        assert_eq!(after.translated_queries, before.translated_queries);
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+        assert_eq!(
+            after.completed,
+            before.completed + 1,
+            "the query was still answered"
+        );
     }
 
     #[test]

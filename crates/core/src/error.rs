@@ -24,6 +24,13 @@ pub enum EngineError {
     Parse(String),
     /// System construction was invalid (missing facts, bad resolution…).
     Build(String),
+    /// The admission pipeline refused the query: a bounded queue was full
+    /// under [`Reject`](crate::config::BackpressurePolicy::Reject)
+    /// backpressure, or load shedding predicted a hopeless deadline under
+    /// [`SheddingPolicy::Reject`](crate::config::SheddingPolicy::Reject).
+    Overloaded(String),
+    /// The system shut down while the query was in flight.
+    Shutdown,
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +43,8 @@ impl fmt::Display for EngineError {
             Self::Device(e) => write!(f, "device error: {e}"),
             Self::Parse(m) => write!(f, "parse error: {m}"),
             Self::Build(m) => write!(f, "build error: {m}"),
+            Self::Overloaded(m) => write!(f, "overloaded: {m}"),
+            Self::Shutdown => write!(f, "system shut down"),
         }
     }
 }

@@ -51,9 +51,18 @@
 //!     .unwrap();
 //! assert!(outcome.answer.count > 0);
 //! ```
+//!
+//! # Asynchronous submission
+//!
+//! [`HybridSystem::query`] and [`HybridSystem::execute`] are synchronous
+//! wrappers over the admission pipeline (see [`admission`]). Callers that
+//! can overlap queries should use [`HybridSystem::submit`] /
+//! [`HybridSystem::submit_batch`], which accept anything implementing
+//! [`IntoEngineQuery`] and return [`QueryTicket`]s immediately.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub(crate) mod cache;
 pub mod config;
 pub mod dsl;
@@ -62,11 +71,25 @@ pub mod error;
 pub mod query;
 pub mod stats;
 
-pub use config::SystemConfig;
+pub use admission::QueryTicket;
+pub use config::{AdmissionConfig, BackpressurePolicy, SheddingPolicy, SystemConfig};
 pub use engine::{HybridSystem, HybridSystemBuilder, QueryOutcome};
 pub use error::EngineError;
-pub use query::{Answer, ConditionRange, EngineCondition, EngineQuery};
-pub use stats::EngineStats;
+pub use query::{
+    Answer, ConditionRange, EngineCondition, EngineQuery, IntoEngineQuery, QueryBuilder, Submission,
+};
+pub use stats::{EngineStats, LatencyHistogram};
+
+/// One-stop imports for typical engine use:
+/// `use holap_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::admission::QueryTicket;
+    pub use crate::config::{AdmissionConfig, BackpressurePolicy, SheddingPolicy, SystemConfig};
+    pub use crate::engine::{HybridSystem, HybridSystemBuilder, QueryOutcome};
+    pub use crate::error::EngineError;
+    pub use crate::query::{Answer, EngineQuery, IntoEngineQuery, QueryBuilder, Submission};
+    pub use crate::stats::EngineStats;
+}
 
 // Re-export the substrate crates under one roof for downstream users.
 pub use holap_cube as cube;

@@ -51,7 +51,12 @@ pub struct EngineQuery {
 impl EngineQuery {
     /// Starts an empty query on measure 0.
     pub fn new() -> Self {
-        Self { conditions: Vec::new(), measure: 0, group_by: None, deadline_secs: None }
+        Self {
+            conditions: Vec::new(),
+            measure: 0,
+            group_by: None,
+            deadline_secs: None,
+        }
     }
 
     /// Groups the answer by a dimension level (builder style).
@@ -121,11 +126,7 @@ impl EngineQuery {
     /// inputs of the translation cost bound (Eq. 16–17). `dict_column`
     /// names columns as [`holap_workload`-style] `"dim.level"` strings via
     /// the provided resolver.
-    pub fn translation_dict_lens(
-        &self,
-        schema: &TableSchema,
-        dicts: &DictionarySet,
-    ) -> Vec<usize> {
+    pub fn translation_dict_lens(&self, schema: &TableSchema, dicts: &DictionarySet) -> Vec<usize> {
         self.conditions
             .iter()
             .filter_map(|c| match &c.range {
@@ -145,6 +146,59 @@ impl EngineQuery {
 impl Default for EngineQuery {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Builder-style alias for [`EngineQuery`] — `EngineQuery` *is* its own
+/// builder (`QueryBuilder::new().range(…).deadline(…)`), this name exists
+/// for readers coming from builder-pattern APIs.
+pub type QueryBuilder = EngineQuery;
+
+/// Anything the engine accepts as a query submission: a structured
+/// [`EngineQuery`] (owned or borrowed, built directly or via
+/// [`QueryBuilder`]) or DSL text (`&str` / [`String`], see [`crate::dsl`]).
+///
+/// This is the single entry point unifying the historical
+/// `query(&str)` / `execute(&EngineQuery)` split: every submission path
+/// ([`crate::HybridSystem::submit`], `submit_batch`, and the delegating
+/// wrappers) lowers its input through this trait. Also exported as
+/// [`Submission`] from [`crate::prelude`].
+pub trait IntoEngineQuery {
+    /// Lowers `self` to a structured query against `schema` (DSL text is
+    /// parsed and resolved here; structured forms pass through).
+    fn into_engine_query(self, schema: &TableSchema) -> Result<EngineQuery, EngineError>;
+}
+
+/// Alias for [`IntoEngineQuery`] under the name the submission API uses.
+pub use self::IntoEngineQuery as Submission;
+
+impl IntoEngineQuery for EngineQuery {
+    fn into_engine_query(self, _schema: &TableSchema) -> Result<EngineQuery, EngineError> {
+        Ok(self)
+    }
+}
+
+impl IntoEngineQuery for &EngineQuery {
+    fn into_engine_query(self, _schema: &TableSchema) -> Result<EngineQuery, EngineError> {
+        Ok(self.clone())
+    }
+}
+
+impl IntoEngineQuery for &str {
+    fn into_engine_query(self, schema: &TableSchema) -> Result<EngineQuery, EngineError> {
+        crate::dsl::parse(self)?.resolve(schema)
+    }
+}
+
+impl IntoEngineQuery for String {
+    fn into_engine_query(self, schema: &TableSchema) -> Result<EngineQuery, EngineError> {
+        self.as_str().into_engine_query(schema)
+    }
+}
+
+impl IntoEngineQuery for &String {
+    fn into_engine_query(self, schema: &TableSchema) -> Result<EngineQuery, EngineError> {
+        self.as_str().into_engine_query(schema)
     }
 }
 
@@ -218,7 +272,10 @@ impl ResolvedQuery {
         let mut sets: Vec<SetCondition> = Vec::new();
         for c in &q.conditions {
             if c.dim >= ndim {
-                return Err(EngineError::Query(format!("dimension {} out of range", c.dim)));
+                return Err(EngineError::Query(format!(
+                    "dimension {} out of range",
+                    c.dim
+                )));
             }
             let levels = cube_schema.dimensions[c.dim].levels.len();
             if c.level >= levels {
@@ -236,13 +293,15 @@ impl ResolvedQuery {
                 ConditionRange::Text(t) => {
                     let col = text_column_name(table_schema, c.dim, c.level);
                     match dicts.translate_selection(&col, t)? {
-                        holap_dict::CodeSelection::Range(lo, hi) => {
-                            DimRange::new(c.level, lo, hi)
-                        }
+                        holap_dict::CodeSelection::Range(lo, hi) => DimRange::new(c.level, lo, hi),
                         holap_dict::CodeSelection::Set(codes) => {
                             // The set filters rows; the cube-facing range
                             // for this dimension stays unrestricted.
-                            sets.push(SetCondition { dim: c.dim, level: c.level, codes });
+                            sets.push(SetCondition {
+                                dim: c.dim,
+                                level: c.level,
+                                codes,
+                            });
                             let card = cube_schema.cardinality_at(c.dim, c.level);
                             DimRange::new(c.level, 0, card - 1)
                         }
@@ -287,7 +346,13 @@ impl ResolvedQuery {
                 ranges.push(DimRange::new(finest, lo, hi));
             }
         }
-        Ok(Self { ranges, scan_conditions, sets, measure: q.measure, provably_empty })
+        Ok(Self {
+            ranges,
+            scan_conditions,
+            sets,
+            measure: q.measure,
+            provably_empty,
+        })
     }
 
     /// Whether the query can be answered from a cube (no code-set
@@ -365,7 +430,9 @@ mod tests {
         let mut d = DictionarySet::new(DictKind::Sorted);
         d.build_column(
             &text_column_name(t, 1, 1),
-            ["Austin", "Boston", "Chicago", "Denver", "Erie", "Fargo", "Galva", "Hilo"],
+            [
+                "Austin", "Boston", "Chicago", "Denver", "Erie", "Fargo", "Galva", "Hilo",
+            ],
         );
         d
     }
@@ -397,9 +464,18 @@ mod tests {
         let (t, c) = schemas();
         let d = dicts(&t);
         let err = |q: EngineQuery| ResolvedQuery::resolve(&q, &t, &c, &d).unwrap_err();
-        assert!(matches!(err(EngineQuery::new().measure(5)), EngineError::Query(_)));
-        assert!(matches!(err(EngineQuery::new().range(7, 0, 0, 1)), EngineError::Query(_)));
-        assert!(matches!(err(EngineQuery::new().range(0, 9, 0, 1)), EngineError::Query(_)));
+        assert!(matches!(
+            err(EngineQuery::new().measure(5)),
+            EngineError::Query(_)
+        ));
+        assert!(matches!(
+            err(EngineQuery::new().range(7, 0, 0, 1)),
+            EngineError::Query(_)
+        ));
+        assert!(matches!(
+            err(EngineQuery::new().range(0, 9, 0, 1)),
+            EngineError::Query(_)
+        ));
         // Multiple conditions on one dimension are legal (Eq. 11): they
         // intersect at the finest level.
         let multi = ResolvedQuery::resolve(
@@ -411,7 +487,11 @@ mod tests {
         .unwrap();
         // Year 0..1 widens to months 0..7; intersect with months 4..9 → 4..7.
         assert_eq!(multi.ranges[0], DimRange::new(1, 4, 7));
-        assert_eq!(multi.scan_conditions.len(), 2, "both conditions reach the GPU scan");
+        assert_eq!(
+            multi.scan_conditions.len(),
+            2,
+            "both conditions reach the GPU scan"
+        );
         assert!(!multi.provably_empty);
         // A contradictory pair is provably empty, not an error.
         let empty = ResolvedQuery::resolve(
@@ -434,7 +514,11 @@ mod tests {
         let q = EngineQuery::new().range(0, 1, 2, 5);
         let r = ResolvedQuery::resolve(&q, &t, &c, &dicts(&t)).unwrap();
         let scan = r.scan_query(&c);
-        assert_eq!(scan.predicates.len(), 1, "the All dimension filters nothing");
+        assert_eq!(
+            scan.predicates.len(),
+            1,
+            "the All dimension filters nothing"
+        );
         assert_eq!(scan.predicates[0].column, ColumnId::dim(0, 1));
         // SUM + COUNT over 1 filter column + 1 measure → 2 columns.
         assert_eq!(scan.columns_accessed(), 2);
@@ -444,17 +528,44 @@ mod tests {
     fn dict_lens_follow_eq16() {
         let (t, _c) = schemas();
         let d = dicts(&t);
-        let q = EngineQuery::new()
-            .text_eq(1, 1, "Boston")
-            .range(0, 0, 0, 1);
+        let q = EngineQuery::new().text_eq(1, 1, "Boston").range(0, 0, 0, 1);
         assert_eq!(q.translation_dict_lens(&t, &d), vec![8]);
         let q = EngineQuery::new().text_range(1, 1, "A", "Z");
-        assert_eq!(q.translation_dict_lens(&t, &d), vec![8, 8], "range = two lookups");
+        assert_eq!(
+            q.translation_dict_lens(&t, &d),
+            vec![8, 8],
+            "range = two lookups"
+        );
+    }
+
+    #[test]
+    fn submissions_lower_to_the_same_query() {
+        let (t, _c) = schemas();
+        let structured = EngineQuery::new().range(0, 1, 3, 9).deadline(2.0);
+        let via_ref = (&structured).into_engine_query(&t).unwrap();
+        assert_eq!(via_ref, structured);
+        let text = "select sum(sales) where time.month in 3..9 deadline 2";
+        assert_eq!(text.into_engine_query(&t).unwrap(), structured);
+        assert_eq!(
+            String::from(text).into_engine_query(&t).unwrap(),
+            structured
+        );
+        assert!(matches!(
+            "selec nonsense".into_engine_query(&t),
+            Err(EngineError::Parse(_))
+        ));
     }
 
     #[test]
     fn answer_avg() {
-        assert_eq!(Answer { sum: 10.0, count: 4 }.avg(), Some(2.5));
+        assert_eq!(
+            Answer {
+                sum: 10.0,
+                count: 4
+            }
+            .avg(),
+            Some(2.5)
+        );
         assert_eq!(Answer { sum: 0.0, count: 0 }.avg(), None);
     }
 }

@@ -2,10 +2,104 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Number of geometric latency buckets.
+const LATENCY_BUCKETS: usize = 64;
+/// Upper bound of the first latency bucket, seconds.
+const LATENCY_MIN_SECS: f64 = 1e-6;
+/// Geometric growth ratio between bucket upper bounds. 64 buckets at 1.4×
+/// cover 1 µs .. ~2400 s, wider than any plausible query latency.
+const LATENCY_RATIO: f64 = 1.4;
+
+/// How a completed query was answered — drives counter attribution in
+/// [`EngineStats::record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CompletionKind {
+    /// Answered by the CPU processing partition.
+    Cpu,
+    /// Answered by a GPU partition (`translated` when the query went
+    /// through the translation partition first).
+    Gpu {
+        /// Whether the translation partition was involved.
+        translated: bool,
+    },
+    /// Answered from the result cache — no partition did any work, so
+    /// neither `cpu_queries` nor `gpu_queries` is incremented.
+    Cached,
+}
+
+/// Fixed-size geometric histogram of query latencies.
+///
+/// Bucket `i` counts latencies in `(upper(i-1), upper(i)]` seconds where
+/// `upper(i) = 1 µs × 1.4^i`; quantile queries return the upper bound of
+/// the bucket holding the requested rank, so reported percentiles
+/// overestimate by at most the 1.4× bucket ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    count: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            buckets: vec![0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(secs: f64) -> usize {
+        if secs <= LATENCY_MIN_SECS {
+            return 0;
+        }
+        let idx = ((secs / LATENCY_MIN_SECS).ln() / LATENCY_RATIO.ln()).ceil();
+        (idx as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    fn bucket_upper_secs(i: usize) -> f64 {
+        LATENCY_MIN_SECS * LATENCY_RATIO.powi(i as i32)
+    }
+
+    /// Records one latency observation.
+    pub fn observe(&mut self, secs: f64) {
+        if self.buckets.len() < LATENCY_BUCKETS {
+            // Deserialized from an older snapshot with fewer buckets.
+            self.buckets.resize(LATENCY_BUCKETS, 0);
+        }
+        self.count += 1;
+        self.buckets[Self::bucket_of(secs.max(0.0))] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The latency (seconds) at quantile `q` in `[0, 1]` — the upper bound
+    /// of the bucket containing the `⌈q·count⌉`-th smallest observation.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_secs(i);
+            }
+        }
+        Self::bucket_upper_secs(LATENCY_BUCKETS - 1)
+    }
+}
+
 /// Running counters the engine maintains across queries.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
-    /// Queries completed.
+    /// Queries completed with an answer (including cached answers; shed
+    /// and rejected queries are counted separately).
     pub completed: u64,
     /// Queries whose wall-clock latency met their deadline.
     pub met_deadline: u64,
@@ -21,6 +115,25 @@ pub struct EngineStats {
     pub max_latency_secs: f64,
     /// Queries answered from the result cache (not scheduled at all).
     pub cache_hits: u64,
+    /// Queries shed by deadline-aware admission control: the predicted
+    /// completion already missed the deadline, so no partition time was
+    /// spent. Not counted in `completed`.
+    #[serde(default)]
+    pub shed: u64,
+    /// Queries rejected by `Reject` backpressure (a bounded queue was
+    /// full) or by `SheddingPolicy::Reject`. Not counted in `completed`.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Tickets sitting in the admission queue at snapshot time.
+    #[serde(default)]
+    pub admission_depth: u64,
+    /// High-water mark of the admission queue depth.
+    #[serde(default)]
+    pub admission_peak_depth: u64,
+    /// Wall-clock latency distribution of completed queries; use
+    /// [`EngineStats::p50_latency_secs`] and friends to read it.
+    #[serde(default)]
+    pub latency: LatencyHistogram,
 }
 
 impl EngineStats {
@@ -42,27 +155,47 @@ impl EngineStats {
         }
     }
 
-    pub(crate) fn record(
-        &mut self,
-        cpu: bool,
-        translated: bool,
-        latency_secs: f64,
-        met_deadline: bool,
-    ) {
+    /// Median wall-clock latency, seconds (bucketed upper bound).
+    pub fn p50_latency_secs(&self) -> f64 {
+        self.latency.quantile_secs(0.50)
+    }
+
+    /// 95th-percentile wall-clock latency, seconds (bucketed upper bound).
+    pub fn p95_latency_secs(&self) -> f64 {
+        self.latency.quantile_secs(0.95)
+    }
+
+    /// 99th-percentile wall-clock latency, seconds (bucketed upper bound).
+    pub fn p99_latency_secs(&self) -> f64 {
+        self.latency.quantile_secs(0.99)
+    }
+
+    pub(crate) fn record(&mut self, kind: CompletionKind, latency_secs: f64, met_deadline: bool) {
         self.completed += 1;
         if met_deadline {
             self.met_deadline += 1;
         }
-        if cpu {
-            self.cpu_queries += 1;
-        } else {
-            self.gpu_queries += 1;
-        }
-        if translated {
-            self.translated_queries += 1;
+        match kind {
+            CompletionKind::Cpu => self.cpu_queries += 1,
+            CompletionKind::Gpu { translated } => {
+                self.gpu_queries += 1;
+                if translated {
+                    self.translated_queries += 1;
+                }
+            }
+            CompletionKind::Cached => self.cache_hits += 1,
         }
         self.total_latency_secs += latency_secs;
         self.max_latency_secs = self.max_latency_secs.max(latency_secs);
+        self.latency.observe(latency_secs);
+    }
+
+    pub(crate) fn record_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    pub(crate) fn record_rejected(&mut self) {
+        self.rejected += 1;
     }
 }
 
@@ -73,8 +206,8 @@ mod tests {
     #[test]
     fn record_accumulates() {
         let mut s = EngineStats::default();
-        s.record(true, false, 0.1, true);
-        s.record(false, true, 0.3, false);
+        s.record(CompletionKind::Cpu, 0.1, true);
+        s.record(CompletionKind::Gpu { translated: true }, 0.3, false);
         assert_eq!(s.completed, 2);
         assert_eq!(s.cpu_queries, 1);
         assert_eq!(s.gpu_queries, 1);
@@ -83,6 +216,30 @@ mod tests {
         assert!((s.mean_latency_secs() - 0.2).abs() < 1e-12);
         assert!((s.deadline_hit_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(s.max_latency_secs, 0.3);
+        assert_eq!(s.latency.count(), 2);
+    }
+
+    #[test]
+    fn cached_completion_attributes_no_partition() {
+        let mut s = EngineStats::default();
+        s.record(CompletionKind::Cached, 0.001, true);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cpu_queries, 0, "cache hits do no CPU work");
+        assert_eq!(s.gpu_queries, 0, "cache hits do no GPU work");
+        assert_eq!(s.translated_queries, 0);
+    }
+
+    #[test]
+    fn shed_and_rejected_are_separate_from_completed() {
+        let mut s = EngineStats::default();
+        s.record_shed();
+        s.record_shed();
+        s.record_rejected();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.latency.count(), 0);
     }
 
     #[test]
@@ -90,5 +247,38 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.mean_latency_secs(), 0.0);
         assert_eq!(s.deadline_hit_ratio(), 1.0);
+        assert_eq!(s.p50_latency_secs(), 0.0);
+        assert_eq!(s.p99_latency_secs(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        for i in 1..=100u32 {
+            h.observe(i as f64 * 1e-3); // 1 ms .. 100 ms
+        }
+        let (p50, p95, p99) = (
+            h.quantile_secs(0.50),
+            h.quantile_secs(0.95),
+            h.quantile_secs(0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "quantiles are monotone");
+        // Bucketed estimates overestimate by at most the 1.4 ratio.
+        assert!(p50 >= 0.050 && p50 <= 0.050 * LATENCY_RATIO);
+        assert!(p95 >= 0.095 && p95 <= 0.095 * LATENCY_RATIO);
+        assert!(p99 >= 0.099 && p99 <= 0.099 * LATENCY_RATIO);
+    }
+
+    #[test]
+    fn histogram_extremes_clamp_to_end_buckets() {
+        let mut h = LatencyHistogram::default();
+        h.observe(0.0); // below the first bucket upper bound
+        h.observe(1e9); // far above the last bucket
+        assert_eq!(h.count(), 2);
+        assert!((h.quantile_secs(0.0) - LATENCY_MIN_SECS).abs() < 1e-18);
+        assert_eq!(
+            h.quantile_secs(1.0),
+            LatencyHistogram::bucket_upper_secs(LATENCY_BUCKETS - 1)
+        );
     }
 }

@@ -64,7 +64,11 @@ pub fn measure_aggregation(
         size_mb,
         threads,
         secs: best,
-        bandwidth_mbps: if best > 0.0 { size_mb / best } else { f64::INFINITY },
+        bandwidth_mbps: if best > 0.0 {
+            size_mb / best
+        } else {
+            f64::INFINITY
+        },
     }
 }
 
@@ -77,7 +81,10 @@ pub fn synthetic_cube_of_mb(size_mb: f64) -> MolapCube {
     let schema = CubeSchema {
         dimensions: vec![holap_table::DimensionSchema {
             name: "flat".into(),
-            levels: vec![holap_table::LevelSchema { name: "cell".into(), cardinality: cells.max(1) }],
+            levels: vec![holap_table::LevelSchema {
+                name: "cell".into(),
+                cardinality: cells.max(1),
+            }],
         }],
     };
     // Large chunks keep per-chunk overhead negligible at big sizes while
@@ -93,7 +100,11 @@ mod tests {
     #[test]
     fn synthetic_cube_has_requested_size() {
         let cube = synthetic_cube_of_mb(2.0);
-        assert!((cube.size_mb() - 2.0).abs() < 0.01, "size = {}", cube.size_mb());
+        assert!(
+            (cube.size_mb() - 2.0).abs() < 0.01,
+            "size = {}",
+            cube.size_mb()
+        );
     }
 
     #[test]

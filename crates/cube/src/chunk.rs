@@ -56,12 +56,18 @@ pub enum Chunk {
 impl Chunk {
     /// A dense chunk of `cells` empty cells.
     pub fn dense_empty(cells: usize) -> Self {
-        Self::Dense { sums: vec![0.0; cells], counts: vec![0; cells] }
+        Self::Dense {
+            sums: vec![0.0; cells],
+            counts: vec![0; cells],
+        }
     }
 
     /// A dense chunk with every cell holding `(sum, count)`.
     pub fn dense_filled(cells: usize, sum: f64, count: u64) -> Self {
-        Self::Dense { sums: vec![sum; cells], counts: vec![count; cells] }
+        Self::Dense {
+            sums: vec![sum; cells],
+            counts: vec![count; cells],
+        }
     }
 
     /// Number of non-empty cells.
@@ -85,9 +91,11 @@ impl Chunk {
     pub fn bytes(&self) -> usize {
         match self {
             Self::Dense { sums, counts } => sums.len() * 8 + counts.len() * 8,
-            Self::Sparse { offsets, sums, counts } => {
-                offsets.len() * 4 + sums.len() * 8 + counts.len() * 8
-            }
+            Self::Sparse {
+                offsets,
+                sums,
+                counts,
+            } => offsets.len() * 4 + sums.len() * 8 + counts.len() * 8,
         }
     }
 
@@ -100,19 +108,21 @@ impl Chunk {
                 sums[off as usize] += sum;
                 counts[off as usize] += count;
             }
-            Self::Sparse { offsets, sums, counts } => {
-                match offsets.binary_search(&off) {
-                    Ok(i) => {
-                        sums[i] += sum;
-                        counts[i] += count;
-                    }
-                    Err(i) => {
-                        offsets.insert(i, off);
-                        sums.insert(i, sum);
-                        counts.insert(i, count);
-                    }
+            Self::Sparse {
+                offsets,
+                sums,
+                counts,
+            } => match offsets.binary_search(&off) {
+                Ok(i) => {
+                    sums[i] += sum;
+                    counts[i] += count;
                 }
-            }
+                Err(i) => {
+                    offsets.insert(i, off);
+                    sums.insert(i, sum);
+                    counts.insert(i, count);
+                }
+            },
         }
     }
 
@@ -133,7 +143,11 @@ impl Chunk {
                         c.push(count);
                     }
                 }
-                *self = Self::Sparse { offsets: offs, sums: s, counts: c };
+                *self = Self::Sparse {
+                    offsets: offs,
+                    sums: s,
+                    counts: c,
+                };
                 return true;
             }
         }
@@ -154,7 +168,11 @@ impl Chunk {
             Self::Dense { sums, counts } => {
                 dense_aggregate(sums, counts, local_shape, local_region)
             }
-            Self::Sparse { offsets, sums, counts } => {
+            Self::Sparse {
+                offsets,
+                sums,
+                counts,
+            } => {
                 let mut agg = CellAgg::default();
                 for (i, &off) in offsets.iter().enumerate() {
                     let coords = coords_of(local_shape, off as usize);
@@ -190,8 +208,7 @@ impl Chunk {
             Self::Dense { sums, counts } => {
                 // Odometer over every cell of the intersection.
                 let ndim = local_shape.len();
-                let mut cursor: Vec<u32> =
-                    local_region.bounds.iter().map(|&(f, _)| f).collect();
+                let mut cursor: Vec<u32> = local_region.bounds.iter().map(|&(f, _)| f).collect();
                 loop {
                     let idx = linear_index(local_shape, &cursor);
                     let slot = out_base + (cursor[axis] - axis_from) as usize;
@@ -211,7 +228,11 @@ impl Chunk {
                     }
                 }
             }
-            Self::Sparse { offsets, sums, counts } => {
+            Self::Sparse {
+                offsets,
+                sums,
+                counts,
+            } => {
                 for (i, &off) in offsets.iter().enumerate() {
                     let coords = coords_of(local_shape, off as usize);
                     if local_region.contains(&coords) {
@@ -227,12 +248,7 @@ impl Chunk {
 
 /// Streaming aggregation of a dense chunk: odometer over the outer
 /// dimensions, contiguous slice sum over the innermost one.
-fn dense_aggregate(
-    sums: &[f64],
-    counts: &[u64],
-    shape: &[u32],
-    region: &Region,
-) -> CellAgg {
+fn dense_aggregate(sums: &[f64], counts: &[u64], shape: &[u32], region: &Region) -> CellAgg {
     let ndim = shape.len();
     let (inner_from, inner_to) = region.bounds[ndim - 1];
     let inner_len = (inner_to - inner_from + 1) as usize;
@@ -296,7 +312,10 @@ mod tests {
 
     #[test]
     fn one_dimensional_chunk() {
-        let c = Chunk::Dense { sums: vec![1.0, 2.0, 3.0, 4.0], counts: vec![1; 4] };
+        let c = Chunk::Dense {
+            sums: vec![1.0, 2.0, 3.0, 4.0],
+            counts: vec![1; 4],
+        };
         let agg = c.aggregate(&[4], &Region::new(vec![(1, 2)]));
         assert_eq!(agg.sum, 5.0);
         assert_eq!(agg.count, 2);
@@ -322,7 +341,10 @@ mod tests {
             Region::new(vec![(0, 1), (0, 1)]),
             Region::new(vec![(2, 2), (0, 3)]),
         ] {
-            assert_eq!(dense.aggregate(&shape, &region), sparse.aggregate(&shape, &region));
+            assert_eq!(
+                dense.aggregate(&shape, &region),
+                sparse.aggregate(&shape, &region)
+            );
         }
     }
 
@@ -343,11 +365,20 @@ mod tests {
 
     #[test]
     fn add_into_sparse_keeps_order() {
-        let mut c = Chunk::Sparse { offsets: vec![], sums: vec![], counts: vec![] };
+        let mut c = Chunk::Sparse {
+            offsets: vec![],
+            sums: vec![],
+            counts: vec![],
+        };
         c.add(7, 1.0, 1);
         c.add(2, 2.0, 1);
         c.add(7, 3.0, 2);
-        if let Chunk::Sparse { offsets, sums, counts } = &c {
+        if let Chunk::Sparse {
+            offsets,
+            sums,
+            counts,
+        } = &c
+        {
             assert_eq!(offsets, &[2, 7]);
             assert_eq!(sums, &[2.0, 4.0]);
             assert_eq!(counts, &[1, 3]);

@@ -29,7 +29,9 @@ pub struct CubeSchema {
 impl CubeSchema {
     /// Builds a cube schema from the dimensional part of a table schema.
     pub fn from_table_schema(table: &TableSchema) -> Self {
-        Self { dimensions: table.dimensions.clone() }
+        Self {
+            dimensions: table.dimensions.clone(),
+        }
     }
 
     /// Number of dimensions.
@@ -39,7 +41,11 @@ impl CubeSchema {
 
     /// The finest resolution any dimension offers (max level index).
     pub fn max_resolution(&self) -> usize {
-        self.dimensions.iter().map(|d| d.levels.len() - 1).max().unwrap_or(0)
+        self.dimensions
+            .iter()
+            .map(|d| d.levels.len() - 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The level dimension `dim` uses at resolution `r` (clamped to the
@@ -56,7 +62,9 @@ impl CubeSchema {
 
     /// Cube shape (cells per dimension) at resolution `r`.
     pub fn shape_at(&self, r: usize) -> Vec<u32> {
-        (0..self.ndim()).map(|d| self.cardinality_at(d, r)).collect()
+        (0..self.ndim())
+            .map(|d| self.cardinality_at(d, r))
+            .collect()
     }
 
     /// Total cell count at resolution `r`.
@@ -96,7 +104,10 @@ impl CubeSchema {
         assert!(to_r >= from_r, "widen_range requires to_r >= from_r");
         let coarse = u64::from(self.cardinality_at(dim, from_r));
         let fine = u64::from(self.cardinality_at(dim, to_r));
-        debug_assert!(fine.is_multiple_of(coarse), "non-uniform hierarchy in widen_range");
+        debug_assert!(
+            fine.is_multiple_of(coarse),
+            "non-uniform hierarchy in widen_range"
+        );
         let factor = fine / coarse;
         let lo = u64::from(range.0) * factor;
         let hi = (u64::from(range.1) + 1) * factor - 1;
@@ -129,20 +140,24 @@ impl MolapCube {
     }
 
     /// Creates an empty cube with an explicit chunk side length.
-    pub fn build_empty_with_chunks(
-        schema: CubeSchema,
-        resolution: usize,
-        chunk_side: u32,
-    ) -> Self {
+    pub fn build_empty_with_chunks(schema: CubeSchema, resolution: usize, chunk_side: u32) -> Self {
         let grid = ChunkGrid::new(schema.shape_at(resolution), chunk_side);
         let chunks = (0..grid.chunk_count())
             .map(|i| {
-                let cells: u64 =
-                    grid.chunk_local_shape(i).iter().map(|&c| u64::from(c)).product();
+                let cells: u64 = grid
+                    .chunk_local_shape(i)
+                    .iter()
+                    .map(|&c| u64::from(c))
+                    .product();
                 Chunk::dense_empty(cells as usize)
             })
             .collect();
-        Self { schema, resolution, grid, chunks }
+        Self {
+            schema,
+            resolution,
+            grid,
+            chunks,
+        }
     }
 
     /// Creates a cube with every cell holding `(sum, count)` — the fast
@@ -161,8 +176,12 @@ impl MolapCube {
     ) -> Self {
         let mut cube = Self::build_empty_with_chunks(schema, resolution, chunk_side);
         for (i, chunk) in cube.chunks.iter_mut().enumerate() {
-            let cells: u64 =
-                cube.grid.chunk_local_shape(i).iter().map(|&c| u64::from(c)).product();
+            let cells: u64 = cube
+                .grid
+                .chunk_local_shape(i)
+                .iter()
+                .map(|&c| u64::from(c))
+                .product();
             *chunk = Chunk::dense_filled(cells as usize, sum, count);
         }
         cube
@@ -184,7 +203,8 @@ impl MolapCube {
         measure_idx: usize,
     ) -> Self {
         assert_eq!(
-            schema.dimensions, table.schema().dimensions,
+            schema.dimensions,
+            table.schema().dimensions,
             "cube and table dimensional schemas must match"
         );
         let mut cube = Self::build_empty(schema, resolution);
@@ -235,13 +255,20 @@ impl MolapCube {
             ));
         }
         for (i, chunk) in chunks.iter().enumerate() {
-            let cells: u64 =
-                grid.chunk_local_shape(i).iter().map(|&c| u64::from(c)).product();
+            let cells: u64 = grid
+                .chunk_local_shape(i)
+                .iter()
+                .map(|&c| u64::from(c))
+                .product();
             let ok = match chunk {
                 Chunk::Dense { sums, counts } => {
                     sums.len() as u64 == cells && counts.len() as u64 == cells
                 }
-                Chunk::Sparse { offsets, sums, counts } => {
+                Chunk::Sparse {
+                    offsets,
+                    sums,
+                    counts,
+                } => {
                     offsets.len() == sums.len()
                         && sums.len() == counts.len()
                         && offsets.iter().all(|&o| u64::from(o) < cells)
@@ -252,7 +279,12 @@ impl MolapCube {
                 return Err(format!("chunk {i} is inconsistent with its local shape"));
             }
         }
-        Ok(Self { schema, resolution, grid, chunks })
+        Ok(Self {
+            schema,
+            resolution,
+            grid,
+            chunks,
+        })
     }
 
     /// Adds `(sum, count)` into the cell at `coords` (cube-resolution
@@ -276,14 +308,20 @@ impl MolapCube {
             .iter_mut()
             .enumerate()
             .filter(|&(i, ref c)| {
-                let cells: u64 =
-                    grid.chunk_local_shape(i).iter().map(|&x| u64::from(x)).product();
+                let cells: u64 = grid
+                    .chunk_local_shape(i)
+                    .iter()
+                    .map(|&x| u64::from(x))
+                    .product();
                 let _ = &c;
                 cells > 0
             })
             .map(|(i, c)| {
-                let cells: u64 =
-                    grid.chunk_local_shape(i).iter().map(|&x| u64::from(x)).product();
+                let cells: u64 = grid
+                    .chunk_local_shape(i)
+                    .iter()
+                    .map(|&x| u64::from(x))
+                    .product();
                 usize::from(c.maybe_compress(cells as usize))
             })
             .sum()
@@ -328,10 +366,12 @@ impl MolapCube {
     }
 
     fn validate_region(&self, region: &Region) {
-        assert_eq!(region.ndim(), self.grid.ndim(), "region dimensionality mismatch");
-        for (d, (&(f, t), &card)) in
-            region.bounds.iter().zip(&self.grid.shape).enumerate()
-        {
+        assert_eq!(
+            region.ndim(),
+            self.grid.ndim(),
+            "region dimensionality mismatch"
+        );
+        for (d, (&(f, t), &card)) in region.bounds.iter().zip(&self.grid.shape).enumerate() {
             assert!(
                 f <= t && t < card,
                 "region bound ({f}, {t}) out of range for dimension {d} (cardinality {card})"
@@ -431,7 +471,9 @@ impl MolapCube {
         out: &mut [CellAgg],
     ) {
         let chunk_region = self.grid.chunk_region(chunk_idx);
-        let Some(inter) = chunk_region.intersect(region) else { return };
+        let Some(inter) = chunk_region.intersect(region) else {
+            return;
+        };
         let local = Region::new(
             inter
                 .bounds
@@ -457,14 +499,18 @@ impl MolapCube {
     /// schema's hierarchy is not uniform (roll-up would be inexact).
     pub fn rollup_to(&self, target: usize) -> MolapCube {
         assert!(target < self.resolution, "roll-up target must be coarser");
-        assert!(self.schema.uniform_hierarchy(), "roll-up needs uniform hierarchies");
+        assert!(
+            self.schema.uniform_hierarchy(),
+            "roll-up needs uniform hierarchies"
+        );
         let mut out = MolapCube::build_empty(self.schema.clone(), target);
         let ndim = self.schema.ndim();
         let mut target_coords = vec![0u32; ndim];
         self.for_each_cell(|coords, sum, count| {
             for d in 0..ndim {
-                target_coords[d] =
-                    self.schema.coarsen_coord(d, self.resolution, target, coords[d]);
+                target_coords[d] = self
+                    .schema
+                    .coarsen_coord(d, self.resolution, target, coords[d]);
             }
             out.add(&target_coords, sum, count);
         });
@@ -478,11 +524,7 @@ impl MolapCube {
         for (ci, chunk) in self.chunks.iter().enumerate() {
             let chunk_region = self.grid.chunk_region(ci);
             let local_shape = self.grid.chunk_local_shape(ci);
-            let visit = |off: u32,
-                         sum: f64,
-                         count: u64,
-                         global: &mut Vec<u32>,
-                         f: &mut F| {
+            let visit = |off: u32, sum: f64, count: u64, global: &mut Vec<u32>, f: &mut F| {
                 if count == 0 {
                     return;
                 }
@@ -498,7 +540,11 @@ impl MolapCube {
                         visit(i as u32, s, c, &mut global, &mut f);
                     }
                 }
-                Chunk::Sparse { offsets, sums, counts } => {
+                Chunk::Sparse {
+                    offsets,
+                    sums,
+                    counts,
+                } => {
                     for ((&off, &s), &c) in offsets.iter().zip(sums).zip(counts) {
                         visit(off, s, c, &mut global, &mut f);
                     }
@@ -570,7 +616,9 @@ mod tests {
         let mut x = 1u64;
         for day in 0..64u32 {
             for city in 0..8u32 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 cube.add(&[day, city], (x % 100) as f64, 1);
             }
         }
@@ -629,7 +677,10 @@ mod tests {
         for dim in 0..2usize {
             let along = cube.aggregate_along_seq(dim, &region);
             let along_par = cube.aggregate_along_par(dim, &region);
-            assert_eq!(along.len(), (region.bounds[dim].1 - region.bounds[dim].0 + 1) as usize);
+            assert_eq!(
+                along.len(),
+                (region.bounds[dim].1 - region.bounds[dim].0 + 1) as usize
+            );
             for (i, agg) in along.iter().enumerate() {
                 let mut slice = region.clone();
                 let c = region.bounds[dim].0 + i as u32;
@@ -713,9 +764,6 @@ mod tests {
         let mut seen = Vec::new();
         cube.for_each_cell(|c, s, n| seen.push((c.to_vec(), s, n)));
         seen.sort_by(|a, b| a.0.cmp(&b.0));
-        assert_eq!(
-            seen,
-            vec![(vec![1, 2], 4.0, 2), (vec![3, 0], 1.0, 1)]
-        );
+        assert_eq!(seen, vec![(vec![1, 2], 4.0, 2), (vec![3, 0], 1.0, 1)]);
     }
 }

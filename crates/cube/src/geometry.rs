@@ -25,7 +25,9 @@ impl Region {
 
     /// The full region of a shape.
     pub fn full(shape: &[u32]) -> Self {
-        Self { bounds: shape.iter().map(|&c| (0, c - 1)).collect() }
+        Self {
+            bounds: shape.iter().map(|&c| (0, c - 1)).collect(),
+        }
     }
 
     /// Number of dimensions.
@@ -35,7 +37,10 @@ impl Region {
 
     /// Number of cells inside the region.
     pub fn cells(&self) -> u64 {
-        self.bounds.iter().map(|&(f, t)| u64::from(t - f) + 1).product()
+        self.bounds
+            .iter()
+            .map(|&(f, t)| u64::from(t - f) + 1)
+            .product()
     }
 
     /// Intersection with another region, or `None` if disjoint.
@@ -55,7 +60,10 @@ impl Region {
 
     /// Whether `coords` lies inside the region.
     pub fn contains(&self, coords: &[u32]) -> bool {
-        self.bounds.iter().zip(coords).all(|(&(f, t), &c)| c >= f && c <= t)
+        self.bounds
+            .iter()
+            .zip(coords)
+            .all(|(&(f, t), &c)| c >= f && c <= t)
     }
 }
 
@@ -107,9 +115,16 @@ impl ChunkGrid {
         assert!(chunk_side > 0, "chunk side must be positive");
         assert!(shape.iter().all(|&c| c > 0), "zero-extent dimension");
         let chunk_shape: Vec<u32> = shape.iter().map(|&c| c.min(chunk_side)).collect();
-        let chunks_per_dim: Vec<u32> =
-            shape.iter().zip(&chunk_shape).map(|(&c, &s)| c.div_ceil(s)).collect();
-        Self { shape, chunk_shape, chunks_per_dim }
+        let chunks_per_dim: Vec<u32> = shape
+            .iter()
+            .zip(&chunk_shape)
+            .map(|(&c, &s)| c.div_ceil(s))
+            .collect();
+        Self {
+            shape,
+            chunk_shape,
+            chunks_per_dim,
+        }
     }
 
     /// Number of dimensions.
@@ -161,12 +176,18 @@ impl ChunkGrid {
     /// Debug-panics if `coords` lies outside the shape.
     pub fn locate(&self, coords: &[u32]) -> (usize, u32) {
         debug_assert_eq!(coords.len(), self.ndim());
-        let grid_coords: Vec<u32> =
-            coords.iter().zip(&self.chunk_shape).map(|(&c, &cs)| c / cs).collect();
+        let grid_coords: Vec<u32> = coords
+            .iter()
+            .zip(&self.chunk_shape)
+            .map(|(&c, &cs)| c / cs)
+            .collect();
         let chunk_idx = linear_index(&self.chunks_per_dim, &grid_coords);
         let local_shape = self.chunk_local_shape(chunk_idx);
-        let local_coords: Vec<u32> =
-            coords.iter().zip(&self.chunk_shape).map(|(&c, &cs)| c % cs).collect();
+        let local_coords: Vec<u32> = coords
+            .iter()
+            .zip(&self.chunk_shape)
+            .map(|(&c, &cs)| c % cs)
+            .collect();
         let off = linear_index(&local_shape, &local_coords) as u32;
         (chunk_idx, off)
     }

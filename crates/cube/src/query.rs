@@ -26,7 +26,11 @@ impl DimRange {
     /// A condition spanning the whole dimension at its coarsest level —
     /// "no restriction".
     pub fn all(schema: &CubeSchema, dim: usize) -> Self {
-        Self { level: 0, from: 0, to: schema.cardinality_at(dim, 0) - 1 }
+        Self {
+            level: 0,
+            from: 0,
+            to: schema.cardinality_at(dim, 0) - 1,
+        }
     }
 
     /// Number of coordinates the range covers.
@@ -66,14 +70,26 @@ impl CubeQuery {
         for (dim, c) in self.conditions.iter().enumerate() {
             let levels = schema.dimensions[dim].levels.len();
             if c.level >= levels {
-                return Err(QueryError::BadLevel { dim, level: c.level, levels });
+                return Err(QueryError::BadLevel {
+                    dim,
+                    level: c.level,
+                    levels,
+                });
             }
             if c.from > c.to {
-                return Err(QueryError::Inverted { dim, from: c.from, to: c.to });
+                return Err(QueryError::Inverted {
+                    dim,
+                    from: c.from,
+                    to: c.to,
+                });
             }
             let card = schema.cardinality_at(dim, c.level);
             if c.to >= card {
-                return Err(QueryError::OutOfRange { dim, to: c.to, cardinality: card });
+                return Err(QueryError::OutOfRange {
+                    dim,
+                    to: c.to,
+                    cardinality: card,
+                });
             }
         }
         Ok(())
@@ -123,15 +139,25 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::DimCount { got, want } => {
-                write!(f, "query has {got} conditions, schema has {want} dimensions")
+                write!(
+                    f,
+                    "query has {got} conditions, schema has {want} dimensions"
+                )
             }
             Self::BadLevel { dim, level, levels } => {
-                write!(f, "dimension {dim} has {levels} levels, condition uses level {level}")
+                write!(
+                    f,
+                    "dimension {dim} has {levels} levels, condition uses level {level}"
+                )
             }
             Self::Inverted { dim, from, to } => {
                 write!(f, "condition on dimension {dim} has from {from} > to {to}")
             }
-            Self::OutOfRange { dim, to, cardinality } => write!(
+            Self::OutOfRange {
+                dim,
+                to,
+                cardinality,
+            } => write!(
                 f,
                 "condition on dimension {dim} reaches {to}, cardinality is {cardinality}"
             ),
@@ -173,18 +199,39 @@ mod tests {
     fn validation_errors() {
         let s = schema();
         let q = CubeQuery::new(vec![DimRange::new(0, 0, 3)]);
-        assert_eq!(q.validate(&s), Err(QueryError::DimCount { got: 1, want: 2 }));
+        assert_eq!(
+            q.validate(&s),
+            Err(QueryError::DimCount { got: 1, want: 2 })
+        );
 
         let q = CubeQuery::new(vec![DimRange::new(2, 0, 3), DimRange::new(0, 0, 7)]);
-        assert_eq!(q.validate(&s), Err(QueryError::BadLevel { dim: 0, level: 2, levels: 2 }));
+        assert_eq!(
+            q.validate(&s),
+            Err(QueryError::BadLevel {
+                dim: 0,
+                level: 2,
+                levels: 2
+            })
+        );
 
         let q = CubeQuery::new(vec![DimRange::new(0, 3, 1), DimRange::new(0, 0, 7)]);
-        assert_eq!(q.validate(&s), Err(QueryError::Inverted { dim: 0, from: 3, to: 1 }));
+        assert_eq!(
+            q.validate(&s),
+            Err(QueryError::Inverted {
+                dim: 0,
+                from: 3,
+                to: 1
+            })
+        );
 
         let q = CubeQuery::new(vec![DimRange::new(0, 0, 4), DimRange::new(0, 0, 7)]);
         assert_eq!(
             q.validate(&s),
-            Err(QueryError::OutOfRange { dim: 0, to: 4, cardinality: 4 })
+            Err(QueryError::OutOfRange {
+                dim: 0,
+                to: 4,
+                cardinality: 4
+            })
         );
     }
 

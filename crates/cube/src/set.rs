@@ -38,7 +38,10 @@ pub struct CubeSet {
 impl CubeSet {
     /// Creates an empty set for `schema`.
     pub fn new(schema: CubeSchema) -> Self {
-        Self { schema, cubes: BTreeMap::new() }
+        Self {
+            schema,
+            cubes: BTreeMap::new(),
+        }
     }
 
     /// The shared schema.
@@ -88,11 +91,18 @@ impl CubeSet {
             .conditions
             .iter()
             .enumerate()
-            .map(|(dim, c)| self.schema.widen_range(dim, c.level, resolution, (c.from, c.to)))
+            .map(|(dim, c)| {
+                self.schema
+                    .widen_range(dim, c.level, resolution, (c.from, c.to))
+            })
             .collect();
         let region = Region::new(bounds);
         let estimated_mb = cube.estimate_subcube_mb(&region);
-        Ok(Some(CubePlan { resolution, region, estimated_mb }))
+        Ok(Some(CubePlan {
+            resolution,
+            region,
+            estimated_mb,
+        }))
     }
 
     /// Convenience: [`CubeSet::plan`] + `None → QueryError`-free option of
@@ -107,12 +117,16 @@ impl CubeSet {
     ///
     /// Panics if the planned cube is no longer resident.
     pub fn execute_seq(&self, plan: &CubePlan) -> Option<CellAggregate> {
-        self.cubes.get(&plan.resolution).map(|c| c.aggregate_seq(&plan.region))
+        self.cubes
+            .get(&plan.resolution)
+            .map(|c| c.aggregate_seq(&plan.region))
     }
 
     /// Executes a plan with the current rayon pool.
     pub fn execute_par(&self, plan: &CubePlan) -> Option<CellAggregate> {
-        self.cubes.get(&plan.resolution).map(|c| c.aggregate_par(&plan.region))
+        self.cubes
+            .get(&plan.resolution)
+            .map(|c| c.aggregate_par(&plan.region))
     }
 
     /// Executes a plan grouped along dimension `dim`: one aggregate per
@@ -177,13 +191,15 @@ impl CubeSet {
         resolutions: &[usize],
     ) {
         assert!(!resolutions.is_empty(), "need at least one resolution");
-        assert!(self.schema.uniform_hierarchy(), "smallest-parent build needs uniform hierarchies");
+        assert!(
+            self.schema.uniform_hierarchy(),
+            "smallest-parent build needs uniform hierarchies"
+        );
         let mut sorted: Vec<usize> = resolutions.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         let finest = *sorted.last().expect("non-empty");
-        let mut cube =
-            MolapCube::build_from_table(self.schema.clone(), finest, table, measure_idx);
+        let mut cube = MolapCube::build_from_table(self.schema.clone(), finest, table, measure_idx);
         cube.compress();
         // Roll up coarser cubes from their smallest (finest available)
         // parent, finest-to-coarsest.
@@ -215,7 +231,10 @@ impl CubeCatalog {
     pub fn new(schema: CubeSchema, mut resolutions: Vec<usize>) -> Self {
         resolutions.sort_unstable();
         resolutions.dedup();
-        Self { schema, resolutions }
+        Self {
+            schema,
+            resolutions,
+        }
     }
 
     /// The shared schema.
@@ -230,7 +249,10 @@ impl CubeCatalog {
 
     /// Total dense size in MB of all catalogued cubes.
     pub fn total_size_mb(&self) -> f64 {
-        self.resolutions.iter().map(|&r| self.schema.size_mb_at(r)).sum()
+        self.resolutions
+            .iter()
+            .map(|&r| self.schema.size_mb_at(r))
+            .sum()
     }
 
     /// Plans a query exactly like [`CubeSet::plan`], without cell data.
@@ -244,12 +266,19 @@ impl CubeCatalog {
             .conditions
             .iter()
             .enumerate()
-            .map(|(dim, c)| self.schema.widen_range(dim, c.level, resolution, (c.from, c.to)))
+            .map(|(dim, c)| {
+                self.schema
+                    .widen_range(dim, c.level, resolution, (c.from, c.to))
+            })
             .collect();
         let region = Region::new(bounds);
         let estimated_mb =
             region.cells() as f64 * crate::cube::CELL_BYTES as f64 / (1024.0 * 1024.0);
-        Ok(Some(CubePlan { resolution, region, estimated_mb }))
+        Ok(Some(CubePlan {
+            resolution,
+            region,
+            estimated_mb,
+        }))
     }
 }
 
@@ -297,8 +326,8 @@ mod tests {
     #[test]
     fn widens_ranges_to_cube_resolution() {
         let set = set_with(&[1]); // only the month-resolution cube resident
-        // Year 1 at level 0 widens to months 4..7 (16/4 = 4 per year);
-        // region 2 widens to cities 4..5 (8/4 = 2 per region).
+                                  // Year 1 at level 0 widens to months 4..7 (16/4 = 4 per year);
+                                  // region 2 widens to cities 4..5 (8/4 = 2 per region).
         let q = CubeQuery::new(vec![DimRange::new(0, 1, 1), DimRange::new(0, 2, 2)]);
         let plan = set.plan(&q).unwrap().unwrap();
         assert_eq!(plan.region, Region::new(vec![(4, 7), (4, 5)]));
@@ -443,11 +472,12 @@ mod tests {
             let a = via_rollup.cube(r).unwrap().aggregate_seq(&full);
             let b = direct.aggregate_seq(&full);
             assert_eq!(a.count, b.count, "resolution {r}");
-            assert!((a.sum - b.sum).abs() < 1e-9 * (1.0 + b.sum.abs()), "resolution {r}");
-            // Spot-check a sub-region as well.
-            let sub = Region::new(
-                direct.shape().iter().map(|&c| (c / 4, c / 2)).collect(),
+            assert!(
+                (a.sum - b.sum).abs() < 1e-9 * (1.0 + b.sum.abs()),
+                "resolution {r}"
             );
+            // Spot-check a sub-region as well.
+            let sub = Region::new(direct.shape().iter().map(|&c| (c / 4, c / 2)).collect());
             let sa = via_rollup.cube(r).unwrap().aggregate_seq(&sub);
             let sb = direct.aggregate_seq(&sub);
             assert_eq!(sa.count, sb.count, "sub-region at resolution {r}");
@@ -468,7 +498,11 @@ mod tests {
             CubeQuery::new(vec![DimRange::new(1, 0, 15), DimRange::new(1, 2, 5)]),
             CubeQuery::new(vec![DimRange::new(2, 0, 63), DimRange::new(2, 0, 15)]),
         ] {
-            assert_eq!(set.plan(&q).unwrap(), catalog.plan(&q).unwrap(), "query {q:?}");
+            assert_eq!(
+                set.plan(&q).unwrap(),
+                catalog.plan(&q).unwrap(),
+                "query {q:?}"
+            );
         }
     }
 
@@ -501,7 +535,10 @@ mod tests {
     #[should_panic(expected = "schema mismatch")]
     fn schema_mismatch_rejected() {
         let other = CubeSchema::from_table_schema(
-            &TableSchema::builder().dimension("d", &[("l", 2)]).measure("m").build(),
+            &TableSchema::builder()
+                .dimension("d", &[("l", 2)])
+                .measure("m")
+                .build(),
         );
         let mut set = CubeSet::new(schema());
         set.insert(MolapCube::build_filled(other, 0, 1.0, 1));

@@ -29,7 +29,11 @@ struct Node {
 
 impl Node {
     fn new() -> Self {
-        Self { next: Vec::new(), fail: 0, out: Vec::new() }
+        Self {
+            next: Vec::new(),
+            fail: 0,
+            out: Vec::new(),
+        }
     }
 
     fn step(&self, b: u8) -> Option<u32> {
@@ -107,7 +111,10 @@ impl AhoCorasick {
                 queue.push_back(v);
             }
         }
-        Self { nodes, patterns: patterns.len() }
+        Self {
+            nodes,
+            patterns: patterns.len(),
+        }
     }
 
     /// Number of patterns the automaton was built from.
@@ -220,8 +227,16 @@ mod tests {
         let patterns = ["burg", "ton", "new", "x"];
         let ac = AhoCorasick::build(&patterns);
         let texts = [
-            "newburg", "hamilton", "plainville", "burgton", "xyz", "", "bur", "to n",
-            "NEWBURG", "tonton",
+            "newburg",
+            "hamilton",
+            "plainville",
+            "burgton",
+            "xyz",
+            "",
+            "bur",
+            "to n",
+            "NEWBURG",
+            "tonton",
         ];
         for t in texts {
             let naive = patterns.iter().any(|p| t.contains(p));
@@ -238,9 +253,7 @@ mod tests {
 
     #[test]
     fn matching_codes_over_dictionary() {
-        let d = SortedDict::build(
-            ["Newburg", "Hamilton", "Oakburg", "Plainfield", "Harburg"],
-        );
+        let d = SortedDict::build(["Newburg", "Hamilton", "Oakburg", "Plainfield", "Harburg"]);
         let ac = AhoCorasick::build(&["burg"]);
         let codes = ac.matching_codes(&d);
         let names: Vec<&str> = codes.iter().map(|&c| d.decode(c).unwrap()).collect();

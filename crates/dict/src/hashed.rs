@@ -22,7 +22,11 @@ impl Hasher for Fnv1a {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
         const PRIME: u64 = 0x0000_0100_0000_01B3;
-        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
         for &b in bytes {
             h ^= u64::from(b);
             h = h.wrapping_mul(PRIME);
@@ -90,7 +94,10 @@ impl HashDict {
 
     /// Iterates over `(code, entry)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (Code, &str)> {
-        self.entries.iter().enumerate().map(|(i, s)| (i as Code, s.as_str()))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as Code, s.as_str()))
     }
 }
 

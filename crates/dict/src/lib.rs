@@ -52,9 +52,9 @@ mod set;
 mod sorted;
 pub mod translate;
 
+pub use ac::AhoCorasick;
 pub use hashed::HashDict;
 pub use linear::LinearDict;
-pub use ac::AhoCorasick;
 pub use set::{AnyDictionary, CodeSelection, DictKind, DictionarySet};
 pub use sorted::SortedDict;
 pub use translate::{TextCondition, TranslateError};

@@ -54,7 +54,10 @@ impl LinearDict {
 
     /// Iterates over `(code, entry)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (Code, &str)> {
-        self.entries.iter().enumerate().map(|(i, s)| (i as Code, s.as_str()))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as Code, s.as_str()))
     }
 }
 

@@ -88,7 +88,10 @@ pub struct DictionarySet {
 impl DictionarySet {
     /// Creates an empty set that will build dictionaries of `kind`.
     pub fn new(kind: DictKind) -> Self {
-        Self { kind, columns: BTreeMap::new() }
+        Self {
+            kind,
+            columns: BTreeMap::new(),
+        }
     }
 
     /// The implementation kind this set builds.
@@ -162,9 +165,9 @@ impl DictionarySet {
     ) -> Result<(Code, Code), TranslateError> {
         match self.translate_selection(column, condition)? {
             CodeSelection::Range(lo, hi) => Ok((lo, hi)),
-            CodeSelection::Set(_) => {
-                Err(TranslateError::NotARange { column: column.to_owned() })
-            }
+            CodeSelection::Set(_) => Err(TranslateError::NotARange {
+                column: column.to_owned(),
+            }),
         }
     }
 
@@ -191,8 +194,12 @@ impl DictionarySet {
                     value: value.clone(),
                 }),
             TextCondition::Range { from, to } => match dict.encode_range(from, to) {
-                None => Err(TranslateError::RangeUnsupported { column: column.to_owned() }),
-                Some(None) => Err(TranslateError::EmptyRange { column: column.to_owned() }),
+                None => Err(TranslateError::RangeUnsupported {
+                    column: column.to_owned(),
+                }),
+                Some(None) => Err(TranslateError::EmptyRange {
+                    column: column.to_owned(),
+                }),
                 Some(Some((lo, hi))) => Ok(CodeSelection::Range(lo, hi)),
             },
             TextCondition::Contains(patterns) => {
@@ -202,7 +209,9 @@ impl DictionarySet {
                     .filter(|p| !p.is_empty())
                     .collect();
                 if usable.is_empty() {
-                    return Err(TranslateError::BadPattern { column: column.to_owned() });
+                    return Err(TranslateError::BadPattern {
+                        column: column.to_owned(),
+                    });
                 }
                 let ac = crate::ac::AhoCorasick::build(&usable);
                 Ok(CodeSelection::Set(ac.matching_codes(dict)))
@@ -245,7 +254,9 @@ mod tests {
         for kind in [DictKind::Linear, DictKind::Sorted, DictKind::Hashed] {
             let mut set = DictionarySet::new(kind);
             set.build_column("city", cities());
-            let (lo, hi) = set.translate("city", &TextCondition::eq("Chicago")).unwrap();
+            let (lo, hi) = set
+                .translate("city", &TextCondition::eq("Chicago"))
+                .unwrap();
             assert_eq!(lo, hi, "{kind:?}");
             assert_eq!(set.decode("city", lo), Some("Chicago"), "{kind:?}");
         }
@@ -259,7 +270,9 @@ mod tests {
             set.build_column("city", cities());
             assert_eq!(
                 set.translate("city", &cond),
-                Err(TranslateError::RangeUnsupported { column: "city".into() })
+                Err(TranslateError::RangeUnsupported {
+                    column: "city".into()
+                })
             );
         }
         let mut set = DictionarySet::new(DictKind::Sorted);
@@ -274,7 +287,9 @@ mod tests {
     fn missing_value_is_reported() {
         let mut set = DictionarySet::new(DictKind::Sorted);
         set.build_column("city", cities());
-        let err = set.translate("city", &TextCondition::eq("Atlantis")).unwrap_err();
+        let err = set
+            .translate("city", &TextCondition::eq("Atlantis"))
+            .unwrap_err();
         assert!(matches!(err, TranslateError::ValueNotFound { .. }));
     }
 
@@ -304,21 +319,29 @@ mod tests {
             let sel = set
                 .translate_selection("city", &TextCondition::contains(["burg"]))
                 .unwrap();
-            let CodeSelection::Set(codes) = sel else { panic!("expected set") };
-            let mut names: Vec<&str> =
-                codes.iter().map(|&c| set.decode("city", c).unwrap()).collect();
+            let CodeSelection::Set(codes) = sel else {
+                panic!("expected set")
+            };
+            let mut names: Vec<&str> = codes
+                .iter()
+                .map(|&c| set.decode("city", c).unwrap())
+                .collect();
             names.sort_unstable();
             assert_eq!(names, vec!["Newburg", "Oakburg"], "{kind:?}");
             // Multiple patterns union.
             let sel = set
                 .translate_selection("city", &TextCondition::contains(["burg", "ton"]))
                 .unwrap();
-            let CodeSelection::Set(codes) = sel else { panic!("expected set") };
+            let CodeSelection::Set(codes) = sel else {
+                panic!("expected set")
+            };
             assert_eq!(codes.len(), 4, "{kind:?}"); // + Hamilton, Dayton
-            // The range-only API refuses substring conditions.
+                                                    // The range-only API refuses substring conditions.
             assert_eq!(
                 set.translate("city", &TextCondition::contains(["burg"])),
-                Err(TranslateError::NotARange { column: "city".into() })
+                Err(TranslateError::NotARange {
+                    column: "city".into()
+                })
             );
         }
     }

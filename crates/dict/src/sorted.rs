@@ -45,13 +45,19 @@ impl SortedDict {
 
     /// Iterates over `(code, key)` pairs in code (= lexicographic) order.
     pub fn iter(&self) -> impl Iterator<Item = (Code, &str)> {
-        self.keys.iter().enumerate().map(|(i, s)| (i as Code, s.as_str()))
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as Code, s.as_str()))
     }
 }
 
 impl Dictionary for SortedDict {
     fn encode(&self, s: &str) -> Option<Code> {
-        self.keys.binary_search_by(|k| k.as_str().cmp(s)).ok().map(|i| i as Code)
+        self.keys
+            .binary_search_by(|k| k.as_str().cmp(s))
+            .ok()
+            .map(|i| i as Code)
     }
 
     fn decode(&self, code: Code) -> Option<&str> {

@@ -34,7 +34,10 @@ impl TextCondition {
 
     /// Convenience constructor for a range condition.
     pub fn range(from: impl Into<String>, to: impl Into<String>) -> Self {
-        Self::Range { from: from.into(), to: to.into() }
+        Self::Range {
+            from: from.into(),
+            to: to.into(),
+        }
     }
 
     /// Convenience constructor for a substring condition.
@@ -99,7 +102,10 @@ impl fmt::Display for TranslateError {
         match self {
             Self::UnknownColumn(c) => write!(f, "column `{c}` has no dictionary"),
             Self::ValueNotFound { column, value } => {
-                write!(f, "value `{value}` not found in dictionary of column `{column}`")
+                write!(
+                    f,
+                    "value `{value}` not found in dictionary of column `{column}`"
+                )
             }
             Self::RangeUnsupported { column } => write!(
                 f,
@@ -107,7 +113,10 @@ impl fmt::Display for TranslateError {
                  range predicates require the sorted dictionary"
             ),
             Self::EmptyRange { column } => {
-                write!(f, "range matches no entry in dictionary of column `{column}`")
+                write!(
+                    f,
+                    "range matches no entry in dictionary of column `{column}`"
+                )
             }
             Self::NotARange { column } => write!(
                 f,
@@ -134,9 +143,14 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = TranslateError::ValueNotFound { column: "city".into(), value: "Atlantis".into() };
+        let e = TranslateError::ValueNotFound {
+            column: "city".into(),
+            value: "Atlantis".into(),
+        };
         assert!(e.to_string().contains("Atlantis"));
-        let e = TranslateError::RangeUnsupported { column: "city".into() };
+        let e = TranslateError::RangeUnsupported {
+            column: "city".into(),
+        };
         assert!(e.to_string().contains("order-preserving"));
     }
 

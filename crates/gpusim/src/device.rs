@@ -17,12 +17,18 @@ pub struct DeviceConfig {
 impl DeviceConfig {
     /// The paper's accelerator: Tesla C2070 — 14 active SMs, 6 GB GDDR5.
     pub fn tesla_c2070() -> Self {
-        Self { total_sms: 14, memory_bytes: 6 * 1024 * 1024 * 1024 }
+        Self {
+            total_sms: 14,
+            memory_bytes: 6 * 1024 * 1024 * 1024,
+        }
     }
 
     /// A small configuration for tests.
     pub fn tiny(memory_bytes: usize) -> Self {
-        Self { total_sms: 4, memory_bytes }
+        Self {
+            total_sms: 4,
+            memory_bytes,
+        }
     }
 }
 
@@ -55,11 +61,20 @@ impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::OutOfMemory { requested, free } => {
-                write!(f, "table needs {requested} B, only {free} B of device memory free")
+                write!(
+                    f,
+                    "table needs {requested} B, only {free} B of device memory free"
+                )
             }
             Self::UnknownTable(id) => write!(f, "table {id:?} is not resident"),
-            Self::TooManySms { requested, available } => {
-                write!(f, "kernel requested {requested} SMs, device has {available}")
+            Self::TooManySms {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "kernel requested {requested} SMs, device has {available}"
+                )
             }
         }
     }
@@ -79,7 +94,11 @@ pub struct GpuDevice {
 impl GpuDevice {
     /// Creates an empty device.
     pub fn new(config: DeviceConfig) -> Self {
-        Self { config, tables: Vec::new(), used_bytes: 0 }
+        Self {
+            config,
+            tables: Vec::new(),
+            used_bytes: 0,
+        }
     }
 
     /// The device configuration.
@@ -107,7 +126,10 @@ impl GpuDevice {
         let bytes = table.bytes();
         let free = self.free_bytes();
         if bytes > free {
-            return Err(DeviceError::OutOfMemory { requested: bytes, free });
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                free,
+            });
         }
         self.used_bytes += bytes;
         self.tables.push((name.to_owned(), Arc::new(table)));
@@ -135,7 +157,10 @@ impl GpuDevice {
     /// Validates an SM request against the device budget.
     pub fn check_sms(&self, requested: u32) -> Result<(), DeviceError> {
         if requested == 0 || requested > self.config.total_sms {
-            Err(DeviceError::TooManySms { requested, available: self.config.total_sms })
+            Err(DeviceError::TooManySms {
+                requested,
+                available: self.config.total_sms,
+            })
         } else {
             Ok(())
         }
@@ -183,7 +208,10 @@ mod tests {
     #[test]
     fn unknown_table_is_reported() {
         let d = GpuDevice::new(DeviceConfig::tiny(1 << 20));
-        assert_eq!(d.table(TableId(3)).unwrap_err(), DeviceError::UnknownTable(TableId(3)));
+        assert_eq!(
+            d.table(TableId(3)).unwrap_err(),
+            DeviceError::UnknownTable(TableId(3))
+        );
         assert_eq!(d.table_by_name("nope"), None);
     }
 

@@ -82,13 +82,20 @@ impl GpuExecutor {
                         // A dropped receiver just means the submitter gave
                         // up waiting; the kernel result is discarded.
                         match job {
-                            KernelJob::Scan { table, query, respond } => {
-                                let out = pool.install(|| {
-                                    device.execute_scan(table, sms, &query, &model)
-                                });
+                            KernelJob::Scan {
+                                table,
+                                query,
+                                respond,
+                            } => {
+                                let out = pool
+                                    .install(|| device.execute_scan(table, sms, &query, &model));
                                 let _ = respond.send(out);
                             }
-                            KernelJob::GroupBy { table, query, respond } => {
+                            KernelJob::GroupBy {
+                                table,
+                                query,
+                                respond,
+                            } => {
                                 let out = pool.install(|| {
                                     device.execute_group_by(table, sms, &query, &model)
                                 });
@@ -101,7 +108,11 @@ impl GpuExecutor {
             senders.push(tx);
             handles.push(handle);
         }
-        Ok(Self { senders, handles, partition_sms: partition_sms.to_vec() })
+        Ok(Self {
+            senders,
+            handles,
+            partition_sms: partition_sms.to_vec(),
+        })
     }
 
     /// Number of partitions.
@@ -128,7 +139,11 @@ impl GpuExecutor {
     ) -> Receiver<Result<KernelOutput<AggResult>, KernelError>> {
         let (tx, rx) = unbounded();
         self.senders[partition]
-            .send(KernelJob::Scan { table, query, respond: tx })
+            .send(KernelJob::Scan {
+                table,
+                query,
+                respond: tx,
+            })
             .expect("partition worker terminated");
         rx
     }
@@ -146,7 +161,11 @@ impl GpuExecutor {
     ) -> Receiver<Result<KernelOutput<GroupedResult>, KernelError>> {
         let (tx, rx) = unbounded();
         self.senders[partition]
-            .send(KernelJob::GroupBy { table, query, respond: tx })
+            .send(KernelJob::GroupBy {
+                table,
+                query,
+                respond: tx,
+            })
             .expect("partition worker terminated");
         rx
     }
@@ -222,7 +241,13 @@ mod tests {
     fn oversubscription_rejected() {
         let (device, _) = device();
         let err = GpuExecutor::spawn(device, &[8, 8], GpuModelSet::paper_c2070()).unwrap_err();
-        assert!(matches!(err, DeviceError::TooManySms { requested: 16, available: 14 }));
+        assert!(matches!(
+            err,
+            DeviceError::TooManySms {
+                requested: 16,
+                available: 14
+            }
+        ));
     }
 
     #[test]
@@ -236,8 +261,8 @@ mod tests {
     #[test]
     fn grouped_kernel_matches_direct_group_by() {
         let (device, table) = device();
-        let exec = GpuExecutor::spawn(Arc::clone(&device), &[2], GpuModelSet::paper_c2070())
-            .unwrap();
+        let exec =
+            GpuExecutor::spawn(Arc::clone(&device), &[2], GpuModelSet::paper_c2070()).unwrap();
         let q = GroupByQuery::new(
             ScanQuery::new()
                 .filter(Predicate::range(ColumnId::dim(0, 1), 0, 49))

@@ -132,7 +132,12 @@ impl GpuDevice {
         cube.compress();
         let wall_secs = t0.elapsed().as_secs_f64();
         let columns_accessed = table.schema().total_columns();
-        Ok(KernelOutput { result: cube, modeled_secs, wall_secs, columns_accessed })
+        Ok(KernelOutput {
+            result: cube,
+            modeled_secs,
+            wall_secs,
+            columns_accessed,
+        })
     }
 }
 
@@ -210,12 +215,8 @@ mod tests {
         let model = GpuModelSet::paper_c2070();
         let out = d.execute_cube_build(id, 4, 1, 0, &model).unwrap();
         let table = d.table(id).unwrap();
-        let direct = MolapCube::build_from_table(
-            CubeSchema::from_table_schema(table.schema()),
-            1,
-            table,
-            0,
-        );
+        let direct =
+            MolapCube::build_from_table(CubeSchema::from_table_schema(table.schema()), 1, table, 0);
         let full = holap_cube::Region::full(direct.shape());
         assert_eq!(out.result.aggregate_seq(&full), direct.aggregate_seq(&full));
         // Build is charged as a full-table pass.

@@ -56,4 +56,4 @@ pub mod kernel;
 
 pub use device::{DeviceConfig, DeviceError, GpuDevice, TableId};
 pub use executor::{GpuExecutor, KernelJob};
-pub use kernel::{KernelOutput, KernelError};
+pub use kernel::{KernelError, KernelOutput};

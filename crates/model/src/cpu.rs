@@ -28,7 +28,11 @@ impl CpuPerfModel {
     /// Builds a model from explicitly fitted pieces.
     pub fn new(range_a: PowerLaw, range_b: Linear, split_mb: f64) -> Self {
         assert!(split_mb > 0.0, "split must be positive");
-        Self { range_a, range_b, split_mb }
+        Self {
+            range_a,
+            range_b,
+            split_mb,
+        }
     }
 
     /// The paper's 4-thread model for 2× Xeon X5667 (Eq. 5–7).
@@ -164,7 +168,10 @@ impl LegacyCpuModel {
     pub fn new(bandwidth_gbps: f64, overhead_secs: f64) -> Self {
         assert!(bandwidth_gbps > 0.0);
         assert!(overhead_secs >= 0.0);
-        Self { bandwidth_mbps: bandwidth_gbps * 1024.0, overhead_secs }
+        Self {
+            bandwidth_mbps: bandwidth_gbps * 1024.0,
+            overhead_secs,
+        }
     }
 
     /// The paper's original single-threaded implementation: ~1 GB/s.
@@ -304,7 +311,10 @@ mod tests {
         let m = CpuPerfModel::paper_8t();
         // In Range B bandwidth approaches 1/slope = 25 000 MB/s ≈ 24.4 GB/s.
         let bw_large = m.implied_bandwidth_mbps(32.0 * 1024.0);
-        assert!(bw_large > 20_000.0 && bw_large < 25_000.0, "bw = {bw_large}");
+        assert!(
+            bw_large > 20_000.0 && bw_large < 25_000.0,
+            "bw = {bw_large}"
+        );
     }
 
     #[test]

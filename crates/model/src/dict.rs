@@ -27,7 +27,10 @@ impl DictPerfModel {
     /// Creates a model from a per-entry cost and a fixed overhead.
     pub fn new(secs_per_entry: f64, overhead_secs: f64) -> Self {
         assert!(secs_per_entry >= 0.0 && overhead_secs >= 0.0);
-        Self { secs_per_entry, overhead_secs }
+        Self {
+            secs_per_entry,
+            overhead_secs,
+        }
     }
 
     /// The paper's measured single-threaded model (Eq. 17): 0.0138 µs/entry.

@@ -86,7 +86,10 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Linear {
     }
     assert!(sxx > 0.0, "all x values are identical; cannot fit a line");
     let slope = sxy / sxx;
-    Linear { slope, intercept: mean_y - slope * mean_x }
+    Linear {
+        slope,
+        intercept: mean_y - slope * mean_x,
+    }
 }
 
 /// Fits `y = a·x^b` by linear regression in log-log space.
@@ -104,12 +107,18 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerLaw {
         .iter()
         .zip(ys)
         .map(|(&x, &y)| {
-            assert!(x > 0.0 && y > 0.0, "power-law fit requires positive samples");
+            assert!(
+                x > 0.0 && y > 0.0,
+                "power-law fit requires positive samples"
+            );
             (x.ln(), y.ln())
         })
         .unzip();
     let line = fit_linear(&lx, &ly);
-    PowerLaw { coeff: line.intercept.exp(), exponent: line.slope }
+    PowerLaw {
+        coeff: line.intercept.exp(),
+        exponent: line.slope,
+    }
 }
 
 /// Computes goodness-of-fit metrics for an arbitrary model function `f` over
@@ -134,8 +143,16 @@ pub fn fit_metrics<F: Fn(f64) -> f64>(f: F, xs: &[f64], ys: &[f64]) -> FitMetric
             ape_n += 1;
         }
     }
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    let mape = if ape_n == 0 { 0.0 } else { ape_sum / ape_n as f64 };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    let mape = if ape_n == 0 {
+        0.0
+    } else {
+        ape_sum / ape_n as f64
+    };
     FitMetrics { r_squared, mape }
 }
 

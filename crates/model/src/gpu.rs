@@ -26,7 +26,10 @@ impl GpuPerfModel {
     /// Builds a model from a slope/intercept pair for a given partition size.
     pub fn new(sm_count: u32, slope: f64, intercept: f64) -> Self {
         assert!(sm_count > 0, "a partition must have at least one SM");
-        Self { line: Linear::new(slope, intercept), sm_count }
+        Self {
+            line: Linear::new(slope, intercept),
+            sm_count,
+        }
     }
 
     /// Estimated processing time in seconds for a query touching the given
@@ -46,7 +49,10 @@ impl GpuPerfModel {
 
     /// Fits a partition model from measurements of `(column_fraction, secs)`.
     pub fn fit(sm_count: u32, fractions: &[f64], secs: &[f64]) -> Self {
-        Self { line: fit::fit_linear(fractions, secs), sm_count }
+        Self {
+            line: fit::fit_linear(fractions, secs),
+            sm_count,
+        }
     }
 
     /// Goodness of fit over a sample.
@@ -68,7 +74,10 @@ impl GpuModelSet {
     /// Creates an empty model set for a device with `device_sms` SMs.
     pub fn new(device_sms: u32) -> Self {
         assert!(device_sms > 0);
-        Self { models: BTreeMap::new(), device_sms }
+        Self {
+            models: BTreeMap::new(),
+            device_sms,
+        }
     }
 
     /// The paper's measured Tesla C2070 model set (Eq. 14–15): partitions of

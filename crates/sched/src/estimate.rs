@@ -97,7 +97,11 @@ impl Estimator {
             .profile
             .dict
             .translation_secs(f.translation_dict_lens.iter().copied());
-        TaskEstimate { t_cpu, t_gpu_by_class, t_trans }
+        TaskEstimate {
+            t_cpu,
+            t_gpu_by_class,
+            t_trans,
+        }
     }
 }
 

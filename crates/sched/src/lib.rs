@@ -64,4 +64,4 @@ pub mod scheduler;
 pub use estimate::{Estimator, QueryFeatures, TaskEstimate};
 pub use partition::{PartitionId, PartitionLayout};
 pub use policy::Policy;
-pub use scheduler::{Decision, Placement, SchedStats, Scheduler};
+pub use scheduler::{Decision, LiveLoad, Placement, SchedStats, Scheduler};

@@ -41,7 +41,10 @@ impl PartitionLayout {
     /// The paper's layout but with the 4-thread CPU model (Table 1/3's
     /// middle column).
     pub fn paper_4t() -> Self {
-        Self { cpu_threads: 4, ..Self::paper() }
+        Self {
+            cpu_threads: 4,
+            ..Self::paper()
+        }
     }
 
     /// Creates a custom layout.
@@ -50,10 +53,20 @@ impl PartitionLayout {
     ///
     /// Panics on an empty GPU layout or zero thread counts.
     pub fn new(gpu_partition_sms: Vec<u32>, cpu_threads: u32, translation_threads: u32) -> Self {
-        assert!(!gpu_partition_sms.is_empty(), "need at least one GPU partition");
-        assert!(gpu_partition_sms.iter().all(|&s| s > 0), "zero-SM partition");
+        assert!(
+            !gpu_partition_sms.is_empty(),
+            "need at least one GPU partition"
+        );
+        assert!(
+            gpu_partition_sms.iter().all(|&s| s > 0),
+            "zero-SM partition"
+        );
         assert!(cpu_threads > 0 && translation_threads > 0);
-        Self { gpu_partition_sms, cpu_threads, translation_threads }
+        Self {
+            gpu_partition_sms,
+            cpu_threads,
+            translation_threads,
+        }
     }
 
     /// Number of GPU partitions.
@@ -80,7 +93,10 @@ impl PartitionLayout {
     /// Index of partition `i`'s SM class within [`PartitionLayout::sm_classes`].
     pub fn class_of(&self, gpu_partition: usize) -> usize {
         let sm = self.sms_of(gpu_partition);
-        self.sm_classes().iter().position(|&c| c == sm).expect("class must exist")
+        self.sm_classes()
+            .iter()
+            .position(|&c| c == sm)
+            .expect("class must exist")
     }
 
     /// Total SMs consumed by the layout (must not exceed the device's).

@@ -54,6 +54,44 @@ pub struct Decision {
     pub t_trans: f64,
 }
 
+/// Live queue state observed by an admission pipeline sitting in front of
+/// the scheduler — real, measured backlog as opposed to the scheduler's own
+/// charged queue clocks.
+///
+/// The clocks assume a query starts draining the moment its backlog clears;
+/// in a real pipeline a scheduled query may still be waiting in a bounded
+/// dispatch queue, or be running late (the completion-feedback correction
+/// only lands when it finishes). `*_inflight_secs` is the engine-measured
+/// sum of estimated processing seconds that have been *charged but not yet
+/// completed* on each queue. The scheduler uses `now + inflight` as a floor
+/// under each queue clock: an idle clock cannot promise an earlier start
+/// than the work physically still in flight allows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LiveLoad {
+    /// Outstanding estimated seconds on the CPU processing queue.
+    pub cpu_inflight_secs: f64,
+    /// Outstanding estimated seconds on the translation queue.
+    pub trans_inflight_secs: f64,
+    /// Outstanding estimated seconds per GPU partition queue, in layout
+    /// order. Missing entries are treated as idle.
+    pub gpu_inflight_secs: Vec<f64>,
+}
+
+impl LiveLoad {
+    /// A fully idle load observation for `gpu_partitions` GPU queues.
+    pub fn idle(gpu_partitions: usize) -> Self {
+        Self {
+            cpu_inflight_secs: 0.0,
+            trans_inflight_secs: 0.0,
+            gpu_inflight_secs: vec![0.0; gpu_partitions],
+        }
+    }
+
+    fn gpu(&self, i: usize) -> f64 {
+        self.gpu_inflight_secs.get(i).copied().unwrap_or(0.0)
+    }
+}
+
 /// Aggregate counters the scheduler maintains.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedStats {
@@ -90,7 +128,15 @@ impl Scheduler {
     /// Creates a scheduler with idle queues at time 0.
     pub fn new(layout: PartitionLayout, policy: Policy) -> Self {
         let q_gpu = vec![0.0; layout.gpu_partitions()];
-        Self { layout, policy, q_cpu: 0.0, q_trans: 0.0, q_gpu, rr_cursor: 0, stats: SchedStats::default() }
+        Self {
+            layout,
+            policy,
+            q_cpu: 0.0,
+            q_trans: 0.0,
+            q_gpu,
+            rr_cursor: 0,
+            stats: SchedStats::default(),
+        }
     }
 
     /// The partition layout.
@@ -119,22 +165,32 @@ impl Scheduler {
 
     /// Estimated response times of every partition for `est` at `now` —
     /// Fig. 10 step 3. Index 0 is the CPU (`None` when the CPU cannot
-    /// answer), the rest are GPU partitions in layout order.
-    fn response_times(&self, now: f64, est: &TaskEstimate) -> (Option<f64>, Vec<f64>) {
-        let eff = |clock: f64| clock.max(now);
-        let resp_cpu = est.t_cpu.map(|t| eff(self.q_cpu) + t);
+    /// answer), the rest are GPU partitions in layout order. When a
+    /// [`LiveLoad`] observation is supplied, each queue's effective ready
+    /// time is floored at `now + inflight` (see [`LiveLoad`]).
+    fn response_times(
+        &self,
+        now: f64,
+        est: &TaskEstimate,
+        load: Option<&LiveLoad>,
+    ) -> (Option<f64>, Vec<f64>) {
+        let eff = |clock: f64, inflight: f64| clock.max(now + inflight);
+        let resp_cpu = est
+            .t_cpu
+            .map(|t| eff(self.q_cpu, load.map_or(0.0, |l| l.cpu_inflight_secs)) + t);
         let trans_ready = if est.needs_translation() {
-            Some(eff(self.q_trans) + est.t_trans)
+            Some(eff(self.q_trans, load.map_or(0.0, |l| l.trans_inflight_secs)) + est.t_trans)
         } else {
             None
         };
         let resp_gpu = (0..self.layout.gpu_partitions())
             .map(|i| {
                 let t_gpu = est.t_gpu_by_class[self.layout.class_of(i)];
+                let ready = eff(self.q_gpu[i], load.map_or(0.0, |l| l.gpu(i)));
                 let start = match trans_ready {
                     // "max(T_Q|Gi, T_Q|TRANS + T_TRANS) + T_GPUj with translation"
-                    Some(tr) => eff(self.q_gpu[i]).max(tr),
-                    None => eff(self.q_gpu[i]),
+                    Some(tr) => ready.max(tr),
+                    None => ready,
                 };
                 start + t_gpu
             })
@@ -142,13 +198,55 @@ impl Scheduler {
         (resp_cpu, resp_gpu)
     }
 
+    /// The earliest response time any partition could deliver for `est`
+    /// submitted at `now`, without charging any queue — the admission
+    /// pipeline's load-shedding predicate: if even this exceeds the
+    /// deadline, running the query anywhere only burns partition time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimate's class vector disagrees with the layout.
+    pub fn min_response_time(&self, now: f64, est: &TaskEstimate, load: Option<&LiveLoad>) -> f64 {
+        assert_eq!(
+            est.t_gpu_by_class.len(),
+            self.layout.sm_classes().len(),
+            "estimate classes must match layout classes"
+        );
+        let (resp_cpu, resp_gpu) = self.response_times(now, est, load);
+        resp_gpu
+            .into_iter()
+            .chain(resp_cpu)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Schedules one query submitted at `now` with deadline window `t_c`
     /// seconds, charging the chosen queues. Returns the decision.
+    ///
+    /// Equivalent to [`Scheduler::schedule_with_load`] with no live-load
+    /// observation (the queue clocks alone model the backlog).
     ///
     /// # Panics
     ///
     /// Panics if the estimate's class vector disagrees with the layout.
     pub fn schedule(&mut self, now: f64, est: &TaskEstimate, t_c: f64) -> Decision {
+        self.schedule_with_load(now, est, t_c, None)
+    }
+
+    /// Schedules one query like [`Scheduler::schedule`], additionally
+    /// flooring every queue's ready time with a measured [`LiveLoad`]
+    /// observation so placements reflect work that is physically queued or
+    /// running late, not just the charged clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimate's class vector disagrees with the layout.
+    pub fn schedule_with_load(
+        &mut self,
+        now: f64,
+        est: &TaskEstimate,
+        t_c: f64,
+        load: Option<&LiveLoad>,
+    ) -> Decision {
         assert_eq!(
             est.t_gpu_by_class.len(),
             self.layout.sm_classes().len(),
@@ -156,7 +254,7 @@ impl Scheduler {
         );
         assert!(t_c > 0.0, "deadline window must be positive");
         let deadline = now + t_c;
-        let (resp_cpu, resp_gpu) = self.response_times(now, est);
+        let (resp_cpu, resp_gpu) = self.response_times(now, est, load);
         let placement = self.choose(now, est, deadline, resp_cpu, &resp_gpu);
 
         // Charge the queues (Fig. 10 steps 5/6 updates).
@@ -348,7 +446,11 @@ mod tests {
     use super::*;
 
     fn est(t_cpu: Option<f64>, gpu: [f64; 3], t_trans: f64) -> TaskEstimate {
-        TaskEstimate { t_cpu, t_gpu_by_class: gpu.to_vec(), t_trans }
+        TaskEstimate {
+            t_cpu,
+            t_gpu_by_class: gpu.to_vec(),
+            t_trans,
+        }
     }
 
     fn paper_sched() -> Scheduler {
@@ -464,8 +566,8 @@ mod tests {
         let mut s = paper_sched();
         let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.0);
         s.schedule(0.0, &e, 1.0); // CPU busy until 0.002
-        // Submitting much later: the queue is idle again, so the response
-        // starts from `now`.
+                                  // Submitting much later: the queue is idle again, so the response
+                                  // starts from `now`.
         let d = s.schedule(10.0, &e, 1.0);
         assert!((d.response_time - 10.002).abs() < 1e-12);
     }
@@ -524,7 +626,11 @@ mod tests {
         let e = est(None, [0.028, 0.014, 0.007], 0.0);
         for _ in 0..3 {
             let d = s.schedule(0.0, &e, 1.0);
-            assert_eq!(d.placement, Placement::Gpu { partition: 4 }, "always same queue");
+            assert_eq!(
+                d.placement,
+                Placement::Gpu { partition: 4 },
+                "always same queue"
+            );
         }
         assert!(s.queue_clock(PartitionId::Gpu(4)) > 0.02);
         assert_eq!(s.queue_clock(PartitionId::Gpu(5)), 0.0);
@@ -650,7 +756,86 @@ mod tests {
     #[should_panic(expected = "classes must match")]
     fn class_mismatch_rejected() {
         let mut s = paper_sched();
-        let e = TaskEstimate { t_cpu: None, t_gpu_by_class: vec![0.1], t_trans: 0.0 };
+        let e = TaskEstimate {
+            t_cpu: None,
+            t_gpu_by_class: vec![0.1],
+            t_trans: 0.0,
+        };
         s.schedule(0.0, &e, 1.0);
+    }
+
+    // --- Live-load observations ---
+
+    #[test]
+    fn idle_live_load_changes_nothing() {
+        let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.010);
+        let mut a = paper_sched();
+        let mut b = paper_sched();
+        let load = LiveLoad::idle(a.layout().gpu_partitions());
+        for now in [0.0, 0.5, 0.6] {
+            let da = a.schedule(now, &e, 1.0);
+            let db = b.schedule_with_load(now, &e, 1.0, Some(&load));
+            assert_eq!(da, db, "idle load is a no-op at t={now}");
+        }
+    }
+
+    #[test]
+    fn inflight_floor_raises_response_times() {
+        // The CPU clock says idle, but 50 ms of charged work is physically
+        // still in flight → its response is floored at now + 0.050.
+        let mut s = paper_sched();
+        let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.0);
+        let mut load = LiveLoad::idle(s.layout().gpu_partitions());
+        load.cpu_inflight_secs = 0.050;
+        let d = s.schedule_with_load(0.0, &e, 1.0, Some(&load));
+        // CPU response 0.052 is no longer faster than the idle 4-SM class
+        // (0.007), but step 5 compares raw times, so the CPU still wins…
+        // unless the deadline filter removed it. With a 1 s deadline both
+        // remain feasible and the CPU preference uses T_CPU alone.
+        assert_eq!(d.placement, Placement::Cpu);
+        assert!((d.response_time - 0.052).abs() < 1e-12);
+        // The charged clock absorbed the floor: the next query sees it.
+        assert!((s.queue_clock(PartitionId::Cpu) - 0.052).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflight_floor_can_move_query_off_a_late_partition() {
+        // Tight deadline: floored CPU response misses, GPUs still make it.
+        let mut s = paper_sched();
+        let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.0);
+        let mut load = LiveLoad::idle(s.layout().gpu_partitions());
+        load.cpu_inflight_secs = 0.050;
+        let d = s.schedule_with_load(0.0, &e, 0.040, Some(&load));
+        assert!(matches!(d.placement, Placement::Gpu { .. }));
+        assert!(d.before_deadline);
+    }
+
+    #[test]
+    fn min_response_time_is_a_read_only_lower_bound() {
+        let mut s = paper_sched();
+        let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.0);
+        let before = s.clone();
+        let m = s.min_response_time(0.0, &e, None);
+        assert!((m - 0.002).abs() < 1e-12, "idle system: fastest is the CPU");
+        assert_eq!(s, before, "peeking charges nothing");
+        // Every actual placement responds no earlier than the bound.
+        let d = s.schedule(0.0, &e, 1.0);
+        assert!(d.response_time >= m - 1e-15);
+        // GPU-only estimate: bound is the fastest class.
+        let e2 = est(None, [0.028, 0.014, 0.007], 0.0);
+        let m2 = s.min_response_time(10.0, &e2, None);
+        assert!((m2 - 10.007).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_inflight_delays_gpu_responses() {
+        let mut s = paper_sched();
+        let e = est(None, [0.028, 0.014, 0.007], 0.010);
+        let mut load = LiveLoad::idle(s.layout().gpu_partitions());
+        load.trans_inflight_secs = 0.100;
+        // Kernel start is coupled to translation: ready no earlier than
+        // now + 0.100 (floor) + 0.010 (own translation).
+        let m = s.min_response_time(0.0, &e, Some(&load));
+        assert!((m - (0.100 + 0.010 + 0.007)).abs() < 1e-12);
     }
 }

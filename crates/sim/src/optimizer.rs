@@ -109,16 +109,14 @@ mod tests {
 
     #[test]
     fn partitions_of_small_numbers() {
-        assert_eq!(integer_partitions(3, 3, 1), vec![
-            vec![1, 1, 1],
-            vec![1, 2],
-            vec![3],
-        ]);
-        assert_eq!(integer_partitions(4, 2, 1), vec![
-            vec![1, 3],
-            vec![2, 2],
-            vec![4],
-        ]);
+        assert_eq!(
+            integer_partitions(3, 3, 1),
+            vec![vec![1, 1, 1], vec![1, 2], vec![3],]
+        );
+        assert_eq!(
+            integer_partitions(4, 2, 1),
+            vec![vec![1, 3], vec![2, 2], vec![4],]
+        );
         // Min part size filters.
         assert_eq!(integer_partitions(4, 4, 2), vec![vec![2, 2], vec![4]]);
     }

@@ -58,7 +58,11 @@ mod tests {
             missed_deadline: 3,
             mean_latency_secs: 0.1,
             max_latency_secs: 0.5,
-            sched: SchedStats { cpu_queries: 4, gpu_queries: 6, ..Default::default() },
+            sched: SchedStats {
+                cpu_queries: 4,
+                gpu_queries: 6,
+                ..Default::default()
+            },
             per_gpu_partition: vec![1; 6],
         };
         assert!((r.deadline_hit_ratio() - 0.7).abs() < 1e-12);

@@ -1,8 +1,8 @@
 //! The event loops: closed-loop saturation and open-loop Poisson arrivals.
 
 use crate::report::SimReport;
-use holap_sched::{Estimator, PartitionLayout, Placement, Policy, Scheduler, TaskEstimate};
 use holap_model::SystemProfile;
+use holap_sched::{Estimator, PartitionLayout, Placement, Policy, Scheduler, TaskEstimate};
 use holap_workload::QueryGenerator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,7 +45,10 @@ impl SimConfig {
     /// The legacy (sequential) CPU model is the Table-1-calibrated variant,
     /// so `cpu_threads == 1` reproduces the paper's 12 Q/s baseline.
     pub fn paper(policy: Policy, cpu_threads: u32, queries: usize) -> Self {
-        let layout = PartitionLayout { cpu_threads, ..PartitionLayout::paper() };
+        let layout = PartitionLayout {
+            cpu_threads,
+            ..PartitionLayout::paper()
+        };
         let mut profile = SystemProfile::paper();
         profile.legacy_cpu = holap_model::LegacyCpuModel::calibrated_table1();
         Self {
@@ -230,7 +233,10 @@ mod tests {
         cfg.workers = 2;
         let mut g = generator(WorkloadPreset::Table1, 2);
         let r = run_closed_loop(&cfg, &mut g);
-        assert_eq!(r.sched.gpu_queries, 0, "Table 1 queries are all CPU-answerable");
+        assert_eq!(
+            r.sched.gpu_queries, 0,
+            "Table 1 queries are all CPU-answerable"
+        );
         // 8T model at ~160 MB: ≈ 8.9 ms → ≈ 112 Q/s.
         assert!(
             r.throughput_qps > 95.0 && r.throughput_qps < 130.0,
@@ -277,7 +283,11 @@ mod tests {
         let cfg = SimConfig::paper(Policy::Paper, 8, 300);
         let mut g = generator(WorkloadPreset::Table3, 6);
         let light = run_open_loop(&cfg, &mut g, 5.0);
-        assert!(light.deadline_hit_ratio() > 0.95, "{}", light.deadline_hit_ratio());
+        assert!(
+            light.deadline_hit_ratio() > 0.95,
+            "{}",
+            light.deadline_hit_ratio()
+        );
     }
 
     #[test]
@@ -285,7 +295,11 @@ mod tests {
         let cfg = SimConfig::paper(Policy::Paper, 8, 2000);
         let mut g = generator(WorkloadPreset::Table3, 7);
         let heavy = run_open_loop(&cfg, &mut g, 500.0);
-        assert!(heavy.deadline_hit_ratio() < 0.5, "{}", heavy.deadline_hit_ratio());
+        assert!(
+            heavy.deadline_hit_ratio() < 0.5,
+            "{}",
+            heavy.deadline_hit_ratio()
+        );
     }
 
     #[test]
@@ -306,6 +320,9 @@ mod tests {
         let cfg = SimConfig::paper(Policy::Paper, 4, 300);
         let mut g1 = generator(WorkloadPreset::Table2, 9);
         let mut g2 = generator(WorkloadPreset::Table2, 9);
-        assert_eq!(run_closed_loop(&cfg, &mut g1), run_closed_loop(&cfg, &mut g2));
+        assert_eq!(
+            run_closed_loop(&cfg, &mut g1),
+            run_closed_loop(&cfg, &mut g2)
+        );
     }
 }

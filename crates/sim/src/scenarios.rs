@@ -38,7 +38,11 @@ fn cpu_only_run(preset: WorkloadPreset, threads: u32, seed: u64) -> SimReport {
 /// **Table 1** — CPU-only processing rate over the {~4 KB, ~500 KB,
 /// ~500 MB} cube set, for the sequential baseline and 4/8 threads.
 pub fn table1() -> Vec<RateRow> {
-    let cells = [(1u32, "sequential", 12.0), (4, "4 threads", 87.0), (8, "8 threads", 110.0)];
+    let cells = [
+        (1u32, "sequential", 12.0),
+        (4, "4 threads", 87.0),
+        (8, "8 threads", 110.0),
+    ];
     cells
         .iter()
         .map(|&(threads, label, paper)| {
@@ -74,7 +78,11 @@ pub fn table2() -> Vec<RateRow> {
 /// **Table 3** — the whole hybrid system (paper scheduler, all partitions)
 /// with the sequential / 4-thread / 8-thread CPU partition.
 pub fn table3() -> Vec<RateRow> {
-    let cells = [(1u32, "sequential", 102.0), (4, "4 threads", 206.0), (8, "8 threads", 228.0)];
+    let cells = [
+        (1u32, "sequential", 102.0),
+        (4, "4 threads", 206.0),
+        (8, "8 threads", 228.0),
+    ];
     cells
         .iter()
         .map(|&(threads, label, paper)| {
@@ -194,8 +202,18 @@ mod tests {
         let t1 = table1();
         let gpu = gpu_translation_effect();
         // 8T hybrid > 8T CPU alone and > GPU alone.
-        assert!(hybrid[2].qps > t1[2].qps, "{} vs {}", hybrid[2].qps, t1[2].qps);
-        assert!(hybrid[2].qps > gpu[1].qps, "{} vs {}", hybrid[2].qps, gpu[1].qps);
+        assert!(
+            hybrid[2].qps > t1[2].qps,
+            "{} vs {}",
+            hybrid[2].qps,
+            t1[2].qps
+        );
+        assert!(
+            hybrid[2].qps > gpu[1].qps,
+            "{} vs {}",
+            hybrid[2].qps,
+            gpu[1].qps
+        );
         // Parallelising the CPU partition lifts the hybrid total ≈2×
         // (paper: 102 → 228, i.e. 2.24×).
         let lift = hybrid[2].qps / hybrid[0].qps;

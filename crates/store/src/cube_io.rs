@@ -20,8 +20,11 @@ const CHUNK_SPARSE: u8 = 1;
 /// Saves a cube.
 pub fn save_cube(path: &Path, cube: &MolapCube) -> Result<(), StoreError> {
     let (schema, resolution, grid, chunks) = cube.parts();
-    let header =
-        CubeHeader { schema: schema.clone(), resolution, grid: grid.clone() };
+    let header = CubeHeader {
+        schema: schema.clone(),
+        resolution,
+        grid: grid.clone(),
+    };
     let mut w = Writer::new(ArtifactKind::Cube, &header)?;
     w.put_u64(chunks.len() as u64);
     for chunk in chunks {
@@ -31,7 +34,11 @@ pub fn save_cube(path: &Path, cube: &MolapCube) -> Result<(), StoreError> {
                 w.put_f64_array(sums);
                 w.put_u64_array(counts);
             }
-            Chunk::Sparse { offsets, sums, counts } => {
+            Chunk::Sparse {
+                offsets,
+                sums,
+                counts,
+            } => {
                 w.put_u8(CHUNK_SPARSE);
                 w.put_u32_array(offsets);
                 w.put_f64_array(sums);
@@ -66,10 +73,16 @@ pub fn load_cube(path: &Path) -> Result<MolapCube, StoreError> {
                 let offsets = r.u32_array()?;
                 let sums = r.f64_array()?;
                 let counts = r.u64_array()?;
-                Chunk::Sparse { offsets, sums, counts }
+                Chunk::Sparse {
+                    offsets,
+                    sums,
+                    counts,
+                }
             }
             other => {
-                return Err(StoreError::Invalid(format!("chunk {i} has unknown tag {other}")))
+                return Err(StoreError::Invalid(format!(
+                    "chunk {i} has unknown tag {other}"
+                )))
             }
         };
         chunks.push(chunk);
@@ -101,7 +114,11 @@ mod tests {
         let mut x = 11u64;
         for _ in 0..60 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            cube.add(&[(x >> 5) as u32 % 16, (x >> 13) as u32 % 8], (x % 50) as f64, 1);
+            cube.add(
+                &[(x >> 5) as u32 % 16, (x >> 13) as u32 % 8],
+                (x % 50) as f64,
+                1,
+            );
         }
         cube
     }
@@ -133,8 +150,11 @@ mod tests {
     fn mismatched_chunk_count_rejected() {
         let c = cube();
         let (schema, resolution, grid, chunks) = c.parts();
-        let header =
-            CubeHeader { schema: schema.clone(), resolution, grid: grid.clone() };
+        let header = CubeHeader {
+            schema: schema.clone(),
+            resolution,
+            grid: grid.clone(),
+        };
         let path = temp("badcount");
         let mut w = Writer::new(ArtifactKind::Cube, &header).unwrap();
         w.put_u64((chunks.len() - 1) as u64); // lie about the count
@@ -146,10 +166,17 @@ mod tests {
     #[test]
     fn unknown_chunk_tag_rejected() {
         let schema = CubeSchema::from_table_schema(
-            &TableSchema::builder().dimension("a", &[("l", 2)]).measure("m").build(),
+            &TableSchema::builder()
+                .dimension("a", &[("l", 2)])
+                .measure("m")
+                .build(),
         );
         let grid = ChunkGrid::new(vec![2], 64);
-        let header = CubeHeader { schema, resolution: 0, grid };
+        let header = CubeHeader {
+            schema,
+            resolution: 0,
+            grid,
+        };
         let path = temp("badtag");
         let mut w = Writer::new(ArtifactKind::Cube, &header).unwrap();
         w.put_u64(1);

@@ -37,7 +37,10 @@ fn tag_kind(tag: u8) -> Option<DictKind> {
 /// Saves a dictionary set.
 pub fn save_dicts(path: &Path, dicts: &DictionarySet) -> Result<(), StoreError> {
     let columns: Vec<String> = dicts.columns().map(str::to_owned).collect();
-    let header = DictsHeader { kind: dicts.kind(), columns: columns.clone() };
+    let header = DictsHeader {
+        kind: dicts.kind(),
+        columns: columns.clone(),
+    };
     let mut w = Writer::new(ArtifactKind::Dicts, &header)?;
     for column in &columns {
         let dict = dicts.dictionary(column).expect("listed column exists");
@@ -142,7 +145,10 @@ mod tests {
 
     #[test]
     fn bad_tag_rejected() {
-        let header = DictsHeader { kind: DictKind::Linear, columns: vec!["c".into()] };
+        let header = DictsHeader {
+            kind: DictKind::Linear,
+            columns: vec!["c".into()],
+        };
         let path = temp("badtag");
         let mut w = Writer::new(ArtifactKind::Dicts, &header).unwrap();
         w.put_u8(77);

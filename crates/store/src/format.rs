@@ -126,19 +126,24 @@ impl Reader {
             return Err(StoreError::BadMagic);
         }
         let payload_end = data.len() - 8;
-        let stored = u64::from_le_bytes(
-            data[payload_end..].try_into().expect("8 trailing bytes"),
-        );
+        let stored = u64::from_le_bytes(data[payload_end..].try_into().expect("8 trailing bytes"));
         let actual = fnv1a(&data[MAGIC.len()..payload_end]);
         if stored != actual {
             return Err(StoreError::Corrupt(format!(
                 "digest mismatch: stored {stored:#x}, computed {actual:#x}"
             )));
         }
-        let mut r = Self { data, pos: MAGIC.len(), payload_end };
+        let mut r = Self {
+            data,
+            pos: MAGIC.len(),
+            payload_end,
+        };
         let kind = r.u8()?;
         if kind != expected as u8 {
-            return Err(StoreError::WrongKind { found: kind, expected });
+            return Err(StoreError::WrongKind {
+                found: kind,
+                expected,
+            });
         }
         let version = r.u32()?;
         if version != FORMAT_VERSION {
@@ -183,7 +188,9 @@ impl Reader {
     fn array_len(&mut self, elem_bytes: usize) -> Result<usize, StoreError> {
         let len = self.u64()? as usize;
         if len.saturating_mul(elem_bytes) > self.payload_end - self.pos {
-            return Err(StoreError::Corrupt(format!("array of {len} elements overruns file")));
+            return Err(StoreError::Corrupt(format!(
+                "array of {len} elements overruns file"
+            )));
         }
         Ok(len)
     }
@@ -296,13 +303,19 @@ mod tests {
     #[test]
     fn wrong_kind_and_magic_rejected() {
         let path = temp("kind");
-        Writer::new(ArtifactKind::Dicts, &0u8).unwrap().finish(&path).unwrap();
+        Writer::new(ArtifactKind::Dicts, &0u8)
+            .unwrap()
+            .finish(&path)
+            .unwrap();
         assert!(matches!(
             Reader::open(&path, ArtifactKind::Table),
             Err(StoreError::WrongKind { found: 3, .. })
         ));
         std::fs::write(&path, b"garbage!").unwrap();
-        assert!(matches!(Reader::open(&path, ArtifactKind::Table), Err(StoreError::BadMagic)));
+        assert!(matches!(
+            Reader::open(&path, ArtifactKind::Table),
+            Err(StoreError::BadMagic)
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -75,16 +75,17 @@ pub fn save_system(
     save_table(&dir.join("facts.holap"), table)?;
     save_dicts(&dir.join("dicts.holap"), dicts)?;
     for cube in cubes {
-        save_cube(&dir.join(format!("cube-r{}.holap", cube.resolution())), cube)?;
+        save_cube(
+            &dir.join(format!("cube-r{}.holap", cube.resolution())),
+            cube,
+        )?;
     }
     Ok(())
 }
 
 /// Loads a system image saved by [`save_system`]. Cube files are
 /// discovered by their `cube-r<resolution>.holap` names.
-pub fn load_system(
-    dir: &Path,
-) -> Result<(FactTable, Vec<MolapCube>, DictionarySet), StoreError> {
+pub fn load_system(dir: &Path) -> Result<(FactTable, Vec<MolapCube>, DictionarySet), StoreError> {
     let table = load_table(&dir.join("facts.holap"))?;
     let dicts = load_dicts(&dir.join("dicts.holap"))?;
     let mut cubes = Vec::new();

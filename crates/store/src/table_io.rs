@@ -38,7 +38,9 @@ pub fn load_table(path: &Path) -> Result<FactTable, StoreError> {
     if dim_columns.iter().any(|c| c.len() != rows)
         || measure_columns.iter().any(|c| c.len() != rows)
     {
-        return Err(StoreError::Invalid("column length disagrees with row count".into()));
+        return Err(StoreError::Invalid(
+            "column length disagrees with row count".into(),
+        ));
     }
     FactTable::from_parts(schema, dim_columns, measure_columns).map_err(StoreError::Invalid)
 }
@@ -99,7 +101,10 @@ mod tests {
         // writing it through the Writer.
         use crate::format::Writer;
         let path = temp("tamper");
-        let schema = TableSchema::builder().dimension("d", &[("l", 4)]).measure("m").build();
+        let schema = TableSchema::builder()
+            .dimension("d", &[("l", 4)])
+            .measure("m")
+            .build();
         let mut w = Writer::new(ArtifactKind::Table, &schema).unwrap();
         w.put_u64(1);
         w.put_u32_array(&[9]); // 9 >= cardinality 4

@@ -44,7 +44,12 @@ impl GroupByQuery {
             .iter()
             .map(|p| p.column)
             .chain(self.scan.set_predicates.iter().map(|p| p.column))
-            .chain(self.scan.aggregates.iter().filter_map(|a| a.measure.map(ColumnId::Measure)))
+            .chain(
+                self.scan
+                    .aggregates
+                    .iter()
+                    .filter_map(|a| a.measure.map(ColumnId::Measure)),
+            )
             .chain(self.group_by.iter().copied())
             .collect();
         cols.sort_unstable();
@@ -138,7 +143,11 @@ impl FactTable {
             }
             let entry = partial.entry(key.clone()).or_insert_with(|| {
                 (
-                    q.scan.aggregates.iter().map(|a| AggValue::empty(a.op)).collect(),
+                    q.scan
+                        .aggregates
+                        .iter()
+                        .map(|a| AggValue::empty(a.op))
+                        .collect(),
                     0u64,
                 )
             });
@@ -178,14 +187,21 @@ impl FactTable {
             .map(|(key, (values, rows))| Group { key, values, rows })
             .collect();
         groups.sort_by(|a, b| a.key.cmp(&b.key));
-        GroupedResult { groups, matched_rows: matched }
+        GroupedResult {
+            groups,
+            matched_rows: matched,
+        }
     }
 
     /// Sequential grouped scan.
     pub fn group_by_seq(&self, q: &GroupByQuery) -> Result<GroupedResult, ScanError> {
         self.validate(&q.scan)?;
         self.validate_group_by(q)?;
-        Ok(Self::merge_partials(vec![self.group_block(q, 0, self.rows())]))
+        Ok(Self::merge_partials(vec![self.group_block(
+            q,
+            0,
+            self.rows(),
+        )]))
     }
 
     /// Parallel grouped scan over row blocks with per-block hash maps
@@ -342,12 +358,18 @@ mod tests {
             ScanQuery::new().aggregate(AggSpec::count_star()),
             vec![ColumnId::measure(0)],
         );
-        assert!(matches!(t.group_by_seq(&q), Err(ScanError::BadPredicateColumn(_))));
+        assert!(matches!(
+            t.group_by_seq(&q),
+            Err(ScanError::BadPredicateColumn(_))
+        ));
     }
 
     #[test]
     fn empty_table_yields_no_groups() {
-        let schema = TableSchema::builder().dimension("d", &[("l", 2)]).measure("m").build();
+        let schema = TableSchema::builder()
+            .dimension("d", &[("l", 2)])
+            .measure("m")
+            .build();
         let t = FactTableBuilder::new(schema).finish();
         let q = GroupByQuery::new(
             ScanQuery::new().aggregate(AggSpec::count_star()),

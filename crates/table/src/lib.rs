@@ -59,6 +59,10 @@ pub mod table;
 
 pub use column::{ColumnStore, F64Pool, U32Pool};
 pub use groupby::{Group, GroupByQuery, GroupedResult};
-pub use scan::{AggOp, AggResult, AggSpec, AggValue, Predicate, ScanError, ScanQuery, SetPredicate};
-pub use schema::{ColumnId, DimensionSchema, LevelSchema, MeasureSchema, SchemaBuilder, TableSchema};
+pub use scan::{
+    AggOp, AggResult, AggSpec, AggValue, Predicate, ScanError, ScanQuery, SetPredicate,
+};
+pub use schema::{
+    ColumnId, DimensionSchema, LevelSchema, MeasureSchema, SchemaBuilder, TableSchema,
+};
 pub use table::{FactTable, FactTableBuilder, RowError};

@@ -38,7 +38,11 @@ impl Predicate {
 
     /// Builds an equality predicate `col == v`.
     pub fn eq(column: ColumnId, v: u32) -> Self {
-        Self { column, lo: v, hi: v }
+        Self {
+            column,
+            lo: v,
+            hi: v,
+        }
     }
 }
 
@@ -83,7 +87,10 @@ impl AggSpec {
 
     /// `COUNT(*)` shorthand.
     pub fn count_star() -> Self {
-        Self { op: AggOp::Count, measure: None }
+        Self {
+            op: AggOp::Count,
+            measure: None,
+        }
     }
 }
 
@@ -247,7 +254,13 @@ pub struct AggValue {
 
 impl AggValue {
     pub(crate) fn empty(op: AggOp) -> Self {
-        Self { op, sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            op,
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     #[inline]
@@ -327,10 +340,16 @@ impl FactTable {
 
     /// Scans one block of rows `[start, end)`, returning partial results.
     fn scan_block(&self, q: &ScanQuery, start: usize, end: usize) -> AggResult {
-        let pred_cols: Vec<&[u32]> =
-            q.predicates.iter().map(|p| self.u32_column(p.column)).collect();
-        let set_cols: Vec<&[u32]> =
-            q.set_predicates.iter().map(|p| self.u32_column(p.column)).collect();
+        let pred_cols: Vec<&[u32]> = q
+            .predicates
+            .iter()
+            .map(|p| self.u32_column(p.column))
+            .collect();
+        let set_cols: Vec<&[u32]> = q
+            .set_predicates
+            .iter()
+            .map(|p| self.u32_column(p.column))
+            .collect();
         let agg_cols: Vec<Option<&[f64]>> = q
             .aggregates
             .iter()
@@ -359,7 +378,10 @@ impl FactTable {
                 }
             }
         }
-        AggResult { values, matched_rows: matched }
+        AggResult {
+            values,
+            matched_rows: matched,
+        }
     }
 
     fn merge_results(&self, q: &ScanQuery, parts: Vec<AggResult>) -> AggResult {
@@ -424,7 +446,8 @@ mod tests {
             let year = i % 10;
             let month = i % 120;
             let city = i % 50;
-            b.push_row(&[year, month, city], &[i as f64, (i % 7) as f64]).unwrap();
+            b.push_row(&[year, month, city], &[i as f64, (i % 7) as f64])
+                .unwrap();
         }
         b.finish()
     }
@@ -550,7 +573,9 @@ mod tests {
             .filter_set(SetPredicate::new(ColumnId::dim(1, 0), vec![41, 3, 17, 3]))
             .aggregate(AggSpec::count_star());
         let r = t.scan_seq(&q).unwrap();
-        let expect = (0..1000u32).filter(|i| [3, 17, 41].contains(&(i % 50))).count() as u64;
+        let expect = (0..1000u32)
+            .filter(|i| [3, 17, 41].contains(&(i % 50)))
+            .count() as u64;
         assert_eq!(r.matched_rows, expect);
         // Combined with a range filter.
         let q2 = ScanQuery::new()
@@ -580,9 +605,11 @@ mod tests {
     #[test]
     fn set_predicate_on_bad_column_rejected() {
         let t = table();
-        let q = ScanQuery::new()
-            .filter_set(SetPredicate::new(ColumnId::measure(0), vec![1]));
-        assert!(matches!(t.scan_seq(&q), Err(ScanError::BadPredicateColumn(_))));
+        let q = ScanQuery::new().filter_set(SetPredicate::new(ColumnId::measure(0), vec![1]));
+        assert!(matches!(
+            t.scan_seq(&q),
+            Err(ScanError::BadPredicateColumn(_))
+        ));
     }
 
     #[test]
@@ -594,7 +621,10 @@ mod tests {
             Err(ScanError::BadPredicateColumn(ColumnId::dim(5, 0)))
         );
         let q = ScanQuery::new().filter(Predicate::range(ColumnId::measure(0), 0, 1));
-        assert!(matches!(t.scan_seq(&q), Err(ScanError::BadPredicateColumn(_))));
+        assert!(matches!(
+            t.scan_seq(&q),
+            Err(ScanError::BadPredicateColumn(_))
+        ));
         let q = ScanQuery::new().aggregate(AggSpec::new(AggOp::Sum, Some(9)));
         assert_eq!(t.scan_seq(&q), Err(ScanError::BadMeasure(9)));
         let p = Predicate::range(ColumnId::dim(0, 0), 5, 2);
@@ -610,7 +640,10 @@ mod tests {
 
     #[test]
     fn scan_empty_table() {
-        let schema = TableSchema::builder().dimension("d", &[("l", 2)]).measure("m").build();
+        let schema = TableSchema::builder()
+            .dimension("d", &[("l", 2)])
+            .measure("m")
+            .build();
         let t = FactTableBuilder::new(schema).finish();
         let q = ScanQuery::new().aggregate(AggSpec::count_star());
         assert_eq!(t.scan_par(&q).unwrap().matched_rows, 0);

@@ -143,21 +143,32 @@ impl SchemaBuilder {
     ///
     /// Panics if `levels` is empty or any cardinality is zero.
     pub fn dimension(mut self, name: &str, levels: &[(&str, u32)]) -> Self {
-        assert!(!levels.is_empty(), "dimension `{name}` needs at least one level");
+        assert!(
+            !levels.is_empty(),
+            "dimension `{name}` needs at least one level"
+        );
         let levels = levels
             .iter()
             .map(|&(n, c)| {
                 assert!(c > 0, "level `{n}` of `{name}` has zero cardinality");
-                LevelSchema { name: n.to_owned(), cardinality: c }
+                LevelSchema {
+                    name: n.to_owned(),
+                    cardinality: c,
+                }
             })
             .collect();
-        self.dimensions.push(DimensionSchema { name: name.to_owned(), levels });
+        self.dimensions.push(DimensionSchema {
+            name: name.to_owned(),
+            levels,
+        });
         self
     }
 
     /// Adds a measure column.
     pub fn measure(mut self, name: &str) -> Self {
-        self.measures.push(MeasureSchema { name: name.to_owned() });
+        self.measures.push(MeasureSchema {
+            name: name.to_owned(),
+        });
         self
     }
 
@@ -167,8 +178,14 @@ impl SchemaBuilder {
     ///
     /// Panics if no dimension was added (a fact table needs at least one).
     pub fn build(self) -> TableSchema {
-        assert!(!self.dimensions.is_empty(), "schema needs at least one dimension");
-        TableSchema { dimensions: self.dimensions, measures: self.measures }
+        assert!(
+            !self.dimensions.is_empty(),
+            "schema needs at least one dimension"
+        );
+        TableSchema {
+            dimensions: self.dimensions,
+            measures: self.measures,
+        }
     }
 }
 

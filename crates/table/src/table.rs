@@ -39,12 +39,20 @@ impl fmt::Display for RowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::DimArity { got, want } => {
-                write!(f, "row has {got} dimension coordinates, schema requires {want}")
+                write!(
+                    f,
+                    "row has {got} dimension coordinates, schema requires {want}"
+                )
             }
             Self::MeasureArity { got, want } => {
                 write!(f, "row has {got} measures, schema requires {want}")
             }
-            Self::CoordOutOfRange { dim, level, coord, cardinality } => write!(
+            Self::CoordOutOfRange {
+                dim,
+                level,
+                coord,
+                cardinality,
+            } => write!(
                 f,
                 "coordinate {coord} out of range for dimension {dim} level {level} \
                  (cardinality {cardinality})"
@@ -69,7 +77,12 @@ impl FactTableBuilder {
     pub fn new(schema: TableSchema) -> Self {
         let dim_cols = vec![Vec::new(); schema.dim_column_count()];
         let measure_cols = vec![Vec::new(); schema.measures.len()];
-        Self { schema, dim_cols, measure_cols, rows: 0 }
+        Self {
+            schema,
+            dim_cols,
+            measure_cols,
+            rows: 0,
+        }
     }
 
     /// Pre-allocates column capacity for `rows` rows.
@@ -87,7 +100,10 @@ impl FactTableBuilder {
     /// …); `measures` holds one value per measure column.
     pub fn push_row(&mut self, dims: &[u32], measures: &[f64]) -> Result<(), RowError> {
         if dims.len() != self.dim_cols.len() {
-            return Err(RowError::DimArity { got: dims.len(), want: self.dim_cols.len() });
+            return Err(RowError::DimArity {
+                got: dims.len(),
+                want: self.dim_cols.len(),
+            });
         }
         if measures.len() != self.measure_cols.len() {
             return Err(RowError::MeasureArity {
@@ -134,7 +150,11 @@ impl FactTableBuilder {
         for col in self.measure_cols {
             store.measures.push_column(col);
         }
-        FactTable { schema: self.schema, store, rows: self.rows }
+        FactTable {
+            schema: self.schema,
+            store,
+            rows: self.rows,
+        }
     }
 }
 
@@ -187,9 +207,7 @@ impl FactTable {
         let mut flat = 0usize;
         for (d, ds) in schema.dimensions.iter().enumerate() {
             for (l, ls) in ds.levels.iter().enumerate() {
-                if let Some(&bad) =
-                    dim_columns[flat].iter().find(|&&c| c >= ls.cardinality)
-                {
+                if let Some(&bad) = dim_columns[flat].iter().find(|&&c| c >= ls.cardinality) {
                     return Err(format!(
                         "coordinate {bad} out of range for dimension {d} level {l} \
                          (cardinality {})",
@@ -206,7 +224,11 @@ impl FactTable {
         for col in measure_columns {
             store.measures.push_column(col);
         }
-        Ok(Self { schema, store, rows })
+        Ok(Self {
+            schema,
+            store,
+            rows,
+        })
     }
     /// The table's schema.
     pub fn schema(&self) -> &TableSchema {
@@ -316,7 +338,12 @@ mod tests {
         let err = b.push_row(&[4, 0, 0], &[0.0]).unwrap_err();
         assert_eq!(
             err,
-            RowError::CoordOutOfRange { dim: 0, level: 0, coord: 4, cardinality: 4 }
+            RowError::CoordOutOfRange {
+                dim: 0,
+                level: 0,
+                coord: 4,
+                cardinality: 4
+            }
         );
         // Failed push leaves no partial row behind.
         b.push_row(&[1, 1, 1], &[1.0]).unwrap();

@@ -108,8 +108,8 @@ impl SyntheticFacts {
                 };
                 for l in levels {
                     // Exact coarsening: fine * card_l / card_finest.
-                    let coord = (u64::from(fine) * u64::from(l.cardinality)
-                        / u64::from(finest)) as u32;
+                    let coord =
+                        (u64::from(fine) * u64::from(l.cardinality) / u64::from(finest)) as u32;
                     dims_flat.push(coord);
                 }
             }
@@ -131,12 +131,15 @@ impl SyntheticFacts {
             let mut members = name_pool(card, t.style, spec.seed ^ (0x9e37 + k as u64));
             members.sort_unstable();
             let column = text_column_name(schema, t.dim, t.level);
-            let codes =
-                dicts.build_column(&column, members.iter().map(String::as_str));
+            let codes = dicts.build_column(&column, members.iter().map(String::as_str));
             debug_assert!(codes.iter().enumerate().all(|(i, &c)| c as usize == i));
             text_columns.push((t.clone(), column));
         }
-        Self { table, dicts, text_columns }
+        Self {
+            table,
+            dicts,
+            text_columns,
+        }
     }
 }
 
@@ -152,8 +155,16 @@ mod tests {
             schema: h.table_schema(),
             rows,
             text_levels: vec![
-                TextLevel { dim: 1, level: 3, style: NameStyle::City },
-                TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+                TextLevel {
+                    dim: 1,
+                    level: 3,
+                    style: NameStyle::City,
+                },
+                TextLevel {
+                    dim: 2,
+                    level: 3,
+                    style: NameStyle::Brand,
+                },
             ],
             dict_kind: kind,
             skew: None,

@@ -20,12 +20,14 @@ pub enum NameStyle {
 }
 
 const SYLLABLES: &[&str] = &[
-    "bar", "new", "oak", "riv", "stone", "wood", "lake", "hill", "fair", "glen", "mill",
-    "spring", "crest", "dale", "ford", "haven", "bridge", "port", "marsh", "ash", "bright",
-    "clear", "deep", "east", "west", "north", "south", "gold", "silver", "iron",
+    "bar", "new", "oak", "riv", "stone", "wood", "lake", "hill", "fair", "glen", "mill", "spring",
+    "crest", "dale", "ford", "haven", "bridge", "port", "marsh", "ash", "bright", "clear", "deep",
+    "east", "west", "north", "south", "gold", "silver", "iron",
 ];
 
-const SUFFIXES_CITY: &[&str] = &["ton", "ville", "burg", "field", "wood", " Falls", " Springs", " Heights"];
+const SUFFIXES_CITY: &[&str] = &[
+    "ton", "ville", "burg", "field", "wood", " Falls", " Springs", " Heights",
+];
 const FIRST_NAMES: &[&str] = &[
     "Dana", "Alex", "Sam", "Robin", "Casey", "Jordan", "Taylor", "Morgan", "Riley", "Avery",
     "Quinn", "Harper", "Rowan", "Sage", "Emerson", "Finley",
@@ -62,7 +64,11 @@ fn one_name(style: NameStyle, rng: &mut StdRng) -> String {
             let a = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
             let b = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
             let n = rng.gen_range(1..100);
-            format!("{}{} #{n}", a.to_uppercase().chars().next().unwrap(), &format!("{a}{b}")[1..])
+            format!(
+                "{}{} #{n}",
+                a.to_uppercase().chars().next().unwrap(),
+                &format!("{a}{b}")[1..]
+            )
         }
     }
 }
@@ -104,8 +110,14 @@ mod tests {
 
     #[test]
     fn pools_are_deterministic() {
-        assert_eq!(name_pool(100, NameStyle::City, 1), name_pool(100, NameStyle::City, 1));
-        assert_ne!(name_pool(100, NameStyle::City, 1), name_pool(100, NameStyle::City, 2));
+        assert_eq!(
+            name_pool(100, NameStyle::City, 1),
+            name_pool(100, NameStyle::City, 1)
+        );
+        assert_ne!(
+            name_pool(100, NameStyle::City, 1),
+            name_pool(100, NameStyle::City, 2)
+        );
     }
 
     #[test]

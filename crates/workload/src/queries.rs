@@ -114,12 +114,14 @@ impl WorkloadPreset {
             data_columns: 1,
         };
         match self {
-            WorkloadPreset::Table1 => {
-                QueryMix { classes: vec![standard], deadline_secs: 0.5 }
-            }
-            WorkloadPreset::Table2 => {
-                QueryMix { classes: vec![big, standard], deadline_secs: 1.0 }
-            }
+            WorkloadPreset::Table1 => QueryMix {
+                classes: vec![standard],
+                deadline_secs: 0.5,
+            },
+            WorkloadPreset::Table2 => QueryMix {
+                classes: vec![big, standard],
+                deadline_secs: 1.0,
+            },
             WorkloadPreset::Table3 => {
                 // The full-system mix leans towards the interactive
                 // medium-weight queries the CPU partition excels at (70 %),
@@ -158,7 +160,10 @@ impl QueryGenerator {
     /// Panics on an empty mix or non-positive weights.
     pub fn new(catalog: CubeCatalog, total_columns: usize, mix: QueryMix, seed: u64) -> Self {
         assert!(!mix.classes.is_empty(), "mix needs at least one class");
-        assert!(mix.classes.iter().all(|c| c.weight > 0.0), "weights must be positive");
+        assert!(
+            mix.classes.iter().all(|c| c.weight > 0.0),
+            "weights must be positive"
+        );
         let total: f64 = mix.classes.iter().map(|c| c.weight).sum();
         let mut acc = 0.0;
         let cumulative = mix
@@ -169,7 +174,13 @@ impl QueryGenerator {
                 acc
             })
             .collect();
-        Self { catalog, total_columns, mix, rng: StdRng::seed_from_u64(seed), cumulative }
+        Self {
+            catalog,
+            total_columns,
+            mix,
+            rng: StdRng::seed_from_u64(seed),
+            cumulative,
+        }
     }
 
     /// Creates a generator for a paper preset over `hierarchy`.
@@ -231,12 +242,11 @@ impl QueryGenerator {
             .expect("generated query must be well-formed")
             .map(|p| p.estimated_mb);
 
-        let translation_dict_lens =
-            if class.text_prob > 0.0 && self.rng.gen_bool(class.text_prob) {
-                vec![class.dict_len]
-            } else {
-                vec![]
-            };
+        let translation_dict_lens = if class.text_prob > 0.0 && self.rng.gen_bool(class.text_prob) {
+            vec![class.dict_len]
+        } else {
+            vec![]
+        };
 
         // Eq. 12: restricted filter columns + data columns.
         let columns = restricted + class.data_columns;
@@ -244,7 +254,11 @@ impl QueryGenerator {
 
         SimQuery {
             cube_query,
-            features: QueryFeatures { cpu_subcube_mb, gpu_column_fraction, translation_dict_lens },
+            features: QueryFeatures {
+                cpu_subcube_mb,
+                gpu_column_fraction,
+                translation_dict_lens,
+            },
             deadline_secs: self.mix.deadline_secs,
             class_idx,
         }
@@ -266,7 +280,10 @@ mod tests {
         let mut sum = 0.0;
         for _ in 0..n {
             let q = g.next_query();
-            let mb = q.features.cpu_subcube_mb.expect("Table 1 queries are CPU-answerable");
+            let mb = q
+                .features
+                .cpu_subcube_mb
+                .expect("Table 1 queries are CPU-answerable");
             assert!(mb > 100.0 && mb < 230.0, "mb = {mb}");
             sum += mb;
             assert!(q.features.translation_dict_lens.is_empty());
@@ -286,7 +303,11 @@ mod tests {
                 big.push(q.features.cpu_subcube_mb.unwrap());
             }
         }
-        assert!(big.len() > 200 && big.len() < 400, "roughly half: {}", big.len());
+        assert!(
+            big.len() > 200 && big.len() < 400,
+            "roughly half: {}",
+            big.len()
+        );
         let mean: f64 = big.iter().sum::<f64>() / big.len() as f64;
         assert!((mean - 4280.0).abs() < 300.0, "mean = {mean}");
     }
@@ -325,7 +346,9 @@ mod tests {
         let schema = h.cube_schema();
         for _ in 0..200 {
             let q = g.next_query();
-            q.cube_query.validate(&schema).expect("generated query must validate");
+            q.cube_query
+                .validate(&schema)
+                .expect("generated query must validate");
         }
     }
 

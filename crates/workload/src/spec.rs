@@ -33,7 +33,11 @@ pub struct PaperHierarchy {
 
 impl Default for PaperHierarchy {
     fn default() -> Self {
-        Self { level_cards: PAPER_LEVEL_CARDS.to_vec(), dims: 3, measures: 2 }
+        Self {
+            level_cards: PAPER_LEVEL_CARDS.to_vec(),
+            dims: 3,
+            measures: 2,
+        }
     }
 }
 
@@ -46,7 +50,10 @@ impl PaperHierarchy {
             .iter()
             .map(|&c| (c / factor).max(2))
             .collect();
-        Self { level_cards, ..Self::default() }
+        Self {
+            level_cards,
+            ..Self::default()
+        }
     }
 
     /// Dimension names used by generated schemas.

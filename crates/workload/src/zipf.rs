@@ -31,7 +31,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: u32, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0f64;
         for k in 0..n {
@@ -84,7 +87,10 @@ mod tests {
         let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
         assert!((total - 1.0).abs() < 1e-12);
         for k in 1..100 {
-            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15, "pmf must be non-increasing");
+            assert!(
+                z.pmf(k) <= z.pmf(k - 1) + 1e-15,
+                "pmf must be non-increasing"
+            );
         }
     }
 

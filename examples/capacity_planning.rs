@@ -15,7 +15,10 @@ fn main() {
     let hierarchy = PaperHierarchy::default();
 
     println!("— saturation throughput by configuration (closed loop) —");
-    println!("{:<34} {:>10} {:>10} {:>10}", "configuration", "Q/s", "cpu share", "gpu share");
+    println!(
+        "{:<34} {:>10} {:>10} {:>10}",
+        "configuration", "Q/s", "cpu share", "gpu share"
+    );
     for (label, policy, threads) in [
         ("sequential CPU + GPU (paper base)", Policy::Paper, 1u32),
         ("4-thread CPU + GPU", Policy::Paper, 4),
@@ -39,7 +42,10 @@ fn main() {
     }
 
     println!("\n— deadline hit ratio vs offered load (open loop, paper policy, 8T) —");
-    println!("{:>12} {:>14} {:>16}", "load (Q/s)", "deadlines met", "mean latency");
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "load (Q/s)", "deadlines met", "mean latency"
+    );
     for lambda in [20.0, 50.0, 100.0, 150.0, 200.0, 300.0] {
         let cfg = SimConfig::paper(Policy::Paper, 8, 3000);
         let mut generator = QueryGenerator::preset(WorkloadPreset::Table3, &hierarchy, 12);
@@ -53,7 +59,13 @@ fn main() {
 
     println!("\n— what if: alternative GPU partition layouts (closed loop, 8T) —");
     println!("{:>18} {:>10}", "layout (SMs)", "Q/s");
-    for sms in [vec![1, 1, 2, 2, 4, 4], vec![2, 4, 8], vec![14], vec![1; 14], vec![7, 7]] {
+    for sms in [
+        vec![1, 1, 2, 2, 4, 4],
+        vec![2, 4, 8],
+        vec![14],
+        vec![1; 14],
+        vec![7, 7],
+    ] {
         let mut cfg = SimConfig::paper(Policy::Paper, 8, 3000);
         cfg.workers = 128;
         cfg.layout = PartitionLayout::new(sms.clone(), 8, 1);

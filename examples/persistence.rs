@@ -19,7 +19,11 @@ fn main() {
     let facts = SyntheticFacts::generate(&FactsSpec {
         schema: hierarchy.table_schema(),
         rows: 300_000,
-        text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+        text_levels: vec![TextLevel {
+            dim: 1,
+            level: 3,
+            style: NameStyle::City,
+        }],
         dict_kind: DictKind::Sorted,
         skew: None,
         seed: 99,

@@ -16,8 +16,16 @@ fn main() {
         schema: hierarchy.table_schema(),
         rows: 200_000,
         text_levels: vec![
-            TextLevel { dim: 1, level: 3, style: NameStyle::City },
-            TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+            TextLevel {
+                dim: 1,
+                level: 3,
+                style: NameStyle::City,
+            },
+            TextLevel {
+                dim: 2,
+                level: 3,
+                style: NameStyle::Brand,
+            },
         ],
         dict_kind: DictKind::Sorted,
         skew: None,
@@ -62,7 +70,11 @@ fn main() {
         println!(
             "ran on: {:?}{} in {:.2} ms (deadline {})\n",
             out.placement,
-            if out.translated { " (text translated for the GPU)" } else { "" },
+            if out.translated {
+                " (text translated for the GPU)"
+            } else {
+                ""
+            },
             out.latency_secs * 1e3,
             if out.met_deadline { "met" } else { "missed" },
         );

@@ -21,7 +21,11 @@ fn main() {
     let facts = SyntheticFacts::generate(&FactsSpec {
         schema: hierarchy.table_schema(),
         rows: 400_000,
-        text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+        text_levels: vec![TextLevel {
+            dim: 1,
+            level: 3,
+            style: NameStyle::City,
+        }],
         dict_kind: DictKind::Sorted,
         skew: None,
         seed: 7,
@@ -32,7 +36,10 @@ fn main() {
 
     // Dashboards re-issue the same queries constantly: turn on the result
     // cache (sound — the data is immutable after build).
-    let config = SystemConfig { cache_capacity: 256, ..SystemConfig::default() };
+    let config = SystemConfig {
+        cache_capacity: 256,
+        ..SystemConfig::default()
+    };
     let system = Arc::new(
         HybridSystem::builder(config)
             .facts(facts)
@@ -70,7 +77,9 @@ fn main() {
                     // Fine-grained: day-level scan, too fine for the cubes.
                     2 => {
                         let from = rng.gen_range(0..80u32);
-                        EngineQuery::new().range(0, 3, from, from + 60).deadline(0.5)
+                        EngineQuery::new()
+                            .range(0, 3, from, from + 60)
+                            .deadline(0.5)
                     }
                     // Text lookup: a specific city at the finest level.
                     _ => {
@@ -99,9 +108,15 @@ fn main() {
     println!("  CPU partition      : {}", s.cpu_queries);
     println!("  GPU partitions     : {}", s.gpu_queries);
     println!("  translated (text)  : {}", s.translated_queries);
-    println!("  mean latency       : {:.2} ms", s.mean_latency_secs() * 1e3);
+    println!(
+        "  mean latency       : {:.2} ms",
+        s.mean_latency_secs() * 1e3
+    );
     println!("  max latency        : {:.2} ms", s.max_latency_secs * 1e3);
-    println!("  deadlines met      : {:.1} %", s.deadline_hit_ratio() * 100.0);
+    println!(
+        "  deadlines met      : {:.1} %",
+        s.deadline_hit_ratio() * 100.0
+    );
     let (hits, misses) = system.cache_counters();
     println!(
         "  result cache       : {hits} hits / {misses} misses ({:.0} % hit rate)",

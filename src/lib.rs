@@ -64,7 +64,11 @@ pub use holap_workload as workload;
 
 /// The most commonly used types in one import.
 pub mod prelude {
-    pub use holap_core::{Answer, EngineQuery, HybridSystem, QueryOutcome, SystemConfig};
+    pub use holap_core::{
+        AdmissionConfig, Answer, BackpressurePolicy, EngineError, EngineQuery, EngineStats,
+        HybridSystem, IntoEngineQuery, QueryBuilder, QueryOutcome, QueryTicket, SheddingPolicy,
+        Submission, SystemConfig,
+    };
     pub use holap_cube::{CubeQuery, CubeSchema, CubeSet, DimRange, MolapCube};
     pub use holap_dict::{DictKind, Dictionary, DictionarySet, TextCondition};
     pub use holap_gpusim::{DeviceConfig, GpuDevice};

@@ -87,13 +87,24 @@ fn measured_profile_drives_scheduler_and_engine() {
     let facts = SyntheticFacts::generate(&FactsSpec {
         schema: hierarchy.table_schema(),
         rows: 5_000,
-        text_levels: vec![TextLevel { dim: 1, level: 3, style: NameStyle::City }],
+        text_levels: vec![TextLevel {
+            dim: 1,
+            level: 3,
+            style: NameStyle::City,
+        }],
         dict_kind: DictKind::Sorted,
         skew: None,
         seed: 5,
     });
-    let config = SystemConfig { profile: loaded, ..SystemConfig::default() };
-    let system = HybridSystem::builder(config).facts(facts).cube_at(2).build().unwrap();
+    let config = SystemConfig {
+        profile: loaded,
+        ..SystemConfig::default()
+    };
+    let system = HybridSystem::builder(config)
+        .facts(facts)
+        .cube_at(2)
+        .build()
+        .unwrap();
     let out = system
         .query("select sum(measure0) where time.level2 in 0..9")
         .unwrap();

@@ -21,10 +21,7 @@ fn cube_strategy() -> impl Strategy<Value = (MolapCube, CellEntries)> {
                 .measure("m")
                 .build(),
         );
-        let cells = proptest::collection::vec(
-            (0..fine0, 0..fine1, -100.0..100.0f64),
-            0..40,
-        );
+        let cells = proptest::collection::vec((0..fine0, 0..fine1, -100.0..100.0f64), 0..40);
         cells.prop_map(move |entries| {
             let mut cube = MolapCube::build_empty_with_chunks(schema.clone(), 1, 3);
             for &(x, y, v) in &entries {

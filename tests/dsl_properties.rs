@@ -38,8 +38,7 @@ fn render(q: &EngineQuery, schema: &TableSchema) -> String {
                         format!("{col} in '{from}'..'{to}'")
                     }
                     ConditionRange::Text(TextCondition::Contains(ps)) => {
-                        let quoted: Vec<String> =
-                            ps.iter().map(|p| format!("'{p}'")).collect();
+                        let quoted: Vec<String> = ps.iter().map(|p| format!("'{p}'")).collect();
                         format!("{col} contains {}", quoted.join(", "))
                     }
                     ConditionRange::All => unreachable!("not rendered"),
@@ -66,9 +65,8 @@ fn condition_strategy() -> impl Strategy<Value = (usize, usize, ConditionRange)>
                 to: a.max(b),
             }),
             "[a-z]{1,6}".prop_map(|s| ConditionRange::Text(TextCondition::eq(s))),
-            ("[a-z]{1,4}", "[m-z]{1,4}").prop_map(|(a, b)| {
-                ConditionRange::Text(TextCondition::range(a, b))
-            }),
+            ("[a-z]{1,4}", "[m-z]{1,4}")
+                .prop_map(|(a, b)| { ConditionRange::Text(TextCondition::range(a, b)) }),
             proptest::collection::vec("[a-z]{1,5}", 1..3)
                 .prop_map(|ps| ConditionRange::Text(TextCondition::contains(ps))),
         ];
@@ -88,7 +86,8 @@ fn query_strategy() -> impl Strategy<Value = EngineQuery> {
             let mut used = std::collections::HashSet::new();
             for (dim, level, range) in conds {
                 if used.insert(dim) {
-                    q.conditions.push(holap::core::EngineCondition { dim, level, range });
+                    q.conditions
+                        .push(holap::core::EngineCondition { dim, level, range });
                 }
             }
             q.group_by = group_by;

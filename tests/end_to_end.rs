@@ -10,8 +10,16 @@ fn facts(rows: usize, kind: DictKind, seed: u64) -> SyntheticFacts {
         schema: hierarchy.table_schema(),
         rows,
         text_levels: vec![
-            TextLevel { dim: 1, level: 3, style: NameStyle::City },
-            TextLevel { dim: 2, level: 3, style: NameStyle::Brand },
+            TextLevel {
+                dim: 1,
+                level: 3,
+                style: NameStyle::City,
+            },
+            TextLevel {
+                dim: 2,
+                level: 3,
+                style: NameStyle::Brand,
+            },
         ],
         dict_kind: kind,
         skew: None,
@@ -22,7 +30,10 @@ fn facts(rows: usize, kind: DictKind, seed: u64) -> SyntheticFacts {
 /// Brute-force ground truth over the raw table.
 fn brute(f: &SyntheticFacts, conds: &[(usize, usize, u32, u32)], measure: usize) -> (f64, u64) {
     let m = f.table.measure_column(measure);
-    let cols: Vec<&[u32]> = conds.iter().map(|&(d, l, _, _)| f.table.dim_column(d, l)).collect();
+    let cols: Vec<&[u32]> = conds
+        .iter()
+        .map(|&(d, l, _, _)| f.table.dim_column(d, l))
+        .collect();
     let mut sum = 0.0;
     let mut count = 0u64;
     'rows: for row in 0..f.table.rows() {
@@ -155,12 +166,15 @@ fn multi_level_conditions_agree_across_substrates() {
     let (sum, count) = brute(&data, &conds, 0);
     assert!(count > 0, "the conjunction selects something");
     for policy in [Policy::CpuOnly, Policy::GpuOnly, Policy::Paper] {
-        let system = HybridSystem::builder(SystemConfig { policy, ..SystemConfig::default() })
-            .facts(facts(25_000, DictKind::Sorted, 11))
-            .cube_at(2)
-            .cube_at(3)
-            .build()
-            .unwrap();
+        let system = HybridSystem::builder(SystemConfig {
+            policy,
+            ..SystemConfig::default()
+        })
+        .facts(facts(25_000, DictKind::Sorted, 11))
+        .cube_at(2)
+        .cube_at(3)
+        .build()
+        .unwrap();
         let q = EngineQuery::new()
             .range(0, 0, 1, 1)
             .range(0, 2, 15, 55)
@@ -202,6 +216,153 @@ fn gpu_memory_pressure_is_enforced() {
         .device(DeviceConfig::tiny(1024)) // 1 KB of "global memory"
         .build();
     assert!(err.is_err(), "a 50k-row table cannot fit in 1 KB");
+}
+
+#[test]
+fn concurrent_submit_matches_serial_execute() {
+    // N threads × M queries through the asynchronous admission pipeline
+    // must produce exactly the answers the synchronous path produces on an
+    // identically-built system, and the stats totals must line up.
+    const THREADS: u32 = 8;
+    const PER_THREAD: u32 = 5;
+    let build = || {
+        HybridSystem::builder(SystemConfig::default())
+            .facts(facts(30_000, DictKind::Sorted, 21))
+            .cube_at(1)
+            .cube_at(2)
+            .build()
+            .unwrap()
+    };
+    let serial = build();
+    let concurrent = Arc::new(build());
+    let query_for = |t: u32, i: u32| {
+        if i % 2 == 0 {
+            EngineQuery::new().range(0, 1, t % 3, 3)
+        } else {
+            EngineQuery::new().range(0, 3, t * 7 + i, t * 7 + i + 50)
+        }
+    };
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let sys = Arc::clone(&concurrent);
+        handles.push(std::thread::spawn(move || {
+            let mut answers = Vec::new();
+            for i in 0..PER_THREAD {
+                let ticket = sys.submit(&query_for(t, i)).unwrap();
+                answers.push(ticket.wait().unwrap().answer);
+            }
+            (t, answers)
+        }));
+    }
+    for h in handles {
+        let (t, answers) = h.join().unwrap();
+        for (i, got) in answers.into_iter().enumerate() {
+            let want = serial.execute(&query_for(t, i as u32)).unwrap().answer;
+            assert_eq!(got.count, want.count, "thread {t} query {i}");
+            assert!(close(got.sum, want.sum), "thread {t} query {i}");
+        }
+    }
+    let s = concurrent.stats();
+    assert_eq!(s.completed, (THREADS * PER_THREAD) as u64);
+    assert_eq!(s.cpu_queries + s.gpu_queries, s.completed);
+    assert_eq!(s.shed, 0);
+    assert_eq!(s.rejected, 0);
+    assert_eq!(s.admission_depth, 0, "everything drained");
+    assert_eq!(s.latency.count(), s.completed);
+    assert!(s.p50_latency_secs() <= s.p95_latency_secs());
+}
+
+#[test]
+fn reject_backpressure_sheds_submissions_not_answers() {
+    // Capacity-1 queues + Reject: a burst must produce rejections, and
+    // every accepted ticket must still resolve to a real answer.
+    let system = HybridSystem::builder(SystemConfig {
+        admission: AdmissionConfig {
+            queue_capacity: 1,
+            partition_queue_capacity: 1,
+            backpressure: BackpressurePolicy::Reject,
+            ..AdmissionConfig::default()
+        },
+        ..SystemConfig::default()
+    })
+    .facts(facts(20_000, DictKind::Sorted, 22))
+    .cube_at(1)
+    .cube_at(2)
+    .build()
+    .unwrap();
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..200u32 {
+        match system.submit(&EngineQuery::new().range(0, 3, i % 7, 60)) {
+            Ok(t) => tickets.push(t),
+            Err(EngineError::Overloaded(_)) => rejected += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 200-query burst must overflow capacity-1 queues"
+    );
+    let accepted = tickets.len() as u64;
+    assert!(accepted > 0, "the pipeline still accepts work");
+    for t in tickets {
+        let out = t.wait().unwrap();
+        assert!(out.answer.count > 0);
+    }
+    let s = system.stats();
+    assert_eq!(s.rejected, rejected);
+    assert_eq!(s.completed, accepted);
+}
+
+#[test]
+fn load_shedding_raises_the_deadline_hit_ratio() {
+    // Acceptance criterion for the admission pipeline: with shedding on,
+    // hopeless queries are dropped (shed > 0) and the surviving queries
+    // meet their deadlines at a higher ratio than the no-shedding baseline
+    // run over the same workload.
+    let build = |shedding| {
+        HybridSystem::builder(SystemConfig {
+            admission: AdmissionConfig {
+                shedding,
+                ..AdmissionConfig::default()
+            },
+            ..SystemConfig::default()
+        })
+        .facts(facts(20_000, DictKind::Sorted, 23))
+        .cube_at(1)
+        .cube_at(2)
+        .build()
+        .unwrap()
+    };
+    let run = |sys: &HybridSystem| {
+        for i in 0..10u32 {
+            // Hopeless: finest level (GPU-only, modeled in milliseconds)
+            // with a 1 µs deadline — no partition can ever make it.
+            sys.execute(&EngineQuery::new().range(0, 3, i, i + 40).deadline(1e-6))
+                .unwrap();
+            // Feasible: coarse cube query with a 10 s deadline.
+            sys.execute(&EngineQuery::new().range(0, 1, i % 3, 3).deadline(10.0))
+                .unwrap();
+        }
+    };
+    let baseline = build(SheddingPolicy::Off);
+    run(&baseline);
+    let shedding = build(SheddingPolicy::Shed);
+    run(&shedding);
+
+    let b = baseline.stats();
+    let s = shedding.stats();
+    assert_eq!(b.shed, 0);
+    assert_eq!(b.completed, 20, "baseline runs everything");
+    assert!(b.deadline_hit_ratio() <= 0.5, "hopeless queries all miss");
+    assert_eq!(s.shed, 10, "shedding drops exactly the hopeless queries");
+    assert_eq!(s.completed, 10, "feasible queries still complete");
+    assert!(
+        s.deadline_hit_ratio() > b.deadline_hit_ratio(),
+        "survivors meet deadlines at a higher ratio ({} vs {})",
+        s.deadline_hit_ratio(),
+        b.deadline_hit_ratio()
+    );
 }
 
 #[test]

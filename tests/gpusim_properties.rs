@@ -10,7 +10,11 @@ use holap::table::{
 use proptest::prelude::*;
 
 fn table_strategy() -> impl Strategy<Value = FactTable> {
-    (2u32..6, 2u32..8, proptest::collection::vec((0u32..100_000, -1e3..1e3f64), 1..150))
+    (
+        2u32..6,
+        2u32..8,
+        proptest::collection::vec((0u32..100_000, -1e3..1e3f64), 1..150),
+    )
         .prop_map(|(c0, c1, rows)| {
             let schema = TableSchema::builder()
                 .dimension("a", &[("l0", c0), ("l1", c0 * 3)])

@@ -8,7 +8,11 @@ use holap::table::{
 use proptest::prelude::*;
 
 fn table_strategy() -> impl Strategy<Value = FactTable> {
-    (2u32..5, 2u32..6, proptest::collection::vec((0u32..10_000, -100.0..100.0f64), 1..120))
+    (
+        2u32..5,
+        2u32..6,
+        proptest::collection::vec((0u32..10_000, -100.0..100.0f64), 1..120),
+    )
         .prop_map(|(c0, c1, rows)| {
             let schema = TableSchema::builder()
                 .dimension("a", &[("l0", c0)])

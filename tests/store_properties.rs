@@ -15,7 +15,12 @@ fn tempfile(tag: &str, case: u64) -> std::path::PathBuf {
 }
 
 fn table_strategy() -> impl Strategy<Value = FactTable> {
-    (2u32..6, 2u32..8, 1usize..3, proptest::collection::vec((0u32..1000, -1e6..1e6f64), 0..60))
+    (
+        2u32..6,
+        2u32..8,
+        1usize..3,
+        proptest::collection::vec((0u32..1000, -1e6..1e6f64), 0..60),
+    )
         .prop_map(|(c0, c1, measures, rows)| {
             let mut b = TableSchema::builder()
                 .dimension("a", &[("l0", c0), ("l1", c0 * 4)])

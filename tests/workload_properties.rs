@@ -3,29 +3,27 @@
 //! the catalog it was generated against.
 
 use holap::cube::CubeCatalog;
-use holap::workload::{
-    PaperHierarchy, QueryClass, QueryGenerator, QueryMix, WorkloadPreset,
-};
+use holap::workload::{PaperHierarchy, QueryClass, QueryGenerator, QueryMix, WorkloadPreset};
 use proptest::prelude::*;
 
 fn mix_strategy() -> impl Strategy<Value = QueryMix> {
     proptest::collection::vec(
         (
-            0.1..10.0f64,   // weight
-            0usize..4,      // level
-            0.05..0.95f64,  // width fraction
-            0usize..4,      // restricted dims
-            0.0..1.0f64,    // text prob
+            0.1..10.0f64,    // weight
+            0usize..4,       // level
+            0.05..0.95f64,   // width fraction
+            0usize..4,       // restricted dims
+            0.0..1.0f64,     // text prob
             1usize..100_000, // dict len
-            1usize..3,      // data columns
+            1usize..3,       // data columns
         ),
         1..4,
     )
     .prop_map(|classes| QueryMix {
         classes: classes
             .into_iter()
-            .map(|(weight, level, width_frac, restricted_dims, text_prob, dict_len, data_columns)| {
-                QueryClass {
+            .map(
+                |(
                     weight,
                     level,
                     width_frac,
@@ -33,8 +31,18 @@ fn mix_strategy() -> impl Strategy<Value = QueryMix> {
                     text_prob,
                     dict_len,
                     data_columns,
-                }
-            })
+                )| {
+                    QueryClass {
+                        weight,
+                        level,
+                        width_frac,
+                        restricted_dims,
+                        text_prob,
+                        dict_len,
+                        data_columns,
+                    }
+                },
+            )
             .collect(),
         deadline_secs: 0.5,
     })
