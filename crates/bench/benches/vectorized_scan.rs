@@ -1,0 +1,60 @@
+//! Vectorized scan engine vs the retained scalar reference.
+//!
+//! Three workloads over a multi-million-row fact table:
+//!
+//! * `filtered_scan` — an unselective range filter (~50% of rows match):
+//!   the win is branch-free column-wise predicate evaluation.
+//! * `selective_scan` — a narrow range on a clustered column: zone maps
+//!   skip almost every block, so the win is not reading rows at all.
+//! * `group_by` — grouped SUM over a small-domain key: the win is the
+//!   dense slot-array group path plus vectorized filtering.
+//!
+//! `cargo bench -p holap-bench --bench vectorized_scan`. For the JSON
+//! artifact (`BENCH_scan.json`) see `src/bin/scan_bench.rs`, which times
+//! the same workloads without criterion's harness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use holap_bench::scan_workload::{queries, table, ROWS};
+
+fn bench(c: &mut Criterion) {
+    let t = table(ROWS);
+    let q = queries();
+    let mut group = c.benchmark_group("vectorized_scan");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_function("filtered_scan/scalar", |b| {
+        b.iter(|| t.scan_scalar(&q.filtered).unwrap())
+    });
+    group.bench_function("filtered_scan/vectorized", |b| {
+        b.iter(|| t.scan_seq(&q.filtered).unwrap())
+    });
+    group.bench_function("filtered_scan/parallel", |b| {
+        b.iter(|| t.scan_par(&q.filtered).unwrap())
+    });
+
+    group.bench_function("selective_scan/scalar", |b| {
+        b.iter(|| t.scan_scalar(&q.selective).unwrap())
+    });
+    group.bench_function("selective_scan/vectorized", |b| {
+        b.iter(|| t.scan_seq(&q.selective).unwrap())
+    });
+    group.bench_function("selective_scan/parallel", |b| {
+        b.iter(|| t.scan_par(&q.selective).unwrap())
+    });
+
+    group.bench_function("group_by/scalar", |b| {
+        b.iter(|| t.group_by_scalar(&q.grouped).unwrap())
+    });
+    group.bench_function("group_by/vectorized", |b| {
+        b.iter(|| t.group_by_seq(&q.grouped).unwrap())
+    });
+    group.bench_function("group_by/parallel", |b| {
+        b.iter(|| t.group_by_par(&q.grouped).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

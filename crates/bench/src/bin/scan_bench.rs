@@ -1,0 +1,95 @@
+//! Emits `BENCH_scan.json`: rows/s of the vectorized scan engine vs the
+//! retained scalar reference, on the three workloads of
+//! [`holap_bench::scan_workload`].
+//!
+//! ```text
+//! scan_bench [--rows N] [--out PATH] [--no-parallel]
+//! ```
+//!
+//! Each (case, engine) pair is timed as the best of three runs after one
+//! warmup, so the numbers are throughput ceilings, not averages. The JSON
+//! also records the speedup ratios the acceptance gates read
+//! (`speedup_vectorized` = vectorized seq vs scalar).
+
+use holap_bench::scan_workload::{queries, table, ROWS};
+use std::time::Instant;
+
+fn best_secs<T>(mut f: impl FnMut() -> T) -> f64 {
+    f(); // warmup
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let rows: usize = flag("--rows")
+        .map(|v| v.parse().expect("--rows takes an integer"))
+        .unwrap_or(ROWS);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_scan.json".to_owned());
+    let parallel = !args.iter().any(|a| a == "--no-parallel");
+
+    eprintln!("building {rows}-row table…");
+    let t = table(rows);
+    let q = queries();
+
+    let mut cases = Vec::new();
+    let mut run = |name: &str, scalar: f64, vectorized: f64, par: Option<f64>| {
+        let rps = |secs: f64| rows as f64 / secs;
+        let case = serde_json::json!({
+            "name": name,
+            "scalar_rows_per_sec": rps(scalar),
+            "vectorized_rows_per_sec": rps(vectorized),
+            "parallel_rows_per_sec": par.map(rps),
+            "speedup_vectorized": scalar / vectorized,
+            "speedup_parallel": par.map(|p| scalar / p),
+        });
+        eprintln!(
+            "{name:16} scalar {:>12.0} rows/s   vectorized {:>12.0} rows/s ({:.2}x){}",
+            rps(scalar),
+            rps(vectorized),
+            scalar / vectorized,
+            par.map(|p| format!("   parallel {:.0} rows/s ({:.2}x)", rps(p), scalar / p))
+                .unwrap_or_default(),
+        );
+        cases.push(case);
+    };
+
+    run(
+        "filtered_scan",
+        best_secs(|| t.scan_scalar(&q.filtered).unwrap()),
+        best_secs(|| t.scan_seq(&q.filtered).unwrap()),
+        parallel.then(|| best_secs(|| t.scan_par(&q.filtered).unwrap())),
+    );
+    run(
+        "selective_scan",
+        best_secs(|| t.scan_scalar(&q.selective).unwrap()),
+        best_secs(|| t.scan_seq(&q.selective).unwrap()),
+        parallel.then(|| best_secs(|| t.scan_par(&q.selective).unwrap())),
+    );
+    run(
+        "group_by",
+        best_secs(|| t.group_by_scalar(&q.grouped).unwrap()),
+        best_secs(|| t.group_by_seq(&q.grouped).unwrap()),
+        parallel.then(|| best_secs(|| t.group_by_par(&q.grouped).unwrap())),
+    );
+
+    let report = serde_json::json!({
+        "benchmark": "vectorized_scan",
+        "rows": rows,
+        "runs_per_case": 3,
+        "cases": cases,
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod scan_workload;
+
 use holap_cube::{bandwidth, Region};
 use holap_dict::{Dictionary, LinearDict};
 use holap_model::{fit, DictPerfModel};

@@ -245,8 +245,10 @@ pub struct ResolvedQuery {
     pub sets: Vec<SetCondition>,
     /// Measure column.
     pub measure: usize,
-    /// True when some dimension's conditions intersect to nothing: the
-    /// answer is empty without running anything.
+    /// True when the query provably selects nothing — some dimension's
+    /// conditions intersect to an empty range, or a substring condition
+    /// matched no dictionary entry. The answer is empty without running
+    /// anything.
     pub provably_empty: bool,
 }
 
@@ -270,6 +272,7 @@ impl ResolvedQuery {
         }
         let mut per_dim: Vec<Vec<DimRange>> = vec![Vec::new(); ndim];
         let mut sets: Vec<SetCondition> = Vec::new();
+        let mut provably_empty = false;
         for c in &q.conditions {
             if c.dim >= ndim {
                 return Err(EngineError::Query(format!(
@@ -295,6 +298,12 @@ impl ResolvedQuery {
                     match dicts.translate_selection(&col, t)? {
                         holap_dict::CodeSelection::Range(lo, hi) => DimRange::new(c.level, lo, hi),
                         holap_dict::CodeSelection::Set(codes) => {
+                            // A substring that matches no dictionary entry
+                            // selects nothing — the whole conjunction is
+                            // empty and nothing needs to run.
+                            if codes.is_empty() {
+                                provably_empty = true;
+                            }
                             // The set filters rows; the cube-facing range
                             // for this dimension stays unrestricted.
                             sets.push(SetCondition {
@@ -319,7 +328,6 @@ impl ResolvedQuery {
         // Per dimension: widen every condition to the finest level used on
         // that dimension and intersect (Eq. 11's multiple conditions per
         // dimension collapse to one box on the cube side).
-        let mut provably_empty = false;
         let mut scan_conditions = Vec::new();
         let mut ranges = Vec::with_capacity(ndim);
         for (d, conds) in per_dim.into_iter().enumerate() {
@@ -506,6 +514,29 @@ mod tests {
             err(EngineQuery::new().text_eq(1, 1, "Atlantis")),
             EngineError::Translate(_)
         ));
+    }
+
+    #[test]
+    fn unmatched_substring_is_provably_empty() {
+        // `contains` that matches no dictionary entry translates to an
+        // empty code set: the conjunction selects nothing and the engine
+        // can answer without dispatching a scan.
+        let (t, c) = schemas();
+        let d = dicts(&t);
+        let r = ResolvedQuery::resolve(
+            &EngineQuery::new().text_contains(1, 1, ["zzz-nowhere"]),
+            &t,
+            &c,
+            &d,
+        )
+        .unwrap();
+        assert!(r.provably_empty);
+        assert_eq!(r.sets.len(), 1);
+        assert!(r.sets[0].codes.is_empty());
+        // A matching substring stays runnable.
+        let r = ResolvedQuery::resolve(&EngineQuery::new().text_contains(1, 1, ["go"]), &t, &c, &d)
+            .unwrap();
+        assert!(!r.provably_empty);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::chunk::{CellAgg, Chunk};
 use crate::geometry::{ChunkGrid, Region};
-use holap_table::{FactTable, TableSchema};
+use holap_table::{AggOp, AggSpec, ColumnId, FactTable, GroupByQuery, ScanQuery, TableSchema};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -192,6 +192,13 @@ impl MolapCube {
     /// ("building the cube from relational tables", §III-A), available here
     /// on the CPU as well.
     ///
+    /// Semantically this is `GROUP BY` over every dimension at the target
+    /// resolution, so it runs on the table's vectorized grouping engine
+    /// (packed-`u64` keys, no per-row allocation) and touches each cube
+    /// cell once per *group* instead of once per row. Per-cell sums are
+    /// bit-identical to the old row-at-a-time build: the grouping engine
+    /// accumulates rows in row order.
+    ///
     /// # Panics
     ///
     /// Panics if the table's dimensional schema disagrees with the cube
@@ -209,16 +216,16 @@ impl MolapCube {
         );
         let mut cube = Self::build_empty(schema, resolution);
         let ndim = cube.schema.ndim();
-        let columns: Vec<&[u32]> = (0..ndim)
-            .map(|d| table.dim_column(d, cube.schema.level_for(d, resolution)))
+        let group_by: Vec<ColumnId> = (0..ndim)
+            .map(|d| ColumnId::dim(d, cube.schema.level_for(d, resolution)))
             .collect();
-        let measure = table.measure_column(measure_idx);
-        let mut coords = vec![0u32; ndim];
-        for row in 0..table.rows() {
-            for (d, col) in columns.iter().enumerate() {
-                coords[d] = col[row];
-            }
-            cube.add(&coords, measure[row], 1);
+        let q = GroupByQuery::new(
+            ScanQuery::new().aggregate(AggSpec::new(AggOp::Sum, Some(measure_idx))),
+            group_by,
+        );
+        let grouped = table.group_by_seq(&q).expect("schema-derived query");
+        for g in &grouped.groups {
+            cube.add(&g.key, g.values[0].sum, g.rows);
         }
         cube
     }

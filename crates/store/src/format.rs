@@ -8,7 +8,11 @@ use std::path::Path;
 pub const MAGIC: &[u8; 8] = b"HOLAPST1";
 
 /// Current format version (bumped on incompatible layout changes).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: table files carry per-block zone maps (per-dimension-column min/max
+/// arrays) after the column pools, so loaded tables skip blocks exactly
+/// like the tables that were saved.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// What a store file holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,8 +1,17 @@
-//! Fact-table persistence: JSON schema header + raw column pools.
+//! Fact-table persistence: JSON schema header + raw column pools + zone
+//! maps.
+//!
+//! Since format v2 every table file carries the per-block zone maps of its
+//! dimension columns (one min array and one max array per column, one entry
+//! per [`holap_table::BATCH_ROWS`] rows). The loader recomputes the zone
+//! maps from the column data it just read and rejects the file when the
+//! persisted summaries disagree — a zone map that under-covers its blocks
+//! would make the vectorized scan engine silently skip matching rows, so
+//! the mismatch is treated as corruption.
 
 use crate::error::StoreError;
 use crate::format::{ArtifactKind, Reader, Writer};
-use holap_table::{FactTable, TableSchema};
+use holap_table::{FactTable, TableSchema, ZoneMaps};
 use std::path::Path;
 
 /// Saves a fact table.
@@ -17,6 +26,11 @@ pub fn save_table(path: &Path, table: &FactTable) -> Result<(), StoreError> {
     }
     for m in 0..schema.measures.len() {
         w.put_f64_array(table.measure_column(m));
+    }
+    let zones = table.zone_maps();
+    for c in 0..zones.column_count() {
+        w.put_u32_array(zones.column(c).mins());
+        w.put_u32_array(zones.column(c).maxs());
     }
     w.finish(path)
 }
@@ -34,6 +48,12 @@ pub fn load_table(path: &Path) -> Result<FactTable, StoreError> {
     for _ in 0..schema.measures.len() {
         measure_columns.push(r.f64_array()?);
     }
+    let mut zone_parts = Vec::with_capacity(schema.dim_column_count());
+    for _ in 0..schema.dim_column_count() {
+        let mins = r.u32_array()?;
+        let maxs = r.u32_array()?;
+        zone_parts.push((mins, maxs));
+    }
     r.finish()?;
     if dim_columns.iter().any(|c| c.len() != rows)
         || measure_columns.iter().any(|c| c.len() != rows)
@@ -42,7 +62,15 @@ pub fn load_table(path: &Path) -> Result<FactTable, StoreError> {
             "column length disagrees with row count".into(),
         ));
     }
-    FactTable::from_parts(schema, dim_columns, measure_columns).map_err(StoreError::Invalid)
+    let stored_zones = ZoneMaps::from_parts(rows, zone_parts).map_err(StoreError::Invalid)?;
+    let table =
+        FactTable::from_parts(schema, dim_columns, measure_columns).map_err(StoreError::Invalid)?;
+    if table.zone_maps() != &stored_zones {
+        return Err(StoreError::Invalid(
+            "persisted zone maps disagree with column data".into(),
+        ));
+    }
+    Ok(table)
 }
 
 #[cfg(test)]
@@ -109,8 +137,42 @@ mod tests {
         w.put_u64(1);
         w.put_u32_array(&[9]); // 9 >= cardinality 4
         w.put_f64_array(&[1.0]);
+        w.put_u32_array(&[9]); // zone mins
+        w.put_u32_array(&[9]); // zone maxs
         w.finish(&path).unwrap();
         assert!(matches!(load_table(&path), Err(StoreError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lying_zone_maps_are_rejected() {
+        // A structurally valid file whose zone maps under-cover the data
+        // must fail: silent block skipping would drop matching rows.
+        use crate::format::Writer;
+        let path = temp("zones");
+        let schema = TableSchema::builder()
+            .dimension("d", &[("l", 16)])
+            .measure("m")
+            .build();
+        let mut w = Writer::new(ArtifactKind::Table, &schema).unwrap();
+        w.put_u64(2);
+        w.put_u32_array(&[3, 12]);
+        w.put_f64_array(&[1.0, 2.0]);
+        w.put_u32_array(&[3]); // mins: correct
+        w.put_u32_array(&[5]); // maxs: lies — true block max is 12
+        w.finish(&path).unwrap();
+        assert!(matches!(load_table(&path), Err(StoreError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zone_maps_roundtrip_with_table() {
+        let t = table(3000); // spans multiple zone blocks
+        let path = temp("zones-rt");
+        save_table(&path, &t).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.zone_maps(), t.zone_maps());
+        assert!(back.zone_maps().block_count() >= 2);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,655 @@
+//! The vectorized scan executor: batch-at-a-time predicate evaluation over
+//! selection vectors, zone-map block skipping, and packed-key grouping.
+//!
+//! This is the one engine behind [`FactTable::scan_seq`],
+//! [`FactTable::scan_par`], [`FactTable::group_by_seq`] and
+//! [`FactTable::group_by_par`]. Instead of interpreting every predicate for
+//! every row (the retained reference implementation,
+//! [`FactTable::scan_scalar`]), a scan is *compiled* once:
+//!
+//! * each conjunctive range predicate collapses to one inclusive window per
+//!   physical column (the intersection of all windows on that column);
+//! * each [`SetPredicate`] becomes a dense bitmap over the column's domain
+//!   when the domain is small enough ([`BITMAP_MAX_BITS`]), falling back to
+//!   binary search over the sorted codes for huge sparse domains;
+//! * provably-empty conjunctions (an empty set, a contradictory window, or
+//!   a window disjoint from the table-wide zone bounds) short-circuit to
+//!   the empty result without visiting a single row.
+//!
+//! Execution then walks fixed [`BATCH_ROWS`]-row batches. For every batch
+//! the zone maps decide, per filter, one of three outcomes: **skip** the
+//! batch (no row can match), **elide** the filter (every row matches), or
+//! **evaluate** it. Evaluated filters run branch-free over the batch: the
+//! first fills a reusable selection vector with matching row indices, the
+//! rest compact it in place. Aggregation walks the surviving indices in row
+//! order — the same floating-point accumulation order as the scalar
+//! reference, so sequential results are bit-identical.
+
+use crate::scan::{AggResult, AggValue, ScanQuery, SetPredicate};
+use crate::schema::ColumnId;
+use crate::table::FactTable;
+use crate::zone::ZoneMaps;
+use std::collections::HashMap;
+
+/// Rows per vectorized batch. Zone-map blocks are exactly this size, so a
+/// batch maps to one zone-map entry per column.
+pub const BATCH_ROWS: usize = 1024;
+
+/// Rows per parallel work block: a whole number of batches, large enough to
+/// amortise rayon scheduling, small enough to load-balance across threads.
+pub const BLOCK_ROWS: usize = 64 * BATCH_ROWS;
+
+// A parallel block must cover a whole number of zone-aligned batches.
+const _: () = assert!(BLOCK_ROWS % BATCH_ROWS == 0);
+
+/// Largest column domain a set predicate is compiled into a dense bitmap
+/// for (2^22 bits = 512 KiB of words). Larger domains keep binary search.
+pub const BITMAP_MAX_BITS: u64 = 1 << 22;
+
+/// Largest single-column domain the group-by uses a dense slot index for.
+const DENSE_GROUP_MAX: u64 = 1 << 16;
+
+/// One compiled conjunct bound to its physical column.
+struct Filter<'t> {
+    /// Column data.
+    col: &'t [u32],
+    /// Flat dimension-column index (zone-map addressing).
+    zone_idx: usize,
+    op: FilterOp<'t>,
+}
+
+enum FilterOp<'t> {
+    /// Inclusive window `lo..=hi` (already the intersection of every range
+    /// predicate on this column).
+    Range { lo: u32, hi: u32 },
+    /// Dense membership bitmap over the column domain; `pred` is kept for
+    /// zone-map pruning.
+    Bitmap {
+        words: Vec<u64>,
+        pred: &'t SetPredicate,
+    },
+    /// Sorted-codes binary search (huge sparse domains).
+    Sparse { pred: &'t SetPredicate },
+}
+
+/// What the zone map proves about one filter on one batch.
+enum ZoneDecision {
+    /// No row of the batch can match — skip the batch.
+    Skip,
+    /// Every row of the batch matches — elide the filter.
+    AllMatch,
+    /// Undecided — evaluate the filter.
+    Eval,
+}
+
+impl Filter<'_> {
+    fn zone_decision(&self, zones: &ZoneMaps, block: usize) -> ZoneDecision {
+        let (bmin, bmax) = zones.column(self.zone_idx).block_bounds(block);
+        match &self.op {
+            FilterOp::Range { lo, hi } => {
+                if bmax < *lo || bmin > *hi {
+                    ZoneDecision::Skip
+                } else if *lo <= bmin && bmax <= *hi {
+                    ZoneDecision::AllMatch
+                } else {
+                    ZoneDecision::Eval
+                }
+            }
+            FilterOp::Bitmap { pred, .. } | FilterOp::Sparse { pred } => {
+                if !pred.intersects_range(bmin, bmax) {
+                    ZoneDecision::Skip
+                } else if pred.covers_range(bmin, bmax) {
+                    ZoneDecision::AllMatch
+                } else {
+                    ZoneDecision::Eval
+                }
+            }
+        }
+    }
+
+    /// Fills `sel` with the indices of matching rows in `[start, end)`.
+    /// Branch-free: the index is stored unconditionally and the cursor
+    /// advances by the 0/1 match flag.
+    fn eval_init(&self, start: usize, end: usize, sel: &mut [u32]) -> usize {
+        let window = &self.col[start..end];
+        let mut n = 0;
+        match &self.op {
+            FilterOp::Range { lo, hi } => {
+                let (lo, span) = (*lo, *hi - *lo);
+                for (i, &v) in window.iter().enumerate() {
+                    sel[n] = (start + i) as u32;
+                    n += usize::from(v.wrapping_sub(lo) <= span);
+                }
+            }
+            FilterOp::Bitmap { words, .. } => {
+                for (i, &v) in window.iter().enumerate() {
+                    sel[n] = (start + i) as u32;
+                    n += ((words[(v >> 6) as usize] >> (v & 63)) & 1) as usize;
+                }
+            }
+            FilterOp::Sparse { pred } => {
+                for (i, &v) in window.iter().enumerate() {
+                    sel[n] = (start + i) as u32;
+                    n += usize::from(pred.contains(v));
+                }
+            }
+        }
+        n
+    }
+
+    /// Compacts `sel[..n]` in place to the indices that also pass this
+    /// filter, returning the surviving count.
+    fn eval_compact(&self, sel: &mut [u32], n: usize) -> usize {
+        let col = self.col;
+        let mut m = 0;
+        match &self.op {
+            FilterOp::Range { lo, hi } => {
+                let (lo, span) = (*lo, *hi - *lo);
+                for k in 0..n {
+                    let idx = sel[k];
+                    let v = col[idx as usize];
+                    sel[m] = idx;
+                    m += usize::from(v.wrapping_sub(lo) <= span);
+                }
+            }
+            FilterOp::Bitmap { words, .. } => {
+                for k in 0..n {
+                    let idx = sel[k];
+                    let v = col[idx as usize];
+                    sel[m] = idx;
+                    m += ((words[(v >> 6) as usize] >> (v & 63)) & 1) as usize;
+                }
+            }
+            FilterOp::Sparse { pred } => {
+                for k in 0..n {
+                    let idx = sel[k];
+                    sel[m] = idx;
+                    m += usize::from(pred.contains(col[idx as usize]));
+                }
+            }
+        }
+        m
+    }
+}
+
+/// A scan compiled against one table: filters bound to columns, aggregate
+/// inputs resolved, degeneracy decided.
+pub(crate) struct CompiledScan<'t> {
+    filters: Vec<Filter<'t>>,
+    agg_cols: Vec<Option<&'t [f64]>>,
+    ops: Vec<crate::scan::AggOp>,
+    weight: f64,
+    /// The conjunction provably matches no row; execution returns the
+    /// empty result without visiting any block.
+    pub(crate) empty: bool,
+}
+
+impl<'t> CompiledScan<'t> {
+    /// Compiles a validated query against `table`.
+    pub(crate) fn compile(table: &'t FactTable, q: &'t ScanQuery) -> Self {
+        let schema = table.schema();
+        let zones = table.zone_maps();
+        let has_rows = table.rows() > 0;
+        let mut empty = false;
+
+        // Intersect all range predicates per physical column, preserving
+        // first-appearance order (conjunction is order-independent, so one
+        // window per column is semantically identical and strictly cheaper).
+        let mut order: Vec<usize> = Vec::new();
+        let mut windows: HashMap<usize, (u32, u32)> = HashMap::new();
+        for p in &q.predicates {
+            let ColumnId::Dim { dim, level } = p.column else {
+                unreachable!("validated predicate column");
+            };
+            let zone_idx = schema.dim_column_index(dim, level).expect("validated");
+            windows
+                .entry(zone_idx)
+                .and_modify(|w| {
+                    w.0 = w.0.max(p.lo);
+                    w.1 = w.1.min(p.hi);
+                })
+                .or_insert_with(|| {
+                    order.push(zone_idx);
+                    (p.lo, p.hi)
+                });
+        }
+        let mut filters = Vec::with_capacity(order.len() + q.set_predicates.len());
+        for zone_idx in order {
+            let (lo, hi) = windows[&zone_idx];
+            if lo > hi {
+                empty = true; // contradictory conjunction, e.g. =3 AND =5
+            } else if has_rows {
+                let (tmin, tmax) = zones.column(zone_idx).bounds().expect("table has rows");
+                if hi < tmin || lo > tmax {
+                    empty = true; // window disjoint from the table's domain
+                }
+            }
+            filters.push(Filter {
+                col: table.dim_column_flat(zone_idx),
+                zone_idx,
+                op: FilterOp::Range { lo, hi },
+            });
+        }
+
+        for p in &q.set_predicates {
+            let ColumnId::Dim { dim, level } = p.column else {
+                unreachable!("validated set-predicate column");
+            };
+            let zone_idx = schema.dim_column_index(dim, level).expect("validated");
+            if p.codes().is_empty() {
+                empty = true;
+            } else if has_rows {
+                let (tmin, tmax) = zones.column(zone_idx).bounds().expect("table has rows");
+                if !p.intersects_range(tmin, tmax) {
+                    empty = true; // no member code inside the table's domain
+                }
+            }
+            let cardinality = u64::from(schema.dimensions[dim].levels[level].cardinality);
+            let op = if cardinality <= BITMAP_MAX_BITS {
+                // Column values are `< cardinality` by construction, so a
+                // cardinality-sized bitmap is always in bounds; member
+                // codes beyond the domain can never match and are dropped.
+                let mut words = vec![0u64; (cardinality as usize).div_ceil(64)];
+                for &c in p.codes() {
+                    if u64::from(c) < cardinality {
+                        words[(c >> 6) as usize] |= 1 << (c & 63);
+                    }
+                }
+                FilterOp::Bitmap { words, pred: p }
+            } else {
+                FilterOp::Sparse { pred: p }
+            };
+            filters.push(Filter {
+                col: table.u32_column(p.column),
+                zone_idx,
+                op,
+            });
+        }
+
+        let agg_cols = q
+            .aggregates
+            .iter()
+            .map(|a| a.measure.map(|m| table.measure_column(m)))
+            .collect();
+        let ops = q.aggregates.iter().map(|a| a.op).collect();
+        Self {
+            filters,
+            agg_cols,
+            ops,
+            weight: q.weight,
+            empty,
+        }
+    }
+
+    /// The result of matching zero rows.
+    pub(crate) fn empty_result(&self) -> AggResult {
+        AggResult {
+            values: self.ops.iter().map(|&op| AggValue::empty(op)).collect(),
+            matched_rows: 0,
+        }
+    }
+
+    /// Scans `[start, end)` (with `start` batch-aligned), accumulating into
+    /// `acc`. Row order is preserved, so accumulation order matches the
+    /// scalar reference exactly.
+    pub(crate) fn scan_range(
+        &self,
+        zones: &ZoneMaps,
+        start: usize,
+        end: usize,
+        acc: &mut AggResult,
+    ) {
+        debug_assert_eq!(start % BATCH_ROWS, 0);
+        if self.empty || start >= end {
+            return;
+        }
+        let mut sel = vec![0u32; BATCH_ROWS];
+        let mut active: Vec<&Filter<'_>> = Vec::with_capacity(self.filters.len());
+        let mut batch_start = start;
+        while batch_start < end {
+            let batch_end = (batch_start + BATCH_ROWS).min(end);
+            let block = batch_start / BATCH_ROWS;
+            active.clear();
+            let mut skip = false;
+            for f in &self.filters {
+                match f.zone_decision(zones, block) {
+                    ZoneDecision::Skip => {
+                        skip = true;
+                        break;
+                    }
+                    ZoneDecision::AllMatch => {}
+                    ZoneDecision::Eval => active.push(f),
+                }
+            }
+            if skip {
+                batch_start = batch_end;
+                continue;
+            }
+            if active.is_empty() {
+                // Every row of the batch matches: aggregate the contiguous
+                // window without materialising a selection vector.
+                acc.matched_rows += (batch_end - batch_start) as u64;
+                for (val, col) in acc.values.iter_mut().zip(&self.agg_cols) {
+                    match col {
+                        Some(c) => {
+                            for &m in &c[batch_start..batch_end] {
+                                val.accumulate(m * self.weight);
+                            }
+                        }
+                        None => val.count += (batch_end - batch_start) as u64,
+                    }
+                }
+            } else {
+                let mut n = active[0].eval_init(batch_start, batch_end, &mut sel);
+                for f in &active[1..] {
+                    if n == 0 {
+                        break;
+                    }
+                    n = f.eval_compact(&mut sel, n);
+                }
+                acc.matched_rows += n as u64;
+                for (val, col) in acc.values.iter_mut().zip(&self.agg_cols) {
+                    match col {
+                        Some(c) => {
+                            for &idx in &sel[..n] {
+                                val.accumulate(c[idx as usize] * self.weight);
+                            }
+                        }
+                        None => val.count += n as u64,
+                    }
+                }
+            }
+            batch_start = batch_end;
+        }
+    }
+}
+
+/// How group keys are indexed.
+enum GroupPath {
+    /// Single key column with a small domain: slots addressed by a dense
+    /// per-code index — no hashing at all.
+    Dense { cardinality: usize },
+    /// Combined key bits fit in a `u64`: per-row keys packed by shifting,
+    /// probed in a `u64`-keyed map (no per-row allocation).
+    Packed { bits: Vec<u32> },
+    /// Fallback for keys wider than 64 bits: `Vec<u32>` keys (the scalar
+    /// reference's representation; the key is cloned only once per group).
+    Hashed,
+}
+
+/// A grouped scan compiled against one table.
+pub(crate) struct CompiledGroupBy<'t> {
+    pub(crate) scan: CompiledScan<'t>,
+    key_cols: Vec<&'t [u32]>,
+    path: GroupPath,
+}
+
+impl<'t> CompiledGroupBy<'t> {
+    /// Compiles a validated grouped query against `table`.
+    pub(crate) fn compile(table: &'t FactTable, q: &'t crate::groupby::GroupByQuery) -> Self {
+        let scan = CompiledScan::compile(table, &q.scan);
+        let key_cols: Vec<&[u32]> = q.group_by.iter().map(|&c| table.u32_column(c)).collect();
+        let cards: Vec<u64> = q
+            .group_by
+            .iter()
+            .map(|&c| {
+                let ColumnId::Dim { dim, level } = c else {
+                    unreachable!("validated group column");
+                };
+                u64::from(table.schema().dimensions[dim].levels[level].cardinality)
+            })
+            .collect();
+        // Bits needed to hold any coordinate `0..cardinality`.
+        let bits: Vec<u32> = cards
+            .iter()
+            .map(|&c| 64 - (c - 1).leading_zeros().min(64))
+            .collect();
+        let path = if cards.len() == 1 && cards[0] <= DENSE_GROUP_MAX {
+            GroupPath::Dense {
+                cardinality: cards[0] as usize,
+            }
+        } else if bits.iter().sum::<u32>() <= 64 {
+            GroupPath::Packed { bits }
+        } else {
+            GroupPath::Hashed
+        };
+        Self {
+            scan,
+            key_cols,
+            path,
+        }
+    }
+
+    fn pack_key(&self, bits: &[u32], row: usize) -> u64 {
+        let mut key = 0u64;
+        for (col, &b) in self.key_cols.iter().zip(bits) {
+            key = (key << b) | u64::from(col[row]);
+        }
+        key
+    }
+}
+
+/// One group under construction.
+struct Slot {
+    key: Vec<u32>,
+    values: Vec<AggValue>,
+    rows: u64,
+}
+
+/// Per-worker grouping accumulator (the fold state of the parallel
+/// `fold`+`reduce` grouped scan).
+pub(crate) struct GroupAcc {
+    matched: u64,
+    slots: Vec<Slot>,
+    /// `Dense`: code → slot index (`u32::MAX` = vacant).
+    dense: Vec<u32>,
+    /// `Packed`: packed key → slot index.
+    packed: HashMap<u64, u32>,
+    /// `Hashed`: full key → slot index.
+    hashed: HashMap<Vec<u32>, u32>,
+}
+
+impl GroupAcc {
+    pub(crate) fn new(g: &CompiledGroupBy<'_>) -> Self {
+        let dense = match g.path {
+            GroupPath::Dense { cardinality } => vec![u32::MAX; cardinality],
+            _ => Vec::new(),
+        };
+        Self {
+            matched: 0,
+            slots: Vec::new(),
+            dense,
+            packed: HashMap::new(),
+            hashed: HashMap::new(),
+        }
+    }
+
+    fn new_slot(g: &CompiledGroupBy<'_>, key: Vec<u32>) -> Slot {
+        Slot {
+            key,
+            values: g.scan.ops.iter().map(|&op| AggValue::empty(op)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Finds or creates the slot for the group `row` belongs to.
+    #[inline]
+    fn slot_for_row(&mut self, g: &CompiledGroupBy<'_>, row: usize) -> usize {
+        match &g.path {
+            GroupPath::Dense { .. } => {
+                let code = g.key_cols[0][row] as usize;
+                let s = self.dense[code];
+                if s != u32::MAX {
+                    s as usize
+                } else {
+                    let s = self.slots.len();
+                    self.dense[code] = s as u32;
+                    self.slots.push(Self::new_slot(g, vec![code as u32]));
+                    s
+                }
+            }
+            GroupPath::Packed { bits } => {
+                let key = g.pack_key(bits, row);
+                if let Some(&s) = self.packed.get(&key) {
+                    s as usize
+                } else {
+                    let s = self.slots.len();
+                    self.packed.insert(key, s as u32);
+                    let full: Vec<u32> = g.key_cols.iter().map(|c| c[row]).collect();
+                    self.slots.push(Self::new_slot(g, full));
+                    s
+                }
+            }
+            GroupPath::Hashed => {
+                let full: Vec<u32> = g.key_cols.iter().map(|c| c[row]).collect();
+                if let Some(&s) = self.hashed.get(&full) {
+                    s as usize
+                } else {
+                    let s = self.slots.len();
+                    self.hashed.insert(full.clone(), s as u32);
+                    self.slots.push(Self::new_slot(g, full));
+                    s
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn accumulate_row(&mut self, g: &CompiledGroupBy<'_>, row: usize) {
+        self.matched += 1;
+        let s = self.slot_for_row(g, row);
+        let slot = &mut self.slots[s];
+        slot.rows += 1;
+        for (val, col) in slot.values.iter_mut().zip(&g.scan.agg_cols) {
+            match col {
+                Some(c) => val.accumulate(c[row] * g.scan.weight),
+                None => val.accumulate_count(),
+            }
+        }
+    }
+
+    /// Merges `other` into `self` (the reduce step).
+    pub(crate) fn merge(&mut self, g: &CompiledGroupBy<'_>, other: Self) {
+        self.matched += other.matched;
+        for slot in other.slots {
+            let s = match &g.path {
+                GroupPath::Dense { .. } => {
+                    let code = slot.key[0] as usize;
+                    let s = self.dense[code];
+                    if s != u32::MAX {
+                        s as usize
+                    } else {
+                        let s = self.slots.len();
+                        self.dense[code] = s as u32;
+                        self.slots.push(Self::new_slot(g, slot.key.clone()));
+                        s
+                    }
+                }
+                GroupPath::Packed { bits } => {
+                    let mut key = 0u64;
+                    for (&coord, &b) in slot.key.iter().zip(bits) {
+                        key = (key << b) | u64::from(coord);
+                    }
+                    if let Some(&s) = self.packed.get(&key) {
+                        s as usize
+                    } else {
+                        let s = self.slots.len();
+                        self.packed.insert(key, s as u32);
+                        self.slots.push(Self::new_slot(g, slot.key.clone()));
+                        s
+                    }
+                }
+                GroupPath::Hashed => {
+                    if let Some(&s) = self.hashed.get(&slot.key) {
+                        s as usize
+                    } else {
+                        let s = self.slots.len();
+                        self.hashed.insert(slot.key.clone(), s as u32);
+                        self.slots.push(Self::new_slot(g, slot.key.clone()));
+                        s
+                    }
+                }
+            };
+            let mine = &mut self.slots[s];
+            mine.rows += slot.rows;
+            for (a, b) in mine.values.iter_mut().zip(&slot.values) {
+                a.merge(b);
+            }
+        }
+    }
+
+    /// Sorts the groups by key and produces the final result.
+    pub(crate) fn finish(self) -> crate::groupby::GroupedResult {
+        let mut groups: Vec<crate::groupby::Group> = self
+            .slots
+            .into_iter()
+            .map(|s| crate::groupby::Group {
+                key: s.key,
+                values: s.values,
+                rows: s.rows,
+            })
+            .collect();
+        groups.sort_by(|a, b| a.key.cmp(&b.key));
+        crate::groupby::GroupedResult {
+            groups,
+            matched_rows: self.matched,
+        }
+    }
+}
+
+impl CompiledGroupBy<'_> {
+    /// Grouped scan of `[start, end)` (with `start` batch-aligned),
+    /// accumulating into `acc` in row order.
+    pub(crate) fn scan_range(
+        &self,
+        zones: &ZoneMaps,
+        start: usize,
+        end: usize,
+        acc: &mut GroupAcc,
+    ) {
+        debug_assert_eq!(start % BATCH_ROWS, 0);
+        if self.scan.empty || start >= end {
+            return;
+        }
+        let mut sel = vec![0u32; BATCH_ROWS];
+        let mut active: Vec<&Filter<'_>> = Vec::with_capacity(self.scan.filters.len());
+        let mut batch_start = start;
+        while batch_start < end {
+            let batch_end = (batch_start + BATCH_ROWS).min(end);
+            let block = batch_start / BATCH_ROWS;
+            active.clear();
+            let mut skip = false;
+            for f in &self.scan.filters {
+                match f.zone_decision(zones, block) {
+                    ZoneDecision::Skip => {
+                        skip = true;
+                        break;
+                    }
+                    ZoneDecision::AllMatch => {}
+                    ZoneDecision::Eval => active.push(f),
+                }
+            }
+            if skip {
+                batch_start = batch_end;
+                continue;
+            }
+            if active.is_empty() {
+                for row in batch_start..batch_end {
+                    acc.accumulate_row(self, row);
+                }
+            } else {
+                let mut n = active[0].eval_init(batch_start, batch_end, &mut sel);
+                for f in &active[1..] {
+                    if n == 0 {
+                        break;
+                    }
+                    n = f.eval_compact(&mut sel, n);
+                }
+                for &idx in &sel[..n] {
+                    acc.accumulate_row(self, idx as usize);
+                }
+            }
+            batch_start = batch_end;
+        }
+    }
+}

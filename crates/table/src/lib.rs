@@ -25,6 +25,16 @@
 //! number of columns a query touches, the `C_QD` quantity of Eq. 12 that
 //! drives the GPU cost model.
 //!
+//! Execution is vectorized ([`exec`]): predicates evaluate column-wise over
+//! fixed [`BATCH_ROWS`]-row batches into reusable selection vectors with
+//! branch-free kernels, per-block zone maps ([`zone`]) skip batches whose
+//! `[min, max]` cannot satisfy a conjunct, set predicates compile to dense
+//! membership bitmaps, and group-by packs small keys into a `u64` (or a
+//! dense slot array for one small-domain key). The original row-at-a-time
+//! interpreter is retained as [`FactTable::scan_scalar`] /
+//! [`FactTable::group_by_scalar`] — the reference implementation the
+//! vectorized engine is property-tested and benchmarked against.
+//!
 //! # Example
 //!
 //! ```
@@ -52,12 +62,15 @@
 #![warn(missing_docs)]
 
 pub mod column;
+pub mod exec;
 pub mod groupby;
 pub mod scan;
 pub mod schema;
 pub mod table;
+pub mod zone;
 
 pub use column::{ColumnStore, F64Pool, U32Pool};
+pub use exec::{BATCH_ROWS, BLOCK_ROWS};
 pub use groupby::{Group, GroupByQuery, GroupedResult};
 pub use scan::{
     AggOp, AggResult, AggSpec, AggValue, Predicate, ScanError, ScanQuery, SetPredicate,
@@ -66,3 +79,4 @@ pub use schema::{
     ColumnId, DimensionSchema, LevelSchema, MeasureSchema, SchemaBuilder, TableSchema,
 };
 pub use table::{FactTable, FactTableBuilder, RowError};
+pub use zone::{ZoneColumn, ZoneMaps};

@@ -4,19 +4,21 @@
 //! scan of the fact table evaluating conjunctive inclusive-range filters on
 //! dimension columns, followed by (optionally weighted) aggregation over
 //! measure columns and a reduction (Lauer et al.'s pipeline, paper §II-C).
-//! The parallel variant uses rayon over row blocks with per-block partial
-//! accumulators merged at the end — structurally the same as the GPU's
-//! "parallel table scan → parallel reduction" steps.
+//! Both entry points run on the vectorized executor ([`crate::exec`]):
+//! batch-at-a-time predicate evaluation over selection vectors with
+//! zone-map block skipping. The parallel variant distributes row blocks
+//! over rayon with a `fold`+`reduce` of partial accumulators — structurally
+//! the same as the GPU's "parallel table scan → parallel reduction" steps.
+//! The original row-at-a-time interpreter is retained as
+//! [`FactTable::scan_scalar`], the reference implementation the vectorized
+//! engine is tested and benchmarked against.
 
+use crate::exec::{CompiledScan, BLOCK_ROWS};
 use crate::schema::ColumnId;
 use crate::table::FactTable;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-
-/// Rows per parallel work block. Large enough to amortise scheduling,
-/// small enough to load-balance across threads.
-const BLOCK_ROWS: usize = 64 * 1024;
 
 /// Inclusive range filter on a `u32` dimension column: the physical form of
 /// the paper's condition `C_L(f, t, l_K)` after translation.
@@ -124,6 +126,28 @@ impl SetPredicate {
     #[inline]
     pub fn contains(&self, v: u32) -> bool {
         self.codes.binary_search(&v).is_ok()
+    }
+
+    /// Whether any member code lies in `lo..=hi` — the zone-map pruning
+    /// test: a block whose `[min, max]` misses every code cannot match.
+    #[inline]
+    pub fn intersects_range(&self, lo: u32, hi: u32) -> bool {
+        let i = self.codes.partition_point(|&c| c < lo);
+        i < self.codes.len() && self.codes[i] <= hi
+    }
+
+    /// Whether *every* value in `lo..=hi` is a member — the filter can be
+    /// elided for a block whose `[min, max]` the set covers. Codes are
+    /// sorted and deduplicated, so the run `lo..=hi` is present exactly
+    /// when `lo` is a member and `hi` sits `hi - lo` slots later.
+    #[inline]
+    pub fn covers_range(&self, lo: u32, hi: u32) -> bool {
+        let i = self.codes.partition_point(|&c| c < lo);
+        let span = (hi - lo) as usize;
+        i < self.codes.len()
+            && self.codes[i] == lo
+            && i + span < self.codes.len()
+            && self.codes[i + span] == hi
     }
 }
 
@@ -311,6 +335,18 @@ pub struct AggResult {
     pub matched_rows: u64,
 }
 
+impl AggResult {
+    /// Merges another partial result of the same query into this one (the
+    /// reduce step of the parallel scan).
+    pub fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.values.len(), other.values.len());
+        self.matched_rows += other.matched_rows;
+        for (t, p) in self.values.iter_mut().zip(&other.values) {
+            t.merge(p);
+        }
+    }
+}
+
 impl FactTable {
     pub(crate) fn validate(&self, q: &ScanQuery) -> Result<(), ScanError> {
         for p in &q.predicates {
@@ -338,8 +374,10 @@ impl FactTable {
         Ok(())
     }
 
-    /// Scans one block of rows `[start, end)`, returning partial results.
-    fn scan_block(&self, q: &ScanQuery, start: usize, end: usize) -> AggResult {
+    /// Scans one block of rows `[start, end)` row-at-a-time, returning
+    /// partial results — the naive interpreter kept as the reference the
+    /// vectorized engine is verified against.
+    fn scan_block_scalar(&self, q: &ScanQuery, start: usize, end: usize) -> AggResult {
         let pred_cols: Vec<&[u32]> = q
             .predicates
             .iter()
@@ -384,46 +422,62 @@ impl FactTable {
         }
     }
 
-    fn merge_results(&self, q: &ScanQuery, parts: Vec<AggResult>) -> AggResult {
-        let mut total = AggResult {
-            values: q.aggregates.iter().map(|a| AggValue::empty(a.op)).collect(),
-            matched_rows: 0,
-        };
-        for part in parts {
-            total.matched_rows += part.matched_rows;
-            for (t, p) in total.values.iter_mut().zip(&part.values) {
-                t.merge(p);
-            }
-        }
-        total
+    /// Row-at-a-time reference scan. This is the original naive
+    /// interpreter, retained verbatim: property tests assert the
+    /// vectorized [`FactTable::scan_seq`] is exactly equivalent to it, and
+    /// the `scan_bench` binary measures the speedup against it.
+    pub fn scan_scalar(&self, q: &ScanQuery) -> Result<AggResult, ScanError> {
+        self.validate(q)?;
+        Ok(self.scan_block_scalar(q, 0, self.rows()))
     }
 
-    /// Sequential scan (the single-threaded baseline).
+    /// Sequential scan (the single-threaded baseline) on the vectorized
+    /// executor. Bit-identical to [`FactTable::scan_scalar`]: batches are
+    /// visited in row order with a single accumulator, so floating-point
+    /// accumulation order is unchanged.
     pub fn scan_seq(&self, q: &ScanQuery) -> Result<AggResult, ScanError> {
         self.validate(q)?;
-        Ok(self.scan_block(q, 0, self.rows()))
+        let compiled = CompiledScan::compile(self, q);
+        let mut acc = compiled.empty_result();
+        compiled.scan_range(self.zone_maps(), 0, self.rows(), &mut acc);
+        Ok(acc)
     }
 
-    /// Parallel scan over row blocks using the current rayon thread pool.
+    /// Parallel scan over row blocks using the current rayon thread pool,
+    /// as a rayon `fold`+`reduce`: each worker accumulates whole blocks
+    /// into its own partial and partials merge pairwise in parallel —
+    /// no `Vec` of per-block results is ever materialised.
     ///
     /// Equivalent to [`FactTable::scan_seq`] up to floating-point
     /// reassociation in the reduction.
     pub fn scan_par(&self, q: &ScanQuery) -> Result<AggResult, ScanError> {
         self.validate(q)?;
         let rows = self.rows();
-        if rows == 0 {
-            return Ok(self.scan_block(q, 0, 0));
+        let compiled = CompiledScan::compile(self, q);
+        if rows == 0 || compiled.empty {
+            return Ok(compiled.empty_result());
         }
+        let zones = self.zone_maps();
         let blocks = rows.div_ceil(BLOCK_ROWS);
-        let parts: Vec<AggResult> = (0..blocks)
+        let total = (0..blocks)
             .into_par_iter()
-            .map(|b| {
-                let start = b * BLOCK_ROWS;
-                let end = (start + BLOCK_ROWS).min(rows);
-                self.scan_block(q, start, end)
-            })
-            .collect();
-        Ok(self.merge_results(q, parts))
+            .fold(
+                || compiled.empty_result(),
+                |mut acc, b| {
+                    let start = b * BLOCK_ROWS;
+                    let end = (start + BLOCK_ROWS).min(rows);
+                    compiled.scan_range(zones, start, end, &mut acc);
+                    acc
+                },
+            )
+            .reduce(
+                || compiled.empty_result(),
+                |mut a, b| {
+                    a.merge(&b);
+                    a
+                },
+            );
+        Ok(total)
     }
 }
 

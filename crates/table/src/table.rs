@@ -2,6 +2,7 @@
 
 use crate::column::ColumnStore;
 use crate::schema::{ColumnId, TableSchema};
+use crate::zone::ZoneMaps;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -141,8 +142,14 @@ impl FactTableBuilder {
         self.rows
     }
 
-    /// Freezes the builder into a [`FactTable`] with pooled storage.
+    /// Freezes the builder into a [`FactTable`] with pooled storage,
+    /// computing the per-block zone maps the vectorized scan engine skips
+    /// blocks with.
     pub fn finish(self) -> FactTable {
+        let zones = {
+            let slices: Vec<&[u32]> = self.dim_cols.iter().map(Vec::as_slice).collect();
+            ZoneMaps::from_columns(&slices)
+        };
         let mut store = ColumnStore::default();
         for col in self.dim_cols {
             store.dims.push_column(col);
@@ -154,6 +161,7 @@ impl FactTableBuilder {
             schema: self.schema,
             store,
             rows: self.rows,
+            zones,
         }
     }
 }
@@ -164,6 +172,7 @@ pub struct FactTable {
     schema: TableSchema,
     store: ColumnStore,
     rows: usize,
+    zones: ZoneMaps,
 }
 
 impl FactTable {
@@ -217,6 +226,10 @@ impl FactTable {
                 flat += 1;
             }
         }
+        let zones = {
+            let slices: Vec<&[u32]> = dim_columns.iter().map(Vec::as_slice).collect();
+            ZoneMaps::from_columns(&slices)
+        };
         let mut store = ColumnStore::default();
         for col in dim_columns {
             store.dims.push_column(col);
@@ -228,6 +241,7 @@ impl FactTable {
             schema,
             store,
             rows,
+            zones,
         })
     }
     /// The table's schema.
@@ -278,6 +292,17 @@ impl FactTable {
             ColumnId::Dim { dim, level } => self.dim_column(dim, level),
             ColumnId::Measure(_) => panic!("{id:?} is not a u32 column"),
         }
+    }
+
+    /// The `u32` dimension column at flat pool index `idx` (schema order).
+    pub(crate) fn dim_column_flat(&self, idx: usize) -> &[u32] {
+        self.store.dims.column(idx)
+    }
+
+    /// The table's zone maps: per-[`crate::exec::BATCH_ROWS`]-block min/max
+    /// of every dimension column, in schema order.
+    pub fn zone_maps(&self) -> &ZoneMaps {
+        &self.zones
     }
 }
 

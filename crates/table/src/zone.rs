@@ -1,0 +1,172 @@
+//! Zone maps: per-block min/max summaries of every dimension column.
+//!
+//! A zone map slices each dimension column into fixed blocks of
+//! [`BATCH_ROWS`](crate::exec::BATCH_ROWS) rows and records the minimum and
+//! maximum coordinate inside every block. The vectorized scan engine
+//! ([`exec`](crate::exec)) consults them before touching a batch of rows:
+//!
+//! * a range filter whose window lies entirely outside `[min, max]` proves
+//!   the block contains no match — the block is **skipped** without reading
+//!   a single row;
+//! * a window that contains `[min, max]` proves every row matches — the
+//!   filter is **elided** for that block;
+//! * the table-wide fold of the block bounds lets provably-empty queries
+//!   short-circuit before visiting any block at all.
+//!
+//! Zone maps are derived data: [`FactTableBuilder::finish`]
+//! (crate::table::FactTableBuilder::finish) and
+//! [`FactTable::from_parts`](crate::table::FactTable::from_parts) both
+//! compute them, and `holap-store` persists them alongside the column pools
+//! so a loaded table skips blocks exactly like the table that was saved.
+
+use crate::exec::BATCH_ROWS;
+use serde::{Deserialize, Serialize};
+
+/// Per-block `[min, max]` summaries for one `u32` column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneColumn {
+    mins: Vec<u32>,
+    maxs: Vec<u32>,
+}
+
+impl ZoneColumn {
+    fn from_column(col: &[u32]) -> Self {
+        let blocks = col.len().div_ceil(BATCH_ROWS);
+        let mut mins = Vec::with_capacity(blocks);
+        let mut maxs = Vec::with_capacity(blocks);
+        for chunk in col.chunks(BATCH_ROWS) {
+            let mut lo = u32::MAX;
+            let mut hi = 0u32;
+            for &v in chunk {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            mins.push(lo);
+            maxs.push(hi);
+        }
+        Self { mins, maxs }
+    }
+
+    /// Block minima, one per [`BATCH_ROWS`] block.
+    pub fn mins(&self) -> &[u32] {
+        &self.mins
+    }
+
+    /// Block maxima, one per [`BATCH_ROWS`] block.
+    pub fn maxs(&self) -> &[u32] {
+        &self.maxs
+    }
+
+    /// `[min, max]` of block `b`.
+    #[inline]
+    pub fn block_bounds(&self, b: usize) -> (u32, u32) {
+        (self.mins[b], self.maxs[b])
+    }
+
+    /// Column-wide `[min, max]`, or `None` for an empty column.
+    pub fn bounds(&self) -> Option<(u32, u32)> {
+        if self.mins.is_empty() {
+            return None;
+        }
+        let lo = self.mins.iter().copied().min().expect("non-empty");
+        let hi = self.maxs.iter().copied().max().expect("non-empty");
+        Some((lo, hi))
+    }
+}
+
+/// Zone maps for every dimension column of a fact table, in schema order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneMaps {
+    rows: usize,
+    columns: Vec<ZoneColumn>,
+}
+
+impl ZoneMaps {
+    /// Builds zone maps from dimension column slices (schema order). All
+    /// columns must share one length.
+    pub fn from_columns(columns: &[&[u32]]) -> Self {
+        let rows = columns.first().map_or(0, |c| c.len());
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Self {
+            rows,
+            columns: columns.iter().map(|c| ZoneColumn::from_column(c)).collect(),
+        }
+    }
+
+    /// Reassembles zone maps from raw per-column min/max arrays (used by
+    /// persistence layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when array lengths disagree with `rows`.
+    pub fn from_parts(rows: usize, parts: Vec<(Vec<u32>, Vec<u32>)>) -> Result<Self, String> {
+        let blocks = rows.div_ceil(BATCH_ROWS);
+        let mut columns = Vec::with_capacity(parts.len());
+        for (i, (mins, maxs)) in parts.into_iter().enumerate() {
+            if mins.len() != blocks || maxs.len() != blocks {
+                return Err(format!(
+                    "zone column {i}: {}/{} blocks supplied, table of {rows} rows has {blocks}",
+                    mins.len(),
+                    maxs.len()
+                ));
+            }
+            columns.push(ZoneColumn { mins, maxs });
+        }
+        Ok(Self { rows, columns })
+    }
+
+    /// Number of row blocks (`ceil(rows / BATCH_ROWS)`).
+    pub fn block_count(&self) -> usize {
+        self.rows.div_ceil(BATCH_ROWS)
+    }
+
+    /// Number of summarised columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Zone summary of flat dimension column `idx`.
+    #[inline]
+    pub fn column(&self, idx: usize) -> &ZoneColumn {
+        &self.columns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_bounds_cover_each_block() {
+        let col: Vec<u32> = (0..3000u32)
+            .map(|i| i % 7 + (i / BATCH_ROWS as u32))
+            .collect();
+        let zc = ZoneColumn::from_column(&col);
+        assert_eq!(zc.mins().len(), 3);
+        for (b, chunk) in col.chunks(BATCH_ROWS).enumerate() {
+            let (lo, hi) = zc.block_bounds(b);
+            assert_eq!(lo, *chunk.iter().min().unwrap());
+            assert_eq!(hi, *chunk.iter().max().unwrap());
+        }
+        assert_eq!(zc.bounds(), Some((0, 8)));
+    }
+
+    #[test]
+    fn empty_column_has_no_blocks() {
+        let zc = ZoneColumn::from_column(&[]);
+        assert!(zc.mins().is_empty());
+        assert_eq!(zc.bounds(), None);
+        let zm = ZoneMaps::from_columns(&[&[]]);
+        assert_eq!(zm.block_count(), 0);
+        assert_eq!(zm.column_count(), 1);
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let zm = ZoneMaps::from_columns(&[&[1, 2, 3]]);
+        let parts = vec![(zm.column(0).mins().to_vec(), zm.column(0).maxs().to_vec())];
+        assert_eq!(ZoneMaps::from_parts(3, parts).unwrap(), zm);
+        assert!(ZoneMaps::from_parts(3, vec![(vec![], vec![0])]).is_err());
+        assert!(ZoneMaps::from_parts(BATCH_ROWS * 2, vec![(vec![0], vec![1])]).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Property tests pinning the vectorized scan engine to the retained
+//! row-at-a-time scalar reference.
+//!
+//! The sequential vectorized paths (`scan_seq`, `group_by_seq`) must be
+//! **exactly** equal to `scan_scalar` / `group_by_scalar` — including
+//! floating-point bit identity, because both accumulate measures in row
+//! order with one accumulator per (group, aggregate). The parallel paths
+//! reassociate additions across blocks, so sums are compared with a
+//! relative tolerance while order-independent aggregates (COUNT/MIN/MAX)
+//! stay exact.
+
+use holap::table::{
+    AggOp, AggSpec, ColumnId, FactTable, FactTableBuilder, GroupByQuery, Predicate, ScanQuery,
+    SetPredicate, TableSchema, BATCH_ROWS,
+};
+use proptest::prelude::*;
+
+const ALL_OPS: [AggOp; 5] = [AggOp::Count, AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Avg];
+
+/// Random tables spanning several zone-map blocks: two dimensions (the
+/// first with two levels), two measures, up to ~3 batches of rows. When
+/// `sorted` is set the level-0 coordinates are clustered, so zone maps
+/// produce genuine `Skip` and `AllMatch` decisions rather than `Eval`
+/// everywhere.
+fn table_strategy() -> impl Strategy<Value = FactTable> {
+    (
+        2u32..6,
+        4u32..40,
+        2u32..8,
+        proptest::collection::vec((0u32..1_000_000, -100.0..100.0f64), 0..(3 * BATCH_ROWS + 7)),
+        any::<bool>(),
+    )
+        .prop_map(|(c0, c1, c2, mut rows, sorted)| {
+            if sorted {
+                rows.sort_by_key(|&(coord, _)| coord % c1);
+            }
+            let schema = TableSchema::builder()
+                .dimension("a", &[("coarse", c0), ("fine", c1)])
+                .dimension("b", &[("l0", c2)])
+                .measure("m0")
+                .measure("m1")
+                .build();
+            let mut b = FactTableBuilder::new(schema);
+            for (coord, v) in rows {
+                b.push_row(&[coord % c0, coord % c1, coord % c2], &[v, -v * 0.5])
+                    .unwrap();
+            }
+            b.finish()
+        })
+}
+
+/// Random queries: every aggregate op (plus COUNT(*)), a random weight,
+/// 0–2 range filters per run — possibly contradictory (`lo > hi` after
+/// intersection) — and an optional membership filter that may be empty.
+fn query_strategy() -> impl Strategy<Value = ScanQuery> {
+    (
+        proptest::collection::vec((0usize..3, 0u32..40, 0u32..40), 0..3),
+        proptest::option::of(proptest::collection::vec(0u32..40, 0..5)),
+        prop_oneof![Just(1.0f64), Just(0.5), Just(-2.0), Just(3.25)],
+    )
+        .prop_map(|(filters, set, weight)| {
+            let cols = [
+                ColumnId::dim(0, 0),
+                ColumnId::dim(0, 1),
+                ColumnId::dim(1, 0),
+            ];
+            let mut q = ScanQuery::new().with_weight(weight);
+            for (c, lo, hi) in filters {
+                q = q.filter(Predicate::range(cols[c], lo.min(hi), lo.max(hi)));
+            }
+            if let Some(codes) = set {
+                q = q.filter_set(SetPredicate::new(ColumnId::dim(0, 1), codes));
+            }
+            for op in ALL_OPS {
+                q = q.aggregate(AggSpec::new(op, Some(0)));
+                q = q.aggregate(AggSpec::new(op, Some(1)));
+            }
+            q.aggregate(AggSpec::count_star())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The sequential vectorized scan is bit-identical to the scalar
+    /// reference for every op, weight, and filter combination.
+    #[test]
+    fn vectorized_scan_equals_scalar_exactly(
+        table in table_strategy(),
+        q in query_strategy(),
+    ) {
+        prop_assert_eq!(table.scan_seq(&q).unwrap(), table.scan_scalar(&q).unwrap());
+    }
+
+    /// The parallel scan matches the scalar reference: COUNT/MIN/MAX and
+    /// matched-row counts exactly, SUM/AVG within FP-reassociation slack.
+    #[test]
+    fn parallel_scan_equals_scalar(
+        table in table_strategy(),
+        q in query_strategy(),
+    ) {
+        let s = table.scan_scalar(&q).unwrap();
+        let p = table.scan_par(&q).unwrap();
+        prop_assert_eq!(s.matched_rows, p.matched_rows);
+        prop_assert_eq!(s.values.len(), p.values.len());
+        for (a, b) in s.values.iter().zip(&p.values) {
+            prop_assert_eq!(a.count, b.count);
+            prop_assert_eq!(a.min, b.min);
+            prop_assert_eq!(a.max, b.max);
+            prop_assert!((a.sum - b.sum).abs() <= 1e-9 * (1.0 + a.sum.abs()));
+        }
+    }
+
+    /// The sequential vectorized group-by is bit-identical to the scalar
+    /// reference — groups, keys, row counts, and aggregate values.
+    #[test]
+    fn vectorized_group_by_equals_scalar_exactly(
+        table in table_strategy(),
+        q in query_strategy(),
+        two_keys in any::<bool>(),
+    ) {
+        let keys = if two_keys {
+            vec![ColumnId::dim(0, 1), ColumnId::dim(1, 0)]
+        } else {
+            vec![ColumnId::dim(0, 0)]
+        };
+        let gq = GroupByQuery::new(q, keys);
+        prop_assert_eq!(
+            table.group_by_seq(&gq).unwrap(),
+            table.group_by_scalar(&gq).unwrap()
+        );
+    }
+
+    /// The parallel group-by produces the same groups as the scalar
+    /// reference, with SUM compared under FP-reassociation slack.
+    #[test]
+    fn parallel_group_by_equals_scalar(
+        table in table_strategy(),
+        q in query_strategy(),
+    ) {
+        let gq = GroupByQuery::new(q, vec![ColumnId::dim(0, 1), ColumnId::dim(1, 0)]);
+        let s = table.group_by_scalar(&gq).unwrap();
+        let p = table.group_by_par(&gq).unwrap();
+        prop_assert_eq!(s.matched_rows, p.matched_rows);
+        prop_assert_eq!(s.groups.len(), p.groups.len());
+        for (a, b) in s.groups.iter().zip(&p.groups) {
+            prop_assert_eq!(&a.key, &b.key);
+            prop_assert_eq!(a.rows, b.rows);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert_eq!(x.count, y.count);
+                prop_assert_eq!(x.min, y.min);
+                prop_assert_eq!(x.max, y.max);
+                prop_assert!((x.sum - y.sum).abs() <= 1e-9 * (1.0 + x.sum.abs()));
+            }
+        }
+    }
+}
+
+/// Keys too wide to pack into a `u64` fall back to the hashed group path;
+/// the fallback must still match the scalar reference exactly.
+#[test]
+fn wide_keys_use_hashed_path_and_match_scalar() {
+    // 5 key columns × 16 bits each = 80 bits > 64 → Hashed.
+    let card = 1 << 16;
+    let schema = TableSchema::builder()
+        .dimension("d0", &[("l", card)])
+        .dimension("d1", &[("l", card)])
+        .dimension("d2", &[("l", card)])
+        .dimension("d3", &[("l", card)])
+        .dimension("d4", &[("l", card)])
+        .measure("m")
+        .build();
+    let mut b = FactTableBuilder::new(schema);
+    let mut x = 1u32;
+    for _ in 0..4000 {
+        // Small xorshift keeps coords deterministic but scattered.
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let c = x % card;
+        b.push_row(&[c, c / 3, c / 7, c / 11, c / 13], &[f64::from(x % 1000)])
+            .unwrap();
+    }
+    let table = b.finish();
+    let q = GroupByQuery::new(
+        ScanQuery::new()
+            .filter(Predicate::range(ColumnId::dim(0, 0), 0, card / 2))
+            .aggregate(AggSpec::new(AggOp::Sum, Some(0)))
+            .aggregate(AggSpec::count_star()),
+        (0..5).map(|d| ColumnId::dim(d, 0)).collect(),
+    );
+    assert_eq!(
+        table.group_by_seq(&q).unwrap(),
+        table.group_by_scalar(&q).unwrap()
+    );
+}
+
+/// A membership filter on a column whose cardinality exceeds the bitmap
+/// budget compiles to the sorted-probe fallback; results must not change.
+#[test]
+fn huge_domain_set_predicate_uses_sparse_path() {
+    let card = (1u32 << 22) + 10; // just past BITMAP_MAX_BITS
+    let schema = TableSchema::builder()
+        .dimension("id", &[("l", card)])
+        .measure("m")
+        .build();
+    let mut b = FactTableBuilder::new(schema);
+    for i in 0..3000u32 {
+        b.push_row(&[(i * 1399) % card], &[f64::from(i)]).unwrap();
+    }
+    let table = b.finish();
+    let codes: Vec<u32> = (0..3000u32)
+        .step_by(5)
+        .map(|i| (i * 1399) % card)
+        .chain([card - 1, 7]) // members that hit no row are fine too
+        .collect();
+    let q = ScanQuery::new()
+        .filter_set(SetPredicate::new(ColumnId::dim(0, 0), codes))
+        .aggregate(AggSpec::new(AggOp::Sum, Some(0)))
+        .aggregate(AggSpec::new(AggOp::Avg, Some(0)))
+        .aggregate(AggSpec::count_star());
+    assert_eq!(table.scan_seq(&q).unwrap(), table.scan_scalar(&q).unwrap());
+    assert_eq!(table.scan_par(&q).unwrap().matched_rows, 600);
+}
+
+/// Degenerate queries short-circuit without touching rows and still agree
+/// with the scalar reference.
+#[test]
+fn degenerate_queries_match_scalar() {
+    let schema = TableSchema::builder()
+        .dimension("a", &[("l", 8)])
+        .measure("m")
+        .build();
+    let mut b = FactTableBuilder::new(schema);
+    for i in 0..2000u32 {
+        b.push_row(&[i % 8], &[f64::from(i)]).unwrap();
+    }
+    let table = b.finish();
+    let agg = |q: ScanQuery| {
+        q.aggregate(AggSpec::new(AggOp::Sum, Some(0)))
+            .aggregate(AggSpec::count_star())
+    };
+    // Empty membership set.
+    let empty_set =
+        agg(ScanQuery::new().filter_set(SetPredicate::new(ColumnId::dim(0, 0), vec![])));
+    // Contradictory conjunction: [2,7] ∩ [0,1] = ∅.
+    let contradiction = agg(ScanQuery::new()
+        .filter(Predicate::range(ColumnId::dim(0, 0), 2, 7))
+        .filter(Predicate::range(ColumnId::dim(0, 0), 0, 1)));
+    // Membership set disjoint from the surviving range window.
+    let out_of_domain = agg(ScanQuery::new()
+        .filter(Predicate::range(ColumnId::dim(0, 0), 7, 7))
+        .filter_set(SetPredicate::new(ColumnId::dim(0, 0), vec![0, 1, 2])));
+    for q in [empty_set, contradiction, out_of_domain] {
+        let s = table.scan_scalar(&q).unwrap();
+        assert_eq!(table.scan_seq(&q).unwrap(), s);
+        assert_eq!(table.scan_par(&q).unwrap(), s);
+        let gq = GroupByQuery::new(q, vec![ColumnId::dim(0, 0)]);
+        let gs = table.group_by_scalar(&gq).unwrap();
+        assert_eq!(table.group_by_seq(&gq).unwrap(), gs);
+        assert_eq!(table.group_by_par(&gq).unwrap(), gs);
+        assert!(gs.groups.is_empty());
+    }
+}
