@@ -3,7 +3,14 @@
 //!
 //! ```text
 //! overload [--queries N] [--rows N]
+//! overload --faults [--queries N] [--rows N] [--seed N] [--out PATH]
 //! ```
+//!
+//! With `--faults` the same pipeline runs a fault matrix instead: the
+//! feasible workload under 0 %, 1 % and 5 % injected kernel-failure rates
+//! (the faulty rows also kill GPU partition 0 outright), reporting
+//! availability, p99 latency and reroute counts, and emitting
+//! `BENCH_faults.json`.
 //!
 //! The workload is a half-and-half mix of feasible coarse cube queries
 //! (generous deadline) and hopeless finest-level queries (1 µs deadline —
@@ -18,6 +25,7 @@
 //! * **reject** — capacity-1 queues with `Reject` backpressure: the
 //!   admission queue sheds load at the front door instead.
 
+use holap_core::gpusim::{FaultKind, FaultPlan};
 use holap_core::{
     AdmissionConfig, BackpressurePolicy, EngineError, EngineQuery, HybridSystem, QueryTicket,
     SheddingPolicy, SystemConfig,
@@ -35,6 +43,14 @@ fn parse_flag(args: &[String], key: &str, default: usize) -> usize {
 }
 
 fn build(rows: usize, admission: AdmissionConfig) -> HybridSystem {
+    build_with_faults(rows, admission, None)
+}
+
+fn build_with_faults(
+    rows: usize,
+    admission: AdmissionConfig,
+    plan: Option<FaultPlan>,
+) -> HybridSystem {
     let h = PaperHierarchy::scaled_down(8);
     let facts = SyntheticFacts::generate(&FactsSpec {
         schema: h.table_schema(),
@@ -48,15 +64,17 @@ fn build(rows: usize, admission: AdmissionConfig) -> HybridSystem {
         skew: None,
         seed: 7,
     });
-    HybridSystem::builder(SystemConfig {
+    let mut builder = HybridSystem::builder(SystemConfig {
         admission,
         ..SystemConfig::default()
     })
     .facts(facts)
     .cube_at(1)
-    .cube_at(2)
-    .build()
-    .expect("system builds")
+    .cube_at(2);
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    builder.build().expect("system builds")
 }
 
 fn workload(n: usize) -> Vec<EngineQuery> {
@@ -121,10 +139,119 @@ fn run(label: &str, sys: &HybridSystem, queries: &[EngineQuery]) {
     );
 }
 
+/// All-feasible mixed workload for the fault matrix: half coarse
+/// cube-resident queries, half finest-level queries that must run on the
+/// (faulty) GPU partitions. Generous deadlines — availability, not
+/// shedding, is what this mode measures.
+fn fault_workload(n: usize) -> Vec<EngineQuery> {
+    (0..n)
+        .map(|i| {
+            let v = i as u32;
+            if i % 2 == 0 {
+                EngineQuery::new().range(0, 1, v % 3, 3).deadline(10.0)
+            } else {
+                EngineQuery::new()
+                    .range(0, 3, v % 5, 5 + v % 5)
+                    .deadline(10.0)
+            }
+        })
+        .collect()
+}
+
+fn run_fault_matrix(queries: usize, rows: usize, seed: u64, out: &str) {
+    let mix = fault_workload(queries);
+    println!(
+        "fault matrix: {queries} queries, {rows} rows, seed {seed} (faulty rows also kill partition 0)"
+    );
+    println!(
+        "{:<10} {:>12} {:>9} {:>9} {:>9} {:>12} {:>11} {:>8}",
+        "config",
+        "availability",
+        "p99(ms)",
+        "rerouted",
+        "retries",
+        "quarantines",
+        "part-fails",
+        "failed"
+    );
+    let mut configs = Vec::new();
+    for &(label, rate, dead) in &[
+        ("baseline", 0.0, false),
+        ("faults-1%", 0.01, true),
+        ("faults-5%", 0.05, true),
+    ] {
+        let mut plan = FaultPlan::new(seed);
+        if rate > 0.0 {
+            plan = plan.with_failure_rate(rate, FaultKind::Error);
+        }
+        if dead {
+            plan = plan.with_dead_partition(0);
+        }
+        let sys = build_with_faults(rows, AdmissionConfig::default(), Some(plan));
+        let tickets = sys.submit_batch(mix.iter());
+        let mut answered = 0u64;
+        let mut errored = 0u64;
+        for t in tickets {
+            match t.and_then(|t| t.wait()) {
+                Ok(_) => answered += 1,
+                Err(_) => errored += 1,
+            }
+        }
+        let s = sys.stats();
+        let availability = 100.0 * answered as f64 / queries.max(1) as f64;
+        println!(
+            "{label:<10} {availability:>11.1}% {:>9.2} {:>9} {:>9} {:>12} {:>11} {:>8}",
+            s.p99_latency_secs() * 1e3,
+            s.rerouted,
+            s.retries,
+            s.quarantines,
+            s.partition_failures,
+            s.failed,
+        );
+        configs.push(serde_json::json!({
+            "label": label,
+            "failure_rate": rate,
+            "dead_partition": if dead { Some(0) } else { None },
+            "availability_pct": availability,
+            "answered": answered,
+            "errors": errored,
+            "p99_latency_ms": s.p99_latency_secs() * 1e3,
+            "p50_latency_ms": s.p50_latency_secs() * 1e3,
+            "rerouted": s.rerouted,
+            "retries": s.retries,
+            "timeouts": s.timeouts,
+            "partition_failures": s.partition_failures,
+            "quarantines": s.quarantines,
+            "readmissions": s.readmissions,
+            "failed": s.failed,
+        }));
+    }
+    let report = serde_json::json!({
+        "benchmark": "fault_tolerance",
+        "queries": queries,
+        "rows": rows,
+        "seed": seed,
+        "configs": configs,
+    });
+    std::fs::write(out, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let queries = parse_flag(&args, "--queries", 400);
     let rows = parse_flag(&args, "--rows", 30_000);
+    if args.iter().any(|a| a == "--faults") {
+        let seed = parse_flag(&args, "--seed", 5) as u64;
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_faults.json".to_owned());
+        run_fault_matrix(queries, rows, seed, &out);
+        return;
+    }
     let mix = workload(queries);
 
     println!(

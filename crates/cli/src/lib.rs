@@ -21,7 +21,10 @@
 
 #![warn(missing_docs)]
 
-use holap_core::{AdmissionConfig, BackpressurePolicy, HybridSystem, SheddingPolicy, SystemConfig};
+use holap_core::gpusim::{FaultKind, FaultPlan};
+use holap_core::{
+    AdmissionConfig, BackpressurePolicy, EngineQuery, HybridSystem, SheddingPolicy, SystemConfig,
+};
 use holap_cube::CubeSchema;
 use holap_dict::DictKind;
 use holap_sched::Policy;
@@ -401,6 +404,108 @@ pub fn cmd_batch(args: &Args) -> Result<String, CliError> {
     Ok(out.trim_end().to_owned())
 }
 
+/// `faults`: run a workload under injected GPU faults and report the
+/// degradation ladder — retries, quarantines, failovers, availability.
+pub fn cmd_faults(args: &Args) -> Result<String, CliError> {
+    let store: PathBuf = args.required("store")?.into();
+    let queries: usize = args.parsed("queries", 200)?;
+    let rate: f64 = args.parsed("rate", 0.05)?;
+    let seed: u64 = args.parsed("seed", 5)?;
+    let dead: Vec<usize> = match args.get("dead") {
+        None => Vec::new(),
+        Some(v) => v
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| CliError("--dead expects e.g. `0` or `0,2`".into()))?,
+    };
+    let config = SystemConfig {
+        policy: policy(args.get("policy").unwrap_or("paper"))?,
+        ..SystemConfig::default()
+    };
+    let gpu_partitions = config.layout.gpu_partitions();
+    let mut plan = FaultPlan::new(seed);
+    if rate > 0.0 {
+        plan = plan.with_failure_rate(rate, FaultKind::Error);
+    }
+    for &p in &dead {
+        if p >= gpu_partitions {
+            return err(format!(
+                "--dead partition {p} out of range ({gpu_partitions} GPU partitions)"
+            ));
+        }
+        plan = plan.with_dead_partition(p);
+    }
+    let (table, cubes, dicts) =
+        load_system(&store).map_err(|e| CliError(format!("load failed: {e}")))?;
+    let mut builder = HybridSystem::builder(config)
+        .facts((table, dicts))
+        .fault_plan(plan);
+    for cube in cubes {
+        builder = builder.prebuilt_cube(cube);
+    }
+    let system = builder
+        .build()
+        .map_err(|e| CliError(format!("build failed: {e}")))?;
+
+    // A mixed workload: coarse cube-resident queries plus finest-level
+    // queries that must run on the (faulty) GPU partitions.
+    let mix: Vec<EngineQuery> = (0..queries)
+        .map(|i| {
+            let v = i as u32;
+            match i % 3 {
+                0 => EngineQuery::new().range(0, 1, v % 2, 1 + v % 2),
+                1 => EngineQuery::new().range(0, 2, v % 4, 3 + v % 9),
+                _ => EngineQuery::new().range(0, 3, v % 5, 5 + v % 5),
+            }
+        })
+        .collect();
+    let tickets = system.submit_batch(mix.iter());
+    let mut answered = 0u64;
+    let mut errored = 0u64;
+    for t in tickets {
+        match t.and_then(|t| t.wait()) {
+            Ok(_) => answered += 1,
+            Err(_) => errored += 1,
+        }
+    }
+
+    let s = system.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault demo: {queries} queries, failure rate {:.1}%, dead partitions {dead:?}, seed {seed}",
+        rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "availability: {:.1}% ({answered}/{queries} answered, {errored} errors)",
+        100.0 * answered as f64 / queries.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "containment: {} partition failures, {} retries, {} timeouts",
+        s.partition_failures, s.retries, s.timeouts
+    );
+    let _ = writeln!(
+        out,
+        "degradation: {} quarantines, {} re-admissions, {} rerouted, {} failed",
+        s.quarantines, s.readmissions, s.rerouted, s.failed
+    );
+    let health: Vec<String> = (0..gpu_partitions)
+        .map(|p| format!("{p}:{:?}", system.partition_health(p)))
+        .collect();
+    let _ = writeln!(out, "partition health: {}", health.join(" "));
+    let _ = writeln!(
+        out,
+        "latency: p50 {:.2} ms, p99 {:.2} ms, deadline hit ratio {:.2}",
+        s.p50_latency_secs() * 1e3,
+        s.p99_latency_secs() * 1e3,
+        s.deadline_hit_ratio()
+    );
+    Ok(out.trim_end().to_owned())
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 holap-cli — hybrid GPU/CPU OLAP system (reproduction of Malik et al. 2012)
@@ -414,6 +519,7 @@ USAGE:
   holap-cli batch    --store DIR [--policy P] [--backpressure block|reject] \\
                      [--shedding off|shed|reject] [--queue N] [--partition-queue N] \\
                      'query one; query two; ...'
+  holap-cli faults   --store DIR [--queries N] [--rate F] [--dead P,Q] [--seed N] [--policy P]
 ";
 
 /// Dispatches a full argument vector (excluding the program name).
@@ -428,6 +534,7 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "info" => cmd_info(&args),
         "query" => cmd_query(&args),
         "batch" => cmd_batch(&args),
+        "faults" => cmd_faults(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -618,6 +725,61 @@ mod tests {
             .unwrap_err()
             .0
             .contains("no queries"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faults_command_reports_degradation_ladder() {
+        let dir = tempdir("faults");
+        let dirs = dir.to_str().unwrap();
+        run(&s(&[
+            "generate", "--out", dirs, "--rows", "4000", "--seed", "9",
+        ]))
+        .unwrap();
+        run(&s(&["cube", "--store", dirs, "--resolutions", "1,2"])).unwrap();
+
+        // A dead partition plus a light error rate: everything still
+        // answers (retry + quarantine + CPU failover), and the report
+        // shows the ladder engaging.
+        let out = run(&s(&[
+            "faults",
+            "--store",
+            dirs,
+            "--queries",
+            "60",
+            "--rate",
+            "0.02",
+            "--dead",
+            "0",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("availability: 100.0%"), "{out}");
+        assert!(out.contains("0 failed"), "{out}");
+        assert!(out.contains("partition health:"), "{out}");
+        assert!(!out.contains("degradation: 0 quarantines"), "{out}");
+
+        // No faults at all: clean run, no degradation counters.
+        let out = run(&s(&[
+            "faults",
+            "--store",
+            dirs,
+            "--queries",
+            "30",
+            "--rate",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("availability: 100.0%"), "{out}");
+        assert!(out.contains("0 quarantines"), "{out}");
+
+        // Out-of-range dead partition is a friendly error.
+        assert!(run(&s(&["faults", "--store", dirs, "--dead", "99"]))
+            .unwrap_err()
+            .0
+            .contains("out of range"));
 
         std::fs::remove_dir_all(&dir).ok();
     }

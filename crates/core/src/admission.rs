@@ -17,11 +17,12 @@ use crate::config::SheddingPolicy;
 use crate::engine::{EngineCore, Prepared, QueryOutcome};
 use crate::error::EngineError;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use holap_sched::{Decision, LiveLoad, Placement};
+use holap_sched::{Decision, HealthState, LiveLoad, Placement};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A handle to one submitted query. The outcome is delivered exactly once:
 /// consume it with [`QueryTicket::wait`], or poll with
@@ -242,6 +243,10 @@ fn dispatcher(
             core.scheduler
                 .lock()
                 .schedule_with_load(now, &job.prepared.est, t_c, Some(&load));
+        if decision.rerouted {
+            // The scheduler steered this query off a quarantined partition.
+            core.stats.lock().rerouted += 1;
+        }
         core.inflight.lock().charge(&decision);
 
         let target = match decision.placement {
@@ -257,22 +262,160 @@ fn dispatcher(
     }
 }
 
+/// Best-effort text from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "runner panicked".to_string()
+    }
+}
+
 /// The CPU processing partition: one thread = one queue (`Q_CPU`), fanning
-/// each query out over the partition's rayon pool.
+/// each query out over the partition's rayon pool. A panicking query
+/// resolves its own ticket with a typed error; the runner survives to
+/// serve the next one.
 fn cpu_runner(core: Arc<EngineCore>, rx: Receiver<RunJob>) {
     for run in rx {
         let started = Instant::now();
-        let result = core.run_cpu(&run.job.prepared);
-        core.finish(run, result, started.elapsed().as_secs_f64());
+        let result = catch_unwind(AssertUnwindSafe(|| core.run_cpu(&run.job.prepared)))
+            .unwrap_or_else(|payload| {
+                Err(EngineError::ExecutionFailed {
+                    attempts: 1,
+                    message: panic_message(payload.as_ref()),
+                })
+            });
+        core.finish(
+            run,
+            Placement::Cpu,
+            false,
+            result,
+            started.elapsed().as_secs_f64(),
+        );
     }
 }
 
 /// One GPU partition queue: routes text lookups through the translation
-/// partition, then executes the kernel on the simulated device.
+/// partition, then executes the kernel on the simulated device, retrying
+/// transient failures and failing over to the CPU when the partition is
+/// quarantined or times out. Every path resolves the ticket — the runner
+/// thread itself never dies.
 fn gpu_runner(core: Arc<EngineCore>, partition: usize, rx: Receiver<RunJob>) {
     for run in rx {
-        let started = Instant::now();
-        let result = core.run_gpu(partition, &run.job.prepared, run.decision.with_translation);
-        core.finish(run, result, started.elapsed().as_secs_f64());
+        execute_gpu_job(&core, partition, run);
+    }
+}
+
+/// Re-runs the query's scan on the CPU partition's pool and resolves the
+/// ticket — the degradation path for GPU work that cannot (or should not)
+/// run on its partition.
+fn fail_over_to_cpu(core: &Arc<EngineCore>, run: RunJob, started: Instant) {
+    core.stats.lock().rerouted += 1;
+    let result = catch_unwind(AssertUnwindSafe(|| core.run_cpu_scan(&run.job.prepared)))
+        .unwrap_or_else(|payload| {
+            Err(EngineError::ExecutionFailed {
+                attempts: 1,
+                message: panic_message(payload.as_ref()),
+            })
+        });
+    core.finish(
+        run,
+        Placement::Cpu,
+        false,
+        result,
+        started.elapsed().as_secs_f64(),
+    );
+}
+
+/// One query on one GPU partition, end to end:
+///
+/// 1. already quarantined → CPU failover without touching the kernel;
+/// 2. success → feed the scheduler's health tracker and finish;
+/// 3. transient failure → record it, then fail over (timeout, or the
+///    failure just quarantined the partition), retry with capped
+///    exponential backoff, or — budget spent — resolve the ticket with
+///    [`EngineError::ExecutionFailed`];
+/// 4. fatal failure → resolve the ticket immediately.
+fn execute_gpu_job(core: &Arc<EngineCore>, partition: usize, run: RunJob) {
+    let started = Instant::now();
+    let ft = core.config.faults;
+    if ft.cpu_failover && core.scheduler.lock().is_quarantined(partition) {
+        return fail_over_to_cpu(core, run, started);
+    }
+    let mut attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            core.run_gpu(partition, &run.job.prepared, run.decision.with_translation)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(EngineError::ExecutionFailed {
+                attempts: 1,
+                message: panic_message(payload.as_ref()),
+            })
+        });
+        match attempt {
+            Ok(ok) => {
+                core.scheduler.lock().record_partition_success(partition);
+                return core.finish(
+                    run,
+                    Placement::Gpu { partition },
+                    run.decision.with_translation,
+                    Ok(ok),
+                    started.elapsed().as_secs_f64(),
+                );
+            }
+            Err(e) if e.is_transient() => {
+                let now = core.epoch.elapsed().as_secs_f64();
+                let state = core
+                    .scheduler
+                    .lock()
+                    .record_partition_failure(partition, now);
+                let timed_out = matches!(e, EngineError::Timeout { .. });
+                {
+                    let mut stats = core.stats.lock();
+                    stats.partition_failures += 1;
+                    if timed_out {
+                        stats.timeouts += 1;
+                    }
+                }
+                // A timed-out kernel may still be occupying the partition
+                // worker; retrying there would queue behind the hang. A
+                // just-quarantined partition should not absorb retries
+                // either. Both degrade to the CPU when failover is on.
+                if ft.cpu_failover && (timed_out || state == HealthState::Quarantined) {
+                    return fail_over_to_cpu(core, run, started);
+                }
+                if attempts > ft.retry.max_retries {
+                    let message = match &e {
+                        EngineError::ExecutionFailed { message, .. } => message.clone(),
+                        other => other.to_string(),
+                    };
+                    return core.finish(
+                        run,
+                        Placement::Gpu { partition },
+                        run.decision.with_translation,
+                        Err(EngineError::ExecutionFailed { attempts, message }),
+                        started.elapsed().as_secs_f64(),
+                    );
+                }
+                core.stats.lock().retries += 1;
+                let backoff = ft.retry.backoff_secs(attempts);
+                if backoff > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(backoff));
+                }
+            }
+            Err(e) => {
+                return core.finish(
+                    run,
+                    Placement::Gpu { partition },
+                    run.decision.with_translation,
+                    Err(e),
+                    started.elapsed().as_secs_f64(),
+                );
+            }
+        }
     }
 }

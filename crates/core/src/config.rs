@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use holap_model::SystemProfile;
-use holap_sched::{PartitionLayout, Policy};
+use holap_sched::{HealthConfig, PartitionLayout, Policy};
 use serde::{Deserialize, Serialize};
 
 /// What `submit` does when the bounded admission queue is full.
@@ -62,6 +62,67 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// How a partition runner retries transient kernel failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Retries after the first failed attempt (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds; doubles per retry.
+    pub base_backoff_secs: f64,
+    /// Cap on the exponential backoff, seconds.
+    pub max_backoff_secs: f64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_backoff_secs: 0.0005,
+            max_backoff_secs: 0.010,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backoff before retry `n` (1-based): `base × 2^(n-1)`, capped.
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        let exp = retry.saturating_sub(1).min(30);
+        (self.base_backoff_secs * f64::from(1u32 << exp)).min(self.max_backoff_secs)
+    }
+}
+
+/// Fault-tolerance tuning: retries, the per-query watchdog, CPU failover
+/// and the quarantine state machine. The defaults keep every knob on —
+/// a fault-free system pays nothing for them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultToleranceConfig {
+    /// Transient-failure retry policy.
+    #[serde(default)]
+    pub retry: RetryConfig,
+    /// Seconds a partition runner waits for a kernel answer before the
+    /// query times out ([`EngineError::Timeout`](crate::EngineError)) —
+    /// the backstop that keeps a hung kernel from hanging its ticket.
+    pub watchdog_secs: f64,
+    /// Re-run a query on the CPU (host-side scan over the same columns)
+    /// when its GPU partition times out or is quarantined. Answers are
+    /// computed by the same scan code, so results are unchanged.
+    pub cpu_failover: bool,
+    /// Quarantine thresholds handed to the scheduler.
+    #[serde(default)]
+    pub quarantine: HealthConfig,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        Self {
+            retry: RetryConfig::default(),
+            watchdog_secs: 5.0,
+            cpu_failover: true,
+            quarantine: HealthConfig::default(),
+        }
+    }
+}
+
 /// Static configuration of a [`crate::HybridSystem`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -83,6 +144,9 @@ pub struct SystemConfig {
     /// Admission-pipeline tuning (queue bounds, backpressure, shedding).
     #[serde(default)]
     pub admission: AdmissionConfig,
+    /// Fault-tolerance tuning (retry, watchdog, failover, quarantine).
+    #[serde(default)]
+    pub faults: FaultToleranceConfig,
 }
 
 impl Default for SystemConfig {
@@ -96,6 +160,7 @@ impl Default for SystemConfig {
             default_deadline_secs: 0.5,
             cache_capacity: 0,
             admission: AdmissionConfig::default(),
+            faults: FaultToleranceConfig::default(),
         }
     }
 }
@@ -110,6 +175,28 @@ mod tests {
         assert_eq!(c.layout.gpu_partitions(), 6);
         assert_eq!(c.policy, Policy::Paper);
         assert!(c.default_deadline_secs > 0.0);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_are_on() {
+        let f = FaultToleranceConfig::default();
+        assert_eq!(f.retry.max_retries, 2);
+        assert!(f.watchdog_secs > 0.0);
+        assert!(f.cpu_failover);
+        assert_eq!(f.quarantine.quarantine_after, 3);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let r = RetryConfig {
+            max_retries: 10,
+            base_backoff_secs: 0.001,
+            max_backoff_secs: 0.003,
+        };
+        assert!((r.backoff_secs(1) - 0.001).abs() < 1e-12);
+        assert!((r.backoff_secs(2) - 0.002).abs() < 1e-12);
+        assert!((r.backoff_secs(3) - 0.003).abs() < 1e-12, "capped");
+        assert!((r.backoff_secs(60) - 0.003).abs() < 1e-12, "shift-safe");
     }
 
     #[test]

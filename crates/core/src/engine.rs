@@ -7,10 +7,10 @@ use crate::query::{
     text_column_name, Answer, ConditionRange, EngineQuery, IntoEngineQuery, ResolvedQuery,
 };
 use crate::stats::{CompletionKind, EngineStats};
-use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender, TrySendError};
 use holap_cube::{CubePlan, CubeSchema, CubeSet, MolapCube};
 use holap_dict::{DictionarySet, TextCondition};
-use holap_gpusim::{DeviceConfig, GpuDevice, GpuExecutor, TableId};
+use holap_gpusim::{DeviceConfig, FaultPlan, GpuDevice, GpuExecutor, KernelError, TableId};
 use holap_sched::{Estimator, Placement, QueryFeatures, Scheduler, TaskEstimate};
 use holap_table::{ColumnId, FactTable, ScanQuery, TableSchema};
 use parking_lot::Mutex;
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What one executed query reports back.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,6 +103,7 @@ pub struct HybridSystemBuilder {
     cube_measure: usize,
     device_config: DeviceConfig,
     gpu_cube_build: bool,
+    fault_plan: Option<Arc<FaultPlan>>,
     /// Problems detected eagerly at call time; [`Self::build`] reports them
     /// all at once together with whole-configuration checks.
     diagnostics: Vec<String>,
@@ -146,6 +147,14 @@ impl HybridSystemBuilder {
             self.diagnostics.push("device has zero memory".into());
         }
         self.device_config = device_config;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan on the simulated GPU
+    /// partitions (testing/benchmarking: exercise the retry, quarantine
+    /// and failover machinery without real hardware faults).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
         self
     }
 
@@ -266,10 +275,11 @@ impl HybridSystemBuilder {
             }
         }
         let device = Arc::new(device);
-        let executor = GpuExecutor::spawn(
+        let executor = GpuExecutor::spawn_with_faults(
             Arc::clone(&device),
             &self.config.layout.gpu_partition_sms,
             self.config.profile.gpu.clone(),
+            self.fault_plan,
         )?;
 
         // CPU processing partition pool.
@@ -307,7 +317,8 @@ impl HybridSystemBuilder {
         }
 
         let estimator = Estimator::new(self.config.profile.clone(), self.config.layout.clone());
-        let scheduler = Scheduler::new(self.config.layout.clone(), self.config.policy);
+        let mut scheduler = Scheduler::new(self.config.layout.clone(), self.config.policy);
+        scheduler.set_health_config(self.config.faults.quarantine);
         let cache_capacity = self.config.cache_capacity;
         let gpu_partitions = self.config.layout.gpu_partitions();
         let core = Arc::new(EngineCore {
@@ -332,10 +343,37 @@ impl HybridSystemBuilder {
             admission_depth: AtomicUsize::new(0),
             admission_peak: AtomicUsize::new(0),
         });
-        let (admission_tx, pipeline) = admission::spawn_pipeline(&core);
+        let (admission_tx, mut pipeline) = admission::spawn_pipeline(&core);
+
+        // Background probe: periodically offers quarantined partitions a
+        // half-open re-admission once their cool-down has elapsed.
+        let (probe_stop, probe_stop_rx) = bounded::<()>(0);
+        {
+            let core = Arc::clone(&core);
+            let tick = Duration::from_secs_f64(
+                (core.config.faults.quarantine.cooldown_secs / 4.0).clamp(0.01, 0.25),
+            );
+            pipeline.push(
+                std::thread::Builder::new()
+                    .name("quarantine-probe".into())
+                    .spawn(move || loop {
+                        match probe_stop_rx.recv_timeout(tick) {
+                            Err(RecvTimeoutError::Timeout) => {
+                                let now = core.epoch.elapsed().as_secs_f64();
+                                // Re-admissions are counted by the
+                                // scheduler itself; `stats()` mirrors them.
+                                let _ = core.scheduler.lock().probe(now);
+                            }
+                            _ => break, // stop signal or handle dropped
+                        }
+                    })
+                    .expect("failed to spawn quarantine probe"),
+            );
+        }
         Ok(HybridSystem {
             core,
             admission_tx: Some(admission_tx),
+            probe_stop: Some(probe_stop),
             pipeline,
             next_ticket: AtomicU64::new(0),
         })
@@ -502,15 +540,17 @@ impl EngineCore {
         })))
     }
 
-    /// Executes a query on the CPU processing partition.
+    /// Executes a query on the CPU processing partition. When no cube can
+    /// answer (the scheduler only routes such queries here as a fallback
+    /// off quarantined GPU partitions) the CPU scans the fact table
+    /// directly instead.
     pub(crate) fn run_cpu(
         &self,
         p: &Prepared,
     ) -> Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError> {
-        let plan = p
-            .plan
-            .as_ref()
-            .expect("scheduler places CPU only when a cube can answer");
+        let Some(plan) = p.plan.as_ref() else {
+            return self.run_cpu_scan(p);
+        };
         match p.group_by {
             None => {
                 let agg = self
@@ -551,34 +591,100 @@ impl EngineCore {
         }
     }
 
+    /// Executes a query's scan directly on the CPU partition's pool — the
+    /// failover path for GPU-placed work whose partition is quarantined or
+    /// timed out. The same scan code answers, so results are unchanged;
+    /// only the modeled placement differs.
+    pub(crate) fn run_cpu_scan(
+        &self,
+        p: &Prepared,
+    ) -> Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError> {
+        let table = self.device.table(self.table_id)?;
+        match p.group_column {
+            None => {
+                let agg = self.cpu_pool.install(|| table.scan_par(&p.scan))?;
+                Ok((
+                    Answer {
+                        sum: agg.values[0].value().unwrap_or(0.0),
+                        count: agg.matched_rows,
+                    },
+                    None,
+                ))
+            }
+            Some(col) => {
+                let gq = holap_table::GroupByQuery::new(p.scan.clone(), vec![col]);
+                let out = self.cpu_pool.install(|| table.group_by_par(&gq))?;
+                let groups: Vec<(u32, Answer)> = out
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        (
+                            g.key[0],
+                            Answer {
+                                sum: g.values[0].value().unwrap_or(0.0),
+                                count: g.rows,
+                            },
+                        )
+                    })
+                    .collect();
+                let total = Answer {
+                    sum: groups.iter().map(|(_, a)| a.sum).sum(),
+                    count: out.matched_rows,
+                };
+                Ok((total, Some(groups)))
+            }
+        }
+    }
+
     /// Executes a query on GPU partition `partition`, routing text lookups
     /// through the translation partition first when the decision requires.
+    ///
+    /// Every channel interaction is recoverable: a dead translation worker
+    /// or partition worker yields a typed error, and a kernel that fails to
+    /// answer within the watchdog window yields [`EngineError::Timeout`] —
+    /// the caller's ticket can never hang on a lost answer.
     pub(crate) fn run_gpu(
         &self,
         partition: usize,
         p: &Prepared,
         with_translation: bool,
     ) -> Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError> {
+        let watchdog = Duration::from_secs_f64(self.config.faults.watchdog_secs.max(1e-6));
+        let deadline_err = || EngineError::Timeout {
+            partition,
+            after_secs: self.config.faults.watchdog_secs,
+        };
         if with_translation {
             // Physically route the text lookups through the translation
             // partition before the kernel launches.
             let (tx, rx) = unbounded();
-            self.trans_tx
+            let trans = self
+                .trans_tx
                 .as_ref()
-                .expect("translation channel open while system lives")
+                .expect("translation channel open while system lives");
+            if trans
                 .send(TransJob {
                     lookups: p.lookups.clone(),
                     respond: tx,
                 })
-                .expect("translation partition alive");
-            rx.recv().expect("translation partition answered")?;
+                .is_err()
+            {
+                return Err(EngineError::Shutdown);
+            }
+            rx.recv().map_err(|_| EngineError::Shutdown)??;
         }
         match p.group_column {
             None => {
                 let rx = self
                     .executor
                     .submit(partition, self.table_id, p.scan.clone());
-                let out = rx.recv().expect("GPU partition answered")?;
+                let out = match rx.recv_timeout(watchdog) {
+                    Ok(result) => result?,
+                    Err(RecvTimeoutError::Timeout) => return Err(deadline_err()),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(KernelError::PartitionLost(partition).into())
+                    }
+                };
                 let sum = out.result.values[0].value().unwrap_or(0.0);
                 Ok((
                     Answer {
@@ -591,7 +697,13 @@ impl EngineCore {
             Some(col) => {
                 let gq = holap_table::GroupByQuery::new(p.scan.clone(), vec![col]);
                 let rx = self.executor.submit_group_by(partition, self.table_id, gq);
-                let out = rx.recv().expect("GPU partition answered")?;
+                let out = match rx.recv_timeout(watchdog) {
+                    Ok(result) => result?,
+                    Err(RecvTimeoutError::Timeout) => return Err(deadline_err()),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(KernelError::PartitionLost(partition).into())
+                    }
+                };
                 let groups: Vec<(u32, Answer)> = out
                     .result
                     .groups
@@ -618,9 +730,17 @@ impl EngineCore {
     /// Completion bookkeeping shared by all runners: discharge the
     /// in-flight accounting, feed the measured time back to the scheduler
     /// (§III-G), record stats, memoise, and resolve the ticket.
+    ///
+    /// `executed` / `translated` describe where the work *actually* ran —
+    /// after failover they differ from the decision, and stats attribution
+    /// follows the executed placement. In-flight discharge and completion
+    /// feedback stay on the decision's placement: that is the queue the
+    /// work was charged to.
     pub(crate) fn finish(
         &self,
         run: RunJob,
+        executed: Placement,
+        translated: bool,
         result: Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError>,
         actual_secs: f64,
     ) {
@@ -634,11 +754,9 @@ impl EngineCore {
             Ok((answer, groups)) => {
                 let latency_secs = self.epoch.elapsed().as_secs_f64() - run.job.admitted_at;
                 let met_deadline = latency_secs <= run.job.prepared.deadline_window;
-                let kind = match run.decision.placement {
+                let kind = match executed {
                     Placement::Cpu => CompletionKind::Cpu,
-                    Placement::Gpu { .. } => CompletionKind::Gpu {
-                        translated: run.decision.with_translation,
-                    },
+                    Placement::Gpu { .. } => CompletionKind::Gpu { translated },
                 };
                 self.stats.lock().record(kind, latency_secs, met_deadline);
                 self.cache.put(
@@ -651,8 +769,8 @@ impl EngineCore {
                 Ok(QueryOutcome {
                     answer,
                     groups,
-                    placement: run.decision.placement,
-                    translated: run.decision.with_translation,
+                    placement: executed,
+                    translated,
                     latency_secs,
                     met_deadline,
                     estimated_secs: run.decision.t_proc,
@@ -660,7 +778,10 @@ impl EngineCore {
                     shed: false,
                 })
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                self.stats.lock().failed += 1;
+                Err(e)
+            }
         };
         let _ = run.job.respond.send(response);
     }
@@ -686,6 +807,8 @@ impl Drop for EngineCore {
 pub struct HybridSystem {
     core: Arc<EngineCore>,
     admission_tx: Option<Sender<AdmitJob>>,
+    /// Dropping this stops the quarantine-probe thread.
+    probe_stop: Option<Sender<()>>,
     pipeline: Vec<JoinHandle<()>>,
     next_ticket: AtomicU64,
 }
@@ -701,6 +824,7 @@ impl HybridSystem {
             cube_measure: 0,
             device_config: DeviceConfig::tesla_c2070(),
             gpu_cube_build: false,
+            fault_plan: None,
             diagnostics: Vec::new(),
         }
     }
@@ -754,7 +878,23 @@ impl HybridSystem {
         let mut s = self.core.stats.lock().clone();
         s.admission_depth = self.core.admission_depth.load(Ordering::Relaxed) as u64;
         s.admission_peak_depth = self.core.admission_peak.load(Ordering::Relaxed) as u64;
+        {
+            // Health transitions live in the scheduler; mirror its counts.
+            let sched = self.core.scheduler.lock();
+            s.quarantines = sched.stats().quarantines;
+            s.readmissions = sched.stats().readmissions;
+        }
         s
+    }
+
+    /// Health of GPU partition `partition` as the scheduler sees it.
+    pub fn partition_health(&self, partition: usize) -> holap_sched::HealthState {
+        self.core.scheduler.lock().partition_health(partition)
+    }
+
+    /// GPU partitions currently excluded from placement.
+    pub fn quarantined_partitions(&self) -> Vec<usize> {
+        self.core.scheduler.lock().quarantined_partitions()
     }
 
     /// Result-cache counters: `(hits, misses)`. Both zero when caching is
@@ -853,9 +993,11 @@ impl HybridSystem {
 
 impl Drop for HybridSystem {
     fn drop(&mut self) {
-        // Close the admission queue; the dispatcher drains what was
-        // admitted, closes the run queues, and every runner exits after
-        // resolving its remaining tickets.
+        // Stop the probe first (it only touches the scheduler), then close
+        // the admission queue; the dispatcher drains what was admitted,
+        // closes the run queues, and every runner exits after resolving
+        // its remaining tickets.
+        self.probe_stop = None;
         self.admission_tx = None;
         for h in self.pipeline.drain(..) {
             let _ = h.join();

@@ -31,6 +31,34 @@ pub enum EngineError {
     Overloaded(String),
     /// The system shut down while the query was in flight.
     Shutdown,
+    /// The query's kernel execution failed on every attempt (injected
+    /// fault, kernel panic, or a lost partition worker) and the retry
+    /// budget is spent. The ticket resolves instead of hanging.
+    ExecutionFailed {
+        /// How many attempts were made (1 = no retries).
+        attempts: u32,
+        /// The last underlying failure.
+        message: String,
+    },
+    /// The per-query watchdog expired: the partition did not answer
+    /// within the configured deadline
+    /// ([`FaultToleranceConfig::watchdog_secs`](crate::config::FaultToleranceConfig)).
+    Timeout {
+        /// The GPU partition that went silent.
+        partition: usize,
+        /// The watchdog window that elapsed, seconds.
+        after_secs: f64,
+    },
+}
+
+impl EngineError {
+    /// Whether a retry could plausibly succeed: execution-level failures
+    /// (injected faults, contained panics, lost workers, watchdog
+    /// timeouts) are transient; validation, translation and build errors
+    /// are deterministic and final.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::ExecutionFailed { .. } | Self::Timeout { .. })
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +73,16 @@ impl fmt::Display for EngineError {
             Self::Build(m) => write!(f, "build error: {m}"),
             Self::Overloaded(m) => write!(f, "overloaded: {m}"),
             Self::Shutdown => write!(f, "system shut down"),
+            Self::ExecutionFailed { attempts, message } => {
+                write!(f, "execution failed after {attempts} attempt(s): {message}")
+            }
+            Self::Timeout {
+                partition,
+                after_secs,
+            } => write!(
+                f,
+                "partition {partition} did not answer within {after_secs} s"
+            ),
         }
     }
 }
@@ -76,6 +114,14 @@ impl From<KernelError> for EngineError {
         match e {
             KernelError::Device(d) => Self::Device(d),
             KernelError::Scan(s) => Self::Scan(s),
+            // Transient kernel-level failures: the runner may retry them,
+            // so they carry an attempt count from the start.
+            e @ (KernelError::Injected { .. }
+            | KernelError::Panicked(_)
+            | KernelError::PartitionLost(_)) => Self::ExecutionFailed {
+                attempts: 1,
+                message: e.to_string(),
+            },
         }
     }
 }

@@ -72,7 +72,10 @@ pub mod query;
 pub mod stats;
 
 pub use admission::QueryTicket;
-pub use config::{AdmissionConfig, BackpressurePolicy, SheddingPolicy, SystemConfig};
+pub use config::{
+    AdmissionConfig, BackpressurePolicy, FaultToleranceConfig, RetryConfig, SheddingPolicy,
+    SystemConfig,
+};
 pub use engine::{HybridSystem, HybridSystemBuilder, QueryOutcome};
 pub use error::EngineError;
 pub use query::{
@@ -84,7 +87,10 @@ pub use stats::{EngineStats, LatencyHistogram};
 /// `use holap_core::prelude::*;`.
 pub mod prelude {
     pub use crate::admission::QueryTicket;
-    pub use crate::config::{AdmissionConfig, BackpressurePolicy, SheddingPolicy, SystemConfig};
+    pub use crate::config::{
+        AdmissionConfig, BackpressurePolicy, FaultToleranceConfig, RetryConfig, SheddingPolicy,
+        SystemConfig,
+    };
     pub use crate::engine::{HybridSystem, HybridSystemBuilder, QueryOutcome};
     pub use crate::error::EngineError;
     pub use crate::query::{Answer, EngineQuery, IntoEngineQuery, QueryBuilder, Submission};

@@ -130,6 +130,31 @@ pub struct EngineStats {
     /// High-water mark of the admission queue depth.
     #[serde(default)]
     pub admission_peak_depth: u64,
+    /// Transient kernel failures observed by partition runners (each
+    /// failed attempt counts once, whatever happened next).
+    #[serde(default)]
+    pub partition_failures: u64,
+    /// Retry attempts launched after a transient failure.
+    #[serde(default)]
+    pub retries: u64,
+    /// Watchdog expirations: a partition failed to answer in time.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Queries that ran somewhere other than the scheduler's first
+    /// choice: steered off a quarantined partition at dispatch, or failed
+    /// over to the CPU by a partition runner.
+    #[serde(default)]
+    pub rerouted: u64,
+    /// Queries whose ticket resolved to an error after execution started.
+    #[serde(default)]
+    pub failed: u64,
+    /// Partition quarantine transitions (mirrors the scheduler's count).
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Quarantined partitions re-admitted by a probe (mirrors the
+    /// scheduler's count).
+    #[serde(default)]
+    pub readmissions: u64,
     /// Wall-clock latency distribution of completed queries; use
     /// [`EngineStats::p50_latency_secs`] and friends to read it.
     #[serde(default)]

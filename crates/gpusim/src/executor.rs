@@ -8,12 +8,15 @@
 //! scans faster than a 1-SM one — concurrently with all its siblings.
 
 use crate::device::{DeviceError, GpuDevice, TableId};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::kernel::{KernelError, KernelOutput};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use holap_model::GpuModelSet;
 use holap_table::{AggResult, GroupByQuery, GroupedResult, ScanQuery};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// The kernels a partition worker executes.
 #[derive(Debug)]
@@ -44,6 +47,45 @@ pub struct GpuExecutor {
     senders: Vec<Sender<KernelJob>>,
     handles: Vec<JoinHandle<()>>,
     partition_sms: Vec<u32>,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// Renders a caught panic payload for [`KernelError::Panicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "kernel panicked".to_string()
+    }
+}
+
+/// Runs one kernel under the partition's fault discipline: apply the
+/// injected fault (if any) and contain panics — injected or genuine — so
+/// the partition worker itself never dies.
+fn run_contained<T>(
+    fault: Option<FaultKind>,
+    partition: usize,
+    kernel: u64,
+    exec: impl FnOnce() -> Result<KernelOutput<T>, KernelError>,
+) -> Result<KernelOutput<T>, KernelError> {
+    match fault {
+        Some(FaultKind::Error) => return Err(KernelError::Injected { partition, kernel }),
+        Some(FaultKind::Hang { secs }) => std::thread::sleep(Duration::from_secs_f64(secs)),
+        _ => {}
+    }
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        if matches!(fault, Some(FaultKind::Panic)) {
+            panic!("injected kernel panic on partition {partition} (kernel {kernel})");
+        }
+        exec()
+    }))
+    .unwrap_or_else(|payload| Err(KernelError::Panicked(panic_message(payload.as_ref()))));
+    if let Some(FaultKind::Late { secs }) = fault {
+        std::thread::sleep(Duration::from_secs_f64(secs));
+    }
+    out
 }
 
 impl GpuExecutor {
@@ -56,6 +98,17 @@ impl GpuExecutor {
         device: Arc<GpuDevice>,
         partition_sms: &[u32],
         model: GpuModelSet,
+    ) -> Result<Self, DeviceError> {
+        Self::spawn_with_faults(device, partition_sms, model, None)
+    }
+
+    /// Like [`spawn`](Self::spawn), with an optional [`FaultPlan`] that
+    /// every partition worker consults before each kernel launch.
+    pub fn spawn_with_faults(
+        device: Arc<GpuDevice>,
+        partition_sms: &[u32],
+        model: GpuModelSet,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Result<Self, DeviceError> {
         let total: u32 = partition_sms.iter().sum();
         if total > device.config().total_sms || partition_sms.contains(&0) {
@@ -70,6 +123,7 @@ impl GpuExecutor {
             let (tx, rx) = unbounded::<KernelJob>();
             let device = Arc::clone(&device);
             let model = model.clone();
+            let faults = faults.clone();
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(sms as usize)
                 .thread_name(move |t| format!("gpu-p{i}-sm{t}"))
@@ -78,7 +132,14 @@ impl GpuExecutor {
             let handle = std::thread::Builder::new()
                 .name(format!("gpu-partition-{i}"))
                 .spawn(move || {
+                    let mut kernel: u64 = 0;
                     for job in rx {
+                        // Only this worker launches kernels on partition
+                        // `i`, so this local counter equals the plan's
+                        // per-partition launch counter.
+                        let fault = faults.as_ref().and_then(|f| f.decide(i));
+                        let k = kernel;
+                        kernel += 1;
                         // A dropped receiver just means the submitter gave
                         // up waiting; the kernel result is discarded.
                         match job {
@@ -87,8 +148,9 @@ impl GpuExecutor {
                                 query,
                                 respond,
                             } => {
-                                let out = pool
-                                    .install(|| device.execute_scan(table, sms, &query, &model));
+                                let out = run_contained(fault, i, k, || {
+                                    pool.install(|| device.execute_scan(table, sms, &query, &model))
+                                });
                                 let _ = respond.send(out);
                             }
                             KernelJob::GroupBy {
@@ -96,8 +158,10 @@ impl GpuExecutor {
                                 query,
                                 respond,
                             } => {
-                                let out = pool.install(|| {
-                                    device.execute_group_by(table, sms, &query, &model)
+                                let out = run_contained(fault, i, k, || {
+                                    pool.install(|| {
+                                        device.execute_group_by(table, sms, &query, &model)
+                                    })
                                 });
                                 let _ = respond.send(out);
                             }
@@ -112,7 +176,13 @@ impl GpuExecutor {
             senders,
             handles,
             partition_sms: partition_sms.to_vec(),
+            faults,
         })
+    }
+
+    /// The fault plan the workers consult, when one was installed.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// Number of partitions.
@@ -126,7 +196,9 @@ impl GpuExecutor {
     }
 
     /// Queues a scan onto partition `partition`; the returned receiver
-    /// yields the kernel output when the partition reaches it.
+    /// yields the kernel output when the partition reaches it. If the
+    /// partition worker is gone the receiver yields
+    /// [`KernelError::PartitionLost`] instead of hanging or panicking.
     ///
     /// # Panics
     ///
@@ -138,17 +210,19 @@ impl GpuExecutor {
         query: ScanQuery,
     ) -> Receiver<Result<KernelOutput<AggResult>, KernelError>> {
         let (tx, rx) = unbounded();
-        self.senders[partition]
-            .send(KernelJob::Scan {
-                table,
-                query,
-                respond: tx,
-            })
-            .expect("partition worker terminated");
+        let job = KernelJob::Scan {
+            table,
+            query,
+            respond: tx.clone(),
+        };
+        if self.senders[partition].send(job).is_err() {
+            let _ = tx.send(Err(KernelError::PartitionLost(partition)));
+        }
         rx
     }
 
-    /// Queues a grouped scan onto partition `partition`.
+    /// Queues a grouped scan onto partition `partition`; a dead partition
+    /// worker yields [`KernelError::PartitionLost`] on the receiver.
     ///
     /// # Panics
     ///
@@ -160,13 +234,14 @@ impl GpuExecutor {
         query: GroupByQuery,
     ) -> Receiver<Result<KernelOutput<GroupedResult>, KernelError>> {
         let (tx, rx) = unbounded();
-        self.senders[partition]
-            .send(KernelJob::GroupBy {
-                table,
-                query,
-                respond: tx,
-            })
-            .expect("partition worker terminated");
+        let job = KernelJob::GroupBy {
+            table,
+            query,
+            respond: tx.clone(),
+        };
+        if self.senders[partition].send(job).is_err() {
+            let _ = tx.send(Err(KernelError::PartitionLost(partition)));
+        }
         rx
     }
 }
@@ -256,6 +331,75 @@ mod tests {
         let exec = GpuExecutor::spawn(device, &[1], GpuModelSet::paper_c2070()).unwrap();
         let rx = exec.submit(0, TableId(42), ScanQuery::new());
         assert!(rx.recv().unwrap().is_err());
+    }
+
+    #[test]
+    fn injected_error_is_delivered_and_next_kernel_succeeds() {
+        let (device, table) = device();
+        let plan = Arc::new(FaultPlan::new(1).with_scripted(0, 0, FaultKind::Error));
+        let exec = GpuExecutor::spawn_with_faults(
+            device,
+            &[1],
+            GpuModelSet::paper_c2070(),
+            Some(Arc::clone(&plan)),
+        )
+        .unwrap();
+        let q = ScanQuery::new().aggregate(AggSpec::count_star());
+        let first = exec.submit(0, table, q.clone()).recv().unwrap();
+        assert!(matches!(
+            first,
+            Err(KernelError::Injected {
+                partition: 0,
+                kernel: 0
+            })
+        ));
+        let second = exec.submit(0, table, q).recv().unwrap().unwrap();
+        assert_eq!(second.result.matched_rows, 10_000);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_worker_survives() {
+        let (device, table) = device();
+        let plan = Arc::new(FaultPlan::new(1).with_scripted(0, 0, FaultKind::Panic));
+        let exec =
+            GpuExecutor::spawn_with_faults(device, &[1], GpuModelSet::paper_c2070(), Some(plan))
+                .unwrap();
+        let q = ScanQuery::new().aggregate(AggSpec::count_star());
+        let first = exec.submit(0, table, q.clone()).recv().unwrap();
+        match first {
+            Err(KernelError::Panicked(msg)) => assert!(msg.contains("injected kernel panic")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The worker thread caught the unwind and keeps serving kernels.
+        let second = exec.submit(0, table, q).recv().unwrap().unwrap();
+        assert_eq!(second.result.matched_rows, 10_000);
+    }
+
+    #[test]
+    fn late_fault_still_returns_correct_result() {
+        let (device, table) = device();
+        let plan = Arc::new(FaultPlan::new(1).with_scripted(0, 0, FaultKind::Late { secs: 0.02 }));
+        let exec =
+            GpuExecutor::spawn_with_faults(device, &[1], GpuModelSet::paper_c2070(), Some(plan))
+                .unwrap();
+        let q = ScanQuery::new().aggregate(AggSpec::count_star());
+        let t0 = std::time::Instant::now();
+        let out = exec.submit(0, table, q).recv().unwrap().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(out.result.matched_rows, 10_000);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(KernelError::Injected {
+            partition: 0,
+            kernel: 0
+        }
+        .is_transient());
+        assert!(KernelError::Panicked("x".into()).is_transient());
+        assert!(KernelError::PartitionLost(3).is_transient());
+        assert!(!KernelError::Device(DeviceError::UnknownTable(TableId(9))).is_transient());
     }
 
     #[test]

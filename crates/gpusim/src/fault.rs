@@ -1,0 +1,260 @@
+//! Deterministic, seedable fault injection for the simulated device.
+//!
+//! Production GPU engines treat device loss, kernel crashes and stalls as
+//! first-class events; the simulator must be able to produce them on
+//! demand so every containment path in the layers above is testable. A
+//! [`FaultPlan`] decides, per kernel launch, whether the launch fails,
+//! panics, hangs or returns late — either probabilistically (a seeded
+//! per-kernel coin) or scripted at exact per-partition kernel indices.
+//! Decisions depend only on `(seed, partition, nth-kernel-on-partition)`,
+//! so a plan replays identically regardless of cross-partition thread
+//! interleaving.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What an injected fault does to the kernel launch it hits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The kernel reports a transient error
+    /// ([`KernelError::Injected`](crate::KernelError::Injected)).
+    Error,
+    /// The kernel panics; the partition worker catches the unwind and
+    /// reports [`KernelError::Panicked`](crate::KernelError::Panicked).
+    Panic,
+    /// The partition stalls for `secs` before executing — long enough and
+    /// the caller's watchdog fires while the worker is still wedged.
+    Hang {
+        /// Stall duration in wall seconds.
+        secs: f64,
+    },
+    /// The kernel executes correctly but the answer is delayed by `secs`.
+    Late {
+        /// Extra latency in wall seconds.
+        secs: f64,
+    },
+}
+
+/// One scripted fault: the `nth` kernel launched on `partition` (0-based)
+/// suffers `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ScriptedFault {
+    partition: usize,
+    nth: u64,
+    kind: FaultKind,
+}
+
+/// A deterministic fault schedule shared by all partition workers.
+///
+/// Build one with the `with_*` methods and hand it to
+/// [`GpuExecutor::spawn_with_faults`](crate::GpuExecutor::spawn_with_faults).
+/// The same seed and submission order reproduce the same faults.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability in `[0, 1]` that any kernel launch suffers
+    /// `probabilistic_kind`.
+    failure_rate: f64,
+    probabilistic_kind: FaultKind,
+    scripted: Vec<ScriptedFault>,
+    /// Partitions whose every kernel fails — a permanently lost device
+    /// partition.
+    dead_partitions: Vec<usize>,
+    /// Per-partition launch counters (how many kernels each partition has
+    /// been asked to run).
+    counters: Mutex<HashMap<usize, u64>>,
+    /// Total faults injected so far, for observability.
+    injected: AtomicU64,
+}
+
+impl Default for FaultKind {
+    fn default() -> Self {
+        FaultKind::Error
+    }
+}
+
+/// SplitMix64 — the usual small deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Injects `kind` into each kernel launch with probability `rate`
+    /// (seeded, deterministic per `(partition, nth)`).
+    pub fn with_failure_rate(mut self, rate: f64, kind: FaultKind) -> Self {
+        self.failure_rate = rate.clamp(0.0, 1.0);
+        self.probabilistic_kind = kind;
+        self
+    }
+
+    /// Scripts `kind` onto the `nth` kernel (0-based) launched on
+    /// `partition`.
+    pub fn with_scripted(mut self, partition: usize, nth: u64, kind: FaultKind) -> Self {
+        self.scripted.push(ScriptedFault {
+            partition,
+            nth,
+            kind,
+        });
+        self
+    }
+
+    /// Marks `partition` as permanently failed: every kernel launched on
+    /// it errors.
+    pub fn with_dead_partition(mut self, partition: usize) -> Self {
+        self.dead_partitions.push(partition);
+        self
+    }
+
+    /// Whether `partition` is marked permanently failed.
+    pub fn partition_is_dead(&self, partition: usize) -> bool {
+        self.dead_partitions.contains(&partition)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total kernel launches observed so far.
+    pub fn kernels_seen(&self) -> u64 {
+        self.counters.lock().values().sum()
+    }
+
+    /// Decides the fate of the next kernel launched on `partition`.
+    /// Called once per launch by the partition worker; advances that
+    /// partition's launch counter.
+    pub fn decide(&self, partition: usize) -> Option<FaultKind> {
+        let nth = {
+            let mut counters = self.counters.lock();
+            let c = counters.entry(partition).or_insert(0);
+            let nth = *c;
+            *c += 1;
+            nth
+        };
+        let fault = self.fault_for(partition, nth);
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// The pure decision function: what happens to the `nth` kernel on
+    /// `partition`. Scripted faults win over the dead-partition rule,
+    /// which wins over the probabilistic coin.
+    fn fault_for(&self, partition: usize, nth: u64) -> Option<FaultKind> {
+        if let Some(s) = self
+            .scripted
+            .iter()
+            .find(|s| s.partition == partition && s.nth == nth)
+        {
+            return Some(s.kind);
+        }
+        if self.dead_partitions.contains(&partition) {
+            return Some(FaultKind::Error);
+        }
+        if self.failure_rate > 0.0 {
+            let h = splitmix64(
+                self.seed
+                    ^ (partition as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ nth.wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
+            );
+            // Map the top 53 bits to [0, 1).
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u < self.failure_rate {
+                return Some(self.probabilistic_kind);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let p = FaultPlan::new(7);
+        for i in 0..100 {
+            assert_eq!(p.decide(i % 4), None);
+        }
+        assert_eq!(p.injected(), 0);
+        assert_eq!(p.kernels_seen(), 100);
+    }
+
+    #[test]
+    fn scripted_fault_hits_exact_index() {
+        let p = FaultPlan::new(0).with_scripted(1, 2, FaultKind::Panic);
+        assert_eq!(p.decide(1), None); // nth 0
+        assert_eq!(p.decide(0), None); // other partition
+        assert_eq!(p.decide(1), None); // nth 1
+        assert_eq!(p.decide(1), Some(FaultKind::Panic)); // nth 2
+        assert_eq!(p.decide(1), None); // nth 3
+        assert_eq!(p.injected(), 1);
+    }
+
+    #[test]
+    fn dead_partition_always_fails() {
+        let p = FaultPlan::new(0).with_dead_partition(2);
+        for _ in 0..10 {
+            assert_eq!(p.decide(2), Some(FaultKind::Error));
+            assert_eq!(p.decide(3), None);
+        }
+        assert!(p.partition_is_dead(2));
+        assert!(!p.partition_is_dead(3));
+    }
+
+    #[test]
+    fn probabilistic_rate_is_deterministic_and_plausible() {
+        let mk = || FaultPlan::new(42).with_failure_rate(0.05, FaultKind::Error);
+        let a = mk();
+        let b = mk();
+        let mut hits = 0u32;
+        for i in 0..10_000u64 {
+            let fa = a.decide((i % 6) as usize);
+            let fb = b.decide((i % 6) as usize);
+            assert_eq!(fa, fb, "same seed replays identically");
+            if fa.is_some() {
+                hits += 1;
+            }
+        }
+        // 5% of 10 000 = 500 expected; allow a wide deterministic band.
+        assert!((350..650).contains(&hits), "hits = {hits}");
+        assert_eq!(u64::from(hits), a.injected());
+    }
+
+    #[test]
+    fn rate_decision_is_interleaving_independent() {
+        // Decisions keyed on (partition, nth) do not change when kernels
+        // from different partitions interleave differently.
+        let a = FaultPlan::new(9).with_failure_rate(0.2, FaultKind::Error);
+        let b = FaultPlan::new(9).with_failure_rate(0.2, FaultKind::Error);
+        let mut fa = Vec::new();
+        for _ in 0..50 {
+            fa.push(a.decide(0));
+        }
+        for _ in 0..50 {
+            a.decide(1);
+        }
+        let mut fb = Vec::new();
+        for i in 0..100 {
+            let f = b.decide(i % 2);
+            if i % 2 == 0 {
+                fb.push(f);
+            }
+        }
+        assert_eq!(fa, fb);
+    }
+}

@@ -29,6 +29,36 @@ pub enum KernelError {
     Device(DeviceError),
     /// The scan query failed validation against the table schema.
     Scan(ScanError),
+    /// A [`FaultPlan`](crate::FaultPlan) failed this launch (transient:
+    /// a retry draws a fresh coin).
+    Injected {
+        /// Partition the kernel was launched on.
+        partition: usize,
+        /// 0-based index of the kernel on that partition.
+        kernel: u64,
+    },
+    /// The kernel panicked; the partition worker caught the unwind and
+    /// stayed alive. Carries the panic message.
+    Panicked(String),
+    /// The partition worker is gone — its queue is closed and the job was
+    /// never executed.
+    PartitionLost(usize),
+}
+
+impl KernelError {
+    /// Whether retrying the same kernel could plausibly succeed.
+    ///
+    /// Injected faults and panics are transient (a retry draws a fresh
+    /// fault decision, possibly on another partition); a lost partition is
+    /// transient *for the query* because the work can be re-routed.
+    /// Device and scan errors are properties of the request itself and
+    /// retrying cannot fix them.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Self::Injected { .. } | Self::Panicked(_) | Self::PartitionLost(_)
+        )
+    }
 }
 
 impl fmt::Display for KernelError {
@@ -36,6 +66,14 @@ impl fmt::Display for KernelError {
         match self {
             Self::Device(e) => write!(f, "device error: {e}"),
             Self::Scan(e) => write!(f, "scan error: {e}"),
+            Self::Injected { partition, kernel } => {
+                write!(
+                    f,
+                    "injected fault on partition {partition} (kernel {kernel})"
+                )
+            }
+            Self::Panicked(msg) => write!(f, "kernel panicked: {msg}"),
+            Self::PartitionLost(p) => write!(f, "partition {p} worker is gone"),
         }
     }
 }

@@ -52,8 +52,10 @@
 
 pub mod device;
 pub mod executor;
+pub mod fault;
 pub mod kernel;
 
 pub use device::{DeviceConfig, DeviceError, GpuDevice, TableId};
 pub use executor::{GpuExecutor, KernelJob};
+pub use fault::{FaultKind, FaultPlan};
 pub use kernel::{KernelError, KernelOutput};

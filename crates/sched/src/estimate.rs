@@ -54,6 +54,13 @@ impl TaskEstimate {
             .copied()
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// `T_GPU` of the slowest class — the base of the crude host-scan
+    /// fallback estimate used when a GPU-only query is forced onto the
+    /// CPU by quarantine.
+    pub fn t_gpu_slowest(&self) -> f64 {
+        self.t_gpu_by_class.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 /// Turns query features into a [`TaskEstimate`] using the measured

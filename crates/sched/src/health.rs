@@ -1,0 +1,169 @@
+//! Per-partition health tracking: the quarantine state machine.
+//!
+//! The Figure-10 algorithm assumes every partition it places work on will
+//! finish that work. Under kernel faults that optimism turns one flaky
+//! partition into a stream of failed queries, so the scheduler tracks a
+//! small health state machine per GPU partition:
+//!
+//! ```text
+//!            failure                consecutive >= quarantine_after
+//! Healthy ──────────► Degraded ──────────────────────► Quarantined
+//!    ▲                   │  ▲                               │
+//!    └───── success ─────┘  └───── probe after cool-down ───┘
+//! ```
+//!
+//! Quarantined partitions are excluded from placement (their response
+//! times become infinite) and queued work is re-routed — to another GPU
+//! partition when one is healthy, otherwise to the CPU partition, which
+//! the paper's hybrid MOLAP/ROLAP split keeps always available. A probe
+//! after the cool-down re-admits the partition *half-open*: it re-enters
+//! as Degraded with one failure of headroom, so a still-broken partition
+//! is re-quarantined by its next failure instead of absorbing another
+//! full burst of queries.
+
+use serde::{Deserialize, Serialize};
+
+/// Health of one GPU partition as seen by the scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// No recent failures; fully schedulable.
+    #[default]
+    Healthy,
+    /// Recent failures below the quarantine threshold; still schedulable.
+    Degraded,
+    /// Too many consecutive failures; excluded from placement until a
+    /// probe re-admits it after the cool-down.
+    Quarantined,
+}
+
+/// Tuning knobs of the quarantine state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Consecutive failures that quarantine a partition.
+    pub quarantine_after: u32,
+    /// Seconds a quarantined partition sits out before a probe may
+    /// re-admit it.
+    pub cooldown_secs: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            quarantine_after: 3,
+            cooldown_secs: 0.5,
+        }
+    }
+}
+
+/// Mutable per-partition health record (scheduler internal).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub(crate) struct PartitionHealth {
+    pub(crate) state: HealthState,
+    pub(crate) consecutive_failures: u32,
+    pub(crate) total_failures: u64,
+    /// Absolute time the quarantine cool-down expires (meaningful only
+    /// while `state == Quarantined`).
+    pub(crate) quarantined_until: f64,
+}
+
+impl PartitionHealth {
+    /// Records one failed execution at `now`. Returns the resulting state.
+    pub(crate) fn record_failure(&mut self, now: f64, cfg: &HealthConfig) -> HealthState {
+        self.consecutive_failures += 1;
+        self.total_failures += 1;
+        match self.state {
+            HealthState::Quarantined => {
+                // A failure while quarantined (e.g. a probe query or work
+                // that raced the quarantine) extends the cool-down.
+                self.quarantined_until = now + cfg.cooldown_secs;
+            }
+            _ if self.consecutive_failures >= cfg.quarantine_after => {
+                self.state = HealthState::Quarantined;
+                self.quarantined_until = now + cfg.cooldown_secs;
+            }
+            _ => self.state = HealthState::Degraded,
+        }
+        self.state
+    }
+
+    /// Records one successful execution.
+    pub(crate) fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        // Quarantine exits only through a probe; a late success from work
+        // that raced the quarantine must not short-circuit the cool-down.
+        if self.state != HealthState::Quarantined {
+            self.state = HealthState::Healthy;
+        }
+    }
+
+    /// Re-admits the partition half-open if its cool-down has expired at
+    /// `now`. Returns whether it was re-admitted.
+    pub(crate) fn probe(&mut self, now: f64, cfg: &HealthConfig) -> bool {
+        if self.state == HealthState::Quarantined && now >= self.quarantined_until {
+            self.state = HealthState::Degraded;
+            // Half-open: one more failure re-quarantines immediately.
+            self.consecutive_failures = cfg.quarantine_after.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_walk_the_ladder() {
+        let cfg = HealthConfig::default();
+        let mut h = PartitionHealth::default();
+        assert_eq!(h.record_failure(0.0, &cfg), HealthState::Degraded);
+        assert_eq!(h.record_failure(0.0, &cfg), HealthState::Degraded);
+        assert_eq!(h.record_failure(0.0, &cfg), HealthState::Quarantined);
+        assert_eq!(h.total_failures, 3);
+        assert!((h.quarantined_until - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_heals_degraded_but_not_quarantined() {
+        let cfg = HealthConfig::default();
+        let mut h = PartitionHealth::default();
+        h.record_failure(0.0, &cfg);
+        h.record_success();
+        assert_eq!(h.state, HealthState::Healthy);
+        assert_eq!(h.consecutive_failures, 0);
+        for _ in 0..3 {
+            h.record_failure(0.0, &cfg);
+        }
+        h.record_success();
+        assert_eq!(h.state, HealthState::Quarantined, "only a probe re-admits");
+    }
+
+    #[test]
+    fn probe_reopens_half_open_after_cooldown() {
+        let cfg = HealthConfig::default();
+        let mut h = PartitionHealth::default();
+        for _ in 0..3 {
+            h.record_failure(0.0, &cfg);
+        }
+        assert!(!h.probe(0.1, &cfg), "cool-down not expired");
+        assert!(h.probe(0.5, &cfg));
+        assert_eq!(h.state, HealthState::Degraded);
+        // Half-open: one failure re-quarantines.
+        assert_eq!(h.record_failure(0.6, &cfg), HealthState::Quarantined);
+        assert!((h.quarantined_until - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_while_quarantined_extends_cooldown() {
+        let cfg = HealthConfig::default();
+        let mut h = PartitionHealth::default();
+        for _ in 0..3 {
+            h.record_failure(0.0, &cfg);
+        }
+        h.record_failure(0.4, &cfg);
+        assert!(!h.probe(0.5, &cfg), "cool-down was extended to 0.9");
+        assert!(h.probe(0.9, &cfg));
+    }
+}

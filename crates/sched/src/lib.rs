@@ -57,11 +57,13 @@
 #![warn(missing_docs)]
 
 pub mod estimate;
+pub mod health;
 pub mod partition;
 pub mod policy;
 pub mod scheduler;
 
 pub use estimate::{Estimator, QueryFeatures, TaskEstimate};
+pub use health::{HealthConfig, HealthState};
 pub use partition::{PartitionId, PartitionLayout};
 pub use policy::Policy;
 pub use scheduler::{Decision, LiveLoad, Placement, SchedStats, Scheduler};

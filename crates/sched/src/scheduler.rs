@@ -2,9 +2,16 @@
 //! baseline policies and completion feedback.
 
 use crate::estimate::TaskEstimate;
+use crate::health::{HealthConfig, HealthState, PartitionHealth};
 use crate::partition::{PartitionId, PartitionLayout};
 use crate::policy::Policy;
 use serde::{Deserialize, Serialize};
+
+/// Multiplier over the slowest GPU class used to estimate a forced host
+/// fact-table scan when a query without a CPU estimate must fall back to
+/// the CPU (all GPU partitions quarantined). Crude by design: the fallback
+/// exists for availability, not for accuracy.
+const CPU_FALLBACK_FACTOR: f64 = 2.0;
 
 /// Where a query was placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,6 +59,10 @@ pub struct Decision {
     /// Estimated translation time charged to the translation queue
     /// (0 unless `with_translation`).
     pub t_trans: f64,
+    /// Whether the policy's pick was overridden because it landed on a
+    /// quarantined partition (work re-routed to a healthy one).
+    #[serde(default)]
+    pub rerouted: bool,
 }
 
 /// Live queue state observed by an admission pipeline sitting in front of
@@ -105,6 +116,15 @@ pub struct SchedStats {
     pub feasible: u64,
     /// Queries placed despite no partition meeting the deadline (step 6).
     pub infeasible: u64,
+    /// Partition transitions into quarantine.
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Partition re-admissions after a quarantine cool-down.
+    #[serde(default)]
+    pub readmissions: u64,
+    /// Queries whose placement was re-routed off a quarantined partition.
+    #[serde(default)]
+    pub rerouted: u64,
 }
 
 /// The co-scheduler: one instance owns all queue clocks.
@@ -122,12 +142,17 @@ pub struct Scheduler {
     q_gpu: Vec<f64>,
     rr_cursor: usize,
     stats: SchedStats,
+    #[serde(default)]
+    health: Vec<PartitionHealth>,
+    #[serde(default)]
+    health_config: HealthConfig,
 }
 
 impl Scheduler {
     /// Creates a scheduler with idle queues at time 0.
     pub fn new(layout: PartitionLayout, policy: Policy) -> Self {
         let q_gpu = vec![0.0; layout.gpu_partitions()];
+        let health = vec![PartitionHealth::default(); layout.gpu_partitions()];
         Self {
             layout,
             policy,
@@ -136,6 +161,8 @@ impl Scheduler {
             q_gpu,
             rr_cursor: 0,
             stats: SchedStats::default(),
+            health,
+            health_config: HealthConfig::default(),
         }
     }
 
@@ -152,6 +179,80 @@ impl Scheduler {
     /// Counters accumulated so far.
     pub fn stats(&self) -> &SchedStats {
         &self.stats
+    }
+
+    /// Replaces the quarantine tuning knobs.
+    pub fn set_health_config(&mut self, cfg: HealthConfig) {
+        self.health_config = cfg;
+    }
+
+    /// The quarantine tuning knobs in use.
+    pub fn health_config(&self) -> &HealthConfig {
+        &self.health_config
+    }
+
+    /// Health state of GPU partition `partition`.
+    pub fn partition_health(&self, partition: usize) -> HealthState {
+        self.health
+            .get(partition)
+            .map_or(HealthState::Healthy, |h| h.state)
+    }
+
+    /// Whether GPU partition `partition` is currently quarantined.
+    pub fn is_quarantined(&self, partition: usize) -> bool {
+        self.partition_health(partition) == HealthState::Quarantined
+    }
+
+    /// Indices of all currently quarantined GPU partitions.
+    pub fn quarantined_partitions(&self) -> Vec<usize> {
+        (0..self.layout.gpu_partitions())
+            .filter(|&i| self.is_quarantined(i))
+            .collect()
+    }
+
+    fn health_at_mut(&mut self, partition: usize) -> &mut PartitionHealth {
+        // Deserialized snapshots may carry a short (or empty) health vec.
+        if self.health.len() < self.layout.gpu_partitions() {
+            self.health
+                .resize(self.layout.gpu_partitions(), PartitionHealth::default());
+        }
+        &mut self.health[partition]
+    }
+
+    /// Records a failed execution on GPU partition `partition` at `now`
+    /// and returns the partition's resulting health state. A transition
+    /// into quarantine bumps [`SchedStats::quarantines`].
+    pub fn record_partition_failure(&mut self, partition: usize, now: f64) -> HealthState {
+        let cfg = self.health_config;
+        let was = self.health_at_mut(partition).state;
+        let state = self.health_at_mut(partition).record_failure(now, &cfg);
+        if state == HealthState::Quarantined && was != HealthState::Quarantined {
+            self.stats.quarantines += 1;
+        }
+        state
+    }
+
+    /// Records a successful execution on GPU partition `partition`,
+    /// resetting its consecutive-failure streak.
+    pub fn record_partition_success(&mut self, partition: usize) {
+        self.health_at_mut(partition).record_success();
+    }
+
+    /// Re-admits (half-open) every quarantined partition whose cool-down
+    /// has expired at `now`; returns the re-admitted indices. Re-admitted
+    /// partitions come back Degraded with one failure of headroom, so a
+    /// still-broken partition is re-quarantined by its next failure.
+    pub fn probe(&mut self, now: f64) -> Vec<usize> {
+        let cfg = self.health_config;
+        let n = self.layout.gpu_partitions();
+        let mut readmitted = Vec::new();
+        for i in 0..n {
+            if self.health_at_mut(i).probe(now, &cfg) {
+                readmitted.push(i);
+            }
+        }
+        self.stats.readmissions += readmitted.len() as u64;
+        readmitted
     }
 
     /// Absolute completion clock of a queue.
@@ -185,6 +286,11 @@ impl Scheduler {
         };
         let resp_gpu = (0..self.layout.gpu_partitions())
             .map(|i| {
+                if self.is_quarantined(i) {
+                    // Excluded from placement: can never be feasible nor
+                    // win an argmin against any live partition.
+                    return f64::INFINITY;
+                }
                 let t_gpu = est.t_gpu_by_class[self.layout.class_of(i)];
                 let ready = eff(self.q_gpu[i], load.map_or(0.0, |l| l.gpu(i)));
                 let start = match trans_ready {
@@ -196,6 +302,19 @@ impl Scheduler {
             })
             .collect();
         (resp_cpu, resp_gpu)
+    }
+
+    /// Crude processing-time estimate for a forced host fact-table scan,
+    /// used when a query without a CPU estimate is re-routed to the CPU
+    /// because no GPU partition is schedulable.
+    fn cpu_fallback_secs(est: &TaskEstimate) -> f64 {
+        est.t_gpu_slowest() * CPU_FALLBACK_FACTOR
+    }
+
+    /// Effective CPU-queue ready time (clock floored by live load).
+    fn cpu_ready(&self, now: f64, load: Option<&LiveLoad>) -> f64 {
+        self.q_cpu
+            .max(now + load.map_or(0.0, |l| l.cpu_inflight_secs))
     }
 
     /// The earliest response time any partition could deliver for `est`
@@ -213,10 +332,18 @@ impl Scheduler {
             "estimate classes must match layout classes"
         );
         let (resp_cpu, resp_gpu) = self.response_times(now, est, load);
-        resp_gpu
+        let min = resp_gpu
             .into_iter()
             .chain(resp_cpu)
-            .fold(f64::INFINITY, f64::min)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            // Every GPU partition is quarantined and the cubes cannot
+            // answer: the CPU fact-table fallback is still available, so
+            // the admission pipeline must not shed on an infinite bound.
+            self.cpu_ready(now, load) + Self::cpu_fallback_secs(est)
+        }
     }
 
     /// Schedules one query submitted at `now` with deadline window `t_c`
@@ -256,12 +383,20 @@ impl Scheduler {
         let deadline = now + t_c;
         let (resp_cpu, resp_gpu) = self.response_times(now, est, load);
         let placement = self.choose(now, est, deadline, resp_cpu, &resp_gpu);
+        // Load-blind policies (MET, round-robin) and all-quarantined
+        // argmins can still land on a quarantined partition: override.
+        let (placement, rerouted) = self.enforce_health(placement, &resp_gpu);
+        if rerouted {
+            self.stats.rerouted += 1;
+        }
 
         // Charge the queues (Fig. 10 steps 5/6 updates).
         let (response_time, t_proc, with_translation) = match placement {
             Placement::Cpu => {
-                let t = est.t_cpu.expect("CPU placement requires a CPU estimate");
-                let resp = resp_cpu.expect("CPU placement requires a CPU response");
+                // A re-routed query may have no CPU estimate (no resident
+                // cube can answer it): charge the host-scan fallback.
+                let t = est.t_cpu.unwrap_or_else(|| Self::cpu_fallback_secs(est));
+                let resp = resp_cpu.unwrap_or_else(|| self.cpu_ready(now, load) + t);
                 self.q_cpu = resp; // == max(T_Q|C, now) + T_CPU
                 self.stats.cpu_queries += 1;
                 (resp, t, false)
@@ -297,6 +432,27 @@ impl Scheduler {
             before_deadline,
             t_proc,
             t_trans: if with_translation { est.t_trans } else { 0.0 },
+            rerouted,
+        }
+    }
+
+    /// Overrides a placement that landed on a quarantined partition: the
+    /// fastest healthy GPU partition wins, else the CPU (the hybrid
+    /// system's always-available fallback).
+    fn enforce_health(&self, placement: Placement, resp_gpu: &[f64]) -> (Placement, bool) {
+        match placement {
+            Placement::Gpu { partition } if self.is_quarantined(partition) => {
+                let best = resp_gpu
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !self.is_quarantined(i))
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are comparable"));
+                match best {
+                    Some((i, _)) => (Placement::Gpu { partition: i }, true),
+                    None => (Placement::Cpu, true),
+                }
+            }
+            p => (p, false),
         }
     }
 
@@ -431,13 +587,15 @@ impl Scheduler {
         }
     }
 
-    /// Resets all queue clocks and counters (new experiment run).
+    /// Resets all queue clocks, counters and partition health (new
+    /// experiment run).
     pub fn reset(&mut self) {
         self.q_cpu = 0.0;
         self.q_trans = 0.0;
         self.q_gpu.iter_mut().for_each(|q| *q = 0.0);
         self.rr_cursor = 0;
         self.stats = SchedStats::default();
+        self.health = vec![PartitionHealth::default(); self.layout.gpu_partitions()];
     }
 }
 
@@ -825,6 +983,124 @@ mod tests {
         let e2 = est(None, [0.028, 0.014, 0.007], 0.0);
         let m2 = s.min_response_time(10.0, &e2, None);
         assert!((m2 - 10.007).abs() < 1e-12);
+    }
+
+    // --- Partition health / quarantine ---
+
+    fn quarantine(s: &mut Scheduler, partition: usize, now: f64) {
+        for _ in 0..s.health_config().quarantine_after {
+            s.record_partition_failure(partition, now);
+        }
+    }
+
+    #[test]
+    fn failures_quarantine_and_exclude_a_partition() {
+        let mut s = paper_sched();
+        assert_eq!(s.partition_health(0), HealthState::Healthy);
+        s.record_partition_failure(0, 0.0);
+        assert_eq!(s.partition_health(0), HealthState::Degraded);
+        s.record_partition_failure(0, 0.0);
+        s.record_partition_failure(0, 0.0);
+        assert_eq!(s.partition_health(0), HealthState::Quarantined);
+        assert_eq!(s.stats().quarantines, 1);
+        assert_eq!(s.quarantined_partitions(), vec![0]);
+        // Step 5 normally picks the slowest feasible queue (partition 0);
+        // quarantined, its sibling 1-SM queue wins instead.
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Gpu { partition: 1 });
+        assert!(!d.rerouted, "never offered, so not a re-route");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut s = paper_sched();
+        s.record_partition_failure(2, 0.0);
+        s.record_partition_failure(2, 0.0);
+        s.record_partition_success(2);
+        assert_eq!(s.partition_health(2), HealthState::Healthy);
+        s.record_partition_failure(2, 0.0);
+        assert_eq!(s.partition_health(2), HealthState::Degraded);
+    }
+
+    #[test]
+    fn load_blind_policy_pick_is_rerouted_off_quarantine() {
+        // MET always picks the first partition of the fastest class
+        // (partition 4); with it quarantined the work must move.
+        let mut s = Scheduler::new(PartitionLayout::paper(), Policy::Met);
+        quarantine(&mut s, 4, 0.0);
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Gpu { partition: 5 });
+        assert!(d.rerouted);
+        assert_eq!(s.stats().rerouted, 1);
+    }
+
+    #[test]
+    fn all_gpus_quarantined_falls_back_to_cpu_without_estimate() {
+        let mut s = paper_sched();
+        for p in 0..s.layout().gpu_partitions() {
+            quarantine(&mut s, p, 0.0);
+        }
+        let e = est(None, [0.028, 0.014, 0.007], 0.0);
+        // min_response_time stays finite: shedding must not drop the
+        // query when the CPU fallback can still run it.
+        let m = s.min_response_time(0.0, &e, None);
+        assert!((m - 0.056).abs() < 1e-12, "slowest class × fallback factor");
+        let d = s.schedule(0.0, &e, 1.0);
+        assert_eq!(d.placement, Placement::Cpu);
+        assert!(d.rerouted);
+        assert!((d.t_proc - 0.056).abs() < 1e-12);
+        assert!((s.queue_clock(PartitionId::Cpu) - 0.056).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_readmits_after_cooldown_half_open() {
+        let mut s = paper_sched();
+        quarantine(&mut s, 3, 0.0);
+        assert!(s.probe(0.1).is_empty(), "cool-down still running");
+        let readmitted = s.probe(0.5);
+        assert_eq!(readmitted, vec![3]);
+        assert_eq!(s.partition_health(3), HealthState::Degraded);
+        assert_eq!(s.stats().readmissions, 1);
+        // Half-open: a single failure re-quarantines.
+        s.record_partition_failure(3, 0.6);
+        assert_eq!(s.partition_health(3), HealthState::Quarantined);
+        assert_eq!(s.stats().quarantines, 2);
+        // A clean recovery instead: probe again, then succeed.
+        let t = 0.6 + s.health_config().cooldown_secs;
+        assert_eq!(s.probe(t), vec![3]);
+        s.record_partition_success(3);
+        assert_eq!(s.partition_health(3), HealthState::Healthy);
+    }
+
+    #[test]
+    fn reset_clears_health() {
+        let mut s = paper_sched();
+        quarantine(&mut s, 1, 0.0);
+        s.reset();
+        assert_eq!(s.partition_health(1), HealthState::Healthy);
+        assert!(s.quarantined_partitions().is_empty());
+    }
+
+    #[test]
+    fn quarantine_shifts_feasibility_not_correctness() {
+        // With one partition down, a deterministic workload still places
+        // every query on live partitions and decisions stay reproducible.
+        let mk = || {
+            let mut s = paper_sched();
+            quarantine(&mut s, 5, 0.0);
+            s
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let e = est(Some(0.05), [0.028, 0.014, 0.007], 0.002);
+        for i in 0..20 {
+            let now = i as f64 * 0.001;
+            let da = a.schedule(now, &e, 0.2);
+            let db = b.schedule(now, &e, 0.2);
+            assert_eq!(da, db);
+            assert_ne!(da.placement, Placement::Gpu { partition: 5 });
+        }
     }
 
     #[test]

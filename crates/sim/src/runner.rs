@@ -37,6 +37,12 @@ pub struct SimConfig {
     pub estimation_noise: Option<f64>,
     /// RNG seed for the noise stream.
     pub seed: u64,
+    /// GPU partitions that are permanently failed for the whole run: they
+    /// enter the simulation quarantined and (with no probe loop in virtual
+    /// time) never re-admit, so the scheduler routes around them — the
+    /// discrete-event counterpart of the engine's partition quarantine.
+    #[serde(default)]
+    pub failed_partitions: Vec<usize>,
 }
 
 impl SimConfig {
@@ -60,6 +66,7 @@ impl SimConfig {
             workers: 8,
             estimation_noise: None,
             seed: 0x5eed,
+            failed_partitions: Vec::new(),
         }
     }
 }
@@ -95,8 +102,15 @@ struct RunState {
 
 impl RunState {
     fn new(cfg: &SimConfig) -> Self {
+        let mut sched = Scheduler::new(cfg.layout.clone(), cfg.policy);
+        let quarantine_after = sched.health_config().quarantine_after;
+        for &p in &cfg.failed_partitions {
+            for _ in 0..quarantine_after {
+                sched.record_partition_failure(p, 0.0);
+            }
+        }
         Self {
-            sched: Scheduler::new(cfg.layout.clone(), cfg.policy),
+            sched,
             estimator: Estimator::new(cfg.profile.clone(), cfg.layout.clone()),
             overhead: cfg.gpu_dispatch_overhead,
             noise: cfg.estimation_noise,

@@ -170,6 +170,33 @@ pub fn policy_ablation() -> Vec<RateRow> {
         .collect()
 }
 
+/// **Degradation** — the full hybrid Table-3 system with 0, 1 and 2 GPU
+/// partitions permanently failed (quarantined from t = 0). Not in the
+/// paper; quantifies the throughput the quarantine ladder preserves by
+/// routing around dead partitions instead of queueing on them.
+pub fn partition_failure_effect() -> Vec<RateRow> {
+    let cases: [(&str, &[usize]); 3] = [
+        ("all partitions healthy", &[]),
+        ("one GPU partition failed", &[0]),
+        ("two GPU partitions failed", &[0, 1]),
+    ];
+    cases
+        .iter()
+        .map(|&(label, failed)| {
+            let mut cfg = SimConfig::paper(Policy::Paper, 8, RUN_QUERIES);
+            cfg.workers = 128; // saturation, as in table3()
+            cfg.failed_partitions = failed.to_vec();
+            let report = run_closed_loop(&cfg, &mut generator(WorkloadPreset::Table3, 106));
+            RateRow {
+                label: label.to_owned(),
+                qps: report.throughput_qps,
+                paper_qps: None,
+                report,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +255,34 @@ mod tests {
         assert!(
             slowdown > 0.01 && slowdown < 0.20,
             "translation slowdown = {slowdown} ({without} → {with})"
+        );
+    }
+
+    #[test]
+    fn failed_partitions_degrade_but_never_stall() {
+        let rows = partition_failure_effect();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            // Every run still completes the whole workload — no query ever
+            // waits on a quarantined partition.
+            assert_eq!(r.report.queries, RUN_QUERIES as u64, "{}", r.label);
+        }
+        // Quarantined partitions receive zero work.
+        assert_eq!(rows[1].report.per_gpu_partition[0], 0);
+        assert_eq!(rows[2].report.per_gpu_partition[0], 0);
+        assert_eq!(rows[2].report.per_gpu_partition[1], 0);
+        assert!(
+            rows[0].report.per_gpu_partition[0] > 0,
+            "healthy baseline uses partition 0"
+        );
+        // Losing capacity costs throughput, but gracefully: two partitions
+        // down must still retain most of the healthy rate.
+        let (healthy, one, two) = (rows[0].qps, rows[1].qps, rows[2].qps);
+        assert!(one <= healthy, "{one} vs {healthy}");
+        assert!(two <= one, "{two} vs {one}");
+        assert!(
+            two > healthy * 0.4,
+            "two-failure rate collapsed: {two} vs {healthy}"
         );
     }
 

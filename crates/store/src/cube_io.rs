@@ -27,6 +27,7 @@ pub fn save_cube(path: &Path, cube: &MolapCube) -> Result<(), StoreError> {
     };
     let mut w = Writer::new(ArtifactKind::Cube, &header)?;
     w.put_u64(chunks.len() as u64);
+    w.end_section(); // chunk count
     for chunk in chunks {
         match chunk {
             Chunk::Dense { sums, counts } => {
@@ -45,6 +46,7 @@ pub fn save_cube(path: &Path, cube: &MolapCube) -> Result<(), StoreError> {
                 w.put_u64_array(counts);
             }
         }
+        w.end_section(); // one section per chunk: corruption names it
     }
     w.finish(path)
 }
@@ -54,6 +56,7 @@ pub fn load_cube(path: &Path) -> Result<MolapCube, StoreError> {
     let mut r = Reader::open(path, ArtifactKind::Cube)?;
     let header: CubeHeader = r.header()?;
     let n = r.u64()? as usize;
+    r.end_section()?;
     if n != header.grid.chunk_count() {
         return Err(StoreError::Invalid(format!(
             "file holds {n} chunks, grid expects {}",
@@ -85,6 +88,7 @@ pub fn load_cube(path: &Path) -> Result<MolapCube, StoreError> {
                 )))
             }
         };
+        r.end_section()?;
         chunks.push(chunk);
     }
     r.finish()?;
@@ -180,6 +184,7 @@ mod tests {
         let path = temp("badtag");
         let mut w = Writer::new(ArtifactKind::Cube, &header).unwrap();
         w.put_u64(1);
+        w.end_section();
         w.put_u8(9);
         w.finish(&path).unwrap();
         assert!(matches!(load_cube(&path), Err(StoreError::Invalid(_))));

@@ -49,6 +49,7 @@ pub fn save_dicts(path: &Path, dicts: &DictionarySet) -> Result<(), StoreError> 
         for code in 0..dict.len() as u32 {
             w.put_str(dict.decode(code).expect("dense codes"));
         }
+        w.end_section(); // one section per column dictionary
     }
     w.finish(path)
 }
@@ -83,6 +84,7 @@ pub fn load_dicts(path: &Path) -> Result<DictionarySet, StoreError> {
                  (duplicate or unsorted entries)"
             )));
         }
+        r.end_section()?;
     }
     r.finish()?;
     Ok(set)

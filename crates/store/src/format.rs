@@ -12,7 +12,13 @@ pub const MAGIC: &[u8; 8] = b"HOLAPST1";
 /// v2: table files carry per-block zone maps (per-dimension-column min/max
 /// arrays) after the column pools, so loaded tables skip blocks exactly
 /// like the tables that were saved.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: every section (the file prologue + header, then each logical
+/// payload group) is followed by its CRC32C checksum. The reader verifies
+/// each section as it crosses the boundary and reports a typed
+/// [`StoreError::Corrupt`] naming the mismatch, so corruption is caught
+/// at the damaged section instead of surfacing as a garbled artefact.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// What a store file holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,13 +42,56 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Reflected CRC32C (Castagnoli) lookup table, built at compile time.
+const fn crc32c_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = crc32c_table();
+
+/// CRC32C (Castagnoli, reflected) over a byte stream — the per-section
+/// checksum of format v3. Hand-rolled table-driven software
+/// implementation; no external crates.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// A write cursor for one artefact file.
+///
+/// Since format v3 the file is a sequence of checksummed *sections*: the
+/// prologue (magic, kind, version, header) forms the first section, and
+/// every [`Writer::end_section`] call closes another by appending the
+/// CRC32C of the bytes written since the previous boundary. A dirty
+/// trailing section is closed automatically by [`Writer::finish`].
+/// Readers must cross the same boundaries (see [`Reader::end_section`]).
 pub struct Writer {
     buf: BytesMut,
+    section_start: usize,
 }
 
 impl Writer {
-    /// Starts a file of the given kind with a JSON header.
+    /// Starts a file of the given kind with a JSON header. The prologue
+    /// section (magic through header) is checksummed immediately.
     pub fn new<H: serde::Serialize>(kind: ArtifactKind, header: &H) -> Result<Self, StoreError> {
         let mut buf = BytesMut::with_capacity(1 << 16);
         buf.put_slice(MAGIC);
@@ -51,7 +100,21 @@ impl Writer {
         let header = serde_json::to_vec(header)?;
         buf.put_u32_le(u32::try_from(header.len()).expect("header fits in u32"));
         buf.put_slice(&header);
-        Ok(Self { buf })
+        let crc = crc32c(&buf);
+        buf.put_u32_le(crc);
+        let section_start = buf.len();
+        Ok(Self { buf, section_start })
+    }
+
+    /// Closes the current section: appends the CRC32C of everything
+    /// written since the previous boundary. No-op for an empty section.
+    pub fn end_section(&mut self) {
+        if self.buf.len() == self.section_start {
+            return;
+        }
+        let crc = crc32c(&self.buf[self.section_start..]);
+        self.buf.put_u32_le(crc);
+        self.section_start = self.buf.len();
     }
 
     /// Appends a `u8`.
@@ -102,9 +165,10 @@ impl Writer {
         self.buf.put_slice(s.as_bytes());
     }
 
-    /// Appends the digest and writes the file atomically (write-to-temp +
-    /// rename).
+    /// Closes any dirty trailing section, appends the whole-file digest
+    /// and writes the file atomically (write-to-temp + rename).
     pub fn finish(mut self, path: &Path) -> Result<(), StoreError> {
+        self.end_section();
         let digest = fnv1a(&self.buf[MAGIC.len()..]);
         self.buf.put_u64_le(digest);
         let tmp = path.with_extension("holap.tmp");
@@ -115,10 +179,16 @@ impl Writer {
 }
 
 /// A read cursor over one artefact file.
+///
+/// The reader must cross the same section boundaries the writer emitted:
+/// [`Reader::header`] verifies the prologue section, io modules call
+/// [`Reader::end_section`] at their logical boundaries, and
+/// [`Reader::finish`] verifies any unclosed trailing section.
 pub struct Reader {
     data: Vec<u8>,
     pos: usize,
     payload_end: usize,
+    section_start: usize,
 }
 
 impl Reader {
@@ -141,6 +211,7 @@ impl Reader {
             data,
             pos: MAGIC.len(),
             payload_end,
+            section_start: 0,
         };
         let kind = r.u8()?;
         if kind != expected as u8 {
@@ -156,11 +227,29 @@ impl Reader {
         Ok(r)
     }
 
-    /// Parses the JSON header.
+    /// Crosses a section boundary: reads the stored CRC32C and verifies
+    /// it against the bytes consumed since the previous boundary.
+    pub fn end_section(&mut self) -> Result<(), StoreError> {
+        let start = self.section_start;
+        let end = self.pos;
+        let stored = self.u32()?;
+        let actual = crc32c(&self.data[start..end]);
+        if stored != actual {
+            return Err(StoreError::Corrupt(format!(
+                "section checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        self.section_start = self.pos;
+        Ok(())
+    }
+
+    /// Parses the JSON header and verifies the prologue section checksum.
     pub fn header<H: serde::de::DeserializeOwned>(&mut self) -> Result<H, StoreError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        Ok(serde_json::from_slice(bytes)?)
+        let header = serde_json::from_slice(bytes)?;
+        self.end_section()?;
+        Ok(header)
     }
 
     fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
@@ -228,8 +317,12 @@ impl Reader {
             .map_err(|_| StoreError::Corrupt("invalid UTF-8 string".into()))
     }
 
-    /// Verifies that the payload was fully consumed.
-    pub fn finish(self) -> Result<(), StoreError> {
+    /// Verifies any unclosed trailing section, then that the payload was
+    /// fully consumed.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        if self.pos != self.section_start {
+            self.end_section()?;
+        }
         if self.pos != self.payload_end {
             return Err(StoreError::Corrupt(format!(
                 "{} unread payload bytes",
@@ -333,6 +426,91 @@ mod tests {
         let mut r = Reader::open(&path, ArtifactKind::Table).unwrap();
         let _: u8 = r.header().unwrap();
         assert!(matches!(r.u32_array(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 / Castagnoli reference vectors.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn section_checksum_catches_tampering_behind_a_fixed_digest() {
+        // An adversarial (or multi-bit-unlucky) edit that also patches the
+        // trailing FNV digest must still trip the section CRC.
+        let path = temp("section");
+        let mut w = Writer::new(ArtifactKind::Cube, &7u32).unwrap();
+        w.put_u32_array(&[10, 20, 30]);
+        w.end_section();
+        w.put_f64_array(&[1.0, 2.0]);
+        w.finish(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the first payload section (the u32 array
+        // data), then recompute the whole-file digest so `open` passes.
+        let flip_at = bytes.len() - 8 - 4 - (2 * 8 + 8) - 4 - 6;
+        bytes[flip_at] ^= 0x01;
+        let end = bytes.len() - 8;
+        let digest = {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in &bytes[MAGIC.len()..end] {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        };
+        bytes[end..].copy_from_slice(&digest.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = Reader::open(&path, ArtifactKind::Cube).expect("digest was patched");
+        let _: u32 = r.header().unwrap();
+        let _ = r.u32_array().unwrap();
+        assert!(matches!(r.end_section(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_section_structure_is_corrupt_not_garbage() {
+        // A reader crossing a boundary the writer never emitted reads
+        // payload bytes as a checksum: typed Corrupt, not a wrong value.
+        let path = temp("structure");
+        let mut w = Writer::new(ArtifactKind::Table, &0u8).unwrap();
+        w.put_u32(1);
+        w.put_u32(2);
+        w.finish(&path).unwrap();
+        let mut r = Reader::open(&path, ArtifactKind::Table).unwrap();
+        let _: u8 = r.header().unwrap();
+        let _ = r.u32().unwrap();
+        assert!(matches!(r.end_section(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_files_are_rejected_with_bad_version() {
+        // Hand-build a v2-stamped file with a valid digest: the version
+        // gate must fire before any payload parsing.
+        let path = temp("v2");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(ArtifactKind::Table as u8);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // header len
+        bytes.push(b'0'); // header JSON: 0
+        let digest = {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in &bytes[MAGIC.len()..] {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        };
+        bytes.extend_from_slice(&digest.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Reader::open(&path, ArtifactKind::Table),
+            Err(StoreError::BadVersion(2))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,102 @@
+//! Deterministic byte-flip corruption injector — the storage counterpart
+//! of the kernel-level fault plan in `holap-gpusim`.
+//!
+//! Bit-rot, torn writes and misdirected I/O all surface as bytes that
+//! differ from what was written. These helpers produce exactly that,
+//! deterministically, so integrity tests can assert that *any* flipped
+//! byte in a `.holap` artefact is rejected at load rather than served as
+//! a wrong answer. Test/bench tooling only: nothing in the load path
+//! calls this.
+
+use crate::error::StoreError;
+use std::path::Path;
+
+/// SplitMix64 mixer for deterministic offset/mask derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// XORs the byte at `offset` with `mask` (must be non-zero: a zero mask
+/// would be a no-op pretending to corrupt).
+pub fn flip_byte(path: &Path, offset: usize, mask: u8) -> Result<(), StoreError> {
+    if mask == 0 {
+        return Err(StoreError::Invalid(
+            "corruption mask must be non-zero".into(),
+        ));
+    }
+    let mut bytes = std::fs::read(path)?;
+    if offset >= bytes.len() {
+        return Err(StoreError::Invalid(format!(
+            "corruption offset {offset} past file end ({} bytes)",
+            bytes.len()
+        )));
+    }
+    bytes[offset] ^= mask;
+    std::fs::write(path, &bytes)?;
+    Ok(())
+}
+
+/// Flips one seeded-pseudo-random byte anywhere in the file and returns
+/// `(offset, mask)`. The same seed on the same file corrupts the same
+/// byte the same way.
+pub fn corrupt_byte(path: &Path, seed: u64) -> Result<(usize, u8), StoreError> {
+    let len = std::fs::metadata(path)?.len() as usize;
+    if len == 0 {
+        return Err(StoreError::Invalid("cannot corrupt an empty file".into()));
+    }
+    let offset = (splitmix64(seed) % len as u64) as usize;
+    // Any of the 255 non-zero masks, deterministically.
+    let mask = (splitmix64(seed ^ 0xdead_beef) % 255 + 1) as u8;
+    flip_byte(path, offset, mask)?;
+    Ok((offset, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{ArtifactKind, Reader, Writer};
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("holap-inject-{tag}-{}.holap", std::process::id()))
+    }
+
+    #[test]
+    fn flip_is_deterministic_and_detected() {
+        let path = temp("det");
+        let mut w = Writer::new(ArtifactKind::Cube, &1u32).unwrap();
+        w.put_f64_array(&[1.0, 2.0, 3.0]);
+        w.finish(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let (off_a, mask_a) = corrupt_byte(&path, 99).unwrap();
+        let dirty = std::fs::read(&path).unwrap();
+        assert_eq!(clean.len(), dirty.len());
+        assert_eq!(clean[off_a] ^ mask_a, dirty[off_a]);
+        assert!(Reader::open(&path, ArtifactKind::Cube).is_err());
+        // Same seed on the restored file picks the same byte and mask.
+        std::fs::write(&path, &clean).unwrap();
+        assert_eq!(corrupt_byte(&path, 99).unwrap(), (off_a, mask_a));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_and_noop_masks_rejected() {
+        let path = temp("range");
+        Writer::new(ArtifactKind::Table, &0u8)
+            .unwrap()
+            .finish(&path)
+            .unwrap();
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        assert!(matches!(
+            flip_byte(&path, len, 0x01),
+            Err(StoreError::Invalid(_))
+        ));
+        assert!(matches!(
+            flip_byte(&path, 0, 0x00),
+            Err(StoreError::Invalid(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -16,15 +16,24 @@
 //! ```text
 //! magic   "HOLAPST1"                            8 bytes
 //! kind    u8 (1 = table, 2 = cube, 3 = dicts)   1 byte
-//! header  u32 length + JSON (schema, metadata)
-//! payload sections (kind-specific, length-prefixed arrays)
+//! header  u32 length + JSON (schema, metadata)  + u32 CRC32C
+//! payload sections (kind-specific, length-prefixed arrays),
+//!         each section followed by its u32 CRC32C
 //! digest  u64 FNV-1a over everything before it
 //! ```
 //!
-//! All integers are little-endian. The trailing digest detects truncation
-//! and bit-rot ([`StoreError::Corrupt`]); the magic/kind/version bytes
-//! reject foreign files ([`StoreError::BadMagic`] /
-//! [`StoreError::WrongKind`]).
+//! All integers are little-endian. Since format v3 every section —
+//! prologue, then kind-specific groups like "dimension columns" or "one
+//! chunk" — carries its own CRC32C checksum, so corruption is reported
+//! against the section that holds it and a damaged artefact can never be
+//! partially decoded into wrong answers. The trailing whole-file digest
+//! additionally detects truncation ([`StoreError::Corrupt`]); the
+//! magic/kind/version bytes reject foreign files ([`StoreError::BadMagic`]
+//! / [`StoreError::WrongKind`]).
+//!
+//! Cube artefacts are derived data: [`load_system_resilient`] rebuilds any
+//! cube that fails verification from the (verified) fact table, while
+//! table/dictionary corruption propagates as a typed error.
 //!
 //! # Example
 //!
@@ -50,12 +59,15 @@ mod cube_io;
 mod dict_io;
 mod error;
 pub mod format;
+pub mod inject;
+mod recover;
 mod table_io;
 
 pub use cube_io::{load_cube, save_cube};
 pub use dict_io::{load_dicts, save_dicts};
 pub use error::StoreError;
-pub use format::{ArtifactKind, FORMAT_VERSION};
+pub use format::{crc32c, ArtifactKind, FORMAT_VERSION};
+pub use recover::{load_cube_or_rebuild, load_system_resilient, RecoveryReport};
 pub use table_io::{load_table, save_table};
 
 use holap_cube::MolapCube;

@@ -24,15 +24,17 @@ pub fn save_table(path: &Path, table: &FactTable) -> Result<(), StoreError> {
             w.put_u32_array(table.dim_column(d, l));
         }
     }
+    w.end_section(); // row count + dimension columns
     for m in 0..schema.measures.len() {
         w.put_f64_array(table.measure_column(m));
     }
+    w.end_section(); // measure columns
     let zones = table.zone_maps();
     for c in 0..zones.column_count() {
         w.put_u32_array(zones.column(c).mins());
         w.put_u32_array(zones.column(c).maxs());
     }
-    w.finish(path)
+    w.finish(path) // zone maps close as the trailing section
 }
 
 /// Loads a fact table.
@@ -44,10 +46,12 @@ pub fn load_table(path: &Path) -> Result<FactTable, StoreError> {
     for _ in 0..schema.dim_column_count() {
         dim_columns.push(r.u32_array()?);
     }
+    r.end_section()?;
     let mut measure_columns = Vec::with_capacity(schema.measures.len());
     for _ in 0..schema.measures.len() {
         measure_columns.push(r.f64_array()?);
     }
+    r.end_section()?;
     let mut zone_parts = Vec::with_capacity(schema.dim_column_count());
     for _ in 0..schema.dim_column_count() {
         let mins = r.u32_array()?;
@@ -136,7 +140,9 @@ mod tests {
         let mut w = Writer::new(ArtifactKind::Table, &schema).unwrap();
         w.put_u64(1);
         w.put_u32_array(&[9]); // 9 >= cardinality 4
+        w.end_section();
         w.put_f64_array(&[1.0]);
+        w.end_section();
         w.put_u32_array(&[9]); // zone mins
         w.put_u32_array(&[9]); // zone maxs
         w.finish(&path).unwrap();
@@ -157,7 +163,9 @@ mod tests {
         let mut w = Writer::new(ArtifactKind::Table, &schema).unwrap();
         w.put_u64(2);
         w.put_u32_array(&[3, 12]);
+        w.end_section();
         w.put_f64_array(&[1.0, 2.0]);
+        w.end_section();
         w.put_u32_array(&[3]); // mins: correct
         w.put_u32_array(&[5]); // maxs: lies — true block max is 12
         w.finish(&path).unwrap();

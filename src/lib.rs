@@ -66,14 +66,14 @@ pub use holap_workload as workload;
 pub mod prelude {
     pub use holap_core::{
         AdmissionConfig, Answer, BackpressurePolicy, EngineError, EngineQuery, EngineStats,
-        HybridSystem, IntoEngineQuery, QueryBuilder, QueryOutcome, QueryTicket, SheddingPolicy,
-        Submission, SystemConfig,
+        FaultToleranceConfig, HybridSystem, IntoEngineQuery, QueryBuilder, QueryOutcome,
+        QueryTicket, RetryConfig, SheddingPolicy, Submission, SystemConfig,
     };
     pub use holap_cube::{CubeQuery, CubeSchema, CubeSet, DimRange, MolapCube};
     pub use holap_dict::{DictKind, Dictionary, DictionarySet, TextCondition};
-    pub use holap_gpusim::{DeviceConfig, GpuDevice};
+    pub use holap_gpusim::{DeviceConfig, FaultKind, FaultPlan, GpuDevice};
     pub use holap_model::SystemProfile;
-    pub use holap_sched::{PartitionLayout, Policy, Scheduler};
+    pub use holap_sched::{HealthConfig, HealthState, PartitionLayout, Policy, Scheduler};
     pub use holap_sim::{run_closed_loop, run_open_loop, SimConfig};
     pub use holap_table::{AggOp, AggSpec, FactTable, Predicate, ScanQuery, TableSchema};
     pub use holap_workload::{
