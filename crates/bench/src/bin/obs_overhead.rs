@@ -1,0 +1,150 @@
+//! Observability overhead smoke: runs the same scan-heavy workload on two
+//! identical systems — one with observability disabled, one with the full
+//! metrics registry + flight recorder enabled — and fails if the enabled
+//! run is more than `--max-pct` slower (default 5 %, overridable with the
+//! `OBS_OVERHEAD_MAX_PCT` environment variable for noisy CI runners).
+//!
+//! ```text
+//! obs_overhead [--queries N] [--rows N] [--rounds N] [--max-pct F] [--out PATH]
+//! ```
+//!
+//! Each round interleaves the two modes (disabled, enabled, disabled, …)
+//! so slow-start effects hit both equally, and the comparison uses the
+//! best round per mode — the standard cure for scheduler noise in smoke
+//! benches. Emits `BENCH_obs.json` with the timings, the verdict, and the
+//! enabled system's full metrics snapshot as the artifact CI uploads.
+
+use holap_core::{EngineQuery, HybridSystem, SystemConfig};
+use holap_dict::DictKind;
+use holap_obs::ObsConfig;
+use holap_workload::{FactsSpec, NameStyle, PaperHierarchy, SyntheticFacts, TextLevel};
+use std::time::Instant;
+
+fn parse_flag(args: &[String], key: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build(rows: usize, obs: ObsConfig) -> HybridSystem {
+    let h = PaperHierarchy::scaled_down(8);
+    let facts = SyntheticFacts::generate(&FactsSpec {
+        schema: h.table_schema(),
+        rows,
+        text_levels: vec![TextLevel {
+            dim: 1,
+            level: 3,
+            style: NameStyle::City,
+        }],
+        dict_kind: DictKind::Sorted,
+        skew: None,
+        seed: 7,
+    });
+    HybridSystem::builder(SystemConfig {
+        obs,
+        ..SystemConfig::default()
+    })
+    .facts(facts)
+    .cube_at(1)
+    .build()
+    .expect("system builds")
+}
+
+/// Finest-level range queries: cube-free, so every one runs the
+/// vectorized fact-table scan on a GPU partition.
+fn workload(n: usize) -> Vec<EngineQuery> {
+    (0..n)
+        .map(|i| {
+            let v = i as u32;
+            EngineQuery::new()
+                .range(0, 3, v % 40, v % 40 + 30)
+                .deadline(10.0)
+        })
+        .collect()
+}
+
+/// Wall seconds to answer the whole batch.
+fn time_batch(sys: &HybridSystem, queries: &[EngineQuery]) -> f64 {
+    let started = Instant::now();
+    for t in sys.submit_batch(queries.iter()) {
+        t.expect("submit").wait().expect("outcome");
+    }
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries = parse_flag(&args, "--queries", 200);
+    let rows = parse_flag(&args, "--rows", 30_000);
+    let rounds = parse_flag(&args, "--rounds", 3).max(1);
+    let max_pct: f64 = std::env::var("OBS_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            args.iter()
+                .position(|a| a == "--max-pct")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(5.0)
+        });
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_obs.json".to_owned());
+
+    let mix = workload(queries);
+    let disabled = build(rows, ObsConfig::disabled());
+    let enabled = build(rows, ObsConfig::default());
+    assert!(!disabled.obs_enabled() && enabled.obs_enabled());
+
+    // Warm both systems (thread pools, caches) before timing anything.
+    time_batch(&disabled, &mix[..queries.min(20)]);
+    time_batch(&enabled, &mix[..queries.min(20)]);
+
+    let mut best_disabled = f64::INFINITY;
+    let mut best_enabled = f64::INFINITY;
+    for round in 0..rounds {
+        let d = time_batch(&disabled, &mix);
+        let e = time_batch(&enabled, &mix);
+        best_disabled = best_disabled.min(d);
+        best_enabled = best_enabled.min(e);
+        eprintln!(
+            "round {round}: disabled {:.1} ms, enabled {:.1} ms",
+            d * 1e3,
+            e * 1e3
+        );
+    }
+
+    let overhead_pct = 100.0 * (best_enabled - best_disabled) / best_disabled;
+    let pass = overhead_pct <= max_pct;
+    println!(
+        "obs overhead: disabled {:.1} ms, enabled {:.1} ms → {overhead_pct:+.2}% (limit {max_pct}%) — {}",
+        best_disabled * 1e3,
+        best_enabled * 1e3,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let metrics_text = enabled.metrics_text().unwrap_or_default();
+    let report = serde_json::json!({
+        "benchmark": "obs_overhead",
+        "queries": queries,
+        "rows": rows,
+        "rounds": rounds,
+        "best_disabled_secs": best_disabled,
+        "best_enabled_secs": best_enabled,
+        "overhead_pct": overhead_pct,
+        "max_pct": max_pct,
+        "pass": pass,
+        "traces_recorded": enabled.recent_traces(usize::MAX).len(),
+        "metrics": metrics_text,
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -2,9 +2,13 @@
 //! overload policy does to throughput and deadline hit ratio.
 //!
 //! ```text
-//! overload [--queries N] [--rows N]
+//! overload [--queries N] [--rows N] [--metrics]
 //! overload --faults [--queries N] [--rows N] [--seed N] [--out PATH]
 //! ```
+//!
+//! With `--metrics` each configuration also dumps its Prometheus-style
+//! metrics exposition after the run, so the policy comparison can be read
+//! off the `holap_engine_*` instruments directly.
 //!
 //! With `--faults` the same pipeline runs a fault matrix instead: the
 //! feasible workload under 0 %, 1 % and 5 % injected kernel-failure rates
@@ -95,7 +99,7 @@ fn workload(n: usize) -> Vec<EngineQuery> {
         .collect()
 }
 
-fn run(label: &str, sys: &HybridSystem, queries: &[EngineQuery]) {
+fn run(label: &str, sys: &HybridSystem, queries: &[EngineQuery], metrics: bool) {
     let started = Instant::now();
     let tickets = sys.submit_batch(queries.iter());
     let mut submit_rejected = 0u64;
@@ -137,6 +141,11 @@ fn run(label: &str, sys: &HybridSystem, queries: &[EngineQuery]) {
         wall,
         queries.len() as f64 / wall
     );
+    if metrics {
+        if let Some(text) = sys.metrics_text() {
+            println!("--- {label} metrics ---\n{text}");
+        }
+    }
 }
 
 /// All-feasible mixed workload for the fault matrix: half coarse
@@ -252,6 +261,7 @@ fn main() {
         run_fault_matrix(queries, rows, seed, &out);
         return;
     }
+    let metrics = args.iter().any(|a| a == "--metrics");
     let mix = workload(queries);
 
     println!(
@@ -271,7 +281,7 @@ fn main() {
     );
 
     let baseline = build(rows, AdmissionConfig::default());
-    run("baseline", &baseline, &mix);
+    run("baseline", &baseline, &mix, metrics);
 
     let shedding = build(
         rows,
@@ -280,7 +290,7 @@ fn main() {
             ..AdmissionConfig::default()
         },
     );
-    run("shedding", &shedding, &mix);
+    run("shedding", &shedding, &mix, metrics);
 
     let rejecting = build(
         rows,
@@ -291,5 +301,5 @@ fn main() {
             ..AdmissionConfig::default()
         },
     );
-    run("reject", &rejecting, &mix);
+    run("reject", &rejecting, &mix, metrics);
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 use holap_core::gpusim::{FaultKind, FaultPlan};
+use holap_core::observability::{traces_to_json, QueryTrace, SpanKind};
 use holap_core::{
     AdmissionConfig, BackpressurePolicy, EngineQuery, HybridSystem, SheddingPolicy, SystemConfig,
 };
@@ -49,7 +50,11 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
 }
 
-/// Minimal flag parser: `--key value` pairs plus positional arguments.
+/// Flags that take no value: present means `true`.
+const BOOL_FLAGS: &[&str] = &["anomalies-only", "json"];
+
+/// Minimal flag parser: `--key value` pairs (plus valueless boolean
+/// switches) and positional arguments.
 #[derive(Debug, Default)]
 pub struct Args {
     flags: Vec<(String, String)>,
@@ -63,6 +68,10 @@ impl Args {
         let mut it = raw.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    out.flags.push((key.to_owned(), "true".to_owned()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
@@ -72,6 +81,10 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -404,6 +417,21 @@ pub fn cmd_batch(args: &Args) -> Result<String, CliError> {
     Ok(out.trim_end().to_owned())
 }
 
+/// A mixed demo workload: coarse cube-resident queries plus finest-level
+/// queries that must run on the GPU partitions.
+fn demo_mix(queries: usize) -> Vec<EngineQuery> {
+    (0..queries)
+        .map(|i| {
+            let v = i as u32;
+            match i % 3 {
+                0 => EngineQuery::new().range(0, 1, v % 2, 1 + v % 2),
+                1 => EngineQuery::new().range(0, 2, v % 4, 3 + v % 9),
+                _ => EngineQuery::new().range(0, 3, v % 5, 5 + v % 5),
+            }
+        })
+        .collect()
+}
+
 /// `faults`: run a workload under injected GPU faults and report the
 /// degradation ladder — retries, quarantines, failovers, availability.
 pub fn cmd_faults(args: &Args) -> Result<String, CliError> {
@@ -448,18 +476,7 @@ pub fn cmd_faults(args: &Args) -> Result<String, CliError> {
         .build()
         .map_err(|e| CliError(format!("build failed: {e}")))?;
 
-    // A mixed workload: coarse cube-resident queries plus finest-level
-    // queries that must run on the (faulty) GPU partitions.
-    let mix: Vec<EngineQuery> = (0..queries)
-        .map(|i| {
-            let v = i as u32;
-            match i % 3 {
-                0 => EngineQuery::new().range(0, 1, v % 2, 1 + v % 2),
-                1 => EngineQuery::new().range(0, 2, v % 4, 3 + v % 9),
-                _ => EngineQuery::new().range(0, 3, v % 5, 5 + v % 5),
-            }
-        })
-        .collect();
+    let mix = demo_mix(queries);
     let tickets = system.submit_batch(mix.iter());
     let mut answered = 0u64;
     let mut errored = 0u64;
@@ -506,6 +523,209 @@ pub fn cmd_faults(args: &Args) -> Result<String, CliError> {
     Ok(out.trim_end().to_owned())
 }
 
+fn format_event(kind: &SpanKind) -> String {
+    match kind {
+        SpanKind::Submitted {
+            class,
+            needs_translation,
+        } => format!("submitted class={class:?} translation={needs_translation}"),
+        SpanKind::CacheHit => "cache hit".into(),
+        SpanKind::ProvablyEmpty => "provably empty".into(),
+        SpanKind::Dispatched { queue_depth } => format!("dispatched queue_depth={queue_depth}"),
+        SpanKind::Shed {
+            min_response_at,
+            deadline,
+        } => format!("shed min_response_at={min_response_at:.6} deadline={deadline:.6}"),
+        SpanKind::Scheduled {
+            placement,
+            with_translation,
+            estimated_proc_secs,
+            before_deadline,
+            rerouted,
+            ..
+        } => format!(
+            "scheduled {placement:?} translation={with_translation} est={:.3}ms feasible={before_deadline} rerouted={rerouted}",
+            estimated_proc_secs * 1e3
+        ),
+        SpanKind::TranslationDone { secs, lookups } => {
+            format!("translation done {lookups} lookups in {:.3}ms", secs * 1e3)
+        }
+        SpanKind::KernelStart { partition, attempt } => {
+            format!("kernel start gpu{partition} attempt={attempt}")
+        }
+        SpanKind::KernelEnd {
+            partition,
+            attempt,
+            sms,
+            wall_secs,
+            ..
+        } => format!(
+            "kernel end gpu{partition} attempt={attempt} sms={sms} wall={:.3}ms",
+            wall_secs * 1e3
+        ),
+        SpanKind::CpuExec { secs } => format!("cpu exec {:.3}ms", secs * 1e3),
+        SpanKind::Fault {
+            partition,
+            attempt,
+            error,
+            timed_out,
+        } => format!("FAULT gpu{partition} attempt={attempt} timeout={timed_out}: {error}"),
+        SpanKind::Retry {
+            retry,
+            backoff_secs,
+        } => format!("retry #{retry} backoff={:.3}ms", backoff_secs * 1e3),
+        SpanKind::HealthTransition { partition, state } => {
+            format!("health gpu{partition} -> {state:?}")
+        }
+        SpanKind::Failover { from_partition } => format!("failover gpu{from_partition} -> cpu"),
+        SpanKind::Completed {
+            placement,
+            latency_secs,
+            met_deadline,
+            residual_secs,
+            ..
+        } => format!(
+            "completed on {placement:?} in {:.3}ms deadline_met={met_deadline} residual={:+.3}ms",
+            latency_secs * 1e3,
+            residual_secs * 1e3
+        ),
+        SpanKind::Failed { error } => format!("FAILED: {error}"),
+    }
+}
+
+fn format_trace(t: &QueryTrace) -> String {
+    let mut out = String::new();
+    let anomalies = if t.anomalies.is_empty() {
+        String::new()
+    } else {
+        format!(
+            " [{}]",
+            t.anomalies
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+    let _ = writeln!(
+        out,
+        "query {} — {:?}{anomalies} in {:.3} ms, {} events",
+        t.query_id,
+        t.status,
+        (t.finished_at - t.submitted_at) * 1e3,
+        t.events.len()
+    );
+    for e in &t.events {
+        let _ = writeln!(
+            out,
+            "  +{:.6}s {}",
+            e.at - t.submitted_at,
+            format_event(&e.kind)
+        );
+    }
+    out
+}
+
+/// `trace`: run a workload (optionally with injected faults) and dump the
+/// flight recorder — the last K traces or only the anomalous ones, as
+/// human-readable timelines or JSON.
+pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let store: PathBuf = args.required("store")?.into();
+    let queries: usize = args.parsed("queries", 60)?;
+    let rate: f64 = args.parsed("rate", 0.0)?;
+    let seed: u64 = args.parsed("seed", 5)?;
+    let last: usize = args.parsed("last", 5)?;
+    let anomalies_only = args.flag("anomalies-only");
+    let json = args.flag("json");
+    let dead: Vec<usize> = match args.get("dead") {
+        None => Vec::new(),
+        Some(v) => v
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| CliError("--dead expects e.g. `0` or `0,2`".into()))?,
+    };
+    let config = SystemConfig {
+        policy: policy(args.get("policy").unwrap_or("paper"))?,
+        ..SystemConfig::default()
+    };
+    let mut plan = FaultPlan::new(seed);
+    if rate > 0.0 {
+        plan = plan.with_failure_rate(rate, FaultKind::Error);
+    }
+    for &p in &dead {
+        plan = plan.with_dead_partition(p);
+    }
+    let (table, cubes, dicts) =
+        load_system(&store).map_err(|e| CliError(format!("load failed: {e}")))?;
+    let mut builder = HybridSystem::builder(config).facts((table, dicts));
+    if rate > 0.0 || !dead.is_empty() {
+        builder = builder.fault_plan(plan);
+    }
+    for cube in cubes {
+        builder = builder.prebuilt_cube(cube);
+    }
+    let system = builder
+        .build()
+        .map_err(|e| CliError(format!("build failed: {e}")))?;
+    if !system.obs_enabled() {
+        return err("observability is disabled in this configuration");
+    }
+    for t in system.submit_batch(demo_mix(queries).iter()) {
+        let _ = t.and_then(|t| t.wait());
+    }
+
+    let selected = if anomalies_only {
+        system.anomalous_traces()
+    } else {
+        system.recent_traces(last)
+    };
+    if json {
+        return Ok(traces_to_json(&selected, true));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder: {} trace(s){} of {queries} queries",
+        selected.len(),
+        if anomalies_only {
+            " (anomalous only)"
+        } else {
+            ""
+        }
+    );
+    for t in &selected {
+        out.push_str(&format_trace(t));
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// `metrics`: run a workload and print the engine's Prometheus-style
+/// metrics exposition.
+pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    let store: PathBuf = args.required("store")?.into();
+    let queries: usize = args.parsed("queries", 30)?;
+    let config = SystemConfig {
+        policy: policy(args.get("policy").unwrap_or("paper"))?,
+        ..SystemConfig::default()
+    };
+    let (table, cubes, dicts) =
+        load_system(&store).map_err(|e| CliError(format!("load failed: {e}")))?;
+    let mut builder = HybridSystem::builder(config).facts((table, dicts));
+    for cube in cubes {
+        builder = builder.prebuilt_cube(cube);
+    }
+    let system = builder
+        .build()
+        .map_err(|e| CliError(format!("build failed: {e}")))?;
+    for t in system.submit_batch(demo_mix(queries).iter()) {
+        let _ = t.and_then(|t| t.wait());
+    }
+    system
+        .metrics_text()
+        .ok_or_else(|| CliError("observability is disabled in this configuration".into()))
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 holap-cli — hybrid GPU/CPU OLAP system (reproduction of Malik et al. 2012)
@@ -520,6 +740,9 @@ USAGE:
                      [--shedding off|shed|reject] [--queue N] [--partition-queue N] \\
                      'query one; query two; ...'
   holap-cli faults   --store DIR [--queries N] [--rate F] [--dead P,Q] [--seed N] [--policy P]
+  holap-cli trace    --store DIR [--queries N] [--rate F] [--dead P,Q] [--seed N] \\
+                     [--last K] [--anomalies-only] [--json]
+  holap-cli metrics  --store DIR [--queries N] [--policy P]
 ";
 
 /// Dispatches a full argument vector (excluding the program name).
@@ -535,6 +758,8 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "query" => cmd_query(&args),
         "batch" => cmd_batch(&args),
         "faults" => cmd_faults(&args),
+        "trace" => cmd_trace(&args),
+        "metrics" => cmd_metrics(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -780,6 +1005,75 @@ mod tests {
             .unwrap_err()
             .0
             .contains("out of range"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_command_dumps_query_timelines() {
+        let dir = tempdir("trace");
+        let dirs = dir.to_str().unwrap();
+        run(&s(&[
+            "generate", "--out", dirs, "--rows", "4000", "--seed", "11",
+        ]))
+        .unwrap();
+        run(&s(&["cube", "--store", dirs, "--resolutions", "1,2"])).unwrap();
+
+        // Clean run: the last 3 traces are readable timelines.
+        let out = run(&s(&[
+            "trace",
+            "--store",
+            dirs,
+            "--queries",
+            "30",
+            "--last",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("flight recorder: 3 trace(s)"), "{out}");
+        assert!(out.contains("query "), "{out}");
+        assert!(out.contains("scheduled"), "{out}");
+        assert!(out.contains("completed on"), "{out}");
+
+        // Faulty run, anomalies only, as JSON.
+        let out = run(&s(&[
+            "trace",
+            "--store",
+            dirs,
+            "--queries",
+            "45",
+            "--rate",
+            "0.05",
+            "--dead",
+            "0",
+            "--anomalies-only",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.trim_start().starts_with('['), "{out}");
+        assert!(out.contains("\"event\""), "{out}");
+        assert!(out.contains("fault"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_command_prints_exposition() {
+        let dir = tempdir("metrics");
+        let dirs = dir.to_str().unwrap();
+        run(&s(&[
+            "generate", "--out", dirs, "--rows", "4000", "--seed", "13",
+        ]))
+        .unwrap();
+        run(&s(&["cube", "--store", dirs, "--resolutions", "1,2"])).unwrap();
+
+        let out = run(&s(&["metrics", "--store", dirs, "--queries", "12"])).unwrap();
+        assert!(out.contains("holap_engine_submitted_total 12"), "{out}");
+        assert!(
+            out.contains("# TYPE holap_engine_latency_seconds histogram"),
+            "{out}"
+        );
+        assert!(out.contains("holap_engine_admission_depth"), "{out}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

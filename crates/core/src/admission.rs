@@ -17,6 +17,7 @@ use crate::config::SheddingPolicy;
 use crate::engine::{EngineCore, Prepared, QueryOutcome};
 use crate::error::EngineError;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use holap_obs::{QueryTrace, SpanKind, TraceStatus};
 use holap_sched::{Decision, HealthState, LiveLoad, Placement};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -94,6 +95,9 @@ pub(crate) struct AdmitJob {
     /// are measured from here, not from dispatch.
     pub(crate) admitted_at: f64,
     pub(crate) respond: Sender<Result<QueryOutcome, EngineError>>,
+    /// The query's trace, travelling with the job and accumulating span
+    /// events at each stage. `None` when observability is disabled.
+    pub(crate) trace: Option<Box<QueryTrace>>,
 }
 
 /// A scheduled query travelling from the dispatcher to a partition runner.
@@ -201,9 +205,20 @@ fn dispatcher(
     cpu_tx: Sender<RunJob>,
     gpu_txs: Vec<Sender<RunJob>>,
 ) {
-    for job in admit_rx {
-        core.admission_depth.fetch_sub(1, Ordering::Relaxed);
+    for mut job in admit_rx {
+        let depth = core.admission_depth.fetch_sub(1, Ordering::Relaxed) - 1;
         let now = core.epoch.elapsed().as_secs_f64();
+        if let Some(obs) = &core.obs {
+            obs.set_admission_depth(depth);
+        }
+        if let Some(t) = job.trace.as_deref_mut() {
+            t.push(
+                now,
+                SpanKind::Dispatched {
+                    queue_depth: depth as u64,
+                },
+            );
+        }
         let abs_deadline = job.admitted_at + job.prepared.deadline_window;
         let load = core.inflight.lock().live_load();
 
@@ -217,14 +232,32 @@ fn dispatcher(
                     .lock()
                     .min_response_time(now, &job.prepared.est, Some(&load));
             if min_rt > abs_deadline {
+                let shed_at = core.epoch.elapsed().as_secs_f64();
+                if let Some(t) = job.trace.as_deref_mut() {
+                    t.push(
+                        shed_at,
+                        SpanKind::Shed {
+                            min_response_at: min_rt,
+                            deadline: abs_deadline,
+                        },
+                    );
+                }
                 match shedding {
                     SheddingPolicy::Shed => {
                         core.stats.lock().record_shed();
-                        let latency = core.epoch.elapsed().as_secs_f64() - job.admitted_at;
+                        if let Some(obs) = &core.obs {
+                            obs.on_shed();
+                        }
+                        seal_trace(&core, job.trace.take(), shed_at, TraceStatus::Shed);
+                        let latency = shed_at - job.admitted_at;
                         let _ = job.respond.send(Ok(QueryOutcome::shed_marker(latency)));
                     }
                     SheddingPolicy::Reject => {
                         core.stats.lock().record_rejected();
+                        if let Some(obs) = &core.obs {
+                            obs.on_rejected();
+                        }
+                        seal_trace(&core, job.trace.take(), shed_at, TraceStatus::Rejected);
                         let _ = job.respond.send(Err(EngineError::Overloaded(
                             "predicted completion time exceeds the deadline".into(),
                         )));
@@ -239,13 +272,40 @@ fn dispatcher(
         // deadline still gets a positive window: the scheduler's step 6
         // then places it for earliest response.
         let t_c = (abs_deadline - now).max(1e-9);
-        let decision =
+        let decision = if let Some(t) = job.trace.as_deref_mut() {
+            // The traced entry point also returns the candidate set the
+            // Fig. 10 choice was made from.
+            let (decision, candidates) = core.scheduler.lock().schedule_with_load_traced(
+                now,
+                &job.prepared.est,
+                t_c,
+                Some(&load),
+            );
+            t.push(
+                now,
+                SpanKind::Scheduled {
+                    placement: decision.placement,
+                    with_translation: decision.with_translation,
+                    estimated_proc_secs: decision.t_proc,
+                    estimated_response_at: decision.response_time,
+                    deadline: decision.deadline,
+                    before_deadline: decision.before_deadline,
+                    rerouted: decision.rerouted,
+                    candidates,
+                },
+            );
+            decision
+        } else {
             core.scheduler
                 .lock()
-                .schedule_with_load(now, &job.prepared.est, t_c, Some(&load));
+                .schedule_with_load(now, &job.prepared.est, t_c, Some(&load))
+        };
         if decision.rerouted {
             // The scheduler steered this query off a quarantined partition.
             core.stats.lock().rerouted += 1;
+            if let Some(obs) = &core.obs {
+                obs.on_rerouted();
+            }
         }
         core.inflight.lock().charge(&decision);
 
@@ -259,6 +319,20 @@ fn dispatcher(
             core.inflight.lock().discharge(&run.decision);
             let _ = run.job.respond.send(Err(EngineError::Shutdown));
         }
+    }
+}
+
+/// Seals and records a trace that resolves before reaching a partition
+/// runner (shed or rejected at dispatch).
+fn seal_trace(
+    core: &Arc<EngineCore>,
+    trace: Option<Box<QueryTrace>>,
+    at: f64,
+    status: TraceStatus,
+) {
+    if let (Some(obs), Some(mut t)) = (&core.obs, trace) {
+        t.finish(at, status);
+        obs.record_trace(*t);
     }
 }
 
@@ -278,7 +352,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// resolves its own ticket with a typed error; the runner survives to
 /// serve the next one.
 fn cpu_runner(core: Arc<EngineCore>, rx: Receiver<RunJob>) {
-    for run in rx {
+    for mut run in rx {
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| core.run_cpu(&run.job.prepared)))
             .unwrap_or_else(|payload| {
@@ -287,13 +361,14 @@ fn cpu_runner(core: Arc<EngineCore>, rx: Receiver<RunJob>) {
                     message: panic_message(payload.as_ref()),
                 })
             });
-        core.finish(
-            run,
-            Placement::Cpu,
-            false,
-            result,
-            started.elapsed().as_secs_f64(),
-        );
+        let secs = started.elapsed().as_secs_f64();
+        if let Some(t) = run.job.trace.as_deref_mut() {
+            t.push(
+                core.epoch.elapsed().as_secs_f64(),
+                SpanKind::CpuExec { secs },
+            );
+        }
+        core.finish(run, Placement::Cpu, false, result, secs);
     }
 }
 
@@ -311,8 +386,20 @@ fn gpu_runner(core: Arc<EngineCore>, partition: usize, rx: Receiver<RunJob>) {
 /// Re-runs the query's scan on the CPU partition's pool and resolves the
 /// ticket — the degradation path for GPU work that cannot (or should not)
 /// run on its partition.
-fn fail_over_to_cpu(core: &Arc<EngineCore>, run: RunJob, started: Instant) {
+fn fail_over_to_cpu(core: &Arc<EngineCore>, mut run: RunJob, partition: usize, started: Instant) {
     core.stats.lock().rerouted += 1;
+    if let Some(obs) = &core.obs {
+        obs.on_rerouted();
+    }
+    if let Some(t) = run.job.trace.as_deref_mut() {
+        t.push(
+            core.epoch.elapsed().as_secs_f64(),
+            SpanKind::Failover {
+                from_partition: partition,
+            },
+        );
+    }
+    let cpu_started = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| core.run_cpu_scan(&run.job.prepared)))
         .unwrap_or_else(|payload| {
             Err(EngineError::ExecutionFailed {
@@ -320,6 +407,14 @@ fn fail_over_to_cpu(core: &Arc<EngineCore>, run: RunJob, started: Instant) {
                 message: panic_message(payload.as_ref()),
             })
         });
+    if let Some(t) = run.job.trace.as_deref_mut() {
+        t.push(
+            core.epoch.elapsed().as_secs_f64(),
+            SpanKind::CpuExec {
+                secs: cpu_started.elapsed().as_secs_f64(),
+            },
+        );
+    }
     core.finish(
         run,
         Placement::Cpu,
@@ -338,17 +433,27 @@ fn fail_over_to_cpu(core: &Arc<EngineCore>, run: RunJob, started: Instant) {
 ///    exponential backoff, or — budget spent — resolve the ticket with
 ///    [`EngineError::ExecutionFailed`];
 /// 4. fatal failure → resolve the ticket immediately.
-fn execute_gpu_job(core: &Arc<EngineCore>, partition: usize, run: RunJob) {
+fn execute_gpu_job(core: &Arc<EngineCore>, partition: usize, mut run: RunJob) {
     let started = Instant::now();
     let ft = core.config.faults;
     if ft.cpu_failover && core.scheduler.lock().is_quarantined(partition) {
-        return fail_over_to_cpu(core, run, started);
+        return fail_over_to_cpu(core, run, partition, started);
     }
+    // The trace travels out of the job for the attempt loop (the unwind
+    // boundary borrows it mutably alongside the prepared query) and is
+    // reattached before any path hands the job onward.
+    let mut trace = run.job.trace.take();
     let mut attempts: u32 = 0;
     loop {
         attempts += 1;
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            core.run_gpu(partition, &run.job.prepared, run.decision.with_translation)
+            core.run_gpu(
+                partition,
+                &run.job.prepared,
+                run.decision.with_translation,
+                &mut trace,
+                attempts - 1,
+            )
         }))
         .unwrap_or_else(|payload| {
             Err(EngineError::ExecutionFailed {
@@ -359,6 +464,7 @@ fn execute_gpu_job(core: &Arc<EngineCore>, partition: usize, run: RunJob) {
         match attempt {
             Ok(ok) => {
                 core.scheduler.lock().record_partition_success(partition);
+                run.job.trace = trace;
                 return core.finish(
                     run,
                     Placement::Gpu { partition },
@@ -373,6 +479,7 @@ fn execute_gpu_job(core: &Arc<EngineCore>, partition: usize, run: RunJob) {
                     .scheduler
                     .lock()
                     .record_partition_failure(partition, now);
+                core.mirror_health_counters();
                 let timed_out = matches!(e, EngineError::Timeout { .. });
                 {
                     let mut stats = core.stats.lock();
@@ -381,18 +488,38 @@ fn execute_gpu_job(core: &Arc<EngineCore>, partition: usize, run: RunJob) {
                         stats.timeouts += 1;
                     }
                 }
+                if let Some(obs) = &core.obs {
+                    obs.on_fault(partition);
+                    if timed_out {
+                        obs.on_timeout();
+                    }
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(
+                        now,
+                        SpanKind::Fault {
+                            partition,
+                            attempt: attempts - 1,
+                            error: e.to_string(),
+                            timed_out,
+                        },
+                    );
+                    t.push(now, SpanKind::HealthTransition { partition, state });
+                }
                 // A timed-out kernel may still be occupying the partition
                 // worker; retrying there would queue behind the hang. A
                 // just-quarantined partition should not absorb retries
                 // either. Both degrade to the CPU when failover is on.
                 if ft.cpu_failover && (timed_out || state == HealthState::Quarantined) {
-                    return fail_over_to_cpu(core, run, started);
+                    run.job.trace = trace;
+                    return fail_over_to_cpu(core, run, partition, started);
                 }
                 if attempts > ft.retry.max_retries {
                     let message = match &e {
                         EngineError::ExecutionFailed { message, .. } => message.clone(),
                         other => other.to_string(),
                     };
+                    run.job.trace = trace;
                     return core.finish(
                         run,
                         Placement::Gpu { partition },
@@ -402,12 +529,25 @@ fn execute_gpu_job(core: &Arc<EngineCore>, partition: usize, run: RunJob) {
                     );
                 }
                 core.stats.lock().retries += 1;
+                if let Some(obs) = &core.obs {
+                    obs.on_retry();
+                }
                 let backoff = ft.retry.backoff_secs(attempts);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(
+                        core.epoch.elapsed().as_secs_f64(),
+                        SpanKind::Retry {
+                            retry: attempts,
+                            backoff_secs: backoff,
+                        },
+                    );
+                }
                 if backoff > 0.0 {
                     std::thread::sleep(Duration::from_secs_f64(backoff));
                 }
             }
             Err(e) => {
+                run.job.trace = trace;
                 return core.finish(
                     run,
                     Placement::Gpu { partition },

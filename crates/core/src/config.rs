@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use holap_model::SystemProfile;
+use holap_obs::ObsConfig;
 use holap_sched::{HealthConfig, PartitionLayout, Policy};
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +148,10 @@ pub struct SystemConfig {
     /// Fault-tolerance tuning (retry, watchdog, failover, quarantine).
     #[serde(default)]
     pub faults: FaultToleranceConfig,
+    /// Observability: metrics registry, query tracing and the flight
+    /// recorder (on by default; `ObsConfig::disabled()` for baselines).
+    #[serde(default)]
+    pub obs: ObsConfig,
 }
 
 impl Default for SystemConfig {
@@ -161,6 +166,7 @@ impl Default for SystemConfig {
             cache_capacity: 0,
             admission: AdmissionConfig::default(),
             faults: FaultToleranceConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }

@@ -3,6 +3,7 @@
 use crate::admission::{self, AdmitJob, Inflight, QueryTicket, RunJob};
 use crate::config::{BackpressurePolicy, SystemConfig};
 use crate::error::EngineError;
+use crate::obs::{EngineObs, PlacementLabel};
 use crate::query::{
     text_column_name, Answer, ConditionRange, EngineQuery, IntoEngineQuery, ResolvedQuery,
 };
@@ -11,6 +12,7 @@ use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender, TrySendEr
 use holap_cube::{CubePlan, CubeSchema, CubeSet, MolapCube};
 use holap_dict::{DictionarySet, TextCondition};
 use holap_gpusim::{DeviceConfig, FaultPlan, GpuDevice, GpuExecutor, KernelError, TableId};
+use holap_obs::{MetricsSnapshot, QueryClass, QueryTrace, SpanKind, TraceStatus};
 use holap_sched::{Estimator, Placement, QueryFeatures, Scheduler, TaskEstimate};
 use holap_table::{ColumnId, FactTable, ScanQuery, TableSchema};
 use parking_lot::Mutex;
@@ -321,6 +323,7 @@ impl HybridSystemBuilder {
         scheduler.set_health_config(self.config.faults.quarantine);
         let cache_capacity = self.config.cache_capacity;
         let gpu_partitions = self.config.layout.gpu_partitions();
+        let obs = EngineObs::build(&self.config.obs);
         let core = Arc::new(EngineCore {
             config: self.config,
             table_schema,
@@ -342,6 +345,7 @@ impl HybridSystemBuilder {
             inflight: Mutex::new(Inflight::new(gpu_partitions)),
             admission_depth: AtomicUsize::new(0),
             admission_peak: AtomicUsize::new(0),
+            obs,
         });
         let (admission_tx, mut pipeline) = admission::spawn_pipeline(&core);
 
@@ -360,9 +364,11 @@ impl HybridSystemBuilder {
                         match probe_stop_rx.recv_timeout(tick) {
                             Err(RecvTimeoutError::Timeout) => {
                                 let now = core.epoch.elapsed().as_secs_f64();
-                                // Re-admissions are counted by the
-                                // scheduler itself; `stats()` mirrors them.
                                 let _ = core.scheduler.lock().probe(now);
+                                // Copy the scheduler's health counters into
+                                // the engine stats so `stats()` never has to
+                                // take two locks for one snapshot.
+                                core.mirror_health_counters();
                             }
                             _ => break, // stop signal or handle dropped
                         }
@@ -408,6 +414,10 @@ pub(crate) struct EngineCore {
     pub(crate) admission_depth: AtomicUsize,
     /// High-water mark of `admission_depth`.
     pub(crate) admission_peak: AtomicUsize,
+    /// Metrics registry + flight recorder; `None` when
+    /// [`ObsConfig::enabled`](holap_obs::ObsConfig) is false, making the
+    /// disabled path a single branch per call site.
+    pub(crate) obs: Option<Arc<EngineObs>>,
 }
 
 impl EngineCore {
@@ -464,6 +474,15 @@ impl EngineCore {
             }));
         }
 
+        // The query is real work from here on: count it as submitted
+        // *before* any completion can be recorded, so a stats snapshot can
+        // never show `completed > submitted`. (Provably-empty answers
+        // short-circuit above without entering the statistics, as before.)
+        self.stats.lock().submitted += 1;
+        if let Some(obs) = &self.obs {
+            obs.on_submitted();
+        }
+
         // Result cache: answered queries bypass scheduling entirely.
         let cache_key = crate::cache::CacheKey::new(&resolved, q.group_by);
         if let Some(hit) = self.cache.get(&cache_key) {
@@ -472,6 +491,15 @@ impl EngineCore {
             self.stats
                 .lock()
                 .record(CompletionKind::Cached, latency_secs, met_deadline);
+            if let Some(obs) = &self.obs {
+                obs.on_completed(
+                    PlacementLabel::Cache,
+                    latency_secs,
+                    met_deadline,
+                    false,
+                    None,
+                );
+            }
             return Ok(Admitted::Immediate(QueryOutcome {
                 answer: hit.answer,
                 groups: hit.groups,
@@ -648,6 +676,8 @@ impl EngineCore {
         partition: usize,
         p: &Prepared,
         with_translation: bool,
+        trace: &mut Option<Box<QueryTrace>>,
+        attempt: u32,
     ) -> Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError> {
         let watchdog = Duration::from_secs_f64(self.config.faults.watchdog_secs.max(1e-6));
         let deadline_err = || EngineError::Timeout {
@@ -657,6 +687,7 @@ impl EngineCore {
         if with_translation {
             // Physically route the text lookups through the translation
             // partition before the kernel launches.
+            let trans_started = self.epoch.elapsed().as_secs_f64();
             let (tx, rx) = unbounded();
             let trans = self
                 .trans_tx
@@ -672,6 +703,22 @@ impl EngineCore {
                 return Err(EngineError::Shutdown);
             }
             rx.recv().map_err(|_| EngineError::Shutdown)??;
+            if let Some(t) = trace.as_deref_mut() {
+                let now = self.epoch.elapsed().as_secs_f64();
+                t.push(
+                    now,
+                    SpanKind::TranslationDone {
+                        secs: now - trans_started,
+                        lookups: p.lookups.len() as u64,
+                    },
+                );
+            }
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(
+                self.epoch.elapsed().as_secs_f64(),
+                SpanKind::KernelStart { partition, attempt },
+            );
         }
         match p.group_column {
             None => {
@@ -685,6 +732,19 @@ impl EngineCore {
                         return Err(KernelError::PartitionLost(partition).into())
                     }
                 };
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(
+                        self.epoch.elapsed().as_secs_f64(),
+                        SpanKind::KernelEnd {
+                            partition,
+                            attempt,
+                            sms: out.sms,
+                            modeled_secs: out.modeled_secs,
+                            wall_secs: out.wall_secs,
+                            columns_accessed: out.columns_accessed as u64,
+                        },
+                    );
+                }
                 let sum = out.result.values[0].value().unwrap_or(0.0);
                 Ok((
                     Answer {
@@ -704,6 +764,19 @@ impl EngineCore {
                         return Err(KernelError::PartitionLost(partition).into())
                     }
                 };
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(
+                        self.epoch.elapsed().as_secs_f64(),
+                        SpanKind::KernelEnd {
+                            partition,
+                            attempt,
+                            sms: out.sms,
+                            modeled_secs: out.modeled_secs,
+                            wall_secs: out.wall_secs,
+                            columns_accessed: out.columns_accessed as u64,
+                        },
+                    );
+                }
                 let groups: Vec<(u32, Answer)> = out
                     .result
                     .groups
@@ -738,7 +811,7 @@ impl EngineCore {
     /// work was charged to.
     pub(crate) fn finish(
         &self,
-        run: RunJob,
+        mut run: RunJob,
         executed: Placement,
         translated: bool,
         result: Result<(Answer, Option<Vec<(u32, Answer)>>), EngineError>,
@@ -750,15 +823,45 @@ impl EngineCore {
             run.decision.t_proc,
             actual_secs,
         );
+        let mut trace = run.job.trace.take();
+        let now = self.epoch.elapsed().as_secs_f64();
         let response = match result {
             Ok((answer, groups)) => {
-                let latency_secs = self.epoch.elapsed().as_secs_f64() - run.job.admitted_at;
+                let latency_secs = now - run.job.admitted_at;
                 let met_deadline = latency_secs <= run.job.prepared.deadline_window;
                 let kind = match executed {
                     Placement::Cpu => CompletionKind::Cpu,
                     Placement::Gpu { .. } => CompletionKind::Gpu { translated },
                 };
                 self.stats.lock().record(kind, latency_secs, met_deadline);
+                let residual_secs = actual_secs - run.decision.t_proc;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(
+                        now,
+                        SpanKind::Completed {
+                            placement: executed,
+                            latency_secs,
+                            met_deadline,
+                            estimated_secs: run.decision.t_proc,
+                            actual_secs,
+                            residual_secs,
+                        },
+                    );
+                    t.finish(now, TraceStatus::Completed);
+                }
+                if let Some(obs) = &self.obs {
+                    let label = match executed {
+                        Placement::Cpu => PlacementLabel::Cpu,
+                        Placement::Gpu { .. } => PlacementLabel::Gpu,
+                    };
+                    obs.on_completed(
+                        label,
+                        latency_secs,
+                        met_deadline,
+                        translated,
+                        Some(residual_secs),
+                    );
+                }
                 self.cache.put(
                     run.job.prepared.cache_key.clone(),
                     crate::cache::CachedAnswer {
@@ -780,10 +883,44 @@ impl EngineCore {
             }
             Err(e) => {
                 self.stats.lock().failed += 1;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(
+                        now,
+                        SpanKind::Failed {
+                            error: e.to_string(),
+                        },
+                    );
+                    t.finish(now, TraceStatus::Failed);
+                }
+                if let Some(obs) = &self.obs {
+                    obs.on_failed();
+                }
                 Err(e)
             }
         };
+        if let (Some(obs), Some(t)) = (&self.obs, trace) {
+            obs.record_trace(*t);
+        }
         let _ = run.job.respond.send(response);
+    }
+
+    /// Copies the scheduler's health-transition counters (quarantines,
+    /// re-admissions) into the engine stats, so a [`HybridSystem::stats`]
+    /// snapshot is coherent under a single lock. Called at the two sites
+    /// that can transition health: a recorded partition failure and the
+    /// background probe.
+    pub(crate) fn mirror_health_counters(&self) {
+        let (q, r) = {
+            let sched = self.scheduler.lock();
+            (sched.stats().quarantines, sched.stats().readmissions)
+        };
+        let mut stats = self.stats.lock();
+        if let Some(obs) = &self.obs {
+            obs.on_quarantines(q.saturating_sub(stats.quarantines));
+            obs.on_readmissions(r.saturating_sub(stats.readmissions));
+        }
+        stats.quarantines = q;
+        stats.readmissions = r;
     }
 }
 
@@ -874,16 +1011,17 @@ impl HybridSystem {
 
     /// A snapshot of the execution statistics, including the current and
     /// peak admission-queue depth.
+    ///
+    /// The snapshot is **coherent**: every counter is read under the one
+    /// stats lock (the scheduler's quarantine/re-admission counters are
+    /// mirrored into it eagerly at the transition sites), so invariants
+    /// like `completed + failed + shed + rejected ≤ submitted` hold in any
+    /// snapshot. Only the instantaneous admission-depth gauges are read
+    /// from their atomics afterwards.
     pub fn stats(&self) -> EngineStats {
         let mut s = self.core.stats.lock().clone();
         s.admission_depth = self.core.admission_depth.load(Ordering::Relaxed) as u64;
         s.admission_peak_depth = self.core.admission_peak.load(Ordering::Relaxed) as u64;
-        {
-            // Health transitions live in the scheduler; mirror its counts.
-            let sched = self.core.scheduler.lock();
-            s.quarantines = sched.stats().quarantines;
-            s.readmissions = sched.stats().readmissions;
-        }
         s
     }
 
@@ -901,6 +1039,64 @@ impl HybridSystem {
     /// disabled.
     pub fn cache_counters(&self) -> (u64, u64) {
         self.core.cache.counters()
+    }
+
+    /// Whether observability (metrics + tracing + flight recorder) is on.
+    pub fn obs_enabled(&self) -> bool {
+        self.core.obs.is_some()
+    }
+
+    /// The engine's observability seam (registry + recorder), when
+    /// enabled — lets benches and exporters register their own
+    /// instruments next to the engine's.
+    pub fn observability(&self) -> Option<&EngineObs> {
+        self.core.obs.as_deref()
+    }
+
+    /// Prometheus-style text exposition of every registered instrument.
+    /// `None` when observability is disabled.
+    pub fn metrics_text(&self) -> Option<String> {
+        self.core.obs.as_ref().map(|o| o.metrics_text())
+    }
+
+    /// A point-in-time copy of every registered instrument. `None` when
+    /// observability is disabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.core.obs.as_ref().map(|o| o.metrics_snapshot())
+    }
+
+    /// The last `n` completed traces the flight recorder retains, oldest
+    /// first. Empty when observability is disabled.
+    pub fn recent_traces(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        self.core
+            .obs
+            .as_ref()
+            .map_or_else(Vec::new, |o| o.recorder().last(n))
+    }
+
+    /// The anomalous traces the flight recorder retains (faults, retries,
+    /// timeouts, sheds, quarantines), oldest first. Empty when
+    /// observability is disabled.
+    pub fn anomalous_traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.core
+            .obs
+            .as_ref()
+            .map_or_else(Vec::new, |o| o.recorder().anomalies())
+    }
+
+    /// The retained trace of ticket `id`, if the flight recorder still
+    /// holds it.
+    pub fn trace_for(&self, id: u64) -> Option<Arc<QueryTrace>> {
+        self.core.obs.as_ref().and_then(|o| o.recorder().find(id))
+    }
+
+    /// A JSON dump of the flight recorder (recent + anomalous traces).
+    /// `None` when observability is disabled.
+    pub fn trace_dump_json(&self, pretty: bool) -> Option<String> {
+        self.core
+            .obs
+            .as_ref()
+            .map(|o| o.recorder().dump_json(pretty))
     }
 
     /// Submits a query — anything implementing [`IntoEngineQuery`]: a
@@ -934,18 +1130,53 @@ impl HybridSystem {
         let admitted_at = self.core.epoch.elapsed().as_secs_f64();
         let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         match self.core.prepare(&q, admitted_at)? {
-            Admitted::Immediate(outcome) => Ok(QueryTicket::immediate(id, outcome)),
+            Admitted::Immediate(outcome) => {
+                if let Some(obs) = &self.core.obs {
+                    let now = self.core.epoch.elapsed().as_secs_f64();
+                    let mut t = QueryTrace::new(id, admitted_at);
+                    t.push(
+                        now,
+                        if outcome.from_cache {
+                            SpanKind::CacheHit
+                        } else {
+                            SpanKind::ProvablyEmpty
+                        },
+                    );
+                    t.finish(now, TraceStatus::Immediate);
+                    obs.record_trace(t);
+                }
+                Ok(QueryTicket::immediate(id, outcome))
+            }
             Admitted::Run(prepared) => {
+                let trace = self.core.obs.as_ref().map(|_| {
+                    let mut t = Box::new(QueryTrace::new(id, admitted_at));
+                    t.push(
+                        admitted_at,
+                        SpanKind::Submitted {
+                            class: if prepared.est.t_cpu.is_some() {
+                                QueryClass::Molap
+                            } else {
+                                QueryClass::Rolap
+                            },
+                            needs_translation: !prepared.lookups.is_empty(),
+                        },
+                    );
+                    t
+                });
                 let (tx, rx) = bounded(1);
                 let job = AdmitJob {
                     prepared,
                     admitted_at,
                     respond: tx,
+                    trace,
                 };
                 // Count the ticket before handing it over so the depth can
                 // never go negative when the dispatcher pops it first.
                 let depth = self.core.admission_depth.fetch_add(1, Ordering::Relaxed) + 1;
                 self.core.admission_peak.fetch_max(depth, Ordering::Relaxed);
+                if let Some(obs) = &self.core.obs {
+                    obs.set_admission_depth(depth);
+                }
                 let admit = self
                     .admission_tx
                     .as_ref()
@@ -953,8 +1184,16 @@ impl HybridSystem {
                 let sent = match self.core.config.admission.backpressure {
                     BackpressurePolicy::Block => admit.send(job).map_err(|_| EngineError::Shutdown),
                     BackpressurePolicy::Reject => admit.try_send(job).map_err(|e| match e {
-                        TrySendError::Full(_) => {
+                        TrySendError::Full(mut rejected_job) => {
                             self.core.stats.lock().record_rejected();
+                            if let Some(obs) = &self.core.obs {
+                                obs.on_rejected();
+                                if let Some(mut t) = rejected_job.trace.take() {
+                                    let now = self.core.epoch.elapsed().as_secs_f64();
+                                    t.finish(now, TraceStatus::Rejected);
+                                    obs.record_trace(*t);
+                                }
+                            }
                             EngineError::Overloaded(format!(
                                 "admission queue full ({} tickets waiting)",
                                 depth - 1

@@ -68,6 +68,7 @@ pub mod config;
 pub mod dsl;
 pub mod engine;
 pub mod error;
+pub mod obs;
 pub mod query;
 pub mod stats;
 
@@ -78,6 +79,7 @@ pub use config::{
 };
 pub use engine::{HybridSystem, HybridSystemBuilder, QueryOutcome};
 pub use error::EngineError;
+pub use obs::EngineObs;
 pub use query::{
     Answer, ConditionRange, EngineCondition, EngineQuery, IntoEngineQuery, QueryBuilder, Submission,
 };
@@ -102,5 +104,6 @@ pub use holap_cube as cube;
 pub use holap_dict as dict;
 pub use holap_gpusim as gpusim;
 pub use holap_model as model;
+pub use holap_obs as observability;
 pub use holap_sched as sched;
 pub use holap_table as table;

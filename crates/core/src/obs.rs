@@ -1,0 +1,264 @@
+//! The engine's observability seam: one [`MetricsRegistry`] plus one
+//! [`FlightRecorder`], with the hot-path instrument handles registered
+//! once at build time so the per-query cost is a few relaxed atomics.
+//!
+//! Instruments follow the `holap_<subsystem>_<quantity>[_total]` naming
+//! scheme (DESIGN.md §9). The whole struct lives behind an
+//! `Option<Arc<EngineObs>>` on the engine core: when
+//! [`ObsConfig::enabled`](holap_obs::ObsConfig) is false the option is
+//! `None` and the disabled path is a single branch per call site.
+
+use holap_obs::{
+    Counter, FlightRecorder, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot, ObsConfig,
+    QueryTrace,
+};
+
+/// Placement label for completion instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlacementLabel {
+    /// Answered by the CPU processing partition.
+    Cpu,
+    /// Answered by a GPU partition.
+    Gpu,
+    /// Answered from the result cache.
+    Cache,
+}
+
+impl PlacementLabel {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Cpu => "cpu",
+            Self::Gpu => "gpu",
+            Self::Cache => "cache",
+        }
+    }
+}
+
+/// Metrics registry + flight recorder + cached hot-path handles.
+#[derive(Debug)]
+pub struct EngineObs {
+    registry: MetricsRegistry,
+    recorder: FlightRecorder,
+    submitted: Counter,
+    completed: [Counter; 3],
+    deadline_met: Counter,
+    translated: Counter,
+    shed: Counter,
+    rejected: Counter,
+    failed: Counter,
+    rerouted: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    quarantines: Counter,
+    readmissions: Counter,
+    admission_depth: Gauge,
+    admission_peak: Gauge,
+    latency: [HistogramHandle; 3],
+    residual_abs: HistogramHandle,
+}
+
+impl EngineObs {
+    /// Builds the registry and recorder when `cfg.enabled`, `None`
+    /// otherwise.
+    pub(crate) fn build(cfg: &ObsConfig) -> Option<std::sync::Arc<Self>> {
+        if !cfg.enabled {
+            return None;
+        }
+        let registry = MetricsRegistry::new();
+        let recorder = FlightRecorder::new(cfg.recorder_capacity, cfg.anomaly_capacity);
+        let by_placement = |name: &str| {
+            [
+                registry.counter(name, &[("placement", PlacementLabel::Cpu.as_str())]),
+                registry.counter(name, &[("placement", PlacementLabel::Gpu.as_str())]),
+                registry.counter(name, &[("placement", PlacementLabel::Cache.as_str())]),
+            ]
+        };
+        let hist_by_placement = |name: &str| {
+            [
+                registry.histogram(name, &[("placement", PlacementLabel::Cpu.as_str())]),
+                registry.histogram(name, &[("placement", PlacementLabel::Gpu.as_str())]),
+                registry.histogram(name, &[("placement", PlacementLabel::Cache.as_str())]),
+            ]
+        };
+        Some(std::sync::Arc::new(Self {
+            submitted: registry.counter("holap_engine_submitted_total", &[]),
+            completed: by_placement("holap_engine_completed_total"),
+            deadline_met: registry.counter("holap_engine_deadline_met_total", &[]),
+            translated: registry.counter("holap_engine_translated_total", &[]),
+            shed: registry.counter("holap_engine_shed_total", &[]),
+            rejected: registry.counter("holap_engine_rejected_total", &[]),
+            failed: registry.counter("holap_engine_failed_total", &[]),
+            rerouted: registry.counter("holap_engine_rerouted_total", &[]),
+            retries: registry.counter("holap_engine_retries_total", &[]),
+            timeouts: registry.counter("holap_engine_timeouts_total", &[]),
+            quarantines: registry.counter("holap_engine_quarantines_total", &[]),
+            readmissions: registry.counter("holap_engine_readmissions_total", &[]),
+            admission_depth: registry.gauge("holap_engine_admission_depth", &[]),
+            admission_peak: registry.gauge("holap_engine_admission_peak_depth", &[]),
+            latency: hist_by_placement("holap_engine_latency_seconds"),
+            residual_abs: registry.histogram("holap_engine_estimate_abs_error_seconds", &[]),
+            registry,
+            recorder,
+        }))
+    }
+
+    fn idx(p: PlacementLabel) -> usize {
+        match p {
+            PlacementLabel::Cpu => 0,
+            PlacementLabel::Gpu => 1,
+            PlacementLabel::Cache => 2,
+        }
+    }
+
+    pub(crate) fn on_submitted(&self) {
+        self.submitted.inc();
+    }
+
+    pub(crate) fn on_completed(
+        &self,
+        placement: PlacementLabel,
+        latency_secs: f64,
+        met_deadline: bool,
+        translated: bool,
+        residual_secs: Option<f64>,
+    ) {
+        self.completed[Self::idx(placement)].inc();
+        self.latency[Self::idx(placement)].observe(latency_secs);
+        if met_deadline {
+            self.deadline_met.inc();
+        }
+        if translated {
+            self.translated.inc();
+        }
+        if let Some(r) = residual_secs {
+            self.residual_abs.observe(r.abs());
+        }
+    }
+
+    pub(crate) fn on_shed(&self) {
+        self.shed.inc();
+    }
+
+    pub(crate) fn on_rejected(&self) {
+        self.rejected.inc();
+    }
+
+    pub(crate) fn on_failed(&self) {
+        self.failed.inc();
+    }
+
+    pub(crate) fn on_rerouted(&self) {
+        self.rerouted.inc();
+    }
+
+    pub(crate) fn on_retry(&self) {
+        self.retries.inc();
+    }
+
+    pub(crate) fn on_timeout(&self) {
+        self.timeouts.inc();
+    }
+
+    /// Fault counters are per-partition labelled; the fault path is cold,
+    /// so the registry's read-lock lookup is fine here.
+    pub(crate) fn on_fault(&self, partition: usize) {
+        self.registry
+            .counter(
+                "holap_engine_partition_faults_total",
+                &[("partition", &partition.to_string())],
+            )
+            .inc();
+    }
+
+    pub(crate) fn on_quarantines(&self, n: u64) {
+        self.quarantines.add(n);
+    }
+
+    pub(crate) fn on_readmissions(&self, n: u64) {
+        self.readmissions.add(n);
+    }
+
+    pub(crate) fn set_admission_depth(&self, depth: usize) {
+        let d = depth as f64;
+        self.admission_depth.set(d);
+        self.admission_peak.set_max(d);
+    }
+
+    /// Seals a finished trace into the flight recorder.
+    pub(crate) fn record_trace(&self, trace: QueryTrace) {
+        self.recorder.record(trace);
+    }
+
+    /// The registry, for subsystems that register their own instruments
+    /// (simulator export, benches).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Prometheus-style text exposition of every instrument.
+    pub fn metrics_text(&self) -> String {
+        self.registry.expose()
+    }
+
+    /// Point-in-time copy of every instrument.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holap_obs::TraceStatus;
+
+    #[test]
+    fn disabled_config_builds_nothing() {
+        assert!(EngineObs::build(&ObsConfig::disabled()).is_none());
+        assert!(EngineObs::build(&ObsConfig::default()).is_some());
+    }
+
+    #[test]
+    fn instruments_land_in_the_exposition() {
+        let obs = EngineObs::build(&ObsConfig::default()).unwrap();
+        obs.on_submitted();
+        obs.on_completed(PlacementLabel::Gpu, 0.01, true, true, Some(-0.002));
+        obs.on_fault(3);
+        obs.set_admission_depth(5);
+        obs.set_admission_depth(2);
+        let text = obs.metrics_text();
+        assert!(text.contains("holap_engine_submitted_total 1"));
+        assert!(text.contains("holap_engine_completed_total{placement=\"gpu\"} 1"));
+        assert!(text.contains("holap_engine_partition_faults_total{partition=\"3\"} 1"));
+        assert!(text.contains("holap_engine_admission_depth 2"));
+        assert!(text.contains("holap_engine_admission_peak_depth 5"));
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counter("holap_engine_deadline_met_total", &[]), 1);
+        assert_eq!(snap.counter("holap_engine_translated_total", &[]), 1);
+        match &snap
+            .get("holap_engine_estimate_abs_error_seconds", &[])
+            .unwrap()
+            .value
+        {
+            holap_obs::MetricValue::Histogram { histogram } => {
+                assert_eq!(histogram.count(), 1);
+                assert!((histogram.sum() - 0.002).abs() < 1e-6, "residual is |r|");
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traces_reach_the_recorder() {
+        let obs = EngineObs::build(&ObsConfig::default()).unwrap();
+        let mut t = QueryTrace::new(7, 0.0);
+        t.finish(0.1, TraceStatus::Completed);
+        obs.record_trace(t);
+        assert_eq!(obs.recorder().recorded(), 1);
+        assert!(obs.recorder().find(7).is_some());
+    }
+}

@@ -2,13 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Number of geometric latency buckets.
-const LATENCY_BUCKETS: usize = 64;
-/// Upper bound of the first latency bucket, seconds.
-const LATENCY_MIN_SECS: f64 = 1e-6;
-/// Geometric growth ratio between bucket upper bounds. 64 buckets at 1.4×
-/// cover 1 µs .. ~2400 s, wider than any plausible query latency.
-const LATENCY_RATIO: f64 = 1.4;
+/// The engine's latency histogram is the shared observability histogram
+/// (`holap-obs`): 64 geometric buckets covering 1 µs .. ~2400 s at a
+/// 1.4× ratio. The alias keeps the engine's historical API; snapshots
+/// written by the old hand-rolled histogram deserialize unchanged (the
+/// scheme fields default when absent).
+pub use holap_obs::Histogram as LatencyHistogram;
 
 /// How a completed query was answered — drives counter attribution in
 /// [`EngineStats::record`].
@@ -27,77 +26,18 @@ pub(crate) enum CompletionKind {
     Cached,
 }
 
-/// Fixed-size geometric histogram of query latencies.
-///
-/// Bucket `i` counts latencies in `(upper(i-1), upper(i)]` seconds where
-/// `upper(i) = 1 µs × 1.4^i`; quantile queries return the upper bound of
-/// the bucket holding the requested rank, so reported percentiles
-/// overestimate by at most the 1.4× bucket ratio.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    count: u64,
-    buckets: Vec<u64>,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            count: 0,
-            buckets: vec![0; LATENCY_BUCKETS],
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(secs: f64) -> usize {
-        if secs <= LATENCY_MIN_SECS {
-            return 0;
-        }
-        let idx = ((secs / LATENCY_MIN_SECS).ln() / LATENCY_RATIO.ln()).ceil();
-        (idx as usize).min(LATENCY_BUCKETS - 1)
-    }
-
-    fn bucket_upper_secs(i: usize) -> f64 {
-        LATENCY_MIN_SECS * LATENCY_RATIO.powi(i as i32)
-    }
-
-    /// Records one latency observation.
-    pub fn observe(&mut self, secs: f64) {
-        if self.buckets.len() < LATENCY_BUCKETS {
-            // Deserialized from an older snapshot with fewer buckets.
-            self.buckets.resize(LATENCY_BUCKETS, 0);
-        }
-        self.count += 1;
-        self.buckets[Self::bucket_of(secs.max(0.0))] += 1;
-    }
-
-    /// Total number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The latency (seconds) at quantile `q` in `[0, 1]` — the upper bound
-    /// of the bucket containing the `⌈q·count⌉`-th smallest observation.
-    /// Returns 0 when the histogram is empty.
-    pub fn quantile_secs(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::bucket_upper_secs(i);
-            }
-        }
-        Self::bucket_upper_secs(LATENCY_BUCKETS - 1)
-    }
-}
-
 /// Running counters the engine maintains across queries.
+///
+/// A snapshot returned by [`crate::HybridSystem::stats`] is **coherent**:
+/// every counter is read under one lock, so cross-counter invariants hold
+/// — in particular `completed + failed + shed + rejected ≤ submitted`
+/// (the difference is queries still in flight).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
+    /// Queries accepted by `submit` (including ones later shed, rejected
+    /// at dispatch, failed, or still in flight at snapshot time).
+    #[serde(default)]
+    pub submitted: u64,
     /// Queries completed with an answer (including cached answers; shed
     /// and rejected queries are counted separately).
     pub completed: u64,
@@ -180,6 +120,12 @@ impl EngineStats {
         }
     }
 
+    /// Queries accepted but not yet resolved at snapshot time.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted
+            .saturating_sub(self.completed + self.failed + self.shed + self.rejected)
+    }
+
     /// Median wall-clock latency, seconds (bucketed upper bound).
     pub fn p50_latency_secs(&self) -> f64 {
         self.latency.quantile_secs(0.50)
@@ -227,6 +173,7 @@ impl EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use holap_obs::{DEFAULT_BUCKETS, DEFAULT_MIN, DEFAULT_RATIO};
 
     #[test]
     fn record_accumulates() {
@@ -268,16 +215,33 @@ mod tests {
     }
 
     #[test]
+    fn in_flight_is_submitted_minus_resolved() {
+        let mut s = EngineStats::default();
+        s.submitted = 10;
+        s.record(CompletionKind::Cpu, 0.1, true);
+        s.record_shed();
+        s.record_rejected();
+        s.failed = 1;
+        assert_eq!(s.in_flight(), 6);
+        // A torn snapshot would break this; saturating keeps it total.
+        s.submitted = 0;
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
     fn empty_stats() {
         let s = EngineStats::default();
         assert_eq!(s.mean_latency_secs(), 0.0);
         assert_eq!(s.deadline_hit_ratio(), 1.0);
         assert_eq!(s.p50_latency_secs(), 0.0);
         assert_eq!(s.p99_latency_secs(), 0.0);
+        assert_eq!(s.in_flight(), 0);
     }
 
     #[test]
     fn histogram_quantiles_are_ordered_and_bounded() {
+        // The engine's histogram is the shared holap-obs histogram; this
+        // exercises it through the engine alias.
         let mut h = LatencyHistogram::default();
         for i in 1..=100u32 {
             h.observe(i as f64 * 1e-3); // 1 ms .. 100 ms
@@ -289,9 +253,9 @@ mod tests {
         );
         assert!(p50 <= p95 && p95 <= p99, "quantiles are monotone");
         // Bucketed estimates overestimate by at most the 1.4 ratio.
-        assert!(p50 >= 0.050 && p50 <= 0.050 * LATENCY_RATIO);
-        assert!(p95 >= 0.095 && p95 <= 0.095 * LATENCY_RATIO);
-        assert!(p99 >= 0.099 && p99 <= 0.099 * LATENCY_RATIO);
+        assert!(p50 >= 0.050 && p50 <= 0.050 * DEFAULT_RATIO);
+        assert!(p95 >= 0.095 && p95 <= 0.095 * DEFAULT_RATIO);
+        assert!(p99 >= 0.099 && p99 <= 0.099 * DEFAULT_RATIO);
     }
 
     #[test]
@@ -300,10 +264,21 @@ mod tests {
         h.observe(0.0); // below the first bucket upper bound
         h.observe(1e9); // far above the last bucket
         assert_eq!(h.count(), 2);
-        assert!((h.quantile_secs(0.0) - LATENCY_MIN_SECS).abs() < 1e-18);
-        assert_eq!(
-            h.quantile_secs(1.0),
-            LatencyHistogram::bucket_upper_secs(LATENCY_BUCKETS - 1)
-        );
+        assert!((h.quantile_secs(0.0) - DEFAULT_MIN).abs() < 1e-18);
+        assert_eq!(h.quantile_secs(1.0), h.bucket_upper(DEFAULT_BUCKETS - 1));
+    }
+
+    #[test]
+    fn legacy_latency_snapshot_deserializes() {
+        // Snapshots written before the histogram moved to holap-obs had
+        // only {count, buckets}; they must keep loading.
+        let legacy = r#"{"completed":1,"met_deadline":1,"cpu_queries":1,
+            "gpu_queries":0,"translated_queries":0,"total_latency_secs":0.1,
+            "max_latency_secs":0.1,"cache_hits":0,
+            "latency":{"count":1,"buckets":[0,1]}}"#;
+        let s: EngineStats = serde_json::from_str(legacy).unwrap();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.latency.count(), 1);
+        assert_eq!(s.submitted, 0, "absent field defaults");
     }
 }

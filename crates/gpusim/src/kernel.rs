@@ -20,6 +20,8 @@ pub struct KernelOutput<T> {
     pub wall_secs: f64,
     /// Columns the kernel read (`C_QD` of Eq. 12).
     pub columns_accessed: usize,
+    /// Streaming multiprocessors the kernel occupied.
+    pub sms: u32,
 }
 
 /// Errors raised by kernel launches.
@@ -123,6 +125,7 @@ impl GpuDevice {
             modeled_secs,
             wall_secs,
             columns_accessed: query.columns_accessed(),
+            sms,
         })
     }
 
@@ -150,6 +153,7 @@ impl GpuDevice {
             modeled_secs,
             wall_secs,
             columns_accessed: query.columns_accessed(),
+            sms,
         })
     }
 
@@ -182,6 +186,7 @@ impl GpuDevice {
             modeled_secs,
             wall_secs,
             columns_accessed,
+            sms,
         })
     }
 }

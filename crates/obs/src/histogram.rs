@@ -1,0 +1,404 @@
+//! Fixed-bucket geometric histograms — one plain/serializable flavour and
+//! one atomic flavour for the metrics registry.
+//!
+//! Both share the same bucket geometry: bucket `i` counts observations in
+//! `(upper(i-1), upper(i)]` where `upper(i) = min × ratio^i`. Quantile
+//! queries return the upper bound of the bucket holding the requested
+//! rank, so reported percentiles overestimate by at most one bucket
+//! ratio — a bounded, documented error instead of an unbounded one.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of geometric buckets in the default (latency) scheme.
+pub const DEFAULT_BUCKETS: usize = 64;
+/// Upper bound of the first bucket in the default scheme, seconds.
+pub const DEFAULT_MIN: f64 = 1e-6;
+/// Geometric growth ratio of the default scheme. 64 buckets at 1.4×
+/// cover 1 µs .. ~2400 s, wider than any plausible query latency.
+pub const DEFAULT_RATIO: f64 = 1.4;
+
+fn default_min() -> f64 {
+    DEFAULT_MIN
+}
+
+fn default_ratio() -> f64 {
+    DEFAULT_RATIO
+}
+
+fn bucket_of(value: f64, min: f64, ratio: f64, buckets: usize) -> usize {
+    if value <= min {
+        return 0;
+    }
+    let idx = ((value / min).ln() / ratio.ln()).ceil();
+    (idx as usize).min(buckets - 1)
+}
+
+/// Plain (single-writer, serializable) geometric histogram.
+///
+/// The default scheme is the engine's latency scheme and is serde-
+/// compatible with snapshots written by the old
+/// `holap_core::LatencyHistogram` (the scheme fields default when
+/// absent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    buckets: Vec<u64>,
+    #[serde(default = "default_min")]
+    min: f64,
+    #[serde(default = "default_ratio")]
+    ratio: f64,
+    #[serde(default)]
+    sum: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::with_scheme(DEFAULT_MIN, DEFAULT_RATIO, DEFAULT_BUCKETS)
+    }
+}
+
+impl Histogram {
+    /// A histogram over `buckets` geometric buckets with first upper
+    /// bound `min` and growth `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive `min`, a `ratio` ≤ 1 or zero buckets.
+    pub fn with_scheme(min: f64, ratio: f64, buckets: usize) -> Self {
+        assert!(min > 0.0, "bucket minimum must be positive");
+        assert!(ratio > 1.0, "bucket ratio must exceed 1");
+        assert!(buckets > 0, "at least one bucket");
+        Self {
+            count: 0,
+            buckets: vec![0; buckets],
+            min,
+            ratio,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation (negative values clamp to 0).
+    pub fn observe(&mut self, value: f64) {
+        if self.min == DEFAULT_MIN
+            && self.ratio == DEFAULT_RATIO
+            && self.buckets.len() < DEFAULT_BUCKETS
+        {
+            // Deserialized from an older snapshot with fewer buckets.
+            self.buckets.resize(DEFAULT_BUCKETS, 0);
+        }
+        let v = value.max(0.0);
+        self.count += 1;
+        self.sum += v;
+        let i = bucket_of(v, self.min, self.ratio, self.buckets.len());
+        self.buckets[i] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of bucket `i`.
+    pub fn bucket_upper(&self, i: usize) -> f64 {
+        self.min * self.ratio.powi(i as i32)
+    }
+
+    /// Per-bucket counts (not cumulative).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the upper bound of the
+    /// bucket containing the `⌈q·count⌉`-th smallest observation.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_upper(i);
+            }
+        }
+        self.bucket_upper(self.buckets.len() - 1)
+    }
+
+    /// Alias of [`Histogram::quantile`] kept for the engine's historical
+    /// latency-histogram API (all engine histograms are in seconds).
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.quantile(q)
+    }
+
+    /// Adds every observation of `other` into `self`. Both histograms
+    /// must share a bucket scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the schemes differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.min == other.min
+                && self.ratio == other.ratio
+                && self.buckets.len() == other.buckets.len(),
+            "cannot merge histograms with different bucket schemes"
+        );
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// Lock-free geometric histogram for the metrics registry: every bucket
+/// is a relaxed atomic, the sum is accumulated in integer micro-units so
+/// `observe` is wait-free (two `fetch_add`s and one increment, no CAS
+/// loops).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    min: f64,
+    ratio: f64,
+    count: AtomicU64,
+    /// Σ value × 1e6, rounded — exact enough for means and rate maths,
+    /// immune to torn f64 read-modify-writes.
+    sum_micros: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::with_scheme(DEFAULT_MIN, DEFAULT_RATIO, DEFAULT_BUCKETS)
+    }
+}
+
+impl AtomicHistogram {
+    /// An atomic histogram with the given scheme (see
+    /// [`Histogram::with_scheme`]).
+    pub fn with_scheme(min: f64, ratio: f64, buckets: usize) -> Self {
+        assert!(min > 0.0, "bucket minimum must be positive");
+        assert!(ratio > 1.0, "bucket ratio must exceed 1");
+        assert!(buckets > 0, "at least one bucket");
+        Self {
+            min,
+            ratio,
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one observation (negative values clamp to 0).
+    pub fn observe(&self, value: f64) {
+        let v = value.max(0.0);
+        let i = bucket_of(v, self.min, self.ratio, self.buckets.len());
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// A point-in-time plain copy (buckets are read relaxed, so a
+    /// snapshot taken under concurrent writes may be off by in-flight
+    /// observations — never torn within one bucket).
+    pub fn snapshot(&self) -> Histogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        Histogram {
+            count,
+            buckets,
+            min: self.min,
+            ratio: self.ratio,
+            sum: self.sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::default();
+        for i in 1..=100u32 {
+            h.observe(i as f64 * 1e-3); // 1 ms .. 100 ms
+        }
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "quantiles are monotone");
+        // Bucketed estimates overestimate by at most the ratio.
+        assert!(p50 >= 0.050 && p50 <= 0.050 * DEFAULT_RATIO);
+        assert!(p95 >= 0.095 && p95 <= 0.095 * DEFAULT_RATIO);
+        assert!(p99 >= 0.099 && p99 <= 0.099 * DEFAULT_RATIO);
+    }
+
+    #[test]
+    fn uniform_distribution_quantile_error_is_one_bucket() {
+        // Known distribution: uniform over [0, 1]. Every quantile
+        // estimate must land in [true, true × ratio].
+        let mut h = Histogram::default();
+        let n = 10_000;
+        for i in 1..=n {
+            h.observe(i as f64 / n as f64);
+        }
+        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
+            let truth = q; // uniform: quantile(q) = q
+            let est = h.quantile(q);
+            assert!(
+                est >= truth * 0.999 && est <= truth * DEFAULT_RATIO * 1.001,
+                "q={q}: estimate {est} outside [{truth}, {}]",
+                truth * DEFAULT_RATIO
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_distribution_quantile_error_is_one_bucket() {
+        // Known heavy-tailed distribution: value = 1.1^k µs, k = 0..200.
+        let mut h = Histogram::default();
+        let values: Vec<f64> = (0..200).map(|k| 1e-6 * 1.1f64.powi(k)).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        for q in [0.50, 0.90, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = values[rank];
+            let est = h.quantile(q);
+            assert!(
+                est >= truth * 0.999 && est <= truth * DEFAULT_RATIO * 1.001,
+                "q={q}: estimate {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn point_mass_distribution_is_exact_to_one_bucket() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(0.010);
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!(est >= 0.010 && est <= 0.010 * DEFAULT_RATIO);
+        }
+    }
+
+    #[test]
+    fn extremes_clamp_to_end_buckets() {
+        let mut h = Histogram::default();
+        h.observe(0.0);
+        h.observe(1e9);
+        assert_eq!(h.count(), 2);
+        assert!((h.quantile(0.0) - DEFAULT_MIN).abs() < 1e-18);
+        assert_eq!(h.quantile(1.0), h.bucket_upper(DEFAULT_BUCKETS - 1));
+    }
+
+    #[test]
+    fn sum_and_mean_track_observations() {
+        let mut h = Histogram::default();
+        h.observe(0.1);
+        h.observe(0.3);
+        assert!((h.sum() - 0.4).abs() < 1e-12);
+        assert!((h.mean() - 0.2).abs() < 1e-12);
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn custom_scheme_roundtrips_through_serde() {
+        let mut h = Histogram::with_scheme(0.5, 2.0, 8);
+        h.observe(3.0);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn legacy_snapshot_without_scheme_fields_deserializes() {
+        // The shape the old core LatencyHistogram serialized.
+        let legacy = r#"{"count":2,"buckets":[1,1]}"#;
+        let mut h: Histogram = serde_json::from_str(legacy).unwrap();
+        assert_eq!(h.count(), 2);
+        // Observing resizes the short bucket vector to the default.
+        h.observe(1.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts().len(), DEFAULT_BUCKETS);
+    }
+
+    #[test]
+    fn merge_accumulates_matching_schemes() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.observe(0.001);
+        b.observe(0.002);
+        b.observe(0.004);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.sum() - 0.007).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket schemes")]
+    fn merge_rejects_mismatched_schemes() {
+        let mut a = Histogram::default();
+        a.merge(&Histogram::with_scheme(0.5, 2.0, 8));
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_under_threads() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::default());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        h.observe((t * 1000 + i) as f64 * 1e-6);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(h.count(), 4000);
+        let mut plain = Histogram::default();
+        for v in 0..4000u32 {
+            plain.observe(v as f64 * 1e-6);
+        }
+        assert_eq!(snap.bucket_counts(), plain.bucket_counts());
+        assert!((snap.sum() - plain.sum()).abs() < 1e-3);
+    }
+}

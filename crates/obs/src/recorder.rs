@@ -1,0 +1,262 @@
+//! The flight recorder: a bounded ring of the last N completed traces
+//! plus a separate bounded buffer that retains anomalous traces under
+//! eviction pressure.
+//!
+//! Writers never contend on a global lock: the ring cursor is a single
+//! atomic `fetch_add`, and each slot has its own tiny mutex touched only
+//! to swap the slot's `Arc` (contended only when two writers wrap onto
+//! the same slot simultaneously). Anomalous traces additionally enter a
+//! dedicated deque so a burst of healthy traffic cannot evict the
+//! evidence of a fault storm.
+
+use crate::trace::QueryTrace;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Bounded recorder of completed [`QueryTrace`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Mutex<Option<Arc<QueryTrace>>>]>,
+    cursor: AtomicUsize,
+    anomalies: Mutex<VecDeque<Arc<QueryTrace>>>,
+    anomaly_capacity: usize,
+    recorded: AtomicU64,
+    anomalies_evicted: AtomicU64,
+}
+
+/// Serializable dump of a recorder's contents (the CLI's JSON output).
+#[derive(Debug, Serialize)]
+pub struct RecorderDump<'a> {
+    /// Traces recorded so far (lifetime total, not retained count).
+    pub recorded: u64,
+    /// Anomalous traces evicted from the anomaly buffer.
+    pub anomalies_evicted: u64,
+    /// Retained recent traces, oldest first.
+    pub recent: Vec<&'a QueryTrace>,
+    /// Retained anomalous traces, oldest first.
+    pub anomalies: Vec<&'a QueryTrace>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` traces and up to
+    /// `anomaly_capacity` anomalous ones (both floored at 1).
+    pub fn new(capacity: usize, anomaly_capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            anomalies: Mutex::new(VecDeque::new()),
+            anomaly_capacity: anomaly_capacity.max(1),
+            recorded: AtomicU64::new(0),
+            anomalies_evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a completed trace.
+    pub fn record(&self, trace: QueryTrace) {
+        let trace = Arc::new(trace);
+        if trace.is_anomalous() {
+            let mut anomalies = self.anomalies.lock();
+            if anomalies.len() == self.anomaly_capacity {
+                anomalies.pop_front();
+                self.anomalies_evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            anomalies.push_back(Arc::clone(&trace));
+        }
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[i].lock() = Some(trace);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Traces recorded over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// The retained recent traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<QueryTrace>> {
+        let mut out: Vec<Arc<QueryTrace>> =
+            self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        // Concurrent completion makes slot order approximate; the
+        // submission timeline is the stable presentation order.
+        out.sort_by(|a, b| {
+            (a.finished_at, a.query_id)
+                .partial_cmp(&(b.finished_at, b.query_id))
+                .expect("trace times are comparable")
+        });
+        out
+    }
+
+    /// The last `n` retained recent traces, oldest first.
+    pub fn last(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        let all = self.recent();
+        let skip = all.len().saturating_sub(n);
+        all.into_iter().skip(skip).collect()
+    }
+
+    /// The retained anomalous traces, oldest first.
+    pub fn anomalies(&self) -> Vec<Arc<QueryTrace>> {
+        self.anomalies.lock().iter().cloned().collect()
+    }
+
+    /// Finds a trace by query id, searching the anomaly buffer first
+    /// (it retains evidence longer than the ring).
+    pub fn find(&self, query_id: u64) -> Option<Arc<QueryTrace>> {
+        if let Some(t) = self
+            .anomalies
+            .lock()
+            .iter()
+            .find(|t| t.query_id == query_id)
+        {
+            return Some(Arc::clone(t));
+        }
+        self.slots.iter().find_map(|s| {
+            s.lock()
+                .as_ref()
+                .filter(|t| t.query_id == query_id)
+                .cloned()
+        })
+    }
+
+    /// A JSON dump of the retained traces (see [`RecorderDump`]).
+    pub fn dump_json(&self, pretty: bool) -> String {
+        let recent = self.recent();
+        let anomalies = self.anomalies();
+        let dump = RecorderDump {
+            recorded: self.recorded(),
+            anomalies_evicted: self.anomalies_evicted.load(Ordering::Relaxed),
+            recent: recent.iter().map(Arc::as_ref).collect(),
+            anomalies: anomalies.iter().map(Arc::as_ref).collect(),
+        };
+        if pretty {
+            serde_json::to_string_pretty(&dump).expect("traces serialize")
+        } else {
+            serde_json::to_string(&dump).expect("traces serialize")
+        }
+    }
+}
+
+/// Serializes an arbitrary trace selection (e.g. `last(5)`, anomalies
+/// only) as a JSON array, for callers without their own JSON dependency.
+pub fn traces_to_json(traces: &[Arc<QueryTrace>], pretty: bool) -> String {
+    let refs: Vec<&QueryTrace> = traces.iter().map(Arc::as_ref).collect();
+    if pretty {
+        serde_json::to_string_pretty(&refs).expect("traces serialize")
+    } else {
+        serde_json::to_string(&refs).expect("traces serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanKind, TraceStatus};
+
+    fn clean(id: u64, at: f64) -> QueryTrace {
+        let mut t = QueryTrace::new(id, at);
+        t.finish(at + 0.1, TraceStatus::Completed);
+        t
+    }
+
+    fn faulty(id: u64, at: f64) -> QueryTrace {
+        let mut t = QueryTrace::new(id, at);
+        t.push(
+            at,
+            SpanKind::Fault {
+                partition: 0,
+                attempt: 0,
+                error: "injected".into(),
+                timed_out: false,
+            },
+        );
+        t.finish(at + 0.1, TraceStatus::Completed);
+        t
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n() {
+        let r = FlightRecorder::new(4, 4);
+        for i in 0..10 {
+            r.record(clean(i, i as f64));
+        }
+        let recent = r.recent();
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<u64> = recent.iter().map(|t| t.query_id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn last_n_trims_from_the_front() {
+        let r = FlightRecorder::new(8, 4);
+        for i in 0..5 {
+            r.record(clean(i, i as f64));
+        }
+        let ids: Vec<u64> = r.last(2).iter().map(|t| t.query_id).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn anomalies_survive_eviction_pressure() {
+        let r = FlightRecorder::new(4, 8);
+        r.record(faulty(0, 0.0));
+        // 100 healthy traces wrap the ring many times over.
+        for i in 1..=100 {
+            r.record(clean(i, i as f64));
+        }
+        assert!(
+            r.recent().iter().all(|t| t.query_id != 0),
+            "evicted from the ring"
+        );
+        let anomalies = r.anomalies();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].query_id, 0);
+        assert!(r.find(0).is_some(), "still findable by id");
+    }
+
+    #[test]
+    fn anomaly_buffer_is_bounded_too() {
+        let r = FlightRecorder::new(2, 3);
+        for i in 0..5 {
+            r.record(faulty(i, i as f64));
+        }
+        let ids: Vec<u64> = r.anomalies().iter().map(|t| t.query_id).collect();
+        assert_eq!(ids, vec![2, 3, 4], "oldest anomalies evicted first");
+    }
+
+    #[test]
+    fn dump_json_contains_both_sections() {
+        let r = FlightRecorder::new(4, 4);
+        r.record(clean(1, 0.0));
+        r.record(faulty(2, 1.0));
+        let json = r.dump_json(false);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["recorded"], 2);
+        assert_eq!(v["recent"].as_array().unwrap().len(), 2);
+        assert_eq!(v["anomalies"].as_array().unwrap().len(), 1);
+        assert_eq!(v["anomalies"][0]["query_id"], 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_countable() {
+        let r = Arc::new(FlightRecorder::new(64, 64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        r.record(clean(t * 100 + i, i as f64));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 400);
+        assert_eq!(r.recent().len(), 64, "ring stays full and bounded");
+    }
+}

@@ -1,0 +1,544 @@
+//! The metrics registry: named, labeled instruments with Prometheus-style
+//! text exposition.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a write lock
+//! once per instrument; callers hold on to the returned handle and every
+//! subsequent increment is a relaxed atomic operation — no lock, no
+//! allocation, no formatting on the hot path. Instrument names follow
+//! `holap_<subsystem>_<quantity>[_total]` with snake_case label keys
+//! (see DESIGN.md §9 for the full naming scheme).
+
+use crate::histogram::{AtomicHistogram, Histogram};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter handle. Cloning shares the
+/// underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle holding one `f64` (stored as bits in an atomic so
+/// writes are single stores). Cloning shares the underlying atomic.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    /// Correct for non-negative values, whose IEEE-754 bit patterns
+    /// order like the values themselves.
+    pub fn set_max(&self, v: f64) {
+        self.0.fetch_max(v.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram handle. Cloning shares the underlying buckets.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.0.observe(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// A point-in-time plain copy.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramHandle),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Identity of one instrument: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// One instrument's value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum MetricValue {
+    /// A counter value.
+    Counter {
+        /// Current count.
+        value: u64,
+    },
+    /// A gauge value.
+    Gauge {
+        /// Current value.
+        value: f64,
+    },
+    /// A histogram value.
+    Histogram {
+        /// Point-in-time copy of the histogram.
+        histogram: Histogram,
+    },
+}
+
+/// One instrument in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Instrument name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    #[serde(flatten)]
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of every registered instrument, serializable as
+/// a JSON artifact.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All samples sorted by name then labels.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// The sample with `name` and exactly `labels` (order-insensitive).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSample> {
+        let key = MetricKey::new(name, labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == key.name && s.labels == key.labels)
+    }
+
+    /// The counter value with `name`/`labels`, 0 when absent.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels).map(|s| &s.value) {
+            Some(&MetricValue::Counter { value }) => value,
+            _ => 0,
+        }
+    }
+
+    /// The gauge value with `name`/`labels`, 0 when absent.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        match self.get(name, labels).map(|s| &s.value) {
+            Some(&MetricValue::Gauge { value }) => value,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The registry proper. Cheap to share behind an `Arc`; all instrument
+/// handles stay valid for the registry's lifetime.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<MetricKey, Instrument>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        pick: impl Fn(&Instrument) -> Option<T>,
+        make: impl FnOnce() -> (Instrument, T),
+    ) -> T {
+        let key = MetricKey::new(name, labels);
+        if let Some(existing) = self.metrics.read().get(&key) {
+            return pick(existing).unwrap_or_else(|| {
+                panic!(
+                    "metric {name} already registered as a {}",
+                    existing.type_name()
+                )
+            });
+        }
+        let mut metrics = self.metrics.write();
+        if let Some(existing) = metrics.get(&key) {
+            return pick(existing).unwrap_or_else(|| {
+                panic!(
+                    "metric {name} already registered as a {}",
+                    existing.type_name()
+                )
+            });
+        }
+        let (instrument, handle) = make();
+        metrics.insert(key, instrument);
+        handle
+    }
+
+    /// Registers (or fetches) the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.get_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter::default();
+                (Instrument::Counter(c.clone()), c)
+            },
+        )
+    }
+
+    /// Registers (or fetches) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another type.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.get_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge::default();
+                (Instrument::Gauge(g.clone()), g)
+            },
+        )
+    }
+
+    /// Registers (or fetches) the histogram `name{labels}` with the
+    /// default latency bucket scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another type.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        self.get_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = HistogramHandle::default();
+                (Instrument::Histogram(h.clone()), h)
+            },
+        )
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.read();
+        let samples = metrics
+            .iter()
+            .map(|(key, instrument)| MetricSample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match instrument {
+                    Instrument::Counter(c) => MetricValue::Counter { value: c.get() },
+                    Instrument::Gauge(g) => MetricValue::Gauge { value: g.get() },
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        histogram: h.snapshot(),
+                    },
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` headers, one sample
+    /// line per instrument, histograms expanded into cumulative
+    /// `_bucket{le=…}` / `_sum` / `_count` series. Output is sorted by
+    /// name then labels, so it is diff-stable.
+    pub fn expose(&self) -> String {
+        let metrics = self.metrics.read();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, instrument) in metrics.iter() {
+            if last_name != Some(key.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", key.name, instrument.type_name());
+                last_name = Some(key.name.as_str());
+            }
+            match instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        key.name,
+                        format_labels(&key.labels, None),
+                        c.get()
+                    );
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        key.name,
+                        format_labels(&key.labels, None),
+                        g.get()
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (i, &c) in snap.bucket_counts().iter().enumerate() {
+                        if c == 0 && i + 1 != snap.bucket_counts().len() {
+                            continue; // keep the exposition compact
+                        }
+                        cumulative += c;
+                        let le = if i + 1 == snap.bucket_counts().len() {
+                            "+Inf".to_string()
+                        } else {
+                            format!("{:.9}", snap.bucket_upper(i))
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            key.name,
+                            format_labels(&key.labels, Some(&le)),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        key.name,
+                        format_labels(&key.labels, None),
+                        snap.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        key.name,
+                        format_labels(&key.labels, None),
+                        snap.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn format_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_survives_reregistration() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("holap_queries_total", &[("placement", "cpu")]);
+        a.inc();
+        let b = r.counter("holap_queries_total", &[("placement", "cpu")]);
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles share the atomic");
+    }
+
+    #[test]
+    fn label_order_does_not_split_instruments() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("m", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.snapshot().samples.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("m", &[]);
+        r.gauge("m", &[]);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::default();
+        g.set_max(3.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 3.0);
+        g.set(0.5);
+        assert_eq!(g.get(), 0.5);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let r = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("holap_hits_total", &[]);
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("holap_hits_total", &[]).get(), 80_000);
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_typed() {
+        let r = MetricsRegistry::new();
+        r.counter("holap_b_total", &[("partition", "1")]).add(2);
+        r.counter("holap_b_total", &[("partition", "0")]).add(1);
+        r.gauge("holap_a_depth", &[]).set(4.0);
+        let text = r.expose();
+        let a = text.find("# TYPE holap_a_depth gauge").unwrap();
+        let b = text.find("# TYPE holap_b_total counter").unwrap();
+        assert!(a < b, "sorted by name");
+        let p0 = text.find("holap_b_total{partition=\"0\"} 1").unwrap();
+        let p1 = text.find("holap_b_total{partition=\"1\"} 2").unwrap();
+        assert!(p0 < p1, "sorted by labels");
+        assert!(text.contains("holap_a_depth 4"));
+        // One TYPE header per name, not per labelled series.
+        assert_eq!(text.matches("# TYPE holap_b_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("holap_latency_seconds", &[]);
+        h.observe(0.5e-6); // bucket 0
+        h.observe(0.5e-6);
+        h.observe(1e3); // clamps into the last bucket
+        let text = r.expose();
+        assert!(text.contains("# TYPE holap_latency_seconds histogram"));
+        assert!(text.contains("holap_latency_seconds_bucket{le=\"0.000001000\"} 2"));
+        assert!(text.contains("holap_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("holap_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter("m", &[("q", "say \"hi\"\n")]).inc();
+        assert!(r.expose().contains("m{q=\"say \\\"hi\\\"\\n\"} 1"));
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let r = MetricsRegistry::new();
+        r.counter("c", &[("x", "1")]).add(7);
+        r.gauge("g", &[]).set(1.5);
+        r.histogram("h", &[]).observe(0.01);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c", &[("x", "1")]), 7);
+        assert_eq!(snap.counter("c", &[("x", "2")]), 0);
+        assert_eq!(snap.gauge("g", &[]), 1.5);
+        match &snap.get("h", &[]).unwrap().value {
+            MetricValue::Histogram { histogram } => assert_eq!(histogram.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Snapshots roundtrip through JSON for the CI artifact.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,511 @@
+//! Structured per-query traces: timestamped span events from admission to
+//! completion, with anomaly flags driving flight-recorder retention.
+
+use holap_sched::{DecisionTrace, HealthState, Placement};
+use serde::{Deserialize, Serialize};
+
+/// Broad class of a query, used as a metric label and recorded on the
+/// trace: whether a resident MOLAP cube could answer it (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum QueryClass {
+    /// A resident cube can answer — the CPU processing partition is a
+    /// placement candidate.
+    Molap,
+    /// Only a fact-table scan can answer — GPU partitions (or the CPU
+    /// failover scan) must run it.
+    Rolap,
+}
+
+impl QueryClass {
+    /// The metric-label spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryClass::Molap => "molap",
+            QueryClass::Rolap => "rolap",
+        }
+    }
+}
+
+/// Why a trace is retained in the flight recorder's anomaly buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Anomaly {
+    /// A kernel attempt failed.
+    Fault,
+    /// The query was retried after a transient failure.
+    Retry,
+    /// A watchdog expired waiting for a partition.
+    Timeout,
+    /// Deadline-aware admission control dropped the query.
+    Shed,
+    /// Backpressure or shedding rejected the query with an error.
+    Rejected,
+    /// A partition transitioned into quarantine while running it.
+    Quarantine,
+    /// The query failed over to the CPU after its partition misbehaved.
+    Failover,
+    /// The scheduler's first choice was overridden (quarantine re-route).
+    Reroute,
+    /// The query's ticket resolved to an error.
+    Failed,
+}
+
+/// One timestamped event in a query's life. `at` is seconds since the
+/// engine epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Seconds since the engine epoch.
+    pub at: f64,
+    /// What happened.
+    #[serde(flatten)]
+    pub kind: SpanKind,
+}
+
+/// The span taxonomy — every stage a query can pass through (see
+/// DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum SpanKind {
+    /// The query entered `submit()`.
+    Submitted {
+        /// MOLAP (cube-answerable) or ROLAP (scan-only).
+        class: QueryClass,
+        /// Whether text parameters require dictionary translation on a
+        /// GPU placement.
+        needs_translation: bool,
+    },
+    /// Answered from the result cache without scheduling.
+    CacheHit,
+    /// The predicate was provably empty; answered without scheduling.
+    ProvablyEmpty,
+    /// The dispatcher popped the query off the admission queue.
+    Dispatched {
+        /// Admission-queue depth observed after the pop.
+        queue_depth: u64,
+    },
+    /// Deadline-aware admission control dropped the query.
+    Shed {
+        /// The scheduler's minimum predicted response time, seconds
+        /// since epoch.
+        min_response_at: f64,
+        /// The absolute deadline it exceeded.
+        deadline: f64,
+    },
+    /// The scheduler placed the query (Fig. 10).
+    Scheduled {
+        /// Chosen partition.
+        placement: Placement,
+        /// Whether the translation partition is involved.
+        with_translation: bool,
+        /// Estimated processing seconds charged to the chosen queue.
+        estimated_proc_secs: f64,
+        /// Absolute estimated response time.
+        estimated_response_at: f64,
+        /// Absolute deadline.
+        deadline: f64,
+        /// Whether the placement was predicted to meet the deadline.
+        before_deadline: bool,
+        /// Whether the policy's pick was overridden off a quarantined
+        /// partition.
+        rerouted: bool,
+        /// The candidate set considered: per-partition response times and
+        /// health states (Fig. 10 step 3 inputs).
+        candidates: DecisionTrace,
+    },
+    /// The translation partition finished the text→integer lookups.
+    TranslationDone {
+        /// Wall seconds spent translating.
+        secs: f64,
+        /// Number of text parameters translated.
+        lookups: u64,
+    },
+    /// A kernel attempt was launched on a GPU partition.
+    KernelStart {
+        /// GPU partition index.
+        partition: usize,
+        /// 0-based attempt number (0 = first try).
+        attempt: u32,
+    },
+    /// A kernel attempt completed successfully.
+    KernelEnd {
+        /// GPU partition index.
+        partition: usize,
+        /// 0-based attempt number.
+        attempt: u32,
+        /// SMs the partition dedicates to the kernel (occupancy).
+        sms: u32,
+        /// The performance model's predicted kernel seconds.
+        modeled_secs: f64,
+        /// Measured wall seconds of the kernel.
+        wall_secs: f64,
+        /// Columns the scan touched.
+        columns_accessed: u64,
+    },
+    /// The CPU partition answered (cube lookup or failover scan).
+    CpuExec {
+        /// Wall seconds of the CPU-side execution.
+        secs: f64,
+    },
+    /// A kernel attempt failed.
+    Fault {
+        /// GPU partition index.
+        partition: usize,
+        /// 0-based attempt number.
+        attempt: u32,
+        /// The error, rendered.
+        error: String,
+        /// Whether the watchdog expired (vs. a reported failure).
+        timed_out: bool,
+    },
+    /// The runner scheduled another attempt after a transient fault.
+    Retry {
+        /// 1-based retry number.
+        retry: u32,
+        /// Backoff slept before the attempt, seconds.
+        backoff_secs: f64,
+    },
+    /// A partition's health state changed while running this query.
+    HealthTransition {
+        /// GPU partition index.
+        partition: usize,
+        /// Resulting state.
+        state: HealthState,
+    },
+    /// The query failed over to the CPU scan path.
+    Failover {
+        /// The GPU partition it abandoned.
+        from_partition: usize,
+    },
+    /// The query completed with an answer.
+    Completed {
+        /// Partition that produced the answer (differs from the
+        /// scheduled placement after a failover).
+        placement: Placement,
+        /// End-to-end wall latency, seconds.
+        latency_secs: f64,
+        /// Whether the deadline was met.
+        met_deadline: bool,
+        /// The scheduler's estimated processing seconds.
+        estimated_secs: f64,
+        /// Measured processing seconds.
+        actual_secs: f64,
+        /// `actual − estimated`: the calibration residual fed back into
+        /// the queue clocks (§III-G).
+        residual_secs: f64,
+    },
+    /// The query's ticket resolved to an error.
+    Failed {
+        /// The error, rendered.
+        error: String,
+    },
+}
+
+/// Final status summary of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TraceStatus {
+    /// Still in flight (only seen on traces not yet recorded).
+    InFlight,
+    /// Completed with an answer.
+    Completed,
+    /// Answered from the cache (or provably empty) without scheduling.
+    Immediate,
+    /// Dropped by load shedding.
+    Shed,
+    /// Rejected by backpressure or `SheddingPolicy::Reject`.
+    Rejected,
+    /// Resolved to an error.
+    Failed,
+}
+
+/// One query's recorded life, from `submit()` to resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTrace {
+    /// Ticket id assigned at submission.
+    pub query_id: u64,
+    /// Seconds since the engine epoch at submission.
+    pub submitted_at: f64,
+    /// Seconds since the engine epoch at resolution (0 while in flight).
+    pub finished_at: f64,
+    /// Final status.
+    pub status: TraceStatus,
+    /// Ordered span events.
+    pub events: Vec<SpanEvent>,
+    /// Why this trace is anomalous (empty for a clean run).
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl QueryTrace {
+    /// A fresh trace for query `query_id` submitted at `at` (seconds
+    /// since the engine epoch).
+    pub fn new(query_id: u64, at: f64) -> Self {
+        Self {
+            query_id,
+            submitted_at: at,
+            finished_at: 0.0,
+            status: TraceStatus::InFlight,
+            events: Vec::with_capacity(8),
+            anomalies: Vec::new(),
+        }
+    }
+
+    /// Appends an event at `at` seconds since the engine epoch, flagging
+    /// the anomalies it implies.
+    pub fn push(&mut self, at: f64, kind: SpanKind) {
+        match &kind {
+            SpanKind::Fault { timed_out, .. } => {
+                self.flag(Anomaly::Fault);
+                if *timed_out {
+                    self.flag(Anomaly::Timeout);
+                }
+            }
+            SpanKind::Retry { .. } => self.flag(Anomaly::Retry),
+            SpanKind::Shed { .. } => self.flag(Anomaly::Shed),
+            SpanKind::HealthTransition { state, .. } => {
+                if *state == HealthState::Quarantined {
+                    self.flag(Anomaly::Quarantine);
+                }
+            }
+            SpanKind::Failover { .. } => self.flag(Anomaly::Failover),
+            SpanKind::Scheduled { rerouted, .. } => {
+                if *rerouted {
+                    self.flag(Anomaly::Reroute);
+                }
+            }
+            SpanKind::Failed { .. } => self.flag(Anomaly::Failed),
+            _ => {}
+        }
+        self.events.push(SpanEvent { at, kind });
+    }
+
+    /// Seals the trace with its final status at `at`.
+    pub fn finish(&mut self, at: f64, status: TraceStatus) {
+        self.finished_at = at;
+        self.status = status;
+        match status {
+            TraceStatus::Rejected => self.flag(Anomaly::Rejected),
+            TraceStatus::Shed => self.flag(Anomaly::Shed),
+            TraceStatus::Failed => self.flag(Anomaly::Failed),
+            _ => {}
+        }
+    }
+
+    fn flag(&mut self, a: Anomaly) {
+        if !self.anomalies.contains(&a) {
+            self.anomalies.push(a);
+        }
+    }
+
+    /// Whether the flight recorder must retain this trace beyond the
+    /// recent-ring capacity.
+    pub fn is_anomalous(&self) -> bool {
+        !self.anomalies.is_empty()
+    }
+
+    /// Whether the trace carries anomaly `a`.
+    pub fn has_anomaly(&self, a: Anomaly) -> bool {
+        self.anomalies.contains(&a)
+    }
+
+    /// Seconds between submission and the dispatcher pop (`None` for
+    /// queries answered before dispatch).
+    pub fn admission_wait_secs(&self) -> Option<f64> {
+        self.events.iter().find_map(|e| match e.kind {
+            SpanKind::Dispatched { .. } => Some(e.at - self.submitted_at),
+            _ => None,
+        })
+    }
+
+    /// Number of retry events recorded.
+    pub fn retry_count(&self) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, SpanKind::Retry { .. }))
+            .count() as u32
+    }
+
+    /// Number of fault events recorded.
+    pub fn fault_count(&self) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, SpanKind::Fault { .. }))
+            .count() as u32
+    }
+
+    /// The partition that finally answered, from the `Completed` event.
+    pub fn final_placement(&self) -> Option<Placement> {
+        self.events.iter().rev().find_map(|e| match e.kind {
+            SpanKind::Completed { placement, .. } => Some(placement),
+            _ => None,
+        })
+    }
+
+    /// The scheduler's placement decision event, if the query got that
+    /// far.
+    pub fn scheduled_event(&self) -> Option<&SpanEvent> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.kind, SpanKind::Scheduled { .. }))
+    }
+
+    /// The estimate-vs-actual residual from the `Completed` event.
+    pub fn residual_secs(&self) -> Option<f64> {
+        self.events.iter().rev().find_map(|e| match e.kind {
+            SpanKind::Completed { residual_secs, .. } => Some(residual_secs),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_accumulate_in_order_with_anomaly_flags() {
+        let mut t = QueryTrace::new(7, 1.0);
+        t.push(
+            1.0,
+            SpanKind::Submitted {
+                class: QueryClass::Rolap,
+                needs_translation: true,
+            },
+        );
+        t.push(1.1, SpanKind::Dispatched { queue_depth: 3 });
+        t.push(
+            1.2,
+            SpanKind::Fault {
+                partition: 2,
+                attempt: 0,
+                error: "injected".into(),
+                timed_out: false,
+            },
+        );
+        t.push(
+            1.3,
+            SpanKind::Retry {
+                retry: 1,
+                backoff_secs: 0.0005,
+            },
+        );
+        t.finish(1.5, TraceStatus::Completed);
+        assert_eq!(t.events.len(), 4);
+        assert!(t.has_anomaly(Anomaly::Fault));
+        assert!(t.has_anomaly(Anomaly::Retry));
+        assert!(!t.has_anomaly(Anomaly::Timeout));
+        assert_eq!(t.retry_count(), 1);
+        assert_eq!(t.fault_count(), 1);
+        assert!((t.admission_wait_secs().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_fault_flags_both_anomalies() {
+        let mut t = QueryTrace::new(1, 0.0);
+        t.push(
+            0.1,
+            SpanKind::Fault {
+                partition: 0,
+                attempt: 0,
+                error: "watchdog".into(),
+                timed_out: true,
+            },
+        );
+        assert!(t.has_anomaly(Anomaly::Fault));
+        assert!(t.has_anomaly(Anomaly::Timeout));
+    }
+
+    #[test]
+    fn quarantine_transition_is_anomalous_but_degraded_is_not() {
+        let mut t = QueryTrace::new(1, 0.0);
+        t.push(
+            0.1,
+            SpanKind::HealthTransition {
+                partition: 1,
+                state: HealthState::Degraded,
+            },
+        );
+        assert!(!t.is_anomalous());
+        t.push(
+            0.2,
+            SpanKind::HealthTransition {
+                partition: 1,
+                state: HealthState::Quarantined,
+            },
+        );
+        assert!(t.has_anomaly(Anomaly::Quarantine));
+    }
+
+    #[test]
+    fn shed_status_marks_anomaly() {
+        let mut t = QueryTrace::new(1, 0.0);
+        t.finish(0.1, TraceStatus::Shed);
+        assert!(t.has_anomaly(Anomaly::Shed));
+        assert_eq!(t.status, TraceStatus::Shed);
+    }
+
+    #[test]
+    fn duplicate_anomalies_collapse() {
+        let mut t = QueryTrace::new(1, 0.0);
+        for attempt in 0..3 {
+            t.push(
+                0.1,
+                SpanKind::Fault {
+                    partition: 0,
+                    attempt,
+                    error: "x".into(),
+                    timed_out: false,
+                },
+            );
+        }
+        assert_eq!(t.fault_count(), 3);
+        assert_eq!(t.anomalies, vec![Anomaly::Fault]);
+    }
+
+    #[test]
+    fn final_placement_reads_the_completed_event() {
+        let mut t = QueryTrace::new(1, 0.0);
+        assert_eq!(t.final_placement(), None);
+        t.push(
+            0.5,
+            SpanKind::Completed {
+                placement: Placement::Cpu,
+                latency_secs: 0.5,
+                met_deadline: true,
+                estimated_secs: 0.4,
+                actual_secs: 0.45,
+                residual_secs: 0.05,
+            },
+        );
+        assert_eq!(t.final_placement(), Some(Placement::Cpu));
+        assert!((t.residual_secs().unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_roundtrips_through_json() {
+        let mut t = QueryTrace::new(42, 0.25);
+        t.push(
+            0.25,
+            SpanKind::Submitted {
+                class: QueryClass::Molap,
+                needs_translation: false,
+            },
+        );
+        t.push(
+            0.30,
+            SpanKind::Completed {
+                placement: Placement::Gpu { partition: 3 },
+                latency_secs: 0.05,
+                met_deadline: true,
+                estimated_secs: 0.04,
+                actual_secs: 0.05,
+                residual_secs: 0.01,
+            },
+        );
+        t.finish(0.30, TraceStatus::Completed);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"event\":\"submitted\""), "tagged events");
+        let back: QueryTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -66,4 +66,4 @@ pub use estimate::{Estimator, QueryFeatures, TaskEstimate};
 pub use health::{HealthConfig, HealthState};
 pub use partition::{PartitionId, PartitionLayout};
 pub use policy::Policy;
-pub use scheduler::{Decision, LiveLoad, Placement, SchedStats, Scheduler};
+pub use scheduler::{Decision, DecisionTrace, LiveLoad, Placement, SchedStats, Scheduler};

@@ -103,6 +103,26 @@ impl LiveLoad {
     }
 }
 
+/// The inputs the scheduler consulted for one placement — Fig. 10 step 3
+/// rendered for observability: the full candidate set of per-partition
+/// response times and the health states that gated it. Attached to query
+/// traces so a mis-scheduled workload can be diagnosed after the fact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTrace {
+    /// Policy that made the pick.
+    pub policy: Policy,
+    /// Submission time the response times were computed at.
+    pub now: f64,
+    /// Estimated absolute CPU response time (`None` when no resident
+    /// cube can answer).
+    pub resp_cpu: Option<f64>,
+    /// Estimated absolute response time per GPU partition in layout
+    /// order; `None` for partitions excluded by quarantine.
+    pub resp_gpu: Vec<Option<f64>>,
+    /// Health state per GPU partition in layout order.
+    pub health: Vec<HealthState>,
+}
+
 /// Aggregate counters the scheduler maintains.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedStats {
@@ -434,6 +454,42 @@ impl Scheduler {
             t_trans: if with_translation { est.t_trans } else { 0.0 },
             rerouted,
         }
+    }
+
+    /// Schedules one query like [`Scheduler::schedule_with_load`] and
+    /// additionally returns the [`DecisionTrace`] of candidates and
+    /// health states the choice was made from. The trace costs two small
+    /// allocations, so the untraced entry points stay on the fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimate's class vector disagrees with the layout.
+    pub fn schedule_with_load_traced(
+        &mut self,
+        now: f64,
+        est: &TaskEstimate,
+        t_c: f64,
+        load: Option<&LiveLoad>,
+    ) -> (Decision, DecisionTrace) {
+        assert_eq!(
+            est.t_gpu_by_class.len(),
+            self.layout.sm_classes().len(),
+            "estimate classes must match layout classes"
+        );
+        let (resp_cpu, resp_gpu) = self.response_times(now, est, load);
+        let trace = DecisionTrace {
+            policy: self.policy,
+            now,
+            resp_cpu,
+            resp_gpu: resp_gpu
+                .iter()
+                .map(|&r| r.is_finite().then_some(r))
+                .collect(),
+            health: (0..self.layout.gpu_partitions())
+                .map(|i| self.partition_health(i))
+                .collect(),
+        };
+        (self.schedule_with_load(now, est, t_c, load), trace)
     }
 
     /// Overrides a placement that landed on a quarantined partition: the
@@ -1101,6 +1157,28 @@ mod tests {
             assert_eq!(da, db);
             assert_ne!(da.placement, Placement::Gpu { partition: 5 });
         }
+    }
+
+    #[test]
+    fn traced_schedule_matches_untraced_and_exposes_candidates() {
+        let mk = || {
+            let mut s = paper_sched();
+            quarantine(&mut s, 0, 0.0);
+            s
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let e = est(Some(0.002), [0.028, 0.014, 0.007], 0.003);
+        let da = a.schedule(0.0, &e, 1.0);
+        let (db, trace) = b.schedule_with_load_traced(0.0, &e, 1.0, None);
+        assert_eq!(da, db, "tracing must not change placement");
+        assert_eq!(a, b, "tracing must not change scheduler state");
+        assert_eq!(trace.policy, Policy::Paper);
+        assert_eq!(trace.resp_gpu.len(), 6);
+        assert_eq!(trace.resp_gpu[0], None, "quarantined partition excluded");
+        assert!(trace.resp_gpu[1].is_some());
+        assert_eq!(trace.health[0], HealthState::Quarantined);
+        assert_eq!(trace.health[1], HealthState::Healthy);
+        assert!((trace.resp_cpu.unwrap() - 0.002).abs() < 1e-12);
     }
 
     #[test]

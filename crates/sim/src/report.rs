@@ -42,6 +42,50 @@ impl SimReport {
         }
         self.sched.cpu_queries as f64 / self.queries as f64
     }
+
+    /// Publishes the report into a metrics registry under the
+    /// `holap_sim_*` namespace, so simulator runs expose the same
+    /// Prometheus-style text as the live engine.
+    pub fn export_metrics(&self, registry: &holap_obs::MetricsRegistry) {
+        registry
+            .counter("holap_sim_queries_total", &[])
+            .add(self.queries);
+        registry
+            .counter("holap_sim_deadline_met_total", &[])
+            .add(self.met_deadline);
+        registry
+            .counter("holap_sim_deadline_missed_total", &[])
+            .add(self.missed_deadline);
+        registry
+            .counter("holap_sim_cpu_queries_total", &[])
+            .add(self.sched.cpu_queries);
+        registry
+            .counter("holap_sim_gpu_queries_total", &[])
+            .add(self.sched.gpu_queries);
+        registry
+            .counter("holap_sim_translated_total", &[])
+            .add(self.sched.translated_queries);
+        registry
+            .gauge("holap_sim_makespan_seconds", &[])
+            .set(self.makespan_secs);
+        registry
+            .gauge("holap_sim_throughput_qps", &[])
+            .set(self.throughput_qps);
+        registry
+            .gauge("holap_sim_mean_latency_seconds", &[])
+            .set(self.mean_latency_secs);
+        registry
+            .gauge("holap_sim_max_latency_seconds", &[])
+            .set(self.max_latency_secs);
+        for (i, &n) in self.per_gpu_partition.iter().enumerate() {
+            registry
+                .counter(
+                    "holap_sim_partition_queries_total",
+                    &[("partition", &i.to_string())],
+                )
+                .add(n);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +111,17 @@ mod tests {
         };
         assert!((r.deadline_hit_ratio() - 0.7).abs() < 1e-12);
         assert!((r.cpu_share() - 0.4).abs() < 1e-12);
+
+        let registry = holap_obs::MetricsRegistry::new();
+        r.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("holap_sim_queries_total", &[]), 10);
+        assert_eq!(snap.counter("holap_sim_deadline_met_total", &[]), 7);
+        assert_eq!(snap.counter("holap_sim_gpu_queries_total", &[]), 6);
+        assert_eq!(
+            snap.counter("holap_sim_partition_queries_total", &[("partition", "0")]),
+            1
+        );
+        assert!((snap.gauge("holap_sim_throughput_qps", &[]) - 10.0).abs() < 1e-12);
     }
 }

@@ -62,6 +62,7 @@ pub mod format;
 pub mod inject;
 mod recover;
 mod table_io;
+pub mod telemetry;
 
 pub use cube_io::{load_cube, save_cube};
 pub use dict_io::{load_dicts, save_dicts};
@@ -69,6 +70,7 @@ pub use error::StoreError;
 pub use format::{crc32c, ArtifactKind, FORMAT_VERSION};
 pub use recover::{load_cube_or_rebuild, load_system_resilient, RecoveryReport};
 pub use table_io::{load_table, save_table};
+pub use telemetry::StoreTelemetry;
 
 use holap_cube::MolapCube;
 use holap_dict::DictionarySet;
@@ -84,13 +86,16 @@ pub fn save_system(
     dicts: &DictionarySet,
 ) -> Result<(), StoreError> {
     std::fs::create_dir_all(dir)?;
-    save_table(&dir.join("facts.holap"), table)?;
-    save_dicts(&dir.join("dicts.holap"), dicts)?;
+    let facts_path = dir.join("facts.holap");
+    save_table(&facts_path, table)?;
+    telemetry::record_save(telemetry::file_len(&facts_path));
+    let dicts_path = dir.join("dicts.holap");
+    save_dicts(&dicts_path, dicts)?;
+    telemetry::record_save(telemetry::file_len(&dicts_path));
     for cube in cubes {
-        save_cube(
-            &dir.join(format!("cube-r{}.holap", cube.resolution())),
-            cube,
-        )?;
+        let path = dir.join(format!("cube-r{}.holap", cube.resolution()));
+        save_cube(&path, cube)?;
+        telemetry::record_save(telemetry::file_len(&path));
     }
     Ok(())
 }
@@ -98,14 +103,19 @@ pub fn save_system(
 /// Loads a system image saved by [`save_system`]. Cube files are
 /// discovered by their `cube-r<resolution>.holap` names.
 pub fn load_system(dir: &Path) -> Result<(FactTable, Vec<MolapCube>, DictionarySet), StoreError> {
-    let table = load_table(&dir.join("facts.holap"))?;
-    let dicts = load_dicts(&dir.join("dicts.holap"))?;
+    let facts_path = dir.join("facts.holap");
+    let table = load_table(&facts_path)?;
+    telemetry::record_load(telemetry::file_len(&facts_path));
+    let dicts_path = dir.join("dicts.holap");
+    let dicts = load_dicts(&dicts_path)?;
+    telemetry::record_load(telemetry::file_len(&dicts_path));
     let mut cubes = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
             if name.starts_with("cube-r") && name.ends_with(".holap") {
                 cubes.push(load_cube(&path)?);
+                telemetry::record_load(telemetry::file_len(&path));
             }
         }
     }

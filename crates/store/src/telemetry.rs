@@ -1,0 +1,82 @@
+//! Process-wide persistence telemetry: artefact and byte counters
+//! published by [`save_system`](crate::save_system) /
+//! [`load_system`](crate::load_system), mirroring the scan counters in
+//! `holap_table::telemetry`. Higher layers export the deltas under their
+//! own instrument names.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ARTIFACTS_SAVED: AtomicU64 = AtomicU64::new(0);
+static ARTIFACTS_LOADED: AtomicU64 = AtomicU64::new(0);
+static BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+static BYTES_READ: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time copy of the persistence counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreTelemetry {
+    /// Artefact files written (table, dictionaries, each cube).
+    pub artifacts_saved: u64,
+    /// Artefact files read back.
+    pub artifacts_loaded: u64,
+    /// Bytes written across all saved artefacts.
+    pub bytes_written: u64,
+    /// Bytes read across all loaded artefacts.
+    pub bytes_read: u64,
+}
+
+impl StoreTelemetry {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &StoreTelemetry) -> StoreTelemetry {
+        StoreTelemetry {
+            artifacts_saved: self.artifacts_saved.saturating_sub(earlier.artifacts_saved),
+            artifacts_loaded: self
+                .artifacts_loaded
+                .saturating_sub(earlier.artifacts_loaded),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> StoreTelemetry {
+    StoreTelemetry {
+        artifacts_saved: ARTIFACTS_SAVED.load(Ordering::Relaxed),
+        artifacts_loaded: ARTIFACTS_LOADED.load(Ordering::Relaxed),
+        bytes_written: BYTES_WRITTEN.load(Ordering::Relaxed),
+        bytes_read: BYTES_READ.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_save(bytes: u64) {
+    ARTIFACTS_SAVED.fetch_add(1, Ordering::Relaxed);
+    BYTES_WRITTEN.fetch_add(bytes, Ordering::Relaxed);
+}
+
+pub(crate) fn record_load(bytes: u64) {
+    ARTIFACTS_LOADED.fetch_add(1, Ordering::Relaxed);
+    BYTES_READ.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// File size on disk, `0` when the file cannot be inspected.
+pub(crate) fn file_len(path: &std::path::Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_since_diffs() {
+        let before = snapshot();
+        record_save(100);
+        record_load(40);
+        record_load(60);
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.artifacts_saved, 1);
+        assert_eq!(delta.artifacts_loaded, 2);
+        assert_eq!(delta.bytes_written, 100);
+        assert_eq!(delta.bytes_read, 100);
+    }
+}

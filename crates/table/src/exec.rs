@@ -306,6 +306,8 @@ impl<'t> CompiledScan<'t> {
         let mut sel = vec![0u32; BATCH_ROWS];
         let mut active: Vec<&Filter<'_>> = Vec::with_capacity(self.filters.len());
         let mut batch_start = start;
+        let (mut scanned, mut skipped, mut elided) = (0u64, 0u64, 0u64);
+        let matched_before = acc.matched_rows;
         while batch_start < end {
             let batch_end = (batch_start + BATCH_ROWS).min(end);
             let block = batch_start / BATCH_ROWS;
@@ -322,9 +324,12 @@ impl<'t> CompiledScan<'t> {
                 }
             }
             if skip {
+                skipped += 1;
                 batch_start = batch_end;
                 continue;
             }
+            scanned += 1;
+            elided += (self.filters.len() - active.len()) as u64;
             if active.is_empty() {
                 // Every row of the batch matches: aggregate the contiguous
                 // window without materialising a selection vector.
@@ -361,6 +366,7 @@ impl<'t> CompiledScan<'t> {
             }
             batch_start = batch_end;
         }
+        crate::telemetry::flush(scanned, skipped, elided, acc.matched_rows - matched_before);
     }
 }
 
@@ -614,6 +620,8 @@ impl CompiledGroupBy<'_> {
         let mut sel = vec![0u32; BATCH_ROWS];
         let mut active: Vec<&Filter<'_>> = Vec::with_capacity(self.scan.filters.len());
         let mut batch_start = start;
+        let (mut scanned, mut skipped, mut elided) = (0u64, 0u64, 0u64);
+        let matched_before = acc.matched;
         while batch_start < end {
             let batch_end = (batch_start + BATCH_ROWS).min(end);
             let block = batch_start / BATCH_ROWS;
@@ -630,9 +638,12 @@ impl CompiledGroupBy<'_> {
                 }
             }
             if skip {
+                skipped += 1;
                 batch_start = batch_end;
                 continue;
             }
+            scanned += 1;
+            elided += (self.scan.filters.len() - active.len()) as u64;
             if active.is_empty() {
                 for row in batch_start..batch_end {
                     acc.accumulate_row(self, row);
@@ -651,5 +662,6 @@ impl CompiledGroupBy<'_> {
             }
             batch_start = batch_end;
         }
+        crate::telemetry::flush(scanned, skipped, elided, acc.matched - matched_before);
     }
 }

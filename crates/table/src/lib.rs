@@ -67,6 +67,7 @@ pub mod groupby;
 pub mod scan;
 pub mod schema;
 pub mod table;
+pub mod telemetry;
 pub mod zone;
 
 pub use column::{ColumnStore, F64Pool, U32Pool};
@@ -79,4 +80,5 @@ pub use schema::{
     ColumnId, DimensionSchema, LevelSchema, MeasureSchema, SchemaBuilder, TableSchema,
 };
 pub use table::{FactTable, FactTableBuilder, RowError};
+pub use telemetry::ScanTelemetry;
 pub use zone::{ZoneColumn, ZoneMaps};

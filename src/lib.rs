@@ -15,6 +15,7 @@
 //! | [`cube`] | chunked MOLAP cubes, multi-resolution sets, parallel aggregation |
 //! | [`gpusim`] | simulated Fermi GPU: partitions, concurrent kernels, memory accounting |
 //! | [`sched`] | the Figure-10 co-scheduler + MET/MCT/round-robin baselines |
+//! | [`obs`] | metrics registry, query tracing, scheduling flight recorder |
 //! | [`workload`] | TPC-DS-like data generators + calibrated query mixes |
 //! | [`sim`] | discrete-event system model (the paper's Section-IV evaluation) |
 //! | [`store`] | checksummed binary persistence for tables, cubes and dictionaries |
@@ -56,6 +57,7 @@ pub use holap_cube as cube;
 pub use holap_dict as dict;
 pub use holap_gpusim as gpusim;
 pub use holap_model as model;
+pub use holap_obs as obs;
 pub use holap_sched as sched;
 pub use holap_sim as sim;
 pub use holap_store as store;
@@ -73,6 +75,9 @@ pub mod prelude {
     pub use holap_dict::{DictKind, Dictionary, DictionarySet, TextCondition};
     pub use holap_gpusim::{DeviceConfig, FaultKind, FaultPlan, GpuDevice};
     pub use holap_model::SystemProfile;
+    pub use holap_obs::{
+        FlightRecorder, MetricsRegistry, ObsConfig, QueryTrace, SpanKind, TraceStatus,
+    };
     pub use holap_sched::{HealthConfig, HealthState, PartitionLayout, Policy, Scheduler};
     pub use holap_sim::{run_closed_loop, run_open_loop, SimConfig};
     pub use holap_table::{AggOp, AggSpec, FactTable, Predicate, ScanQuery, TableSchema};

@@ -1,0 +1,360 @@
+//! End-to-end observability tests: every query lifecycle — normal, shed,
+//! faulted-then-retried, quarantine-rerouted — must be reconstructable
+//! from the flight recorder's JSON dump; anomalous traces must survive
+//! ring eviction; the engine stats snapshot must be coherent under
+//! concurrent load; and the exposed metrics must agree with the stats.
+
+use holap::prelude::*;
+use holap::sched::Placement;
+use serde_json::Value;
+
+fn facts(rows: usize) -> SyntheticFacts {
+    let h = PaperHierarchy::scaled_down(8);
+    SyntheticFacts::generate(&FactsSpec {
+        schema: h.table_schema(),
+        rows,
+        text_levels: vec![TextLevel {
+            dim: 1,
+            level: 3,
+            style: NameStyle::City,
+        }],
+        dict_kind: DictKind::Sorted,
+        skew: None,
+        seed: 31,
+    })
+}
+
+fn build_system(config: SystemConfig, plan: Option<FaultPlan>) -> HybridSystem {
+    let mut b = HybridSystem::builder(config)
+        .facts(facts(20_000))
+        .cube_at(1)
+        .cube_at(2);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    b.build().unwrap()
+}
+
+fn gpu_partitions() -> usize {
+    SystemConfig::default().layout.gpu_partitions()
+}
+
+/// Parses the recorder dump and returns the JSON object for `query_id`,
+/// searching the anomaly buffer first like `FlightRecorder::find`.
+fn dumped_trace(sys: &HybridSystem, id: u64) -> Value {
+    let dump: Value = serde_json::from_str(&sys.trace_dump_json(false).unwrap()).unwrap();
+    for key in ["anomalies", "recent"] {
+        if let Some(t) = dump[key]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|t| t["query_id"].as_u64() == Some(id))
+        {
+            return t.clone();
+        }
+    }
+    panic!("trace {id} not in recorder dump: {dump}");
+}
+
+fn event_names(trace: &Value) -> Vec<String> {
+    trace["events"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| e["event"].as_str().unwrap().to_owned())
+        .collect()
+}
+
+/// A plain GPU query's whole lifecycle — submitted, dispatched,
+/// scheduled, kernel start/end, completed — reconstructs from the JSON
+/// dump, with non-decreasing timestamps and the scheduling decision's
+/// candidate set embedded.
+#[test]
+fn normal_query_lifecycle_reconstructs_from_json() {
+    let sys = build_system(SystemConfig::default(), None);
+    let q = EngineQuery::new().range(0, 3, 0, 9).deadline(10.0);
+    let ticket = sys.submit(&q).unwrap();
+    let id = ticket.id();
+    let out = ticket.wait().unwrap();
+    assert!(!out.placement.is_cpu(), "finest-level query runs on a GPU");
+
+    let t = dumped_trace(&sys, id);
+    assert_eq!(t["status"], "completed");
+    assert_eq!(t["anomalies"].as_array().unwrap().len(), 0);
+    let names = event_names(&t);
+    for expected in [
+        "submitted",
+        "dispatched",
+        "scheduled",
+        "kernel_start",
+        "kernel_end",
+        "completed",
+    ] {
+        assert!(
+            names.contains(&expected.to_string()),
+            "{expected}: {names:?}"
+        );
+    }
+    let events = t["events"].as_array().unwrap();
+    let times: Vec<f64> = events.iter().map(|e| e["at"].as_f64().unwrap()).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "timestamps non-decreasing: {times:?}"
+    );
+    let scheduled = events.iter().find(|e| e["event"] == "scheduled").unwrap();
+    assert!(scheduled["candidates"]["resp_gpu"].is_array());
+    assert!(scheduled["estimated_proc_secs"].as_f64().unwrap() > 0.0);
+    let completed = events.iter().find(|e| e["event"] == "completed").unwrap();
+    assert!(completed["latency_secs"].as_f64().unwrap() > 0.0);
+    assert!(completed["residual_secs"].is_number(), "estimate residual");
+}
+
+/// A query shed for a hopeless deadline leaves a `shed` trace whose shed
+/// event records the predicted completion vs the deadline.
+#[test]
+fn shed_query_lifecycle_reconstructs_from_json() {
+    let config = SystemConfig {
+        admission: AdmissionConfig {
+            shedding: SheddingPolicy::Shed,
+            ..AdmissionConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let sys = build_system(config, None);
+    let q = EngineQuery::new().range(0, 3, 0, 40).deadline(1e-9);
+    let ticket = sys.submit(&q).unwrap();
+    let id = ticket.id();
+    let out = ticket.wait().unwrap();
+    assert!(out.shed);
+
+    let t = dumped_trace(&sys, id);
+    assert_eq!(t["status"], "shed");
+    let names = event_names(&t);
+    assert!(names.contains(&"shed".to_string()), "{names:?}");
+    let events = t["events"].as_array().unwrap();
+    let shed = events.iter().find(|e| e["event"] == "shed").unwrap();
+    assert!(
+        shed["min_response_at"].as_f64().unwrap() > shed["deadline"].as_f64().unwrap(),
+        "shed because even the best partition misses the deadline"
+    );
+    assert!(
+        t["anomalies"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|a| a == "shed"),
+        "shed traces are anomalous: {t}"
+    );
+}
+
+/// A transient kernel fault shows up in the trace as a fault event with
+/// the partition and error, a retry event, and a completion on the GPU —
+/// the full containment story in one timeline.
+#[test]
+fn faulted_then_retried_trace_records_the_ladder() {
+    let mut plan = FaultPlan::new(1);
+    for p in 0..gpu_partitions() {
+        plan = plan.with_scripted(p, 0, FaultKind::Error);
+    }
+    let config = SystemConfig {
+        policy: Policy::GpuOnly,
+        ..SystemConfig::default()
+    };
+    let sys = build_system(config, Some(plan));
+    let ticket = sys.submit(&EngineQuery::new().range(0, 3, 0, 9)).unwrap();
+    let id = ticket.id();
+    let out = ticket.wait().unwrap();
+    assert!(!out.placement.is_cpu());
+
+    let trace = sys.trace_for(id).expect("trace retained");
+    assert!(trace.fault_count() >= 1, "fault event recorded");
+    assert!(trace.retry_count() >= 1, "retry event recorded");
+    assert!(trace.is_anomalous());
+
+    let t = dumped_trace(&sys, id);
+    let events = t["events"].as_array().unwrap();
+    let fault = events.iter().find(|e| e["event"] == "fault").unwrap();
+    assert!(fault["error"].as_str().unwrap().contains("injected"));
+    assert_eq!(fault["timed_out"], false);
+    let fault_idx = events.iter().position(|e| e["event"] == "fault").unwrap();
+    let retry_idx = events.iter().position(|e| e["event"] == "retry").unwrap();
+    let done_idx = events
+        .iter()
+        .position(|e| e["event"] == "completed")
+        .unwrap();
+    assert!(fault_idx < retry_idx && retry_idx < done_idx);
+    let completed = &events[done_idx];
+    assert!(
+        completed["placement"]["Gpu"]["partition"].is_number(),
+        "final device is a GPU partition: {completed}"
+    );
+}
+
+/// A dead partition's stranded query walks the whole ladder in one trace:
+/// faults, health transition to quarantined, failover, CPU execution —
+/// and the final device is the CPU.
+#[test]
+fn quarantine_rerouted_trace_shows_failover_to_cpu() {
+    let plan = FaultPlan::new(3).with_dead_partition(0);
+    let config = SystemConfig {
+        policy: Policy::GpuOnly,
+        faults: FaultToleranceConfig {
+            quarantine: HealthConfig {
+                cooldown_secs: 1e9,
+                ..HealthConfig::default()
+            },
+            ..FaultToleranceConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let sys = build_system(config, Some(plan));
+
+    // A burst spreads work over every partition, so partition 0 strands
+    // at least one query, which quarantines it and fails over to the CPU.
+    let queries: Vec<EngineQuery> = (0..30)
+        .map(|i: u32| EngineQuery::new().range(0, 3, i % 3, 5 + i % 5))
+        .collect();
+    let ids: Vec<u64> = sys
+        .submit_batch(queries.iter())
+        .into_iter()
+        .map(|t| {
+            let t = t.unwrap();
+            let id = t.id();
+            t.wait().unwrap();
+            id
+        })
+        .collect();
+    assert_eq!(sys.partition_health(0), HealthState::Quarantined);
+
+    let rerouted = ids
+        .iter()
+        .filter_map(|&id| sys.trace_for(id))
+        .find(|t| {
+            t.events
+                .iter()
+                .any(|e| matches!(e.kind, SpanKind::Failover { from_partition: 0 }))
+        })
+        .expect("some query failed over from partition 0");
+    let id = rerouted.query_id;
+    assert_eq!(rerouted.final_placement(), Some(Placement::Cpu));
+
+    let t = dumped_trace(&sys, id);
+    let names = event_names(&t);
+    for expected in [
+        "fault",
+        "health_transition",
+        "failover",
+        "cpu_exec",
+        "completed",
+    ] {
+        assert!(
+            names.contains(&expected.to_string()),
+            "{expected}: {names:?}"
+        );
+    }
+    let events = t["events"].as_array().unwrap();
+    let health = events
+        .iter()
+        .find(|e| e["event"] == "health_transition" && e["state"] == "Quarantined")
+        .expect("quarantine transition in the trace");
+    assert_eq!(health["partition"], 0);
+    let completed = events.iter().find(|e| e["event"] == "completed").unwrap();
+    assert_eq!(completed["placement"], "Cpu", "final device: {completed}");
+}
+
+/// Anomalous traces outlive the recent ring: after flooding the recorder
+/// with clean queries, the early faulted trace is gone from the ring but
+/// still retrievable from the anomaly buffer (and the JSON dump).
+#[test]
+fn anomalous_traces_survive_ring_eviction() {
+    let mut plan = FaultPlan::new(7);
+    for p in 0..gpu_partitions() {
+        plan = plan.with_scripted(p, 0, FaultKind::Error);
+    }
+    let config = SystemConfig {
+        policy: Policy::GpuOnly,
+        obs: ObsConfig {
+            recorder_capacity: 4,
+            ..ObsConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let sys = build_system(config, Some(plan));
+
+    let q = EngineQuery::new().range(0, 3, 0, 9);
+    let ticket = sys.submit(&q).unwrap();
+    let faulted_id = ticket.id();
+    ticket.wait().unwrap();
+    assert!(sys.trace_for(faulted_id).unwrap().is_anomalous());
+
+    // Flood: far more clean completions than the ring holds.
+    for _ in 0..20 {
+        sys.submit(&q).unwrap().wait().unwrap();
+    }
+    let in_ring = sys
+        .recent_traces(usize::MAX)
+        .iter()
+        .any(|t| t.query_id == faulted_id);
+    assert!(!in_ring, "ring evicted the old trace");
+    let kept = sys
+        .anomalous_traces()
+        .into_iter()
+        .find(|t| t.query_id == faulted_id)
+        .expect("anomaly buffer retains the evidence");
+    assert!(kept.fault_count() >= 1);
+    // And the JSON dump still reconstructs it.
+    let t = dumped_trace(&sys, faulted_id);
+    assert!(event_names(&t).contains(&"fault".to_string()));
+}
+
+/// The stats snapshot is coherent under concurrent load: at no observable
+/// instant do resolved queries exceed submitted ones (the torn-snapshot
+/// regression), and the in-flight derivation never underflows.
+#[test]
+fn stats_snapshot_is_coherent_under_concurrency() {
+    let sys = std::sync::Arc::new(build_system(SystemConfig::default(), None));
+    let worker = {
+        let sys = std::sync::Arc::clone(&sys);
+        std::thread::spawn(move || {
+            let queries: Vec<EngineQuery> = (0..300)
+                .map(|i: u32| match i % 3 {
+                    0 => EngineQuery::new().range(0, 1, i % 2, 1 + i % 2),
+                    1 => EngineQuery::new().range(0, 2, i % 4, 3 + i % 9),
+                    _ => EngineQuery::new().range(0, 3, i % 5, 5 + i % 5),
+                })
+                .collect();
+            for t in sys.submit_batch(queries.iter()) {
+                t.unwrap().wait().unwrap();
+            }
+        })
+    };
+    loop {
+        let s = sys.stats();
+        let resolved = s.completed + s.failed + s.shed + s.rejected;
+        assert!(
+            resolved <= s.submitted,
+            "torn snapshot: resolved {resolved} > submitted {}",
+            s.submitted
+        );
+        let _ = s.in_flight(); // must not underflow (saturating by construction)
+        if worker.is_finished() {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    worker.join().unwrap();
+
+    let s = sys.stats();
+    assert_eq!(s.submitted, 300);
+    assert_eq!(s.completed + s.failed + s.shed + s.rejected, 300);
+    assert_eq!(s.in_flight(), 0);
+
+    // The exposed metrics agree with the final stats snapshot.
+    let snap = sys.metrics_snapshot().unwrap();
+    assert_eq!(snap.counter("holap_engine_submitted_total", &[]), 300);
+    let by_placement: u64 = ["cpu", "gpu", "cache"]
+        .iter()
+        .map(|p| snap.counter("holap_engine_completed_total", &[("placement", p)]))
+        .sum();
+    assert_eq!(by_placement, s.completed);
+}
